@@ -1,0 +1,37 @@
+//! §3.5 ablation: bipartite-block fast path vs the general
+//! minimal-`C(s)` search in the decomposition. (Paper: the fast path
+//! reduced SDSS decomposition from over 2 days to a few minutes.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_core::decompose::{decompose, DecomposeOptions};
+use prio_graph::reduction::transitive_reduction;
+use prio_workloads::{airsn, sdss};
+
+fn bench_decompose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose");
+    group.sample_size(10);
+
+    let cases = vec![
+        ("AIRSN_w50", transitive_reduction(&airsn::airsn(50))),
+        (
+            "SDSS_tiny",
+            transitive_reduction(&sdss::sdss(sdss::SdssParams {
+                fields: 64,
+                targets: 200,
+                extra_chain: 0,
+            })),
+        ),
+    ];
+    for (name, dag) in &cases {
+        group.bench_with_input(BenchmarkId::new("fast_path", name), dag, |b, dag| {
+            b.iter(|| decompose(dag, DecomposeOptions { fast_path: true }));
+        });
+        group.bench_with_input(BenchmarkId::new("general_only", name), dag, |b, dag| {
+            b.iter(|| decompose(dag, DecomposeOptions { fast_path: false }));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompose);
+criterion_main!(benches);

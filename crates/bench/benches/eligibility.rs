@@ -1,0 +1,30 @@
+//! Microbenchmarks of the substrate operations on the pipeline's hot
+//! path: eligibility-profile computation, FIFO schedule construction and
+//! shortcut removal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prio_core::eligibility::eligibility_profile;
+use prio_core::fifo::fifo_schedule;
+use prio_graph::reduction::transitive_reduction;
+use prio_workloads::montage::{montage, MontageParams};
+
+fn bench_substrate(c: &mut Criterion) {
+    let dag = montage(MontageParams::scaled(0.25));
+    let fifo = fifo_schedule(&dag);
+
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20);
+    group.bench_function("fifo_schedule_montage_quarter", |b| {
+        b.iter(|| fifo_schedule(&dag));
+    });
+    group.bench_function("eligibility_profile_montage_quarter", |b| {
+        b.iter(|| eligibility_profile(&dag, fifo.order()));
+    });
+    group.bench_function("transitive_reduction_montage_quarter", |b| {
+        b.iter(|| transitive_reduction(&dag));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

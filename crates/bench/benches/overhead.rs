@@ -1,0 +1,28 @@
+//! §3.6 overhead: running time of the full `prio` pipeline on the four
+//! scientific dags (scaled so the bench suite stays fast; the full-size
+//! wall-clock/memory table is `--bin table_overhead`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_core::prio::prioritize;
+use prio_workloads::{airsn, inspiral, montage, sdss};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prio_pipeline");
+    group.sample_size(10);
+
+    let cases = vec![
+        ("AIRSN_773", airsn::airsn_paper()),
+        ("Inspiral_2988", inspiral::inspiral_paper()),
+        ("Montage_scaled", montage::montage(montage::MontageParams::scaled(0.25))),
+        ("SDSS_scaled", sdss::sdss(sdss::SdssParams::scaled(0.05))),
+    ];
+    for (name, dag) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dag, |b, dag| {
+            b.iter(|| prioritize(dag));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Throughput of the event-driven grid simulator — one run of AIRSN under
+//! both policies at a PRIO-favourable cell and at an abundant-workers
+//! cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prio_core::prio::prioritize;
+use prio_sim::{simulate, GridModel, PolicySpec};
+use prio_workloads::airsn::airsn;
+
+fn bench_simulator(c: &mut Criterion) {
+    let dag = airsn(50);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let fifo = PolicySpec::Fifo;
+
+    let cells = [("sweet_spot", GridModel::paper(1.0, 16.0)), ("abundant", GridModel::paper(0.01, 4096.0))];
+    let mut group = c.benchmark_group("simulate_airsn_w50");
+    group.sample_size(20);
+    for (cell, model) in cells {
+        group.bench_with_input(BenchmarkId::new("PRIO", cell), &model, |b, m| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                simulate(&dag, &prio, m, seed)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("FIFO", cell), &model, |b, m| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                simulate(&dag, &fifo, m, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Reproduces the §3.6 overhead table: running time and peak memory of the
+//! `prio` pipeline on the four scientific dags at full size (the paper ran
+//! on a 3.4 GHz Pentium 4 with MSVC; absolute numbers differ, the scaling
+//! across dags is the comparison target).
+
+use prio_bench::mem::{peak_since, reset_peak, CountingAllocator};
+use prio_bench::report::{fmt_bytes, fmt_duration, Table};
+use prio_core::prio::prioritize;
+use prio_workloads::paper_suite;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Paper-reported numbers for reference: (jobs, seconds, memory).
+const PAPER: [(&str, &str, &str); 4] = [
+    ("AIRSN", "< 1 s", "2 MB"),
+    ("Inspiral", "16 s", "21 MB"),
+    ("Montage", "8 s", "104 MB"),
+    ("SDSS", "845 s", "1.3 GB"),
+];
+
+fn main() {
+    let mut t = Table::new(&[
+        "dag",
+        "jobs",
+        "time (ours)",
+        "peak mem (ours)",
+        "time (paper, P4/MSVC)",
+        "mem (paper)",
+    ]);
+    for (i, w) in paper_suite().into_iter().enumerate() {
+        eprintln!("overhead: prioritizing {} ({} jobs)…", w.name, w.dag.num_nodes());
+        let baseline = reset_peak();
+        let start = Instant::now();
+        let result = prioritize(&w.dag);
+        let elapsed = start.elapsed();
+        let peak = peak_since(baseline);
+        assert!(result.schedule.is_valid_for(&w.dag));
+        let (pname, ptime, pmem) = PAPER[i];
+        assert_eq!(pname, w.name);
+        t.row(vec![
+            w.name.to_string(),
+            w.dag.num_nodes().to_string(),
+            fmt_duration(elapsed),
+            fmt_bytes(peak),
+            ptime.to_string(),
+            pmem.to_string(),
+        ]);
+        drop(result);
+    }
+    println!("\n== §3.6 overhead table: prio tool on the four scientific dags ==\n");
+    println!("{}", t.render());
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/table_overhead.txt", t.render()).expect("write table");
+    println!("wrote results/table_overhead.txt");
+}

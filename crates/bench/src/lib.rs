@@ -1,0 +1,20 @@
+//! # prio-bench — benchmark and figure-regeneration harness
+//!
+//! One target per table/figure of the paper (see DESIGN.md §4 for the full
+//! index):
+//!
+//! | paper artifact | target |
+//! |----------------|--------|
+//! | Fig. 3 (tool invocation) | `cargo run -p prio-bench --bin fig3_example` |
+//! | Fig. 4 (eligibility differences) | `cargo run -p prio-bench --release --bin fig4_eligibility` |
+//! | Fig. 5 (prioritized AIRSN drawing) | `cargo run -p prio-bench --bin fig5_dot` |
+//! | Figs. 6–9 (simulation ratio sweeps) | `cargo run -p prio-bench --release --bin fig6to9_ratios -- <dag>` |
+//! | §3.5 engineering speedups | `cargo bench -p prio-bench --bench decompose` / `--bench combine`, `cargo run -p prio-bench --release --bin ablations` |
+//! | §3.6 overhead table | `cargo bench -p prio-bench --bench overhead`, `cargo run -p prio-bench --release --bin table_overhead` |
+//!
+//! The library part holds shared plumbing: plain-text table/TSV rendering
+//! ([`report`]) and a byte-counting global allocator used to estimate the
+//! §3.6 memory column ([`mem`]).
+
+pub mod mem;
+pub mod report;

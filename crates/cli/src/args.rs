@@ -1,0 +1,116 @@
+//! Minimal flag parsing shared by the subcommands (no external deps).
+
+use std::collections::HashMap;
+
+/// Parsed positional arguments and `--flag [value]` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, Option<String>>,
+}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["fifo", "critical-path", "theoretical", "in-place", "full"];
+
+impl Args {
+    /// Parses argv-style tokens. A `--flag` consumes the following token
+    /// as its value unless it is boolean or the next token is another
+    /// flag.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let tok = &argv[i];
+            if let Some(name) = tok.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err("bare `--` is not supported".into());
+                }
+                let takes_value = !BOOLEAN_FLAGS.contains(&name);
+                let value = if takes_value {
+                    let next = argv.get(i + 1);
+                    match next {
+                        Some(v) if !v.starts_with("--") => {
+                            i += 1;
+                            Some(v.clone())
+                        }
+                        _ => return Err(format!("flag --{name} requires a value")),
+                    }
+                } else {
+                    None
+                };
+                if args.flags.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else {
+                args.positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// A flag's string value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).and_then(|v| v.as_deref())
+    }
+
+    /// A flag parsed as `T`, with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+        }
+    }
+
+    /// The single required positional argument.
+    pub fn one_positional(&self) -> Result<&str, String> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            [] => Err("expected one positional argument".into()),
+            _ => Err("too many positional arguments".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(tokens: &[&str]) -> Vec<String> {
+        tokens.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = Args::parse(&v(&["file.dag", "--mu-bit", "0.5", "--fifo"])).unwrap();
+        assert_eq!(a.one_positional().unwrap(), "file.dag");
+        assert_eq!(a.get("mu-bit"), Some("0.5"));
+        assert!(a.has("fifo"));
+        assert_eq!(a.get_parsed("mu-bit", 1.0).unwrap(), 0.5);
+        assert_eq!(a.get_parsed("p", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&v(&["--seed"])).is_err());
+        assert!(Args::parse(&v(&["--seed", "--fifo"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(Args::parse(&v(&["--seed", "1", "--seed", "2"])).is_err());
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let a = Args::parse(&v(&["--p", "abc"])).unwrap();
+        assert!(a.get_parsed("p", 0usize).is_err());
+    }
+}

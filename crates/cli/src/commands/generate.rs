@@ -1,0 +1,45 @@
+//! `prio generate` — emit a synthetic scientific dag as a DAGMan file.
+
+use crate::args::Args;
+use prio_dagman::ast::DagmanFile;
+use prio_dagman::write::write_dagman;
+use prio_workloads::{airsn, classic, inspiral, montage, sdss};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let which = args.one_positional()?.to_ascii_lowercase();
+    let scale: f64 = args.get_parsed("scale", 1.0)?;
+    let dag = match which.as_str() {
+        "airsn" => {
+            let width: usize =
+                args.get_parsed("width", (airsn::PAPER_WIDTH as f64 * scale).round() as usize)?;
+            airsn::airsn(width.max(1))
+        }
+        "inspiral" => inspiral::inspiral(if scale < 1.0 {
+            inspiral::InspiralParams::scaled(scale)
+        } else {
+            inspiral::InspiralParams::default()
+        }),
+        "montage" => montage::montage(if scale < 1.0 {
+            montage::MontageParams::scaled(scale)
+        } else {
+            montage::MontageParams::default()
+        }),
+        "sdss" => sdss::sdss(if scale < 1.0 {
+            sdss::SdssParams::scaled(scale)
+        } else {
+            sdss::SdssParams::default()
+        }),
+        "fig3" => classic::fig3_dag(),
+        other => return Err(format!("unknown workload {other:?}")),
+    };
+    let text = write_dagman(&DagmanFile::from_dag(&dag));
+    match args.get("output") {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("prio: wrote {path} ({} jobs)", dag.num_nodes());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! `prio instrument` — the paper's tool: prioritize a DAGMan file.
+
+use crate::args::Args;
+use prio_core::prio::{PrioOptions, Prioritizer};
+use prio_dagman::instrument::{instrument_dagman_with, priorities_by_job, InstrumentMode};
+use prio_dagman::jsdf::Jsdf;
+use prio_dagman::parse::parse_dagman;
+use prio_dagman::write::write_dagman;
+use std::path::{Path, PathBuf};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let path = args.one_positional()?.to_string();
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let mut file = parse_dagman(&text).map_err(|e| format!("{path}: {e}"))?;
+    let dag = file.to_dag().map_err(|e| format!("{path}: {e}"))?;
+
+    let search: usize = args.get_parsed("search", 0)?;
+    let mode = match args.get("mode") {
+        None | Some("vars") => InstrumentMode::VarsMacro,
+        Some("priority") => InstrumentMode::PriorityStatement,
+        Some(other) => return Err(format!("unknown --mode {other:?} (vars|priority)")),
+    };
+    let result = Prioritizer::with_options(PrioOptions {
+        optimal_search_limit: search,
+        ..PrioOptions::default()
+    })
+    .prioritize(&dag);
+    let names = result.schedule.order().iter().map(|&u| dag.label(u));
+    let priorities = priorities_by_job(names);
+    instrument_dagman_with(&mut file, &priorities, mode).map_err(|e| e.to_string())?;
+    let instrumented = write_dagman(&file);
+
+    let output: PathBuf = if args.has("in-place") {
+        PathBuf::from(&path)
+    } else if let Some(out) = args.get("output") {
+        PathBuf::from(out)
+    } else {
+        // foo.dag -> foo.prio.dag
+        let p = Path::new(&path);
+        let stem = p.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+        let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("dag");
+        p.with_file_name(format!("{stem}.prio.{ext}"))
+    };
+    std::fs::write(&output, instrumented).map_err(|e| format!("{}: {e}", output.display()))?;
+    eprintln!(
+        "prio: wrote {} ({} jobs, {} components, {} shortcuts removed)",
+        output.display(),
+        dag.num_nodes(),
+        result.stats.num_components,
+        result.stats.shortcuts_removed
+    );
+
+    // Instrument each referenced JSDF we can locate.
+    let jsdf_dir = args
+        .get("jsdf-dir")
+        .map(PathBuf::from)
+        .or_else(|| Path::new(&path).parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut seen = std::collections::BTreeSet::new();
+    for job in file.job_names() {
+        if let Some(submit) = file.submit_file(job) {
+            if !seen.insert(submit.to_string()) {
+                continue;
+            }
+            let jsdf_path = jsdf_dir.join(submit);
+            match std::fs::read_to_string(&jsdf_path) {
+                Ok(text) => {
+                    let mut jsdf = Jsdf::parse(&text);
+                    jsdf.instrument_priority();
+                    std::fs::write(&jsdf_path, jsdf.to_text())
+                        .map_err(|e| format!("{}: {e}", jsdf_path.display()))?;
+                    eprintln!("prio: instrumented {}", jsdf_path.display());
+                }
+                Err(_) => {
+                    eprintln!(
+                        "prio: note: submit file {} not found, skipped",
+                        jsdf_path.display()
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Subcommand implementations.
+
+pub mod compare;
+pub mod generate;
+pub mod instrument;
+pub mod schedule;
+pub mod simulate;
+pub mod stats;
+
+use crate::args::Args;
+use prio_dagman::parse::parse_dagman;
+use prio_graph::Dag;
+use prio_workloads::spec::{paper_workload, scaled_suite};
+
+/// Loads the dag a subcommand operates on: either a DAGMan file path
+/// (positional) or `--workload NAME` with optional `--scale F`.
+pub fn load_dag(args: &Args) -> Result<(String, Dag), String> {
+    if let Some(name) = args.get("workload") {
+        let scale: f64 = args.get_parsed("scale", 1.0)?;
+        let workload = if (scale - 1.0).abs() < f64::EPSILON {
+            paper_workload(name).ok_or_else(|| format!("unknown workload {name:?}"))?
+        } else {
+            scaled_suite(scale)
+                .into_iter()
+                .find(|w| w.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| format!("unknown workload {name:?}"))?
+        };
+        Ok((format!("{} ({} jobs)", workload.name, workload.dag.num_nodes()), workload.dag))
+    } else {
+        let path = args.one_positional()?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let file = parse_dagman(&text).map_err(|e| format!("{path}: {e}"))?;
+        let dag = file.to_dag().map_err(|e| format!("{path}: {e}"))?;
+        Ok((path.to_string(), dag))
+    }
+}

@@ -1,0 +1,32 @@
+//! `prio schedule` — print a schedule, one job per line.
+
+use crate::args::Args;
+use crate::commands::load_dag;
+use prio_core::baselines::critical_path_schedule;
+use prio_core::fifo::fifo_schedule;
+use prio_core::prio::prioritize;
+use prio_core::theoretical::theoretical_schedule;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (name, dag) = load_dag(&args)?;
+    let schedule = if args.has("fifo") {
+        fifo_schedule(&dag)
+    } else if args.has("critical-path") {
+        critical_path_schedule(&dag)
+    } else if args.has("theoretical") {
+        theoretical_schedule(&dag)
+            .map_err(|e| format!("theoretical algorithm failed: {e}"))?
+            .schedule
+    } else {
+        prioritize(&dag).schedule
+    };
+    eprintln!("prio: schedule for {name}");
+    let n = schedule.len();
+    let mut out = String::new();
+    for (i, &u) in schedule.order().iter().enumerate() {
+        out.push_str(&format!("{}\t{}\n", dag.label(u), n - i));
+    }
+    print!("{out}");
+    Ok(())
+}

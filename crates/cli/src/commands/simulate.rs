@@ -1,0 +1,46 @@
+//! `prio simulate` — PRIO vs FIFO under the stochastic grid model.
+
+use crate::args::Args;
+use crate::commands::load_dag;
+use prio_core::prio::prioritize;
+use prio_sim::replicate::ReplicationPlan;
+use prio_sim::{compare_policies, GridModel, PolicySpec};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let (name, dag) = load_dag(&args)?;
+    let mu_bit: f64 = args.get_parsed("mu-bit", 1.0)?;
+    let mu_bs: f64 = args.get_parsed("mu-bs", 16.0)?;
+    let p: usize = args.get_parsed("p", 30)?;
+    let q: usize = args.get_parsed("q", 20)?;
+    let seed: u64 = args.get_parsed("seed", 20060401)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
+    if mu_bit <= 0.0 || mu_bs < 1.0 {
+        return Err("--mu-bit must be > 0 and --mu-bs >= 1".into());
+    }
+
+    eprintln!("prio: simulating {name} at mu_bit={mu_bit}, mu_bs={mu_bs} (p={p}, q={q})");
+    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let model = GridModel::paper(mu_bit, mu_bs);
+    let plan = ReplicationPlan { p, q, seed, threads };
+    let r = compare_policies(&dag, &prio, &PolicySpec::Fifo, &model, &plan);
+
+    println!("metric\tPRIO_mean\tFIFO_mean\tratio_median\tratio_lo\tratio_hi");
+    let rows = [
+        ("execution_time", &r.a.execution_time, &r.b.execution_time, &r.execution_time_ratio),
+        ("stall_probability", &r.a.stalling, &r.b.stalling, &r.stalling_ratio),
+        ("utilization", &r.a.utilization, &r.b.utilization, &r.utilization_ratio),
+    ];
+    for (name, a, b, ci) in rows {
+        let (median, lo, hi) = match ci {
+            Some(ci) => (format!("{:.4}", ci.median), format!("{:.4}", ci.lo), format!("{:.4}", ci.hi)),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
+        println!(
+            "{name}\t{:.4}\t{:.4}\t{median}\t{lo}\t{hi}",
+            a.summary().mean,
+            b.summary().mean
+        );
+    }
+    Ok(())
+}

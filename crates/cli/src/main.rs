@@ -1,0 +1,78 @@
+//! The `prio` command-line tool (§3.2).
+//!
+//! ```text
+//! prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]\n                    [--mode vars|priority] [--search N]
+//! prio schedule   <file.dag> [--fifo] [--critical-path]
+//! prio compare    <file.dag | --workload NAME [--scale F]>
+//! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
+//! prio simulate   (<file.dag> | --workload NAME [--scale F]) [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S]
+//! prio stats      <file.dag | --workload NAME>
+//! ```
+//!
+//! `instrument` reproduces the paper's tool exactly: parse the DAGMan
+//! input file, run the scheduling heuristic, define the `jobpriority`
+//! macro per job via `VARS`, and set `priority = $(jobpriority)` in each
+//! referenced job-submit description file that can be found on disk.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("prio: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "instrument" => commands::instrument::run(rest),
+        "schedule" => commands::schedule::run(rest),
+        "compare" => commands::compare::run(rest),
+        "generate" => commands::generate::run(rest),
+        "simulate" => commands::simulate::run(rest),
+        "stats" => commands::stats::run(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?} (try `prio help`)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "\
+prio — prioritize DAGMan jobs to keep the number of eligible jobs high
+
+USAGE:
+    prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]\n                    [--mode vars|priority] [--search N]
+    prio schedule   <file.dag> [--fifo | --critical-path | --theoretical]
+    prio compare    (<file.dag> | --workload NAME [--scale F])
+    prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
+    prio simulate   (<file.dag> | --workload NAME [--scale F])
+                    [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S] [--threads T]
+    prio stats      (<file.dag> | --workload NAME [--scale F])
+    prio help
+
+SUBCOMMANDS:
+    instrument  parse a DAGMan file, compute the PRIO schedule, write back
+                jobpriority VARS (and JSDF priority lines when found)
+    schedule    print the schedule, one job name per line
+    compare     print E_PRIO(t) - E_FIFO(t) per step (the paper's Fig. 4)
+    generate    emit a synthetic scientific dag as a DAGMan file
+    simulate    compare PRIO vs FIFO under the stochastic grid model
+    stats       print pipeline statistics (components, families, shortcuts)"
+    );
+}

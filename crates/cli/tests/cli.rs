@@ -1,0 +1,161 @@
+//! Integration tests driving the `prio` binary end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn prio(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prio"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prio-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+const FIG3: &str = "\
+JOB a a.submit
+JOB b b.submit
+JOB c c.submit
+JOB d d.submit
+JOB e e.submit
+PARENT a CHILD b
+PARENT c CHILD d e
+";
+
+#[test]
+fn instrument_writes_fig3_priorities() {
+    let dir = tempdir("instrument");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    std::fs::write(dir.join("c.submit"), "universe = vanilla\nqueue\n").unwrap();
+    let out = prio(&["instrument", "IV.dag"], &dir);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let instrumented = std::fs::read_to_string(dir.join("IV.prio.dag")).unwrap();
+    assert!(instrumented.contains("VARS c jobpriority=\"5\""));
+    assert!(instrumented.contains("VARS e jobpriority=\"1\""));
+    let jsdf = std::fs::read_to_string(dir.join("c.submit")).unwrap();
+    assert!(jsdf.contains("priority = $(jobpriority)"));
+}
+
+#[test]
+fn instrument_in_place_overwrites() {
+    let dir = tempdir("inplace");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["instrument", "IV.dag", "--in-place"], &dir);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(dir.join("IV.dag")).unwrap();
+    assert!(text.contains("jobpriority"));
+}
+
+#[test]
+fn schedule_prints_prio_order() {
+    let dir = tempdir("schedule");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["schedule", "IV.dag"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let names: Vec<&str> = stdout.lines().map(|l| l.split('\t').next().unwrap()).collect();
+    assert_eq!(names, vec!["c", "a", "b", "d", "e"]);
+}
+
+#[test]
+fn schedule_fifo_flag_changes_order() {
+    let dir = tempdir("fifo");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["schedule", "IV.dag", "--fifo"], &dir);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("a\t"));
+}
+
+#[test]
+fn compare_emits_diff_series() {
+    let dir = tempdir("compare");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["compare", "IV.dag"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("t\tdiff"));
+    assert_eq!(stdout.lines().count(), 1 + 6); // header + E(0..=5)
+}
+
+#[test]
+fn generate_then_instrument_roundtrip() {
+    let dir = tempdir("generate");
+    let out = prio(
+        &["generate", "airsn", "--width", "5", "--output", "airsn.dag"],
+        &dir,
+    );
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = prio(&["instrument", "airsn.dag", "--output", "out.dag"], &dir);
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(dir.join("out.dag")).unwrap();
+    // 38 jobs at width 5, so the top priority is 38.
+    assert!(text.contains("jobpriority=\"38\""));
+}
+
+#[test]
+fn stats_reports_components() {
+    let dir = tempdir("stats");
+    let out = prio(&["stats", "--workload", "airsn", "--scale", "0.05"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("components:"));
+    assert!(stdout.contains("bipartite:"));
+}
+
+#[test]
+fn simulate_smoke() {
+    let dir = tempdir("simulate");
+    let out = prio(
+        &[
+            "simulate", "--workload", "airsn", "--scale", "0.04", "--mu-bit", "1",
+            "--mu-bs", "8", "--p", "4", "--q", "3",
+        ],
+        &dir,
+    );
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("execution_time"));
+    assert!(stdout.contains("utilization"));
+}
+
+#[test]
+fn unknown_subcommand_fails_cleanly() {
+    let dir = tempdir("unknown");
+    let out = prio(&["frobnicate"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let dir = tempdir("missing");
+    let out = prio(&["schedule", "nope.dag"], &dir);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_exits_zero() {
+    let dir = tempdir("help");
+    let out = prio(&["help"], &dir);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn cyclic_dagman_file_is_rejected() {
+    let dir = tempdir("cycle");
+    std::fs::write(
+        dir.join("cyc.dag"),
+        "JOB a a.sub\nJOB b b.sub\nPARENT a CHILD b\nPARENT b CHILD a\n",
+    )
+    .unwrap();
+    let out = prio(&["schedule", "cyc.dag"], &dir);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cycle"));
+}

@@ -1,0 +1,78 @@
+//! Components produced by the Divide phase.
+//!
+//! Detaching a component `C` from the remnant of `G'` removes all of `C`'s
+//! *non-sinks* (they are scheduled with the component) and those of `C`'s
+//! sinks that are sinks of `G'` (they are scheduled at the very end, with
+//! all the other sinks of `G`). A sink of `C` that still has children in
+//! the remnant survives the detach and reappears as a *source* of a later
+//! component — that sharing is what the superdag's arcs record.
+
+use prio_graph::{Dag, NodeId, SubgraphMap};
+
+/// How a component's non-sink schedule was obtained (Recurse phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleSource {
+    /// The component matched a catalog family with an explicit IC-optimal
+    /// schedule.
+    Catalog(crate::families::Family),
+    /// The component is a single job (nothing to schedule before sinks).
+    Trivial,
+    /// An IC-optimal order found by exhaustive search (extension beyond
+    /// the paper, enabled by
+    /// [`crate::prio::PrioOptions::optimal_search_limit`]).
+    Searched,
+    /// Fallback: largest-out-degree-first among locally eligible non-sinks.
+    OutDegreeHeuristic,
+}
+
+/// One component of the decomposition of `G'`.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Index of this component in detach order.
+    pub index: usize,
+    /// All nodes of the component, as ids of the *original* dag, in local
+    /// index order.
+    pub nodes: Vec<NodeId>,
+    /// The induced local dag on `nodes` (a component source may have had
+    /// parents in earlier components; locally it is a source).
+    pub local: Dag,
+    /// Mapping between local and original node ids.
+    pub map: SubgraphMap,
+    /// Whether the component is a bipartite dag (arcs only source → sink).
+    pub bipartite: bool,
+    /// The component's non-sinks (original ids) in the order assigned by
+    /// the Recurse phase — this is the slice of the global schedule this
+    /// component contributes.
+    pub nonsink_schedule: Vec<NodeId>,
+    /// How the schedule was obtained.
+    pub schedule_source: ScheduleSource,
+    /// The component's local eligibility profile: `E(x)` for
+    /// `x = 0 ..= nonsinks`, counting eligible jobs *within the component*
+    /// after executing the first `x` scheduled non-sinks.
+    pub profile: Vec<usize>,
+}
+
+impl Component {
+    /// Number of nodes in the component.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the component is empty (never produced by the decomposer).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of non-sinks (= scheduled jobs) of the component.
+    pub fn num_nonsinks(&self) -> usize {
+        self.nonsink_schedule.len()
+    }
+
+    /// The component's sinks (original ids, local index order).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.local
+            .sinks()
+            .map(|s| self.map.to_super(s))
+            .collect()
+    }
+}

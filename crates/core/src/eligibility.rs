@@ -1,0 +1,243 @@
+//! The eligibility engine.
+//!
+//! A job is **eligible** when it has not been executed and every one of its
+//! parents has been executed (§2.1). `E_Σ(t)` — the number of eligible jobs
+//! after the first `t` jobs of a schedule Σ have executed — is the quantity
+//! the whole paper optimizes; this module computes it incrementally in
+//! `O(arcs)` total over a full execution.
+
+use prio_graph::{Dag, NodeId};
+
+/// Incremental eligibility tracker over a fixed [`Dag`].
+///
+/// Starts with every source eligible; [`EligibilityTracker::execute`] marks
+/// one job executed and promotes any children whose last missing parent it
+/// was. Executing an ineligible or already-executed job is a logic error and
+/// panics — schedules are supposed to be linear extensions.
+#[derive(Debug, Clone)]
+pub struct EligibilityTracker<'a> {
+    dag: &'a Dag,
+    /// Number of not-yet-executed parents per job.
+    missing_parents: Vec<u32>,
+    executed: Vec<bool>,
+    eligible_count: usize,
+    executed_count: usize,
+}
+
+impl<'a> EligibilityTracker<'a> {
+    /// Creates a tracker with no job executed; every source is eligible.
+    pub fn new(dag: &'a Dag) -> Self {
+        let missing_parents: Vec<u32> =
+            dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
+        let eligible_count = missing_parents.iter().filter(|&&m| m == 0).count();
+        EligibilityTracker {
+            dag,
+            missing_parents,
+            executed: vec![false; dag.num_nodes()],
+            eligible_count,
+            executed_count: 0,
+        }
+    }
+
+    /// The underlying dag.
+    pub fn dag(&self) -> &Dag {
+        self.dag
+    }
+
+    /// Whether `u` is currently eligible.
+    #[inline]
+    pub fn is_eligible(&self, u: NodeId) -> bool {
+        !self.executed[u.index()] && self.missing_parents[u.index()] == 0
+    }
+
+    /// Whether `u` has been executed.
+    #[inline]
+    pub fn is_executed(&self, u: NodeId) -> bool {
+        self.executed[u.index()]
+    }
+
+    /// The current number of eligible jobs — `E(t)` after `t` executions.
+    #[inline]
+    pub fn eligible_count(&self) -> usize {
+        self.eligible_count
+    }
+
+    /// The number of jobs executed so far.
+    #[inline]
+    pub fn executed_count(&self) -> usize {
+        self.executed_count
+    }
+
+    /// Whether every job has been executed.
+    pub fn is_complete(&self) -> bool {
+        self.executed_count == self.dag.num_nodes()
+    }
+
+    /// The currently eligible jobs, in index order.
+    pub fn eligible_jobs(&self) -> Vec<NodeId> {
+        self.dag.node_ids().filter(|&u| self.is_eligible(u)).collect()
+    }
+
+    /// Executes `u`, returning the children that became eligible (in index
+    /// order). Panics if `u` is not eligible.
+    pub fn execute(&mut self, u: NodeId) -> Vec<NodeId> {
+        assert!(
+            self.is_eligible(u),
+            "job {u:?} is not eligible (executed: {}, missing parents: {})",
+            self.executed[u.index()],
+            self.missing_parents[u.index()]
+        );
+        self.executed[u.index()] = true;
+        self.executed_count += 1;
+        self.eligible_count -= 1;
+        let mut newly = Vec::new();
+        for &v in self.dag.children(u) {
+            let m = &mut self.missing_parents[v.index()];
+            *m -= 1;
+            if *m == 0 {
+                self.eligible_count += 1;
+                newly.push(v);
+            }
+        }
+        newly
+    }
+}
+
+/// Computes the full eligibility profile `E(0), E(1), …, E(n)` of executing
+/// `order` on `dag`.
+///
+/// `order` must be a linear extension of `dag` (panics otherwise). The
+/// returned vector has length `n + 1`; `E(0)` is the number of sources and
+/// `E(n) = 0`.
+pub fn eligibility_profile(dag: &Dag, order: &[NodeId]) -> Vec<usize> {
+    assert_eq!(order.len(), dag.num_nodes(), "order must cover every job");
+    let mut tracker = EligibilityTracker::new(dag);
+    let mut profile = Vec::with_capacity(order.len() + 1);
+    profile.push(tracker.eligible_count());
+    for &u in order {
+        tracker.execute(u);
+        profile.push(tracker.eligible_count());
+    }
+    profile
+}
+
+/// Computes the eligibility profile of executing only a *prefix* of jobs
+/// (used for component-local profiles over non-sinks): returns
+/// `E(0) ..= E(prefix.len())`.
+///
+/// Jobs in `prefix` must each be eligible when reached.
+pub fn partial_eligibility_profile(dag: &Dag, prefix: &[NodeId]) -> Vec<usize> {
+    let mut tracker = EligibilityTracker::new(dag);
+    let mut profile = Vec::with_capacity(prefix.len() + 1);
+    profile.push(tracker.eligible_count());
+    for &u in prefix {
+        tracker.execute(u);
+        profile.push(tracker.eligible_count());
+    }
+    profile
+}
+
+/// Naive recomputation of the eligible-job count for a given executed set —
+/// the O(n + arcs)-per-call oracle used to cross-check the tracker in tests.
+pub fn eligible_count_naive(dag: &Dag, executed: &[bool]) -> usize {
+    dag.node_ids()
+        .filter(|&u| {
+            !executed[u.index()]
+                && dag.parents(u).iter().all(|p| executed[p.index()])
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig3_dag() -> Dag {
+        // a(0) -> b(1), c(2) -> d(3), c(2) -> e(4)
+        Dag::from_arcs(5, &[(0, 1), (2, 3), (2, 4)]).unwrap()
+    }
+
+    #[test]
+    fn initial_state_has_sources_eligible() {
+        let d = fig3_dag();
+        let t = EligibilityTracker::new(&d);
+        assert_eq!(t.eligible_count(), 2);
+        assert_eq!(t.eligible_jobs(), vec![NodeId(0), NodeId(2)]);
+        assert!(!t.is_complete());
+    }
+
+    #[test]
+    fn execute_promotes_children() {
+        let d = fig3_dag();
+        let mut t = EligibilityTracker::new(&d);
+        let newly = t.execute(NodeId(2));
+        assert_eq!(newly, vec![NodeId(3), NodeId(4)]);
+        assert_eq!(t.eligible_count(), 3); // a, d, e
+        assert!(t.is_executed(NodeId(2)));
+        assert!(!t.is_eligible(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not eligible")]
+    fn executing_ineligible_job_panics() {
+        let d = fig3_dag();
+        let mut t = EligibilityTracker::new(&d);
+        t.execute(NodeId(1)); // b's parent a not executed
+    }
+
+    #[test]
+    #[should_panic(expected = "not eligible")]
+    fn double_execute_panics() {
+        let d = fig3_dag();
+        let mut t = EligibilityTracker::new(&d);
+        t.execute(NodeId(0));
+        t.execute(NodeId(0));
+    }
+
+    #[test]
+    fn profile_of_fig3_prio_schedule() {
+        let d = fig3_dag();
+        // PRIO schedule of Fig. 3: c, a, b, d, e.
+        let order = [NodeId(2), NodeId(0), NodeId(1), NodeId(3), NodeId(4)];
+        assert_eq!(eligibility_profile(&d, &order), vec![2, 3, 3, 2, 1, 0]);
+        // FIFO order: a, c, b, d, e.
+        let order = [NodeId(0), NodeId(2), NodeId(1), NodeId(3), NodeId(4)];
+        assert_eq!(eligibility_profile(&d, &order), vec![2, 2, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn profile_ends_at_zero_and_starts_at_sources() {
+        let d = Dag::from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+        let order = prio_graph::topo::topo_order(&d);
+        let prof = eligibility_profile(&d, &order);
+        assert_eq!(prof.len(), 7);
+        assert_eq!(prof[0], d.sources().count());
+        assert_eq!(*prof.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn tracker_matches_naive_oracle() {
+        let d = Dag::from_arcs(
+            8,
+            &[(0, 3), (1, 3), (1, 4), (2, 4), (3, 5), (4, 6), (5, 7), (6, 7)],
+        )
+        .unwrap();
+        let order = prio_graph::topo::topo_order(&d);
+        let mut tracker = EligibilityTracker::new(&d);
+        let mut executed = vec![false; d.num_nodes()];
+        assert_eq!(tracker.eligible_count(), eligible_count_naive(&d, &executed));
+        for &u in &order {
+            tracker.execute(u);
+            executed[u.index()] = true;
+            assert_eq!(tracker.eligible_count(), eligible_count_naive(&d, &executed));
+        }
+        assert!(tracker.is_complete());
+    }
+
+    #[test]
+    fn partial_profile_stops_early() {
+        let d = fig3_dag();
+        let prof = partial_eligibility_profile(&d, &[NodeId(2)]);
+        assert_eq!(prof, vec![2, 3]);
+    }
+}

@@ -1,0 +1,77 @@
+//! # prio-core — the paper's contribution: IC-optimality-inspired DAG
+//! scheduling
+//!
+//! This crate implements the scheduling heuristic of Malewicz, Foster,
+//! Rosenberg and Wilde (*"A Tool for Prioritizing DAGMan Jobs and Its
+//! Evaluation"*, 2006): given any job DAG it produces a total order (the
+//! **PRIO schedule**) that tries to keep the number of *eligible* jobs as
+//! large as possible at every step of the computation, so that a grid server
+//! rarely runs out of work to hand to arriving workers.
+//!
+//! The pipeline mirrors the paper's §3.1 exactly:
+//!
+//! 1. **Divide, Step 1** — remove shortcut arcs (transitive reduction,
+//!    provided by `prio-graph`).
+//! 2. **Divide, Step 2** — decompose the reduced dag `G'` into components:
+//!    connected bipartite *building blocks* whose sources are sources of the
+//!    remnant when possible (the engineered fast path of §3.5), otherwise
+//!    containment-minimal closures `C(s)` ([`decompose`]).
+//! 3. **Recurse, Step 3** — schedule each component: recognized bipartite
+//!    families get their explicit IC-optimal schedules ([`families`],
+//!    [`recognize`]); everything else gets the largest-out-degree-first
+//!    heuristic ([`component_schedule`]).
+//! 4. **Combine, Steps 4–6** — compute the quantitative `⊵_r` priority
+//!    relation between component eligibility profiles ([`priority`]) and
+//!    greedily execute the superdag source with the largest worst-case
+//!    priority ([`combine`]), then emit all sinks of `G` last.
+//!
+//! The top-level entry point is [`prio::Prioritizer`] (or the convenience
+//! function [`prio::prioritize`]). The FIFO baseline that DAGMan uses today
+//! lives in [`fifo`], extra baselines in [`baselines`], and an exhaustive
+//! IC-optimality checker used by the test-suite in [`optimal`].
+//!
+//! ```
+//! use prio_core::prio::prioritize;
+//! use prio_core::fifo::fifo_schedule;
+//! use prio_core::eligibility::eligibility_profile;
+//! use prio_graph::Dag;
+//!
+//! // The paper's Fig. 3 example: a -> b, c -> d, c -> e.
+//! let mut b = prio_graph::DagBuilder::new();
+//! let ids: Vec<_> = ["a", "b", "c", "d", "e"].iter().map(|l| b.add_node(*l)).collect();
+//! b.add_arc(ids[0], ids[1]).unwrap();
+//! b.add_arc(ids[2], ids[3]).unwrap();
+//! b.add_arc(ids[2], ids[4]).unwrap();
+//! let dag: Dag = b.build().unwrap();
+//!
+//! let prio = prioritize(&dag);
+//! let names: Vec<&str> = prio.schedule.order().iter().map(|&u| dag.label(u)).collect();
+//! assert_eq!(names, ["c", "a", "b", "d", "e"]); // the PRIO schedule of Fig. 3
+//!
+//! let fifo = fifo_schedule(&dag);
+//! let e_prio = eligibility_profile(&dag, prio.schedule.order());
+//! let e_fifo = eligibility_profile(&dag, fifo.order());
+//! assert!(e_prio.iter().zip(&e_fifo).all(|(p, f)| p >= f));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod combine;
+pub mod component;
+pub mod component_schedule;
+pub mod decompose;
+pub mod eligibility;
+pub mod families;
+pub mod fifo;
+pub mod optimal;
+pub mod prio;
+pub mod priority;
+pub mod profile;
+pub mod recognize;
+pub mod schedule;
+pub mod theoretical;
+
+pub use prio::{prioritize, PrioOptions, PrioResult, Prioritizer};
+pub use schedule::Schedule;

@@ -1,0 +1,315 @@
+//! The top-level PRIO scheduler — the heuristic of §3.1, end to end.
+//!
+//! ```text
+//! G  --shortcut removal-->  G'  --decompose-->  components + superdag
+//!    --recurse-->  per-component schedules + eligibility profiles
+//!    --combine-->  greedy component order
+//!    --emit-->     non-sinks component by component, then all sinks of G
+//! ```
+//!
+//! The result is a total order of all jobs (a linear extension of `G`)
+//! whose Condor-style priorities the `prio` tool writes back into the
+//! DAGMan input file.
+
+use crate::combine::{combine, CombineEngine};
+use crate::component::{Component, ScheduleSource};
+use crate::component_schedule::schedule_part;
+use crate::decompose::{decompose, DecomposeOptions, Decomposition};
+use crate::schedule::Schedule;
+use prio_graph::reduction::{shortcut_arcs, remove_arcs};
+use prio_graph::{Dag, NodeId};
+use std::collections::BTreeMap;
+
+/// Options for the PRIO pipeline. The defaults reproduce the paper's tool;
+/// the alternative settings exist for the §3.5 engineering ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrioOptions {
+    /// Decomposition options (bipartite fast path on by default).
+    pub decompose: DecomposeOptions,
+    /// Combine engine (class-cached by default).
+    pub engine: CombineEngine,
+    /// Extension beyond the paper: for unrecognized bipartite blocks with
+    /// at most this many sources, search exhaustively for an IC-optimal
+    /// order before falling back to the out-degree heuristic. 0 (the
+    /// default) reproduces the paper's tool exactly.
+    pub optimal_search_limit: usize,
+}
+
+/// Statistics collected along the pipeline (reported by the CLI and used by
+/// the overhead experiments).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrioStats {
+    /// Number of shortcut arcs removed in Step 1.
+    pub shortcuts_removed: usize,
+    /// Number of components produced by the decomposition.
+    pub num_components: usize,
+    /// Components that are bipartite dags.
+    pub num_bipartite: usize,
+    /// Components scheduled from the catalog, by family name.
+    pub recognized: BTreeMap<String, usize>,
+    /// Components scheduled by the exhaustive IC-optimal-order search
+    /// (only when [`PrioOptions::optimal_search_limit`] is nonzero).
+    pub searched: usize,
+    /// Components scheduled by the out-degree fallback.
+    pub heuristic_scheduled: usize,
+    /// Single-job components (nothing to schedule before the sinks).
+    pub trivial: usize,
+    /// Detach iterations that needed the general minimal-`C(s)` search.
+    pub general_search_iterations: usize,
+}
+
+/// The output of the PRIO pipeline.
+#[derive(Debug, Clone)]
+pub struct PrioResult {
+    /// The PRIO schedule — a linear extension of the input dag.
+    pub schedule: Schedule,
+    /// The components, in detach order, with their local schedules and
+    /// eligibility profiles.
+    pub components: Vec<Component>,
+    /// The superdag over the components.
+    pub superdag: Dag,
+    /// The greedy execution order of component indices.
+    pub component_order: Vec<usize>,
+    /// Pipeline statistics.
+    pub stats: PrioStats,
+}
+
+/// The PRIO scheduler with configurable engineering options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Prioritizer {
+    opts: PrioOptions,
+}
+
+impl Prioritizer {
+    /// A prioritizer with the default (fully engineered) options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A prioritizer with explicit options.
+    pub fn with_options(opts: PrioOptions) -> Self {
+        Prioritizer { opts }
+    }
+
+    /// Runs the full pipeline on `dag`.
+    pub fn prioritize(&self, dag: &Dag) -> PrioResult {
+        // Step 1: shortcut removal. Node ids are preserved, so schedules on
+        // the reduced dag are schedules on the original.
+        let shortcuts = shortcut_arcs(dag);
+        let reduced = if shortcuts.is_empty() {
+            dag.clone()
+        } else {
+            remove_arcs(dag, &shortcuts)
+        };
+
+        // Step 2: decomposition.
+        let Decomposition { parts, superdag, comp_removed: _, general_search_iterations } =
+            decompose(&reduced, self.opts.decompose);
+
+        // Step 3: per-component schedules and profiles.
+        let mut stats = PrioStats {
+            shortcuts_removed: shortcuts.len(),
+            num_components: parts.len(),
+            general_search_iterations,
+            ..PrioStats::default()
+        };
+        let mut components: Vec<Component> = Vec::with_capacity(parts.len());
+        for (i, part) in parts.into_iter().enumerate() {
+            if part.bipartite {
+                stats.num_bipartite += 1;
+            }
+            let (order, source, profile) =
+                schedule_part(&reduced, &part, self.opts.optimal_search_limit);
+            match &source {
+                ScheduleSource::Catalog(f) => {
+                    *stats.recognized.entry(f.name()).or_insert(0) += 1;
+                }
+                ScheduleSource::Searched => stats.searched += 1,
+                ScheduleSource::OutDegreeHeuristic => stats.heuristic_scheduled += 1,
+                ScheduleSource::Trivial => stats.trivial += 1,
+            }
+            components.push(part.into_component(i, order, source, profile));
+        }
+
+        // Steps 4–6: greedy combine over the superdag.
+        let profiles: Vec<Vec<usize>> =
+            components.iter().map(|c| c.profile.clone()).collect();
+        let component_order = combine(&superdag, &profiles, self.opts.engine);
+
+        // Emit: non-sinks per component in greedy order, then every sink of
+        // G in index order (the paper executes sinks "in arbitrary order";
+        // index order matches the Fig. 3 output and is deterministic).
+        let mut order: Vec<NodeId> = Vec::with_capacity(dag.num_nodes());
+        for &ci in &component_order {
+            order.extend_from_slice(&components[ci].nonsink_schedule);
+        }
+        order.extend(dag.sinks());
+        let schedule = Schedule::new(dag, order)
+            .expect("PRIO pipeline must produce a linear extension");
+
+        PrioResult { schedule, components, superdag, component_order, stats }
+    }
+}
+
+/// Convenience: run the PRIO pipeline with default options.
+pub fn prioritize(dag: &Dag) -> PrioResult {
+    Prioritizer::new().prioritize(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eligibility::eligibility_profile;
+    use crate::fifo::fifo_schedule;
+    use crate::optimal::{is_ic_optimal, DEFAULT_STATE_LIMIT};
+
+    #[test]
+    fn fig3_schedule_matches_paper() {
+        let dag = Dag::from_arcs(5, &[(0, 1), (2, 3), (2, 4)]).unwrap();
+        let res = prioritize(&dag);
+        let order: Vec<u32> = res.schedule.order().iter().map(|u| u.0).collect();
+        assert_eq!(order, vec![2, 0, 1, 3, 4], "PRIO = c, a, b, d, e");
+        // Priorities as in Fig. 3: c gets 5.
+        let prio = res.schedule.priorities();
+        assert_eq!(prio[2], 5);
+        assert_eq!(res.stats.num_components, 2);
+        assert!(res.stats.shortcuts_removed == 0);
+    }
+
+    #[test]
+    fn fig3_schedule_is_ic_optimal() {
+        let dag = Dag::from_arcs(5, &[(0, 1), (2, 3), (2, 4)]).unwrap();
+        let res = prioritize(&dag);
+        assert_eq!(
+            is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn catalog_families_schedule_ic_optimally_end_to_end() {
+        for fam in crate::families::Family::fig2_catalog() {
+            let (dag, _) = fam.instantiate();
+            let res = prioritize(&dag);
+            assert_eq!(
+                is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
+                Some(true),
+                "PRIO on {} must be IC-optimal",
+                fam.name()
+            );
+        }
+    }
+
+    #[test]
+    fn series_composition_of_blocks_is_ic_optimal() {
+        // Fork then join through shared middles: 0 -> {1,2}, {1,2} -> 3,
+        // i.e. the diamond — decomposes into two blocks in series.
+        let dag = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let res = prioritize(&dag);
+        assert_eq!(
+            is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn shortcuts_are_removed_and_do_not_change_validity() {
+        // Diamond plus the shortcut 0 -> 3.
+        let dag = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
+        let res = prioritize(&dag);
+        assert_eq!(res.stats.shortcuts_removed, 1);
+        assert!(res.schedule.is_valid_for(&dag));
+    }
+
+    #[test]
+    fn entangled_dag_still_gets_a_valid_schedule() {
+        let dag = Dag::from_arcs(6, &[(0, 4), (2, 4), (1, 2), (1, 5), (3, 5), (0, 3)]).unwrap();
+        let res = prioritize(&dag);
+        assert!(res.schedule.is_valid_for(&dag));
+        assert_eq!(res.stats.general_search_iterations, 1);
+        assert_eq!(res.stats.heuristic_scheduled, 1);
+    }
+
+    #[test]
+    fn both_engines_and_paths_agree() {
+        let dag = Dag::from_arcs(
+            7,
+            &[(0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 6), (5, 6)],
+        )
+        .unwrap();
+        let default = prioritize(&dag);
+        let naive = Prioritizer::with_options(PrioOptions {
+            decompose: DecomposeOptions { fast_path: false },
+            engine: CombineEngine::Naive,
+            optimal_search_limit: 0,
+        })
+        .prioritize(&dag);
+        assert_eq!(default.schedule, naive.schedule);
+    }
+
+    #[test]
+    fn prio_never_below_fifo_on_block_compositions() {
+        let dag = Dag::from_arcs(
+            9,
+            &[(0, 3), (0, 4), (1, 4), (1, 5), (2, 5), (3, 6), (4, 6), (5, 7), (5, 8)],
+        )
+        .unwrap();
+        let prio = prioritize(&dag).schedule;
+        let fifo = fifo_schedule(&dag);
+        let ep = eligibility_profile(&dag, prio.order());
+        let ef = eligibility_profile(&dag, fifo.order());
+        let total_p: usize = ep.iter().sum();
+        let total_f: usize = ef.iter().sum();
+        assert!(
+            total_p >= total_f,
+            "PRIO cumulative eligibility {total_p} below FIFO {total_f}"
+        );
+    }
+
+    #[test]
+    fn stats_count_recognized_families() {
+        let (dag, _) = crate::families::w_dag(3, 2);
+        let res = prioritize(&dag);
+        assert_eq!(res.stats.recognized.get("(3,2)-W"), Some(&1));
+        assert_eq!(res.stats.num_bipartite, 1);
+    }
+
+    #[test]
+    fn optimal_search_extension_beats_the_out_degree_heuristic() {
+        // An irregular bipartite block where out-degree order is NOT
+        // IC-optimal: 0->5, 1->{4,5}, 2->4, 3->5. The heuristic starts
+        // with job 1 (degree 2) covering nothing; the searched order
+        // starts {1,2} covering sink 4.
+        let dag = Dag::from_arcs(6, &[(0, 5), (1, 4), (1, 5), (2, 4), (3, 5)]).unwrap();
+        let paper = prioritize(&dag);
+        assert_eq!(paper.stats.heuristic_scheduled, 1);
+        assert_eq!(
+            is_ic_optimal(&dag, paper.schedule.order(), DEFAULT_STATE_LIMIT),
+            Some(false),
+            "the paper's heuristic is suboptimal here"
+        );
+        let searched = Prioritizer::with_options(PrioOptions {
+            optimal_search_limit: 16,
+            ..PrioOptions::default()
+        })
+        .prioritize(&dag);
+        assert_eq!(searched.stats.searched, 1);
+        assert_eq!(searched.stats.heuristic_scheduled, 0);
+        assert_eq!(
+            is_ic_optimal(&dag, searched.schedule.order(), DEFAULT_STATE_LIMIT),
+            Some(true),
+            "the search extension restores IC-optimality"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_dags() {
+        let empty = prio_graph::DagBuilder::new().build().unwrap();
+        let res = prioritize(&empty);
+        assert!(res.schedule.is_empty());
+        let single = Dag::from_arcs(1, &[]).unwrap();
+        let res = prioritize(&single);
+        assert_eq!(res.schedule.order(), &[NodeId(0)]);
+        assert_eq!(res.stats.trivial, 1);
+    }
+}

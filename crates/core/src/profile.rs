@@ -1,0 +1,68 @@
+//! Eligibility-profile interning.
+//!
+//! The scientific dags of §3.3 decompose into thousands of components, but
+//! only a handful of *distinct* eligibility profiles (e.g. SDSS's bipartite
+//! stage yields many structurally identical blocks). Since the `⊵_r`
+//! priority of one component over another depends only on the two profiles,
+//! interning profiles into dense class ids lets the Combine phase cache
+//! pairwise priorities per class pair instead of per component pair — one of
+//! the two engineering levers behind §3.5's speedups.
+
+use std::collections::HashMap;
+
+/// Dense identifier of a distinct eligibility profile.
+pub type ProfileClass = usize;
+
+/// Interns eligibility profiles into dense class ids.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileInterner {
+    by_profile: HashMap<Vec<usize>, ProfileClass>,
+    profiles: Vec<Vec<usize>>,
+}
+
+impl ProfileInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `profile`, returning its class (allocating a new class for a
+    /// first-seen profile).
+    pub fn intern(&mut self, profile: &[usize]) -> ProfileClass {
+        if let Some(&c) = self.by_profile.get(profile) {
+            return c;
+        }
+        let c = self.profiles.len();
+        self.profiles.push(profile.to_vec());
+        self.by_profile.insert(profile.to_vec(), c);
+        c
+    }
+
+    /// The profile of a class.
+    pub fn profile(&self, class: ProfileClass) -> &[usize] {
+        &self.profiles[class]
+    }
+
+    /// Number of distinct classes seen.
+    pub fn num_classes(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut i = ProfileInterner::new();
+        let a = i.intern(&[1, 2, 3]);
+        let b = i.intern(&[1, 2]);
+        let c = i.intern(&[1, 2, 3]);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.num_classes(), 2);
+        assert_eq!(i.profile(a), &[1, 2, 3]);
+        assert_eq!(i.profile(b), &[1, 2]);
+    }
+}

@@ -1,0 +1,440 @@
+//! Recognizing catalog families in decomposed components (Recurse phase,
+//! Step 3).
+//!
+//! "We check if each component Ci is (isomorphic to) a bipartite dag with a
+//! known IC-optimal schedule. If so, we use an explicit IC-optimal
+//! schedule." The recognizers here are exact — they verify the structural
+//! characterization of each family — and return both the [`Family`] and the
+//! concrete IC-optimal source order for the component at hand.
+
+use crate::families::Family;
+use prio_graph::bipartite::{bipartite_split, is_bipartite_dag, is_weakly_connected};
+use prio_graph::{Dag, NodeId};
+
+/// Attempts to recognize `dag` (a connected bipartite component) as a
+/// catalog family, returning the family and an IC-optimal source order.
+///
+/// Returns `None` for non-bipartite or unrecognized shapes (the caller then
+/// falls back to the out-degree heuristic).
+pub fn recognize(dag: &Dag) -> Option<(Family, Vec<NodeId>)> {
+    if dag.num_nodes() < 2 || !is_bipartite_dag(dag) || !is_weakly_connected(dag) {
+        return None;
+    }
+    let (sources, sinks) = bipartite_split(dag)?;
+    if sources.is_empty() || sinks.is_empty() {
+        return None;
+    }
+    recognize_clique(dag, &sources, &sinks)
+        .or_else(|| recognize_w(dag, &sources, &sinks))
+        .or_else(|| recognize_m(dag, &sources, &sinks))
+        .or_else(|| recognize_n(dag, &sources, &sinks))
+        .or_else(|| recognize_cycle(dag, &sources, &sinks))
+}
+
+/// Complete bipartite `K_{s,t}`: every source adjacent to every sink.
+fn recognize_clique(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+    let t = sinks.len();
+    if sources.iter().all(|&u| dag.out_degree(u) == t)
+        && dag.num_arcs() == sources.len() * t
+    {
+        Some((
+            Family::Clique { s: sources.len(), t },
+            sources.to_vec(),
+        ))
+    } else {
+        None
+    }
+}
+
+/// `(s,d)`-W-dag: common source out-degree `d ≥ 2`, `s(d−1)+1` sinks of
+/// in-degree 1 or 2, and the "shares a sink" relation on sources forms a
+/// simple spanning path.
+fn recognize_w(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+    let s = sources.len();
+    let d = dag.out_degree(sources[0]);
+    if d < 2 || sources.iter().any(|&u| dag.out_degree(u) != d) {
+        return None;
+    }
+    if sinks.len() != s * (d - 1) + 1 {
+        return None;
+    }
+    if sinks.iter().any(|&v| dag.in_degree(v) > 2 || dag.in_degree(v) == 0) {
+        return None;
+    }
+    if s == 1 {
+        // A star: the degenerate (1,d)-W.
+        return Some((Family::W { s: 1, d }, sources.to_vec()));
+    }
+    // Build the sharing graph on source positions.
+    let order = source_sharing_path(dag, sources, sinks)?;
+    Some((Family::W { s, d }, order))
+}
+
+/// `(s,d)`-M-dag: the dual of the W-dag. Recognized by checking the W shape
+/// on the arc-reversed component; the source order then emits each sink's
+/// parent window in sink-path order.
+fn recognize_m(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+    let s = sinks.len();
+    let d = dag.in_degree(sinks[0]);
+    if d < 2 || sinks.iter().any(|&v| dag.in_degree(v) != d) {
+        return None;
+    }
+    if sources.len() != s * (d - 1) + 1 {
+        return None;
+    }
+    if sources.iter().any(|&u| dag.out_degree(u) > 2 || dag.out_degree(u) == 0) {
+        return None;
+    }
+    let sink_order = if s == 1 {
+        sinks.to_vec()
+    } else {
+        // The sharing path on sinks (two sinks adjacent iff they share a
+        // parent) — exactly the W structure of the reversed dag.
+        sink_sharing_path(dag, sources, sinks)?
+    };
+    // Emit each window's not-yet-emitted parents, window by window.
+    let mut emitted = vec![false; dag.num_nodes()];
+    let mut order = Vec::with_capacity(sources.len());
+    for &w in &sink_order {
+        for &p in dag.parents(w) {
+            if !emitted[p.index()] {
+                emitted[p.index()] = true;
+                order.push(p);
+            }
+        }
+    }
+    if order.len() != sources.len() {
+        return None;
+    }
+    Some((Family::M { s, d }, order))
+}
+
+/// `d`-N-dag: the underlying undirected graph is a simple path whose
+/// endpoints are one source and one sink. The IC-optimal order lists the
+/// sources starting from the sink endpoint's side.
+fn recognize_n(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+    if sources.len() != sinks.len() {
+        return None;
+    }
+    let d = sources.len();
+    if d < 2 {
+        return None;
+    }
+    let path = underlying_path(dag)?;
+    let first = *path.first().expect("path non-empty");
+    let last = *path.last().expect("path non-empty");
+    let (start, _end) = match (dag.is_sink(first), dag.is_sink(last)) {
+        (true, false) => (first, last),
+        (false, true) => (last, first),
+        _ => return None, // both same kind: that is a W or M, not an N
+    };
+    // Walk from the sink endpoint; sources appear in optimal order.
+    let walk = walk_path(dag, start);
+    let order: Vec<NodeId> = walk.into_iter().filter(|&u| !dag.is_sink(u)).collect();
+    if order.len() != d {
+        return None;
+    }
+    Some((Family::N { d }, order))
+}
+
+/// `d`-Cycle-dag: the underlying undirected graph is a single cycle of
+/// length `2d`, alternating sources (out-degree 2) and sinks (in-degree 2).
+fn recognize_cycle(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+    let d = sources.len();
+    if d < 3 || sinks.len() != d {
+        return None;
+    }
+    if sources.iter().any(|&u| dag.out_degree(u) != 2)
+        || sinks.iter().any(|&v| dag.in_degree(v) != 2)
+    {
+        return None;
+    }
+    if dag.num_arcs() != 2 * d {
+        return None;
+    }
+    // Walk the ring starting at the smallest-index source.
+    let start = sources[0];
+    let mut order = Vec::with_capacity(d);
+    let mut prev: Option<NodeId> = None;
+    let mut cur = start;
+    for _ in 0..2 * d {
+        if !dag.is_sink(cur) {
+            order.push(cur);
+        }
+        let next = neighbors(dag, cur).into_iter().find(|&w| Some(w) != prev)?;
+        prev = Some(cur);
+        cur = next;
+    }
+    if cur != start || order.len() != d {
+        return None; // not a single ring
+    }
+    Some((Family::Cycle { d }, order))
+}
+
+/// Undirected neighbors of `u` (children + parents; disjoint in a DAG).
+fn neighbors(dag: &Dag, u: NodeId) -> Vec<NodeId> {
+    dag.children(u).iter().chain(dag.parents(u)).copied().collect()
+}
+
+/// If the underlying undirected graph is a simple path, returns its nodes in
+/// path order (from the endpoint with the smaller node index).
+fn underlying_path(dag: &Dag) -> Option<Vec<NodeId>> {
+    let n = dag.num_nodes();
+    let mut endpoints = Vec::new();
+    for u in dag.node_ids() {
+        match neighbors(dag, u).len() {
+            1 => endpoints.push(u),
+            2 => {}
+            _ => return None,
+        }
+    }
+    if endpoints.len() != 2 || dag.num_arcs() != n - 1 {
+        return None;
+    }
+    let walk = walk_path(dag, endpoints[0].min(endpoints[1]));
+    if walk.len() == n {
+        Some(walk)
+    } else {
+        None
+    }
+}
+
+/// Walks a degree-≤2 graph from an endpoint, returning nodes in visit order.
+fn walk_path(dag: &Dag, start: NodeId) -> Vec<NodeId> {
+    let mut walk = vec![start];
+    let mut prev: Option<NodeId> = None;
+    let mut cur = start;
+    loop {
+        let next = neighbors(dag, cur).into_iter().find(|&w| Some(w) != prev);
+        match next {
+            Some(w) => {
+                walk.push(w);
+                prev = Some(cur);
+                cur = w;
+            }
+            None => return walk,
+        }
+    }
+}
+
+/// Orders the sources of a W-shaped dag along their sharing path: two
+/// sources are adjacent iff they share a sink; the relation must form a
+/// simple spanning path, each adjacent pair sharing exactly one sink.
+fn source_sharing_path(dag: &Dag, sources: &[NodeId], _sinks: &[NodeId]) -> Option<Vec<NodeId>> {
+    sharing_path(sources, |u| dag.children(u), |v| dag.parents(v), dag)
+}
+
+/// Orders the sinks of an M-shaped dag along their sharing path (two sinks
+/// adjacent iff they share a parent).
+fn sink_sharing_path(dag: &Dag, _sources: &[NodeId], sinks: &[NodeId]) -> Option<Vec<NodeId>> {
+    sharing_path(sinks, |v| dag.parents(v), |u| dag.children(u), dag)
+}
+
+/// Common path-builder over the "shares a middle node" relation.
+///
+/// `side` are the path candidates; `fwd(x)` lists each candidate's middle
+/// nodes; `bwd(m)` lists the candidates incident to a middle node.
+fn sharing_path<'a>(
+    side: &[NodeId],
+    fwd: impl Fn(NodeId) -> &'a [NodeId],
+    bwd: impl Fn(NodeId) -> &'a [NodeId],
+    dag: &Dag,
+) -> Option<Vec<NodeId>> {
+    let s = side.len();
+    let mut pos = vec![usize::MAX; dag.num_nodes()];
+    for (i, &u) in side.iter().enumerate() {
+        pos[u.index()] = i;
+    }
+    // adj[i] = sharing-neighbors of side[i].
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); s];
+    let mut shared_middles = 0usize;
+    for &u in side {
+        for &mid in fwd(u) {
+            for &other in bwd(mid) {
+                if other != u {
+                    let (a, b) = (pos[u.index()], pos[other.index()]);
+                    if a < b {
+                        adj[a].push(b);
+                        adj[b].push(a);
+                        shared_middles += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Exactly s−1 shared middles, each linking a distinct pair.
+    if shared_middles != s - 1 {
+        return None;
+    }
+    for list in adj.iter_mut() {
+        list.sort_unstable();
+        let before = list.len();
+        list.dedup();
+        if list.len() != before {
+            return None; // two middles shared by the same pair
+        }
+        if list.len() > 2 {
+            return None;
+        }
+    }
+    let endpoints: Vec<usize> = (0..s).filter(|&i| adj[i].len() == 1).collect();
+    if s == 1 {
+        return Some(vec![side[0]]);
+    }
+    if endpoints.len() != 2 {
+        return None;
+    }
+    // Walk from the endpoint whose node index is smaller (determinism).
+    let start = if side[endpoints[0]] <= side[endpoints[1]] {
+        endpoints[0]
+    } else {
+        endpoints[1]
+    };
+    let mut order = Vec::with_capacity(s);
+    let mut prev = usize::MAX;
+    let mut cur = start;
+    for _ in 0..s {
+        order.push(side[cur]);
+        let next = adj[cur].iter().copied().find(|&w| w != prev);
+        match next {
+            Some(w) => {
+                prev = cur;
+                cur = w;
+            }
+            None => break,
+        }
+    }
+    if order.len() == s {
+        Some(order)
+    } else {
+        None // sharing graph was disconnected (path + cycle pieces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cycle_dag, m_dag, n_dag, w_dag, clique_dag};
+    use crate::optimal::is_source_order_ic_optimal;
+
+    /// Relabel a dag's nodes by a rotation permutation to make sure the
+    /// recognizers do not depend on construction order.
+    fn rotate(dag: &Dag, by: usize) -> Dag {
+        let n = dag.num_nodes();
+        let perm: Vec<NodeId> = (0..n).map(|i| NodeId(((i + by) % n) as u32)).collect();
+        dag.induced_subgraph(&perm).0
+    }
+
+    fn assert_recognized(dag: &Dag, expect: Family) {
+        let (fam, order) = recognize(dag).unwrap_or_else(|| panic!("{} not recognized", expect.name()));
+        assert_eq!(fam, expect);
+        assert_eq!(
+            is_source_order_ic_optimal(dag, &order),
+            Some(true),
+            "recognized order for {} must be IC-optimal",
+            expect.name()
+        );
+    }
+
+    #[test]
+    fn recognizes_w_dags() {
+        for (s, d) in [(1, 2), (2, 2), (3, 2), (4, 3), (2, 5)] {
+            let (dag, _) = w_dag(s, d);
+            // (1,d)-W is also a complete bipartite K_{1,d}; the clique
+            // recognizer fires first there, which is equally optimal.
+            if s == 1 {
+                let (fam, order) = recognize(&dag).unwrap();
+                assert!(matches!(fam, Family::Clique { s: 1, .. }));
+                assert_eq!(is_source_order_ic_optimal(&dag, &order), Some(true));
+            } else {
+                assert_recognized(&dag, Family::W { s, d });
+                assert_recognized(&rotate(&dag, 3), Family::W { s, d });
+            }
+        }
+    }
+
+    #[test]
+    fn recognizes_m_dags() {
+        for (s, d) in [(2, 5), (3, 2), (4, 3)] {
+            let (dag, _) = m_dag(s, d);
+            assert_recognized(&dag, Family::M { s, d });
+            assert_recognized(&rotate(&dag, 2), Family::M { s, d });
+        }
+        // (1,d)-M is the complete bipartite K_{d,1}; the clique recognizer
+        // fires first, which is equally IC-optimal.
+        let (dag, _) = m_dag(1, 5);
+        let (fam, order) = recognize(&dag).unwrap();
+        assert_eq!(fam, Family::Clique { s: 5, t: 1 });
+        assert_eq!(is_source_order_ic_optimal(&dag, &order), Some(true));
+    }
+
+    #[test]
+    fn recognizes_n_dags() {
+        for d in [2, 3, 5, 8] {
+            let (dag, _) = n_dag(d);
+            assert_recognized(&dag, Family::N { d });
+            assert_recognized(&rotate(&dag, 1), Family::N { d });
+        }
+    }
+
+    #[test]
+    fn recognizes_cycles() {
+        for d in [3, 4, 6] {
+            let (dag, _) = cycle_dag(d);
+            assert_recognized(&dag, Family::Cycle { d });
+            assert_recognized(&rotate(&dag, 5), Family::Cycle { d });
+        }
+    }
+
+    #[test]
+    fn recognizes_cliques() {
+        for (s, t) in [(1, 1), (3, 3), (2, 4), (4, 2)] {
+            let (dag, _) = clique_dag(s, t);
+            assert_recognized(&dag, Family::Clique { s, t });
+        }
+    }
+
+    #[test]
+    fn rejects_non_bipartite() {
+        let chain = Dag::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(recognize(&chain).is_none());
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        let two_arcs = Dag::from_arcs(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(recognize(&two_arcs).is_none());
+    }
+
+    #[test]
+    fn rejects_irregular_bipartite() {
+        // Bipartite but no family: source degrees 2 and 3 with a sink of
+        // in-degree 3.
+        let d = Dag::from_arcs(
+            6,
+            &[(0, 3), (0, 4), (1, 3), (1, 4), (1, 5), (2, 3)],
+        )
+        .unwrap();
+        assert!(recognize(&d).is_none());
+    }
+
+    #[test]
+    fn rejects_single_node() {
+        let d = Dag::from_arcs(1, &[]).unwrap();
+        assert!(recognize(&d).is_none());
+    }
+
+    #[test]
+    fn fig2_catalog_roundtrips_through_recognition() {
+        for fam in Family::fig2_catalog() {
+            let (dag, _) = fam.instantiate();
+            let (got, order) = recognize(&dag).expect("catalog instance recognized");
+            // (1,d)-W aliases K_{1,d} and (1,d)-M aliases K_{d,1}; all
+            // others round-trip exactly.
+            if !matches!(fam, Family::W { s: 1, .. } | Family::M { s: 1, .. }) {
+                assert_eq!(got, fam, "family mismatch for {}", fam.name());
+            }
+            assert_eq!(is_source_order_ic_optimal(&dag, &order), Some(true));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of the core theory machinery: the `⊵` relation,
+//! the recognizers and the eligibility engine, on randomly generated
+//! bipartite blocks.
+
+use prio_core::eligibility::{eligible_count_naive, partial_eligibility_profile, EligibilityTracker};
+use prio_core::optimal::{find_ic_optimal_source_order, is_source_order_ic_optimal};
+use prio_core::priority::{has_priority_over, priority_over};
+use prio_core::recognize::recognize;
+use prio_graph::{Dag, NodeId};
+use proptest::prelude::*;
+
+/// Random connected-ish bipartite dag.
+fn arb_bipartite(max_side: usize) -> impl Strategy<Value = Dag> {
+    ((2..=max_side), (2..=max_side)).prop_flat_map(|(s, t)| {
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), s), t).prop_map(
+            move |rows| {
+                let mut arcs = Vec::new();
+                for (j, row) in rows.iter().enumerate() {
+                    let mut any_parent = false;
+                    for (i, &bit) in row.iter().enumerate() {
+                        if bit {
+                            arcs.push((i as u32, (s + j) as u32));
+                            any_parent = true;
+                        }
+                    }
+                    if !any_parent {
+                        arcs.push(((j % s) as u32, (s + j) as u32));
+                    }
+                }
+                Dag::from_arcs(s + t, &arcs).unwrap()
+            },
+        )
+    })
+}
+
+/// The profile of a block under its best (searched) IC-optimal order, if
+/// one exists.
+fn optimal_profile(dag: &Dag) -> Option<Vec<usize>> {
+    let order = find_ic_optimal_source_order(dag)?;
+    Some(partial_eligibility_profile(dag, &order))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The `⊵` (r = 1) relation is transitive across blocks that have
+    /// IC-optimal schedules — the property the theory's Step 6 rests on.
+    #[test]
+    fn exact_priority_is_transitive(
+        a in arb_bipartite(6),
+        b in arb_bipartite(6),
+        c in arb_bipartite(6),
+    ) {
+        let (pa, pb, pc) = match (optimal_profile(&a), optimal_profile(&b), optimal_profile(&c)) {
+            (Some(pa), Some(pb), Some(pc)) => (pa, pb, pc),
+            _ => return Ok(()), // some block admits no IC-optimal schedule
+        };
+        if has_priority_over(&pa, &pb) && has_priority_over(&pb, &pc) {
+            prop_assert!(
+                has_priority_over(&pa, &pc),
+                "⊵ not transitive: {pa:?} ⊵ {pb:?} ⊵ {pc:?} but not {pa:?} ⊵ {pc:?}"
+            );
+        }
+    }
+
+    /// Priorities are well-defined: in [0, 1], and 1 on the diagonal
+    /// whenever serving the block to completion first is harmless
+    /// (which `⊵_r` guarantees at r = priority).
+    #[test]
+    fn priorities_are_bounded(a in arb_bipartite(6), b in arb_bipartite(6)) {
+        let pa = partial_eligibility_profile(&a, &fifo_sources(&a));
+        let pb = partial_eligibility_profile(&b, &fifo_sources(&b));
+        let r = priority_over(&pa, &pb);
+        prop_assert!((0.0..=1.0).contains(&r));
+        let r = priority_over(&pb, &pa);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    /// Whenever the recognizer fires, its order is IC-optimal — the
+    /// recognizers never mislabel a block.
+    #[test]
+    fn recognizer_orders_are_always_ic_optimal(dag in arb_bipartite(7)) {
+        if let Some((_, order)) = recognize(&dag) {
+            prop_assert_eq!(is_source_order_ic_optimal(&dag, &order), Some(true));
+        }
+    }
+
+    /// The searched order (when it exists) is verified IC-optimal, and
+    /// its nonexistence means no source order attains the coverage curve.
+    #[test]
+    fn search_is_sound(dag in arb_bipartite(7)) {
+        match find_ic_optimal_source_order(&dag) {
+            Some(order) => {
+                prop_assert_eq!(is_source_order_ic_optimal(&dag, &order), Some(true));
+            }
+            None => {
+                // Spot-check: the index order must then be suboptimal.
+                let sources: Vec<NodeId> = dag.sources().collect();
+                prop_assert_eq!(
+                    is_source_order_ic_optimal(&dag, &sources),
+                    Some(false)
+                );
+            }
+        }
+    }
+
+    /// The incremental eligibility tracker always matches the naive
+    /// recomputation, on bipartite blocks driven by arbitrary valid
+    /// executions.
+    #[test]
+    fn tracker_matches_oracle_on_random_blocks(dag in arb_bipartite(7)) {
+        let order = prio_graph::topo::topo_order(&dag);
+        let mut tracker = EligibilityTracker::new(&dag);
+        let mut executed = vec![false; dag.num_nodes()];
+        for &u in &order {
+            tracker.execute(u);
+            executed[u.index()] = true;
+            prop_assert_eq!(
+                tracker.eligible_count(),
+                eligible_count_naive(&dag, &executed)
+            );
+        }
+    }
+}
+
+/// Sources in index order (a valid non-sink prefix for bipartite dags).
+fn fifo_sources(dag: &Dag) -> Vec<NodeId> {
+    dag.node_ids().filter(|&u| dag.out_degree(u) > 0).collect()
+}

@@ -1,0 +1,244 @@
+//! Instrumenting a DAGMan file with job priorities (§3.2, Fig. 3).
+//!
+//! Given a priority per job (larger = assigned to a worker earlier), the
+//! tool defines the `jobpriority` macro for each job using a `VARS`
+//! statement placed directly after the job's `JOB` statement, exactly like
+//! the bold lines of Fig. 3. Each job's JSDF is separately instrumented
+//! with `priority = $(jobpriority)` (see [`crate::jsdf`]).
+
+use crate::ast::{DagmanFile, Statement};
+use crate::error::DagmanError;
+use std::collections::BTreeMap;
+
+/// The name of the macro the tool defines.
+pub const JOBPRIORITY: &str = "jobpriority";
+
+/// Converts a schedule position map into Condor priorities: the job at
+/// schedule position 0 (executed first) of an `n`-job dag gets priority
+/// `n`, the last gets 1.
+///
+/// `order` lists job names in schedule order.
+pub fn priorities_by_job<'a>(order: impl IntoIterator<Item = &'a str>) -> BTreeMap<String, u32> {
+    let names: Vec<&str> = order.into_iter().collect();
+    let n = names.len() as u32;
+    names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name.to_string(), n - i as u32))
+        .collect()
+}
+
+/// How priorities are written back into the DAGMan file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstrumentMode {
+    /// The paper's mechanism: define the `jobpriority` macro per job via
+    /// `VARS` and let the JSDF assign `priority = $(jobpriority)`.
+    /// External sub-dag nodes (which have no JSDF) get a `PRIORITY`
+    /// statement instead.
+    #[default]
+    VarsMacro,
+    /// Direct `PRIORITY <node> <value>` statements (DAGMan's node-priority
+    /// mechanism, usable without touching JSDFs).
+    PriorityStatement,
+}
+
+/// Instruments `file` in place with the paper's `VARS` mechanism
+/// (see [`instrument_dagman_with`]).
+pub fn instrument_dagman(
+    file: &mut DagmanFile,
+    priorities: &BTreeMap<String, u32>,
+) -> Result<(), DagmanError> {
+    instrument_dagman_with(file, priorities, InstrumentMode::VarsMacro)
+}
+
+/// Instruments `file` in place: after each `JOB`/`SUBDAG` statement,
+/// inserts (or updates) the statement carrying the node's priority.
+///
+/// Nodes missing from `priorities` are an error; extra entries are
+/// ignored. Existing definitions anywhere in the file are updated in
+/// place instead of duplicated, making instrumentation idempotent.
+pub fn instrument_dagman_with(
+    file: &mut DagmanFile,
+    priorities: &BTreeMap<String, u32>,
+    mode: InstrumentMode,
+) -> Result<(), DagmanError> {
+    // Verify coverage first.
+    for name in file.job_names() {
+        if !priorities.contains_key(name) {
+            return Err(DagmanError::UnknownJob { line: 0, job: name.to_string() });
+        }
+    }
+    // Update existing definitions in place.
+    let mut updated: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for s in file.statements.iter_mut() {
+        match s {
+            Statement::Vars { job, pairs } if mode == InstrumentMode::VarsMacro => {
+                if let Some(p) = priorities.get(job.as_str()) {
+                    for (k, v) in pairs.iter_mut() {
+                        if k == JOBPRIORITY {
+                            *v = p.to_string();
+                            updated.insert(job.clone());
+                        }
+                    }
+                }
+            }
+            Statement::Priority { job, value } => {
+                if let Some(&p) = priorities.get(job.as_str()) {
+                    *value = p as i64;
+                    updated.insert(job.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    // Insert after each node statement lacking one.
+    let mut i = 0;
+    while i < file.statements.len() {
+        let node = match &file.statements[i] {
+            Statement::Job { name, .. } => Some((name.clone(), false)),
+            Statement::Subdag { name, .. } => Some((name.clone(), true)),
+            _ => None,
+        };
+        if let Some((name, is_subdag)) = node {
+            if !updated.contains(&name) {
+                let p = priorities[&name];
+                let stmt = if mode == InstrumentMode::PriorityStatement || is_subdag {
+                    Statement::Priority { job: name, value: p as i64 }
+                } else {
+                    Statement::Vars {
+                        job: name,
+                        pairs: vec![(JOBPRIORITY.to_string(), p.to_string())],
+                    }
+                };
+                file.statements.insert(i + 1, stmt);
+                i += 1; // skip the inserted statement
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dagman;
+    use crate::write::write_dagman;
+
+    const FIG3: &str = "\
+JOB a a.submit
+JOB b b.submit
+JOB c c.submit
+JOB d d.submit
+JOB e e.submit
+PARENT a CHILD b
+PARENT c CHILD d e
+";
+
+    fn fig3_priorities() -> BTreeMap<String, u32> {
+        // PRIO schedule: c, a, b, d, e.
+        priorities_by_job(["c", "a", "b", "d", "e"])
+    }
+
+    #[test]
+    fn priorities_by_job_matches_fig3() {
+        let p = fig3_priorities();
+        assert_eq!(p["c"], 5);
+        assert_eq!(p["a"], 4);
+        assert_eq!(p["b"], 3);
+        assert_eq!(p["d"], 2);
+        assert_eq!(p["e"], 1);
+    }
+
+    #[test]
+    fn instrumentation_inserts_vars_after_each_job() {
+        let mut f = parse_dagman(FIG3).unwrap();
+        instrument_dagman(&mut f, &fig3_priorities()).unwrap();
+        let text = write_dagman(&f);
+        let expected = "\
+JOB a a.submit
+VARS a jobpriority=\"4\"
+JOB b b.submit
+VARS b jobpriority=\"3\"
+JOB c c.submit
+VARS c jobpriority=\"5\"
+JOB d d.submit
+VARS d jobpriority=\"2\"
+JOB e e.submit
+VARS e jobpriority=\"1\"
+PARENT a CHILD b
+PARENT c CHILD d e
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn instrumentation_is_idempotent() {
+        let mut f = parse_dagman(FIG3).unwrap();
+        instrument_dagman(&mut f, &fig3_priorities()).unwrap();
+        let once = write_dagman(&f);
+        instrument_dagman(&mut f, &fig3_priorities()).unwrap();
+        assert_eq!(write_dagman(&f), once);
+    }
+
+    #[test]
+    fn reinstrumentation_updates_values() {
+        let mut f = parse_dagman(FIG3).unwrap();
+        instrument_dagman(&mut f, &fig3_priorities()).unwrap();
+        // New schedule: a first.
+        let new = priorities_by_job(["a", "b", "c", "d", "e"]);
+        instrument_dagman(&mut f, &new).unwrap();
+        assert_eq!(f.vars_value("a", JOBPRIORITY), Some("5"));
+        assert_eq!(f.vars_value("c", JOBPRIORITY), Some("3"));
+    }
+
+    #[test]
+    fn missing_priority_is_an_error() {
+        let mut f = parse_dagman(FIG3).unwrap();
+        let partial = priorities_by_job(["a", "b"]);
+        assert!(matches!(
+            instrument_dagman(&mut f, &partial),
+            Err(DagmanError::UnknownJob { .. })
+        ));
+    }
+
+    #[test]
+    fn priority_statement_mode() {
+        let mut f = parse_dagman("JOB a a.sub\nJOB b b.sub\nPARENT a CHILD b\n").unwrap();
+        let p = priorities_by_job(["a", "b"]);
+        instrument_dagman_with(&mut f, &p, InstrumentMode::PriorityStatement).unwrap();
+        let text = write_dagman(&f);
+        assert!(text.contains("PRIORITY a 2"));
+        assert!(text.contains("PRIORITY b 1"));
+        assert!(!text.contains("VARS"));
+        // Idempotent and updatable.
+        instrument_dagman_with(&mut f, &priorities_by_job(["b", "a"]), InstrumentMode::PriorityStatement).unwrap();
+        let text = write_dagman(&f);
+        assert!(text.contains("PRIORITY a 1"));
+        assert!(text.contains("PRIORITY b 2"));
+        assert_eq!(text.matches("PRIORITY").count(), 2);
+    }
+
+    #[test]
+    fn subdag_nodes_get_priority_statements_even_in_vars_mode() {
+        let mut f =
+            parse_dagman("JOB a a.sub\nSUBDAG EXTERNAL inner inner.dag\nPARENT a CHILD inner\n")
+                .unwrap();
+        let p = priorities_by_job(["a", "inner"]);
+        instrument_dagman(&mut f, &p).unwrap();
+        let text = write_dagman(&f);
+        assert!(text.contains("VARS a jobpriority=\"2\""));
+        assert!(text.contains("PRIORITY inner 1"));
+    }
+
+    #[test]
+    fn preserves_unrelated_statements() {
+        let text = "# hdr\nJOB a a.sub\nRETRY a 2\n";
+        let mut f = parse_dagman(text).unwrap();
+        instrument_dagman(&mut f, &priorities_by_job(["a"])).unwrap();
+        let out = write_dagman(&f);
+        assert!(out.contains("# hdr"));
+        assert!(out.contains("RETRY a 2"));
+        assert!(out.contains("VARS a jobpriority=\"1\""));
+    }
+}

@@ -1,0 +1,75 @@
+//! Serialization of DAGMan files back to text.
+
+use crate::ast::{DagmanFile, Statement};
+use std::fmt::Write as _;
+
+/// Serializes the file, one statement per line, ending with a newline for
+/// non-empty files.
+pub fn write_dagman(file: &DagmanFile) -> String {
+    let mut out = String::new();
+    for s in &file.statements {
+        // Statement's Display escapes VARS values.
+        let _ = writeln!(out, "{}", render(s));
+    }
+    out
+}
+
+fn render(s: &Statement) -> String {
+    match s {
+        Statement::Vars { job, pairs } => {
+            let mut line = format!("VARS {job}");
+            for (k, v) in pairs {
+                let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+                let _ = write!(line, " {k}=\"{escaped}\"");
+            }
+            line
+        }
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dagman;
+
+    const SAMPLE: &str = "\
+# header comment
+JOB a a.submit
+JOB b b.submit DIR subdir
+PARENT a CHILD b
+VARS a jobpriority=\"2\"
+RETRY b 3
+
+# trailing comment
+";
+
+    #[test]
+    fn roundtrip_preserves_text() {
+        let f = parse_dagman(SAMPLE).unwrap();
+        assert_eq!(write_dagman(&f), SAMPLE);
+    }
+
+    #[test]
+    fn roundtrip_of_escaped_vars() {
+        let text = "JOB a a.sub\nVARS a note=\"say \\\"hi\\\" and \\\\slash\"\n";
+        let f = parse_dagman(text).unwrap();
+        assert_eq!(write_dagman(&f), text);
+        // And the parsed value is unescaped.
+        assert_eq!(f.vars_value("a", "note"), Some("say \"hi\" and \\slash"));
+    }
+
+    #[test]
+    fn empty_file() {
+        let f = parse_dagman("").unwrap();
+        assert_eq!(write_dagman(&f), "");
+    }
+
+    #[test]
+    fn reparse_of_rendered_output_is_identity() {
+        let f = parse_dagman(SAMPLE).unwrap();
+        let rendered = write_dagman(&f);
+        let f2 = parse_dagman(&rendered).unwrap();
+        assert_eq!(f, f2);
+    }
+}

@@ -1,0 +1,493 @@
+//! The core immutable [`Dag`] type and its validating [`DagBuilder`].
+//!
+//! In the paper's model each node is a *job* and each arc `u -> v` is an
+//! inter-job dependency: `v` cannot start before `u` has completed and
+//! returned its results. `u` is a *parent* of `v`, and `v` a *child* of `u`.
+
+use crate::error::GraphError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node (job) identifier: a dense index into a [`Dag`].
+///
+/// `NodeId`s are only meaningful relative to the `Dag` that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An immutable directed acyclic graph with labelled nodes.
+///
+/// Both forward (`children`) and backward (`parents`) adjacency lists are
+/// stored, each sorted by node index, so all traversals are deterministic.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Dag {
+    labels: Vec<String>,
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+    num_arcs: usize,
+}
+
+impl Dag {
+    /// Number of nodes (jobs).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of arcs (dependencies).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Whether the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over all node identifiers in index order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + Clone {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// The children of `u` (sorted by index).
+    #[inline]
+    pub fn children(&self, u: NodeId) -> &[NodeId] {
+        &self.children[u.index()]
+    }
+
+    /// The parents of `u` (sorted by index).
+    #[inline]
+    pub fn parents(&self, u: NodeId) -> &[NodeId] {
+        &self.parents[u.index()]
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.children[u.index()].len()
+    }
+
+    /// In-degree of `u`.
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.parents[u.index()].len()
+    }
+
+    /// Whether `u` has no parents.
+    #[inline]
+    pub fn is_source(&self, u: NodeId) -> bool {
+        self.parents[u.index()].is_empty()
+    }
+
+    /// Whether `u` has no children.
+    #[inline]
+    pub fn is_sink(&self, u: NodeId) -> bool {
+        self.children[u.index()].is_empty()
+    }
+
+    /// All sources (nodes with no parents), in index order.
+    pub fn sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&u| self.is_source(u))
+    }
+
+    /// All sinks (nodes with no children), in index order.
+    pub fn sinks(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&u| self.is_sink(u))
+    }
+
+    /// The label (job name) of `u`.
+    #[inline]
+    pub fn label(&self, u: NodeId) -> &str {
+        &self.labels[u.index()]
+    }
+
+    /// Finds the node with the given label, if any (linear scan; use a
+    /// [`DagBuilder`]'s handle instead when building).
+    pub fn find(&self, label: &str) -> Option<NodeId> {
+        self.labels.iter().position(|l| l == label).map(|i| NodeId(i as u32))
+    }
+
+    /// Whether the arc `u -> v` is present.
+    pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
+        self.children[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all arcs `(u, v)` in lexicographic order.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.node_ids()
+            .flat_map(move |u| self.children(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Builds the subgraph induced by `nodes`, together with the index maps
+    /// between the subgraph and this graph.
+    ///
+    /// Nodes are renumbered densely in the order given by `nodes` (duplicates
+    /// are ignored after the first occurrence). Arcs are kept iff both
+    /// endpoints are included.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Dag, SubgraphMap) {
+        // The map is kept sparse (hash map keyed by original id): a dense
+        // vector per subgraph would cost O(|G|) memory for every component
+        // of a decomposition — tens of gigabytes on the 48k-job SDSS dag.
+        let mut to_sub: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
+        let mut to_super: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        for &u in nodes {
+            if let std::collections::hash_map::Entry::Vacant(e) = to_sub.entry(u) {
+                e.insert(NodeId(to_super.len() as u32));
+                to_super.push(u);
+            }
+        }
+        let n = to_super.len();
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut num_arcs = 0;
+        for (si, &u) in to_super.iter().enumerate() {
+            for &v in self.children(u) {
+                if let Some(&sv) = to_sub.get(&v) {
+                    children[si].push(sv);
+                    parents[sv.index()].push(NodeId(si as u32));
+                    num_arcs += 1;
+                }
+            }
+        }
+        for list in children.iter_mut().chain(parents.iter_mut()) {
+            list.sort_unstable();
+        }
+        let labels = to_super.iter().map(|&u| self.labels[u.index()].clone()).collect();
+        (
+            Dag { labels, children, parents, num_arcs },
+            SubgraphMap { to_sub, to_super },
+        )
+    }
+
+    /// Returns the arc-reversed DAG (every `u -> v` becomes `v -> u`).
+    ///
+    /// This is how the theory derives M-dags from W-dags ("duals").
+    pub fn reversed(&self) -> Dag {
+        Dag {
+            labels: self.labels.clone(),
+            children: self.parents.clone(),
+            parents: self.children.clone(),
+            num_arcs: self.num_arcs,
+        }
+    }
+
+    /// Convenience constructor from labelled nodes and index arcs.
+    ///
+    /// `n` nodes are created with labels `"j0" .. "j{n-1}"`.
+    pub fn from_arcs(n: usize, arcs: &[(u32, u32)]) -> Result<Dag, GraphError> {
+        let mut b = DagBuilder::new();
+        for i in 0..n {
+            b.add_node(format!("j{i}"));
+        }
+        for &(u, v) in arcs {
+            b.add_arc(NodeId(u), NodeId(v))?;
+        }
+        b.build()
+    }
+}
+
+impl fmt::Debug for Dag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dag({} nodes, {} arcs)", self.num_nodes(), self.num_arcs)?;
+        for u in self.node_ids() {
+            if !self.children(u).is_empty() {
+                writeln!(f, "  {:?} -> {:?}", u, self.children(u))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Index maps produced by [`Dag::induced_subgraph`].
+///
+/// Memory is proportional to the subgraph, not the original graph, so a
+/// decomposition may hold one map per component without quadratic blowup.
+#[derive(Debug, Clone)]
+pub struct SubgraphMap {
+    to_sub: HashMap<NodeId, NodeId>,
+    to_super: Vec<NodeId>,
+}
+
+impl SubgraphMap {
+    /// Maps a node of the original graph to the subgraph, if included.
+    pub fn to_sub(&self, u: NodeId) -> Option<NodeId> {
+        self.to_sub.get(&u).copied()
+    }
+
+    /// Maps a subgraph node back to the original graph.
+    pub fn to_super(&self, s: NodeId) -> NodeId {
+        self.to_super[s.index()]
+    }
+
+    /// The original-graph identifiers of all subgraph nodes, in subgraph
+    /// index order.
+    pub fn super_nodes(&self) -> &[NodeId] {
+        &self.to_super
+    }
+}
+
+/// An incremental, validating builder for [`Dag`].
+///
+/// Nodes are created with [`DagBuilder::add_node`]; duplicate arcs are
+/// silently deduplicated; self-loops are rejected eagerly and cycles at
+/// [`DagBuilder::build`] time.
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    labels: Vec<String>,
+    by_label: HashMap<String, NodeId>,
+    arcs: Vec<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder expecting roughly `nodes` nodes and `arcs` arcs.
+    pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
+        DagBuilder {
+            labels: Vec::with_capacity(nodes),
+            by_label: HashMap::with_capacity(nodes),
+            arcs: Vec::with_capacity(arcs),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Adds a node with the given label and returns its identifier.
+    ///
+    /// Labels are not required to be unique here (generated workloads use
+    /// unique names; uniqueness can be enforced with
+    /// [`DagBuilder::add_unique_node`]).
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        let label = label.into();
+        self.by_label.entry(label.clone()).or_insert(id);
+        self.labels.push(label);
+        id
+    }
+
+    /// Adds a node whose label must be new, erroring on duplicates.
+    pub fn add_unique_node(&mut self, label: impl Into<String>) -> Result<NodeId, GraphError> {
+        let label = label.into();
+        if self.by_label.contains_key(&label) {
+            return Err(GraphError::DuplicateLabel { label });
+        }
+        Ok(self.add_node(label))
+    }
+
+    /// Returns the node previously added with `label` (first occurrence), or
+    /// adds a fresh one.
+    pub fn node_for_label(&mut self, label: &str) -> NodeId {
+        if let Some(&id) = self.by_label.get(label) {
+            id
+        } else {
+            self.add_node(label)
+        }
+    }
+
+    /// Looks up a label without inserting.
+    pub fn get(&self, label: &str) -> Option<NodeId> {
+        self.by_label.get(label).copied()
+    }
+
+    /// Adds the arc `u -> v`. Duplicates are deduplicated at build time.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let len = self.labels.len() as u32;
+        for w in [u, v] {
+            if w.0 >= len {
+                return Err(GraphError::InvalidNode { index: w.0, len });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { index: u.0 });
+        }
+        self.arcs.push((u, v));
+        Ok(())
+    }
+
+    /// Finalizes the graph, verifying acyclicity.
+    pub fn build(self) -> Result<Dag, GraphError> {
+        let n = self.labels.len();
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut arcs = self.arcs;
+        arcs.sort_unstable();
+        arcs.dedup();
+        let num_arcs = arcs.len();
+        for (u, v) in arcs {
+            children[u.index()].push(v);
+            parents[v.index()].push(u);
+        }
+        for list in parents.iter_mut() {
+            list.sort_unstable();
+        }
+        // Kahn's algorithm purely to detect cycles; the sort itself lives in
+        // `topo`.
+        let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut stack: Vec<NodeId> = (0..n as u32).map(NodeId).filter(|u| indeg[u.index()] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &v in &children[u.index()] {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        if seen != n {
+            let on_cycle = indeg.iter().position(|&d| d > 0).expect("cycle node") as u32;
+            return Err(GraphError::Cycle { on_cycle });
+        }
+        Ok(Dag { labels: self.labels, children, parents, num_arcs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // a -> b, a -> c, b -> d, c -> d
+        Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = diamond();
+        assert_eq!(d.num_nodes(), 4);
+        assert_eq!(d.num_arcs(), 4);
+        assert_eq!(d.children(NodeId(0)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(d.parents(NodeId(3)), &[NodeId(1), NodeId(2)]);
+        assert_eq!(d.sources().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(d.sinks().collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert!(d.has_arc(NodeId(0), NodeId(1)));
+        assert!(!d.has_arc(NodeId(1), NodeId(0)));
+        assert_eq!(d.out_degree(NodeId(0)), 2);
+        assert_eq!(d.in_degree(NodeId(3)), 2);
+        assert_eq!(d.label(NodeId(2)), "j2");
+        assert_eq!(d.find("j2"), Some(NodeId(2)));
+        assert_eq!(d.find("nope"), None);
+    }
+
+    #[test]
+    fn arcs_iterator_is_lexicographic() {
+        let d = diamond();
+        let arcs: Vec<_> = d.arcs().map(|(u, v)| (u.0, v.0)).collect();
+        assert_eq!(arcs, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_arcs_are_deduped() {
+        let d = Dag::from_arcs(2, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        assert_eq!(d.num_arcs(), 1);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let err = Dag::from_arcs(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::Cycle { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("a");
+        assert!(matches!(b.add_arc(a, a), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn invalid_node_rejected() {
+        let mut b = DagBuilder::new();
+        let a = b.add_node("a");
+        assert!(matches!(
+            b.add_arc(a, NodeId(5)),
+            Err(GraphError::InvalidNode { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn unique_labels_enforced() {
+        let mut b = DagBuilder::new();
+        b.add_unique_node("x").unwrap();
+        assert!(matches!(
+            b.add_unique_node("x"),
+            Err(GraphError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn node_for_label_reuses() {
+        let mut b = DagBuilder::new();
+        let x = b.node_for_label("x");
+        let y = b.node_for_label("y");
+        assert_eq!(b.node_for_label("x"), x);
+        assert_ne!(x, y);
+        assert_eq!(b.get("y"), Some(y));
+        assert_eq!(b.get("z"), None);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_arcs() {
+        let d = diamond();
+        let (sub, map) = d.induced_subgraph(&[NodeId(0), NodeId(1), NodeId(3)]);
+        assert_eq!(sub.num_nodes(), 3);
+        // a->b and b->d survive; a->c->d does not.
+        assert_eq!(sub.num_arcs(), 2);
+        assert_eq!(map.to_super(NodeId(0)), NodeId(0));
+        assert_eq!(map.to_sub(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(map.to_sub(NodeId(2)), None);
+        assert_eq!(sub.label(NodeId(2)), "j3");
+        assert_eq!(map.super_nodes(), &[NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_ignores_duplicates() {
+        let d = diamond();
+        let (sub, _) = d.induced_subgraph(&[NodeId(1), NodeId(1), NodeId(2)]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_arcs(), 0);
+    }
+
+    #[test]
+    fn reversed_swaps_sources_and_sinks() {
+        let d = diamond();
+        let r = d.reversed();
+        assert_eq!(r.sources().collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert_eq!(r.sinks().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert_eq!(r.num_arcs(), d.num_arcs());
+        assert!(r.has_arc(NodeId(3), NodeId(1)));
+    }
+
+    #[test]
+    fn empty_dag() {
+        let d = DagBuilder::new().build().unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.sources().count(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Graphviz DOT export — used to reproduce the paper's Fig. 5 (the AIRSN
+//! dag drawn with its `prio`-assigned job priorities).
+
+use crate::dag::{Dag, NodeId};
+use std::fmt::Write as _;
+
+/// Rendering options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name in the `digraph <name> { ... }` header.
+    pub name: String,
+    /// Draw arcs bottom-to-top as the paper does ("arcs are oriented
+    /// upward"): sets `rankdir=BT`.
+    pub arcs_upward: bool,
+    /// Optional per-node priority annotation appended to labels and used to
+    /// shade nodes (higher priority = darker). Indexed by node id.
+    pub priorities: Option<Vec<u32>>,
+    /// Nodes to highlight with a bold frame (e.g. the bottleneck job in
+    /// Fig. 5).
+    pub framed: Vec<NodeId>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "G".into(),
+            arcs_upward: true,
+            priorities: None,
+            framed: Vec::new(),
+        }
+    }
+}
+
+/// Serializes `dag` to Graphviz DOT text.
+pub fn to_dot(dag: &Dag, opts: &DotOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", sanitize(&opts.name));
+    if opts.arcs_upward {
+        s.push_str("  rankdir=BT;\n");
+    }
+    s.push_str("  node [shape=circle, style=filled, fillcolor=white];\n");
+    let max_prio = opts
+        .priorities
+        .as_ref()
+        .and_then(|p| p.iter().copied().max())
+        .unwrap_or(0);
+    for u in dag.node_ids() {
+        let mut attrs = String::new();
+        let label = match &opts.priorities {
+            Some(p) => format!("{}\\n[{}]", escape(dag.label(u)), p[u.index()]),
+            None => escape(dag.label(u)),
+        };
+        let _ = write!(attrs, "label=\"{label}\"");
+        if let Some(p) = &opts.priorities {
+            // Shade from white (lowest priority) to mid-gray (highest).
+            if max_prio > 0 {
+                let frac = p[u.index()] as f64 / max_prio as f64;
+                let level = (255.0 - 128.0 * frac).round() as u8;
+                let _ = write!(attrs, ", fillcolor=\"#{level:02x}{level:02x}{level:02x}\"");
+            }
+        }
+        if opts.framed.contains(&u) {
+            attrs.push_str(", penwidth=3");
+        }
+        let _ = writeln!(s, "  n{} [{attrs}];", u.0);
+    }
+    for (u, v) in dag.arcs() {
+        let _ = writeln!(s, "  n{} -> n{};", u.0, v.0);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "G".into()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_structure() {
+        let d = Dag::from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let dot = to_dot(&d, &DotOptions::default());
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.contains("rankdir=BT"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("n0 -> n2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn priorities_shade_and_annotate() {
+        let d = Dag::from_arcs(2, &[(0, 1)]).unwrap();
+        let opts = DotOptions {
+            priorities: Some(vec![2, 1]),
+            framed: vec![NodeId(0)],
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&d, &opts);
+        assert!(dot.contains("[2]"), "priority shown in label");
+        assert!(dot.contains("penwidth=3"), "framed node is bold");
+        assert!(dot.contains("fillcolor=\"#7f7f7f\""), "max priority is darkest");
+    }
+
+    #[test]
+    fn labels_are_escaped_and_names_sanitized() {
+        let mut b = crate::DagBuilder::new();
+        b.add_node("we\"ird");
+        let d = b.build().unwrap();
+        let opts = DotOptions {
+            name: "my graph!".into(),
+            ..DotOptions::default()
+        };
+        let dot = to_dot(&d, &opts);
+        assert!(dot.contains("digraph my_graph_ {"));
+        assert!(dot.contains("we\\\"ird"));
+    }
+}

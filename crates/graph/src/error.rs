@@ -1,0 +1,67 @@
+//! Error types for DAG construction and queries.
+
+use std::fmt;
+
+/// Errors produced while building or querying a [`crate::Dag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An arc referenced a node index that was never added.
+    InvalidNode {
+        /// The offending node index.
+        index: u32,
+        /// Number of nodes that exist.
+        len: u32,
+    },
+    /// A self-loop `u -> u` was requested.
+    SelfLoop {
+        /// The node that would loop onto itself.
+        index: u32,
+    },
+    /// The arc set contains a directed cycle, so the graph is not a DAG.
+    /// Carries one node known to lie on a cycle.
+    Cycle {
+        /// A node on some directed cycle.
+        on_cycle: u32,
+    },
+    /// Two nodes were given the same label.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode { index, len } => {
+                write!(f, "node index {index} out of range (graph has {len} nodes)")
+            }
+            GraphError::SelfLoop { index } => write!(f, "self-loop on node {index}"),
+            GraphError::Cycle { on_cycle } => {
+                write!(f, "graph contains a directed cycle through node {on_cycle}")
+            }
+            GraphError::DuplicateLabel { label } => {
+                write!(f, "duplicate node label {label:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::InvalidNode { index: 7, len: 3 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e = GraphError::SelfLoop { index: 2 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::Cycle { on_cycle: 1 };
+        assert!(e.to_string().contains("cycle"));
+        let e = GraphError::DuplicateLabel { label: "x".into() };
+        assert!(e.to_string().contains("duplicate"));
+    }
+}

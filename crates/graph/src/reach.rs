@@ -1,0 +1,149 @@
+//! Reachability queries and transitive closure.
+//!
+//! Shortcut detection (Step 1 of the Divide phase) and several tests need to
+//! answer "is `v` reachable from `u`?" — these helpers provide both one-off
+//! BFS queries and a bitset-based full closure for moderate graph sizes.
+
+use crate::bitset::FixedBitSet;
+use crate::dag::{Dag, NodeId};
+use crate::topo::topo_order;
+
+/// All nodes reachable from `u` by directed paths of length ≥ 1
+/// (`u` itself is excluded unless it lies on a cycle, which a [`Dag`]
+/// forbids). Returned in increasing index order.
+pub fn descendants(dag: &Dag, u: NodeId) -> Vec<NodeId> {
+    let mut seen = FixedBitSet::new(dag.num_nodes());
+    let mut stack: Vec<NodeId> = dag.children(u).to_vec();
+    for &c in dag.children(u) {
+        seen.insert(c.index());
+    }
+    while let Some(w) = stack.pop() {
+        for &c in dag.children(w) {
+            if seen.insert(c.index()) {
+                stack.push(c);
+            }
+        }
+    }
+    seen.iter().map(|i| NodeId(i as u32)).collect()
+}
+
+/// All nodes that can reach `u` by directed paths of length ≥ 1.
+pub fn ancestors(dag: &Dag, u: NodeId) -> Vec<NodeId> {
+    let mut seen = FixedBitSet::new(dag.num_nodes());
+    let mut stack: Vec<NodeId> = dag.parents(u).to_vec();
+    for &p in dag.parents(u) {
+        seen.insert(p.index());
+    }
+    while let Some(w) = stack.pop() {
+        for &p in dag.parents(w) {
+            if seen.insert(p.index()) {
+                stack.push(p);
+            }
+        }
+    }
+    seen.iter().map(|i| NodeId(i as u32)).collect()
+}
+
+/// Whether a directed path of length ≥ 1 from `u` to `v` exists.
+pub fn is_reachable(dag: &Dag, u: NodeId, v: NodeId) -> bool {
+    if u == v {
+        return false;
+    }
+    let mut seen = FixedBitSet::new(dag.num_nodes());
+    let mut stack = vec![u];
+    while let Some(w) = stack.pop() {
+        for &c in dag.children(w) {
+            if c == v {
+                return true;
+            }
+            if seen.insert(c.index()) {
+                stack.push(c);
+            }
+        }
+    }
+    false
+}
+
+/// The full transitive closure as one bitset row per node: bit `v` of row
+/// `u` is set iff `v` is reachable from `u` by a path of length ≥ 1.
+///
+/// Memory is `n² / 8` bytes — fine for the tens of thousands of jobs in the
+/// paper's dags on small multiples of a gigabyte, but intended mainly for
+/// verification and for small-to-medium graphs. Computed in reverse
+/// topological order so each row is the union of child rows plus the child
+/// bits themselves.
+pub fn transitive_closure(dag: &Dag) -> Vec<FixedBitSet> {
+    let n = dag.num_nodes();
+    let mut rows: Vec<FixedBitSet> = (0..n).map(|_| FixedBitSet::new(n)).collect();
+    for &u in topo_order(dag).iter().rev() {
+        // Move the row out to appease the borrow checker while unioning
+        // child rows in.
+        let mut row = std::mem::replace(&mut rows[u.index()], FixedBitSet::new(0));
+        for &c in dag.children(u) {
+            row.insert(c.index());
+            let child_row = &rows[c.index()];
+            row.union_with(child_row);
+        }
+        rows[u.index()] = row;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_plus_tail() -> Dag {
+        // 0 -> 1 -> 3 -> 4, 0 -> 2 -> 3
+        Dag::from_arcs(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn descendants_of_root() {
+        let d = diamond_plus_tail();
+        let ds: Vec<u32> = descendants(&d, NodeId(0)).into_iter().map(|u| u.0).collect();
+        assert_eq!(ds, vec![1, 2, 3, 4]);
+        assert!(descendants(&d, NodeId(4)).is_empty());
+    }
+
+    #[test]
+    fn ancestors_of_sink() {
+        let d = diamond_plus_tail();
+        let a: Vec<u32> = ancestors(&d, NodeId(4)).into_iter().map(|u| u.0).collect();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert!(ancestors(&d, NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let d = diamond_plus_tail();
+        assert!(is_reachable(&d, NodeId(0), NodeId(4)));
+        assert!(is_reachable(&d, NodeId(1), NodeId(4)));
+        assert!(!is_reachable(&d, NodeId(1), NodeId(2)));
+        assert!(!is_reachable(&d, NodeId(4), NodeId(0)));
+        assert!(!is_reachable(&d, NodeId(2), NodeId(2)), "length >= 1 only");
+    }
+
+    #[test]
+    fn closure_matches_pairwise_queries() {
+        let d = diamond_plus_tail();
+        let rows = transitive_closure(&d);
+        for u in d.node_ids() {
+            for v in d.node_ids() {
+                assert_eq!(
+                    rows[u.index()].contains(v.index()),
+                    is_reachable(&d, u, v),
+                    "closure mismatch at {u:?} -> {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_of_independent_nodes_is_empty() {
+        let d = Dag::from_arcs(3, &[]).unwrap();
+        for row in transitive_closure(&d) {
+            assert!(row.is_empty());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Topological sorting and linear-extension utilities.
+//!
+//! Every schedule in the paper is a *linear extension* of the job DAG: a
+//! total order in which each job appears after all of its parents. The
+//! functions here produce canonical topological orders and validate orders
+//! produced elsewhere (e.g. by the PRIO heuristic or the FIFO baseline).
+
+use crate::dag::{Dag, NodeId};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Returns a deterministic topological order of `dag`.
+///
+/// Kahn's algorithm driven by a min-heap on node index, so among all ready
+/// nodes the smallest index is emitted first. The result is a valid linear
+/// extension and is stable across runs and platforms.
+pub fn topo_order(dag: &Dag) -> Vec<NodeId> {
+    let n = dag.num_nodes();
+    let mut indeg: Vec<usize> = dag.node_ids().map(|u| dag.in_degree(u)).collect();
+    let mut heap: BinaryHeap<Reverse<NodeId>> = dag
+        .node_ids()
+        .filter(|u| indeg[u.index()] == 0)
+        .map(Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(u)) = heap.pop() {
+        order.push(u);
+        for &v in dag.children(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                heap.push(Reverse(v));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "Dag invariant guarantees acyclicity");
+    order
+}
+
+/// Returns `rank[u] = position of u` in the canonical topological order.
+pub fn topo_ranks(dag: &Dag) -> Vec<usize> {
+    let order = topo_order(dag);
+    let mut rank = vec![0usize; dag.num_nodes()];
+    for (i, u) in order.iter().enumerate() {
+        rank[u.index()] = i;
+    }
+    rank
+}
+
+/// Checks that `order` is a permutation of all nodes of `dag` that respects
+/// every arc (each parent precedes each child).
+pub fn is_linear_extension(dag: &Dag, order: &[NodeId]) -> bool {
+    let n = dag.num_nodes();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, u) in order.iter().enumerate() {
+        if u.index() >= n || pos[u.index()] != usize::MAX {
+            return false; // out of range or duplicate
+        }
+        pos[u.index()] = i;
+    }
+    dag.arcs().all(|(u, v)| pos[u.index()] < pos[v.index()])
+}
+
+/// Computes, for each node, the length (number of arcs) of the longest
+/// directed path from any source to that node ("depth"; sources have 0).
+pub fn depths(dag: &Dag) -> Vec<usize> {
+    let order = topo_order(dag);
+    let mut depth = vec![0usize; dag.num_nodes()];
+    for &u in &order {
+        for &v in dag.children(u) {
+            depth[v.index()] = depth[v.index()].max(depth[u.index()] + 1);
+        }
+    }
+    depth
+}
+
+/// Computes, for each node, the length (number of arcs) of the longest
+/// directed path from that node to any sink ("height"; sinks have 0).
+///
+/// `height[u] + 1` is the classic critical-path priority of job `u` under
+/// unit execution times — used by the critical-path baseline scheduler.
+pub fn heights(dag: &Dag) -> Vec<usize> {
+    let order = topo_order(dag);
+    let mut height = vec![0usize; dag.num_nodes()];
+    for &u in order.iter().rev() {
+        for &v in dag.children(u) {
+            height[u.index()] = height[u.index()].max(height[v.index()] + 1);
+        }
+    }
+    height
+}
+
+/// The length of the critical path in arcs (0 for an arcless DAG).
+pub fn critical_path_len(dag: &Dag) -> usize {
+    heights(dag).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn topo_order_is_linear_extension() {
+        let d = diamond();
+        let o = topo_order(&d);
+        assert!(is_linear_extension(&d, &o));
+        assert_eq!(o.first(), Some(&NodeId(0)));
+        assert_eq!(o.last(), Some(&NodeId(3)));
+    }
+
+    #[test]
+    fn topo_order_prefers_small_indices() {
+        // Two independent chains; ties broken by index.
+        let d = Dag::from_arcs(4, &[(0, 2), (1, 3)]).unwrap();
+        let o: Vec<u32> = topo_order(&d).into_iter().map(|u| u.0).collect();
+        assert_eq!(o, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ranks_match_order() {
+        let d = diamond();
+        let o = topo_order(&d);
+        let r = topo_ranks(&d);
+        for (i, u) in o.iter().enumerate() {
+            assert_eq!(r[u.index()], i);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_duplicates() {
+        let d = diamond();
+        assert!(!is_linear_extension(&d, &[NodeId(0), NodeId(1)]));
+        assert!(!is_linear_extension(
+            &d,
+            &[NodeId(0), NodeId(1), NodeId(1), NodeId(3)]
+        ));
+        assert!(!is_linear_extension(
+            &d,
+            &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)]
+        ));
+    }
+
+    #[test]
+    fn depth_and_height_on_diamond() {
+        let d = diamond();
+        assert_eq!(depths(&d), vec![0, 1, 1, 2]);
+        assert_eq!(heights(&d), vec![2, 1, 1, 0]);
+        assert_eq!(critical_path_len(&d), 2);
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let d = Dag::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(critical_path_len(&d), 4);
+    }
+
+    #[test]
+    fn arcless_dag() {
+        let d = Dag::from_arcs(3, &[]).unwrap();
+        assert_eq!(critical_path_len(&d), 0);
+        assert_eq!(depths(&d), vec![0, 0, 0]);
+    }
+}

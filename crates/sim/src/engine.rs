@@ -1,0 +1,461 @@
+//! The event-driven grid simulator (§4.1).
+//!
+//! Two event kinds drive the clock: *batch arrivals* (workers requesting
+//! jobs; unfilled requests are discarded) and *job completions* (results
+//! returned, possibly rendering children eligible). The run ends when all
+//! jobs have completed; the makespan is the last completion time.
+//!
+//! Determinism: all randomness comes from the seeded RNG, and events are
+//! processed in time order with completions winning ties, so a run is a
+//! pure function of `(dag, policy, model, seed)`.
+
+use crate::metrics::RunMetrics;
+use crate::model::{GridModel, UnfilledRequests};
+use crate::policy::PolicySpec;
+use crate::trace::{Trace, TraceEvent};
+use prio_graph::{Dag, NodeId};
+use prio_stats::seeded_rng;
+use rand::Rng as _;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Totally ordered f64 for the completion-event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The raw counters of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Time at which the last job completed (0 for an empty dag).
+    pub makespan: f64,
+    /// Batches that arrived up to and including the batch that assigned
+    /// the last job.
+    pub batches_observed: u64,
+    /// Among those, batches that found pending work but no eligible
+    /// unassigned job ("stalls").
+    pub stalled_batches: u64,
+    /// Total worker requests in the observed batches.
+    pub total_requests: u64,
+    /// Number of jobs in the dag.
+    pub num_jobs: usize,
+    /// Event trace, when requested.
+    pub trace: Option<Trace>,
+}
+
+impl SimOutcome {
+    /// Derives the paper's three metrics from the counters.
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            execution_time: self.makespan,
+            stall_probability: if self.batches_observed == 0 {
+                0.0
+            } else {
+                self.stalled_batches as f64 / self.batches_observed as f64
+            },
+            utilization: if self.total_requests == 0 {
+                0.0
+            } else {
+                self.num_jobs as f64 / self.total_requests as f64
+            },
+        }
+    }
+}
+
+/// Simulates one execution of `dag` under `policy` and `model` with the
+/// given `seed`.
+pub fn simulate(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
+    run(dag, policy, model, seed, false)
+}
+
+/// Like [`simulate`] but records a full event trace (slower; for tests).
+pub fn simulate_traced(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    seed: u64,
+) -> SimOutcome {
+    run(dag, policy, model, seed, true)
+}
+
+fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: bool) -> SimOutcome {
+    let n = dag.num_nodes();
+    let mut rng = seeded_rng(seed);
+    let interarrival = model.interarrival();
+    let runtime = model.runtime();
+    let failures = model.failure_probability;
+
+    let mut queue = policy.make_queue(n);
+    let mut missing_parents: Vec<u32> = dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
+    for u in dag.sources() {
+        queue.push(u);
+    }
+
+    let mut completions: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
+    let mut trace: Option<Trace> = if traced { Some(Vec::new()) } else { None };
+
+    let mut in_flight = 0usize;
+    let mut completed = 0usize;
+    let mut makespan = 0.0f64;
+    let mut batches_observed = 0u64;
+    let mut stalled_batches = 0u64;
+    let mut total_requests = 0u64;
+    // Parked workers (rollover ablation only; stays 0 under Discard).
+    let wait_mode = model.unfilled == UnfilledRequests::Wait;
+    let mut idle_workers = 0u64;
+
+    // The first batch arrives at time 0.
+    let mut next_batch = 0.0f64;
+
+    while completed < n {
+        // Jobs neither completed nor currently on a worker — with reliable
+        // workers this is "unexecuted and unassigned"; with failures a job
+        // can re-enter this state.
+        let unassigned = n - completed - in_flight;
+        let next_completion = completions.peek().map(|Reverse((t, _))| t.0);
+        // Completions win ties so a batch arriving at the same instant sees
+        // the freed dependencies. With reliable workers, batches after the
+        // last assignment cannot matter and are skipped entirely (keeping
+        // the RNG stream identical to the paper's model).
+        let take_completion = match next_completion {
+            Some(tc) => (unassigned == 0 && failures == 0.0) || tc <= next_batch,
+            None => false,
+        };
+        if take_completion {
+            let Reverse((Time(t), job)) = completions.pop().expect("peeked");
+            in_flight -= 1;
+            if failures > 0.0 && rng.gen_bool(failures) {
+                // The worker quit or returned garbage: the job becomes
+                // eligible again (its parents are still complete).
+                queue.push(job);
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEvent::JobFailed { time: t, job });
+                }
+            } else {
+                completed += 1;
+                makespan = makespan.max(t);
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEvent::JobCompleted { time: t, job });
+                }
+                for &child in dag.children(job) {
+                    let m = &mut missing_parents[child.index()];
+                    *m -= 1;
+                    if *m == 0 {
+                        queue.push(child);
+                    }
+                }
+            }
+            // Rollover ablation: parked workers grab newly eligible jobs
+            // the moment they appear.
+            while wait_mode && idle_workers > 0 && queue.len() > 0 {
+                let job = queue.pop().expect("non-empty");
+                idle_workers -= 1;
+                let completes_at = t + runtime.sample(&mut rng);
+                completions.push(Reverse((Time(completes_at), job)));
+                in_flight += 1;
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEvent::JobAssigned { time: t, job, completes_at });
+                }
+            }
+        } else {
+            // Batch arrival. A batch is *observed* (counts toward the
+            // stalling and utilization denominators) iff pending
+            // unassigned work exists, which under reliable workers is
+            // exactly "until the batch when the last job was assigned".
+            let t = next_batch;
+            let size = model.sample_batch_size(&mut rng);
+            if unassigned > 0 {
+                batches_observed += 1;
+                total_requests += size;
+                let available = queue.len();
+                let stalled = available == 0;
+                if stalled {
+                    stalled_batches += 1;
+                }
+                let workers = if wait_mode { size + idle_workers } else { size };
+                let to_assign = (workers as usize).min(available);
+                for _ in 0..to_assign {
+                    let job = queue.pop().expect("available > 0");
+                    let completes_at = t + runtime.sample(&mut rng);
+                    completions.push(Reverse((Time(completes_at), job)));
+                    in_flight += 1;
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(TraceEvent::JobAssigned { time: t, job, completes_at });
+                    }
+                }
+                if wait_mode {
+                    idle_workers = workers - to_assign as u64;
+                }
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEvent::BatchArrived { time: t, size, assigned: to_assign, stalled });
+                }
+            } else if wait_mode {
+                idle_workers += size;
+            }
+            next_batch = t + interarrival.sample(&mut rng);
+        }
+    }
+
+    SimOutcome {
+        makespan,
+        batches_observed,
+        stalled_batches,
+        total_requests,
+        num_jobs: n,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_core::fifo::fifo_schedule;
+    use prio_core::Schedule;
+    use prio_graph::topo::critical_path_len;
+
+    fn fifo() -> PolicySpec {
+        PolicySpec::Fifo
+    }
+
+    fn oblivious(dag: &Dag) -> PolicySpec {
+        PolicySpec::Oblivious(fifo_schedule(dag))
+    }
+
+    fn chain(n: usize) -> Dag {
+        let arcs: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Dag::from_arcs(n, &arcs).unwrap()
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let dag = chain(20);
+        let model = GridModel::paper(0.5, 4.0);
+        let a = simulate(&dag, &fifo(), &model, 42);
+        let b = simulate(&dag, &fifo(), &model, 42);
+        assert_eq!(a, b);
+        let c = simulate(&dag, &fifo(), &model, 43);
+        assert_ne!(a.makespan, c.makespan);
+    }
+
+    #[test]
+    fn abundant_workers_approach_critical_path() {
+        // Batches arrive every ~1e-3 with huge sizes: every job starts as
+        // soon as it is eligible, so the makespan is about the critical
+        // path length (in ~1.0-long job units).
+        let dag = chain(10);
+        let model = GridModel::paper(1e-3, 1u64.wrapping_shl(16) as f64);
+        let out = simulate(&dag, &fifo(), &model, 7);
+        let cp = (critical_path_len(&dag) + 1) as f64;
+        assert!(
+            (out.makespan - cp).abs() < 0.5,
+            "makespan {} vs critical path {cp}",
+            out.makespan
+        );
+        // Utilization is tiny: almost all requests are discarded.
+        assert!(out.metrics().utilization < 0.01);
+    }
+
+    #[test]
+    fn scarce_workers_serialize_execution() {
+        // Batches of ~1 arriving every ~10 time units: jobs run one by one,
+        // makespan ≈ 10 × n.
+        let dag = chain(8);
+        let model = GridModel::paper(10.0, 1.0);
+        let out = simulate(&dag, &fifo(), &model, 11);
+        assert!(out.makespan > 8.0 * 5.0, "makespan {}", out.makespan);
+        // Nearly every request is served: utilization close to 1.
+        assert!(out.metrics().utilization > 0.6, "{}", out.metrics().utilization);
+    }
+
+    #[test]
+    fn conservation_laws() {
+        let dag = Dag::from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+        let model = GridModel::paper(0.3, 2.0);
+        let out = simulate_traced(&dag, &oblivious(&dag), &model, 3);
+        let trace = out.trace.as_ref().unwrap();
+        let assigned = trace.iter().filter(|e| matches!(e, TraceEvent::JobAssigned { .. })).count();
+        let completed = trace.iter().filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).count();
+        assert_eq!(assigned, 6);
+        assert_eq!(completed, 6);
+        // Requests ≥ jobs, so utilization ≤ 1; probabilities in range.
+        let m = out.metrics();
+        assert!(out.total_requests >= 6);
+        assert!((0.0..=1.0).contains(&m.utilization));
+        assert!((0.0..=1.0).contains(&m.stall_probability));
+    }
+
+    #[test]
+    fn trace_respects_dependencies() {
+        let dag = Dag::from_arcs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let model = GridModel::paper(0.2, 8.0);
+        let out = simulate_traced(&dag, &fifo(), &model, 9);
+        let mut completed_at = [f64::NAN; 4];
+        let mut assigned_at = [f64::NAN; 4];
+        for e in out.trace.as_ref().unwrap() {
+            match e {
+                TraceEvent::JobAssigned { time, job, .. } => assigned_at[job.index()] = *time,
+                TraceEvent::JobCompleted { time, job } => completed_at[job.index()] = *time,
+                _ => {}
+            }
+        }
+        for (u, v) in dag.arcs() {
+            assert!(
+                completed_at[u.index()] <= assigned_at[v.index()],
+                "child {v:?} assigned before parent {u:?} completed"
+            );
+        }
+    }
+
+    #[test]
+    fn stalls_happen_on_serial_chains_with_frequent_batches() {
+        // A long chain with very frequent batches: most batches find the
+        // single in-flight job already assigned — near-certain stalling.
+        let dag = chain(10);
+        let model = GridModel::paper(0.05, 1.0);
+        let out = simulate(&dag, &fifo(), &model, 13);
+        let m = out.metrics();
+        assert!(m.stall_probability > 0.5, "stall {}", m.stall_probability);
+    }
+
+    #[test]
+    fn waiting_workers_speed_up_scarce_regimes() {
+        // A chain with rare tiny batches: discarded workers waste most
+        // arrivals; parked workers pick each next link immediately.
+        let dag = chain(10);
+        let discard = GridModel::paper(3.0, 1.0);
+        let wait = discard.with_waiting_workers();
+        let mean = |m: &GridModel| -> f64 {
+            (0..40).map(|s| simulate(&dag, &PolicySpec::Fifo, m, s).makespan).sum::<f64>() / 40.0
+        };
+        let t_discard = mean(&discard);
+        let t_wait = mean(&wait);
+        assert!(
+            t_wait < t_discard * 0.7,
+            "parked workers must help: {t_wait} vs {t_discard}"
+        );
+    }
+
+    #[test]
+    fn waiting_workers_preserve_dependencies() {
+        let dag = Dag::from_arcs(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let model = GridModel::paper(0.5, 2.0).with_waiting_workers();
+        let out = simulate_traced(&dag, &PolicySpec::Fifo, &model, 8);
+        let mut completed_at = [f64::NAN; 5];
+        let mut assigned_at = [f64::NAN; 5];
+        for e in out.trace.as_ref().unwrap() {
+            match e {
+                TraceEvent::JobAssigned { time, job, .. } => assigned_at[job.index()] = *time,
+                TraceEvent::JobCompleted { time, job } => completed_at[job.index()] = *time,
+                _ => {}
+            }
+        }
+        for (u, v) in dag.arcs() {
+            assert!(completed_at[u.index()] <= assigned_at[v.index()]);
+        }
+    }
+
+    #[test]
+    fn discard_mode_is_unchanged_by_the_flag_default() {
+        let dag = chain(8);
+        let a = GridModel::paper(0.7, 3.0);
+        assert_eq!(a.unfilled, crate::model::UnfilledRequests::Discard);
+        let out1 = simulate(&dag, &fifo(), &a, 3);
+        let out2 = simulate(&dag, &fifo(), &a, 3);
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn failures_retry_until_success() {
+        let dag = chain(6);
+        let model = GridModel::paper(0.5, 4.0).with_failures(0.4);
+        let out = simulate_traced(&dag, &fifo(), &model, 21);
+        let trace = out.trace.as_ref().unwrap();
+        let failures = trace.iter().filter(|e| matches!(e, TraceEvent::JobFailed { .. })).count();
+        let completions = trace.iter().filter(|e| matches!(e, TraceEvent::JobCompleted { .. })).count();
+        let assignments = trace.iter().filter(|e| matches!(e, TraceEvent::JobAssigned { .. })).count();
+        assert_eq!(completions, 6, "every job eventually completes");
+        assert_eq!(assignments, completions + failures, "each failure re-assigns");
+        assert!(failures > 0, "with p=0.4 over many assignments some failure occurs");
+        // Dependencies still respected: completion order is the chain.
+        let order: Vec<NodeId> = trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::JobCompleted { job, .. } => Some(*job),
+                _ => None,
+            })
+            .collect();
+        for w in order.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn failures_increase_makespan() {
+        let dag = chain(12);
+        let reliable = GridModel::paper(0.5, 4.0);
+        let flaky = reliable.with_failures(0.3);
+        let mean = |m: &GridModel| -> f64 {
+            (0..40).map(|s| simulate(&dag, &fifo(), m, s).makespan).sum::<f64>() / 40.0
+        };
+        let t_reliable = mean(&reliable);
+        let t_flaky = mean(&flaky);
+        assert!(
+            t_flaky > t_reliable * 1.15,
+            "retries must cost time: {t_flaky} vs {t_reliable}"
+        );
+    }
+
+    #[test]
+    fn zero_failure_probability_matches_reliable_model_exactly() {
+        let dag = chain(10);
+        let a = GridModel::paper(0.7, 3.0);
+        let b = a.with_failures(0.0);
+        assert_eq!(simulate(&dag, &fifo(), &a, 5), simulate(&dag, &fifo(), &b, 5));
+    }
+
+    #[test]
+    fn empty_dag_is_trivial() {
+        let dag = prio_graph::DagBuilder::new().build().unwrap();
+        let out = simulate(&dag, &fifo(), &GridModel::paper(1.0, 1.0), 1);
+        assert_eq!(out.makespan, 0.0);
+        assert_eq!(out.batches_observed, 0);
+        let m = out.metrics();
+        assert_eq!(m.stall_probability, 0.0);
+        assert_eq!(m.utilization, 0.0);
+    }
+
+    #[test]
+    fn oblivious_respects_priority_order_within_batches() {
+        // Two independent jobs; schedule says job 1 first; a batch of size
+        // 1 must assign job 1.
+        let dag = Dag::from_arcs(2, &[]).unwrap();
+        let sched = Schedule::new(&dag, vec![NodeId(1), NodeId(0)]).unwrap();
+        let model = GridModel {
+            mean_batch_size: 1.0,
+            ..GridModel::paper(5.0, 1.0)
+        };
+        let out = simulate_traced(&dag, &PolicySpec::Oblivious(sched), &model, 2);
+        let first_assigned = out
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::JobAssigned { job, .. } => Some(*job),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(first_assigned, NodeId(1));
+    }
+}

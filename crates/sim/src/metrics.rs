@@ -1,0 +1,40 @@
+//! The three performance metrics of §4.1.
+
+/// Metrics of a single simulated execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Time until all jobs of the dag completed.
+    pub execution_time: f64,
+    /// Fraction of observed batches that found pending work but no
+    /// eligible unassigned job.
+    pub stall_probability: f64,
+    /// Jobs in the dag divided by the total number of requests that
+    /// arrived until the batch that assigned the last job
+    /// ("satisfied / requested").
+    pub utilization: f64,
+}
+
+impl RunMetrics {
+    /// The metric values as an array in the fixed order used by the
+    /// experiment harness: execution time, stalling, utilization.
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.execution_time, self.stall_probability, self.utilization]
+    }
+
+    /// Metric display names matching [`RunMetrics::as_array`].
+    pub const NAMES: [&'static str; 3] =
+        ["execution_time", "stall_probability", "utilization"];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_order_matches_names() {
+        let m = RunMetrics { execution_time: 1.0, stall_probability: 0.5, utilization: 0.25 };
+        assert_eq!(m.as_array(), [1.0, 0.5, 0.25]);
+        assert_eq!(RunMetrics::NAMES[0], "execution_time");
+        assert_eq!(RunMetrics::NAMES.len(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! The grid model parameters (§4.1).
+
+use prio_stats::dist::CeilExponential;
+use prio_stats::{Exponential, Geometric, TruncatedNormal};
+use rand::Rng;
+
+/// How the integer batch size is drawn (the paper says "exponentially
+/// distributed with mean μ_BS" without fixing the discretization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSizeModel {
+    /// Geometric on {1, 2, …} with exact mean `μ_BS` — the discrete
+    /// memoryless analog (default).
+    #[default]
+    Geometric,
+    /// `ceil(Exp(μ_BS))` — the literal continuous sample, rounded up.
+    CeilExponential,
+}
+
+/// What happens to worker requests the server cannot fill immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnfilledRequests {
+    /// The paper's model: unfilled workers are "intercepted by other
+    /// computations" and never come back.
+    #[default]
+    Discard,
+    /// Ablation: unfilled workers park at the server and take the next
+    /// job the moment it becomes eligible.
+    Wait,
+}
+
+/// The stochastic grid model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridModel {
+    /// Mean batch inter-arrival time `μ_BIT` (the first batch arrives at
+    /// time 0).
+    pub mean_batch_interarrival: f64,
+    /// Mean batch size `μ_BS`.
+    pub mean_batch_size: f64,
+    /// Integer batch-size model.
+    pub batch_size_model: BatchSizeModel,
+    /// Mean job running time (paper: 1).
+    pub runtime_mean: f64,
+    /// Standard deviation of the job running time (paper: 0.1).
+    pub runtime_sd: f64,
+    /// Probability that an assigned job fails (worker quits or returns
+    /// garbage) and must be re-assigned. The paper's model is reliable
+    /// (`0.0`, the default); the robustness extension sweeps this.
+    pub failure_probability: f64,
+    /// Fate of unfilled requests (paper: discard).
+    pub unfilled: UnfilledRequests,
+}
+
+impl GridModel {
+    /// The paper's model for a grid-sweep cell: job runtime `N(1, 0.1)`,
+    /// geometric batch sizes.
+    pub fn paper(mu_bit: f64, mu_bs: f64) -> GridModel {
+        GridModel {
+            mean_batch_interarrival: mu_bit,
+            mean_batch_size: mu_bs,
+            batch_size_model: BatchSizeModel::Geometric,
+            runtime_mean: 1.0,
+            runtime_sd: 0.1,
+            failure_probability: 0.0,
+            unfilled: UnfilledRequests::Discard,
+        }
+    }
+
+    /// The paper's model with unreliable workers (robustness extension).
+    pub fn with_failures(mut self, failure_probability: f64) -> GridModel {
+        assert!(
+            (0.0..1.0).contains(&failure_probability),
+            "failure probability must be in [0, 1)"
+        );
+        self.failure_probability = failure_probability;
+        self
+    }
+
+    /// The paper's model with parked (rather than discarded) unfilled
+    /// workers (rollover ablation).
+    pub fn with_waiting_workers(mut self) -> GridModel {
+        self.unfilled = UnfilledRequests::Wait;
+        self
+    }
+
+    /// The batch inter-arrival distribution.
+    pub fn interarrival(&self) -> Exponential {
+        Exponential::new(self.mean_batch_interarrival)
+    }
+
+    /// The job runtime distribution (truncated to stay positive).
+    pub fn runtime(&self) -> TruncatedNormal {
+        TruncatedNormal::new(self.runtime_mean, self.runtime_sd, 1e-3)
+    }
+
+    /// Draws one batch size.
+    pub fn sample_batch_size<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.batch_size_model {
+            BatchSizeModel::Geometric => Geometric::new(self.mean_batch_size).sample(rng),
+            BatchSizeModel::CeilExponential => {
+                CeilExponential::new(self.mean_batch_size).sample(rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_stats::seeded_rng;
+
+    #[test]
+    fn paper_model_defaults() {
+        let m = GridModel::paper(1.0, 16.0);
+        assert_eq!(m.runtime_mean, 1.0);
+        assert_eq!(m.runtime_sd, 0.1);
+        assert_eq!(m.batch_size_model, BatchSizeModel::Geometric);
+        assert_eq!(m.interarrival().mean(), 1.0);
+    }
+
+    #[test]
+    fn batch_sizes_are_positive_under_both_models() {
+        let mut rng = seeded_rng(1);
+        for model in [BatchSizeModel::Geometric, BatchSizeModel::CeilExponential] {
+            let m = GridModel { batch_size_model: model, ..GridModel::paper(1.0, 4.0) };
+            for _ in 0..1000 {
+                assert!(m.sample_batch_size(&mut rng) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_batch_mean_tracks_parameter() {
+        let mut rng = seeded_rng(2);
+        let m = GridModel::paper(1.0, 64.0);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample_batch_size(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 64.0).abs() / 64.0 < 0.05, "mean {mean}");
+    }
+}

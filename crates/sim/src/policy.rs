@@ -1,0 +1,232 @@
+//! Assignment policies: which eligible job is handed to the next worker.
+
+use prio_core::Schedule;
+use prio_graph::NodeId;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Specification of a policy (owned data, reusable across replications).
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// Oblivious: a fixed total order on jobs; eligible jobs are assigned
+    /// smallest-order-position first. Instantiated with the PRIO schedule
+    /// this is the paper's PRIO algorithm.
+    Oblivious(Schedule),
+    /// FIFO: eligible jobs are assigned in the order they became eligible
+    /// (DAGMan's behavior).
+    Fifo,
+    /// The §3.2 integration shortcoming, made measurable: eligible jobs
+    /// enter DAGMan's internal queue in FIFO order and at most `maxjobs`
+    /// of them are forwarded to the Condor queue, where the oblivious
+    /// priorities apply; workers are served from the Condor queue only.
+    /// With `maxjobs = usize::MAX` this is [`PolicySpec::Oblivious`];
+    /// with `maxjobs = 1` priorities are inert and it degenerates to
+    /// FIFO.
+    ThrottledOblivious {
+        /// The priority order (e.g. the PRIO schedule).
+        schedule: Schedule,
+        /// DAGMan's `-maxjobs` forwarding throttle (≥ 1).
+        maxjobs: usize,
+    },
+}
+
+impl PolicySpec {
+    /// Short display name ("PRIO-style oblivious" orders are just called
+    /// by their schedule).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Oblivious(_) => "oblivious",
+            PolicySpec::Fifo => "FIFO",
+            PolicySpec::ThrottledOblivious { .. } => "throttled oblivious",
+        }
+    }
+
+    /// Creates the per-run queue state.
+    pub(crate) fn make_queue(&self, num_jobs: usize) -> PolicyQueue {
+        match self {
+            PolicySpec::Oblivious(schedule) => {
+                assert_eq!(
+                    schedule.len(),
+                    num_jobs,
+                    "oblivious schedule must cover the dag"
+                );
+                PolicyQueue::Oblivious {
+                    position: schedule.positions(),
+                    heap: BinaryHeap::new(),
+                }
+            }
+            PolicySpec::Fifo => PolicyQueue::Fifo { queue: VecDeque::new() },
+            PolicySpec::ThrottledOblivious { schedule, maxjobs } => {
+                assert_eq!(
+                    schedule.len(),
+                    num_jobs,
+                    "oblivious schedule must cover the dag"
+                );
+                assert!(*maxjobs >= 1, "maxjobs must be at least 1");
+                PolicyQueue::Throttled {
+                    position: schedule.positions(),
+                    maxjobs: *maxjobs,
+                    dagman: VecDeque::new(),
+                    condor: BinaryHeap::new(),
+                }
+            }
+        }
+    }
+}
+
+/// Mutable queue of eligible-but-unassigned jobs for one simulation run.
+#[derive(Debug)]
+pub(crate) enum PolicyQueue {
+    Oblivious {
+        position: Vec<usize>,
+        heap: BinaryHeap<Reverse<(usize, NodeId)>>,
+    },
+    Fifo {
+        queue: VecDeque<NodeId>,
+    },
+    Throttled {
+        position: Vec<usize>,
+        maxjobs: usize,
+        /// DAGMan's internal queue (FIFO, priorities not honored here).
+        dagman: VecDeque<NodeId>,
+        /// The Condor queue (priority-ordered, at most `maxjobs` entries).
+        condor: BinaryHeap<Reverse<(usize, NodeId)>>,
+    },
+}
+
+impl PolicyQueue {
+    /// A job just became eligible.
+    pub fn push(&mut self, job: NodeId) {
+        match self {
+            PolicyQueue::Oblivious { position, heap } => {
+                heap.push(Reverse((position[job.index()], job)));
+            }
+            PolicyQueue::Fifo { queue } => queue.push_back(job),
+            PolicyQueue::Throttled { position, maxjobs, dagman, condor } => {
+                dagman.push_back(job);
+                refill(position, *maxjobs, dagman, condor);
+            }
+        }
+    }
+
+    /// Takes the next job to assign, if any.
+    pub fn pop(&mut self) -> Option<NodeId> {
+        match self {
+            PolicyQueue::Oblivious { heap, .. } => heap.pop().map(|Reverse((_, j))| j),
+            PolicyQueue::Fifo { queue } => queue.pop_front(),
+            PolicyQueue::Throttled { position, maxjobs, dagman, condor } => {
+                let job = condor.pop().map(|Reverse((_, j))| j);
+                if job.is_some() {
+                    refill(position, *maxjobs, dagman, condor);
+                }
+                job
+            }
+        }
+    }
+
+    /// Number of jobs assignable *right now* (for the throttled policy,
+    /// only the Condor-queue residents — the DAGMan queue is invisible to
+    /// the matchmaker, which is exactly the §3.2 shortcoming).
+    pub fn len(&self) -> usize {
+        match self {
+            PolicyQueue::Oblivious { heap, .. } => heap.len(),
+            PolicyQueue::Fifo { queue } => queue.len(),
+            PolicyQueue::Throttled { condor, .. } => condor.len(),
+        }
+    }
+
+}
+
+/// Forwards DAGMan-queue jobs into the Condor queue up to the throttle.
+fn refill(
+    position: &[usize],
+    maxjobs: usize,
+    dagman: &mut VecDeque<NodeId>,
+    condor: &mut BinaryHeap<Reverse<(usize, NodeId)>>,
+) {
+    while condor.len() < maxjobs {
+        match dagman.pop_front() {
+            Some(job) => condor.push(Reverse((position[job.index()], job))),
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_graph::Dag;
+
+    #[test]
+    fn oblivious_pops_by_schedule_position() {
+        let dag = Dag::from_arcs(3, &[]).unwrap();
+        let sched = Schedule::new(&dag, vec![NodeId(2), NodeId(0), NodeId(1)]).unwrap();
+        let spec = PolicySpec::Oblivious(sched);
+        let mut q = spec.make_queue(3);
+        q.push(NodeId(0));
+        q.push(NodeId(1));
+        q.push(NodeId(2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(NodeId(2)));
+        assert_eq!(q.pop(), Some(NodeId(0)));
+        assert_eq!(q.pop(), Some(NodeId(1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_pops_in_arrival_order() {
+        let mut q = PolicySpec::Fifo.make_queue(3);
+        q.push(NodeId(1));
+        q.push(NodeId(0));
+        assert_eq!(q.pop(), Some(NodeId(1)));
+        q.push(NodeId(2));
+        assert_eq!(q.pop(), Some(NodeId(0)));
+        assert_eq!(q.pop(), Some(NodeId(2)));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the dag")]
+    fn oblivious_schedule_must_match_dag_size() {
+        let dag = Dag::from_arcs(2, &[]).unwrap();
+        let sched = Schedule::new(&dag, vec![NodeId(0), NodeId(1)]).unwrap();
+        PolicySpec::Oblivious(sched).make_queue(5);
+    }
+
+    #[test]
+    fn throttled_honors_priorities_only_inside_the_condor_queue() {
+        let dag = Dag::from_arcs(4, &[]).unwrap();
+        // Priority order: 3, 2, 1, 0.
+        let sched =
+            Schedule::new(&dag, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]).unwrap();
+        let spec = PolicySpec::ThrottledOblivious { schedule: sched, maxjobs: 2 };
+        let mut q = spec.make_queue(4);
+        // Jobs become eligible in FIFO order 0, 1, 2, 3; only two fit in
+        // the Condor queue, so the high-priority 3 waits in DAGMan.
+        for i in 0..4 {
+            q.push(NodeId(i));
+        }
+        assert_eq!(q.len(), 2, "Condor queue holds maxjobs entries");
+        // Of {0, 1}, the higher-priority 1 is assigned first — but NOT 3.
+        assert_eq!(q.pop(), Some(NodeId(1)));
+        // Slot freed: 2 was forwarded; of {0, 2}, 2 wins.
+        assert_eq!(q.pop(), Some(NodeId(2)));
+        assert_eq!(q.pop(), Some(NodeId(3)));
+        assert_eq!(q.pop(), Some(NodeId(0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn throttled_with_huge_maxjobs_equals_oblivious() {
+        let dag = Dag::from_arcs(3, &[]).unwrap();
+        let sched = Schedule::new(&dag, vec![NodeId(2), NodeId(0), NodeId(1)]).unwrap();
+        let spec = PolicySpec::ThrottledOblivious { schedule: sched, maxjobs: usize::MAX };
+        let mut q = spec.make_queue(3);
+        for i in 0..3 {
+            q.push(NodeId(i));
+        }
+        assert_eq!(q.pop(), Some(NodeId(2)));
+        assert_eq!(q.pop(), Some(NodeId(0)));
+        assert_eq!(q.pop(), Some(NodeId(1)));
+    }
+}

@@ -1,0 +1,176 @@
+//! Replication: building empirical sampling distributions from many
+//! simulation runs (§4.2).
+//!
+//! A *sample* is the average of `q` independent simulated measurements;
+//! `p` samples form the empirical sampling distribution of each metric.
+//! Replications are embarrassingly parallel: a crossbeam work queue feeds
+//! run indices to worker threads, and every run's seed is derived
+//! deterministically from the plan's master seed and the run index, so the
+//! result is bit-identical regardless of thread count.
+
+use crate::engine::simulate;
+use crate::model::GridModel;
+use crate::policy::PolicySpec;
+use prio_graph::Dag;
+use prio_stats::rng::derive_seed;
+use prio_stats::SamplingDistribution;
+
+/// How many runs to perform and how to seed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    /// Number of samples (paper: ~300).
+    pub p: usize,
+    /// Measurements averaged per sample (paper: 300).
+    pub q: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = use available parallelism).
+    pub threads: usize,
+}
+
+impl ReplicationPlan {
+    /// A small default plan suitable for tests and quick sweeps.
+    pub fn quick(seed: u64) -> Self {
+        ReplicationPlan { p: 20, q: 5, seed, threads: 0 }
+    }
+
+    /// The paper's plan (p = 300 samples of q = 300 measurements).
+    pub fn paper(seed: u64) -> Self {
+        ReplicationPlan { p: 300, q: 300, seed, threads: 0 }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// The per-metric empirical sampling distributions of one policy.
+#[derive(Debug, Clone)]
+pub struct MetricDistributions {
+    /// Sampling distribution of the mean execution time.
+    pub execution_time: SamplingDistribution,
+    /// Sampling distribution of the mean probability of stalling.
+    pub stalling: SamplingDistribution,
+    /// Sampling distribution of the mean utilization.
+    pub utilization: SamplingDistribution,
+}
+
+/// Runs `p × q` simulations of `dag` under `policy`/`model` and aggregates
+/// them into per-metric sampling distributions.
+pub fn sampling_distributions(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    plan: &ReplicationPlan,
+) -> MetricDistributions {
+    assert!(plan.p > 0 && plan.q > 0, "plan must run at least one simulation");
+    let total = plan.p * plan.q;
+    let mut measurements: Vec<[f64; 3]> = vec![[0.0; 3]; total];
+
+    let threads = plan.effective_threads().min(total);
+    if threads <= 1 {
+        for (i, slot) in measurements.iter_mut().enumerate() {
+            *slot = run_one(dag, policy, model, plan.seed, i);
+        }
+    } else {
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for i in 0..total {
+            tx.send(i).expect("queue open");
+        }
+        drop(tx);
+        let chunks = std::sync::Mutex::new(Vec::<(usize, [f64; 3])>::with_capacity(total));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let chunks = &chunks;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Ok(i) = rx.recv() {
+                        local.push((i, run_one(dag, policy, model, plan.seed, i)));
+                    }
+                    chunks.lock().expect("collector lock").extend(local);
+                });
+            }
+        });
+        for (i, m) in chunks.into_inner().expect("collector lock") {
+            measurements[i] = m;
+        }
+    }
+
+    let column = |k: usize| -> Vec<f64> { measurements.iter().map(|m| m[k]).collect() };
+    MetricDistributions {
+        execution_time: SamplingDistribution::from_measurements(&column(0), plan.p, plan.q),
+        stalling: SamplingDistribution::from_measurements(&column(1), plan.p, plan.q),
+        utilization: SamplingDistribution::from_measurements(&column(2), plan.p, plan.q),
+    }
+}
+
+fn run_one(dag: &Dag, policy: &PolicySpec, model: &GridModel, master: u64, index: usize) -> [f64; 3] {
+    let seed = derive_seed(master, index as u64);
+    simulate(dag, policy, model, seed).metrics().as_array()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dag() -> Dag {
+        Dag::from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap()
+    }
+
+    #[test]
+    fn distributions_have_plan_shape() {
+        let dag = small_dag();
+        let plan = ReplicationPlan { p: 4, q: 3, seed: 1, threads: 1 };
+        let d = sampling_distributions(&dag, &PolicySpec::Fifo, &GridModel::paper(1.0, 2.0), &plan);
+        assert_eq!(d.execution_time.p(), 4);
+        assert_eq!(d.execution_time.q(), 3);
+        assert_eq!(d.stalling.p(), 4);
+        assert_eq!(d.utilization.p(), 4);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let dag = small_dag();
+        let model = GridModel::paper(0.7, 3.0);
+        let serial = ReplicationPlan { p: 6, q: 4, seed: 9, threads: 1 };
+        let parallel = ReplicationPlan { p: 6, q: 4, seed: 9, threads: 4 };
+        let a = sampling_distributions(&dag, &PolicySpec::Fifo, &model, &serial);
+        let b = sampling_distributions(&dag, &PolicySpec::Fifo, &model, &parallel);
+        assert_eq!(a.execution_time.samples(), b.execution_time.samples());
+        assert_eq!(a.stalling.samples(), b.stalling.samples());
+        assert_eq!(a.utilization.samples(), b.utilization.samples());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let dag = small_dag();
+        let model = GridModel::paper(0.7, 3.0);
+        let a = sampling_distributions(
+            &dag,
+            &PolicySpec::Fifo,
+            &model,
+            &ReplicationPlan { p: 3, q: 2, seed: 1, threads: 1 },
+        );
+        let b = sampling_distributions(
+            &dag,
+            &PolicySpec::Fifo,
+            &model,
+            &ReplicationPlan { p: 3, q: 2, seed: 2, threads: 1 },
+        );
+        assert_ne!(a.execution_time.samples(), b.execution_time.samples());
+    }
+
+    #[test]
+    fn sample_means_are_positive_times() {
+        let dag = small_dag();
+        let plan = ReplicationPlan::quick(5);
+        let d = sampling_distributions(&dag, &PolicySpec::Fifo, &GridModel::paper(1.0, 4.0), &plan);
+        assert!(d.execution_time.samples().iter().all(|&t| t > 0.0));
+        assert!(d.utilization.samples().iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+}

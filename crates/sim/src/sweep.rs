@@ -1,0 +1,103 @@
+//! Parameter sweeps over the `μ_BIT × μ_BS` grid of Figs. 6–9.
+//!
+//! The paper sweeps `μ_BIT` over the powers of ten from 10⁻³ to 10³ (seven
+//! sections of each plot) and `μ_BS` over the powers of two from 2⁰ to 2¹⁶
+//! (seventeen points per section).
+
+use crate::experiment::{compare_policies, ComparisonResult};
+use crate::model::GridModel;
+use crate::policy::PolicySpec;
+use crate::replicate::ReplicationPlan;
+use prio_graph::Dag;
+
+/// The paper's seven mean batch inter-arrival times: `10⁻³ … 10³`.
+pub fn paper_mu_bits() -> Vec<f64> {
+    (-3..=3).map(|e| 10f64.powi(e)).collect()
+}
+
+/// The paper's seventeen mean batch sizes: `2⁰ … 2¹⁶`.
+pub fn paper_mu_bss() -> Vec<f64> {
+    (0..=16).map(|e| 2f64.powi(e)).collect()
+}
+
+/// One grid cell's outcome.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Mean batch inter-arrival time of this cell.
+    pub mu_bit: f64,
+    /// Mean batch size of this cell.
+    pub mu_bs: f64,
+    /// The policy comparison at this cell.
+    pub result: ComparisonResult,
+}
+
+/// Sweeps the grid, comparing policy `a` (e.g. PRIO) against `b` (e.g.
+/// FIFO) at every `(μ_BIT, μ_BS)` cell. `on_cell` is invoked after each
+/// cell (progress reporting); cells are processed in row-major order
+/// (`μ_BIT` outer, `μ_BS` inner) with deterministic per-cell seeds.
+pub fn sweep(
+    dag: &Dag,
+    a: &PolicySpec,
+    b: &PolicySpec,
+    mu_bits: &[f64],
+    mu_bss: &[f64],
+    plan: &ReplicationPlan,
+    mut on_cell: impl FnMut(&SweepCell),
+) -> Vec<SweepCell> {
+    let mut cells = Vec::with_capacity(mu_bits.len() * mu_bss.len());
+    for (i, &mu_bit) in mu_bits.iter().enumerate() {
+        for (j, &mu_bs) in mu_bss.iter().enumerate() {
+            let model = GridModel::paper(mu_bit, mu_bs);
+            let cell_plan = ReplicationPlan {
+                seed: plan
+                    .seed
+                    .wrapping_add((i as u64) << 32)
+                    .wrapping_add(j as u64),
+                ..*plan
+            };
+            let result = compare_policies(dag, a, b, &model, &cell_plan);
+            let cell = SweepCell { mu_bit, mu_bs, result };
+            on_cell(&cell);
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_core::prio::prioritize;
+
+    #[test]
+    fn paper_grid_dimensions() {
+        assert_eq!(paper_mu_bits().len(), 7);
+        assert_eq!(paper_mu_bss().len(), 17);
+        assert_eq!(paper_mu_bits()[0], 1e-3);
+        assert_eq!(paper_mu_bits()[6], 1e3);
+        assert_eq!(paper_mu_bss()[0], 1.0);
+        assert_eq!(paper_mu_bss()[16], 65536.0);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_all_cells_in_order() {
+        let dag = prio_workloads::classic::fork_join(4);
+        let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+        let plan = ReplicationPlan { p: 3, q: 2, seed: 1, threads: 0 };
+        let mut seen = Vec::new();
+        let cells = sweep(
+            &dag,
+            &prio,
+            &PolicySpec::Fifo,
+            &[0.1, 1.0],
+            &[1.0, 4.0],
+            &plan,
+            |c| seen.push((c.mu_bit, c.mu_bs)),
+        );
+        assert_eq!(cells.len(), 4);
+        assert_eq!(seen, vec![(0.1, 1.0), (0.1, 4.0), (1.0, 1.0), (1.0, 4.0)]);
+        for c in &cells {
+            assert!(c.result.execution_time_ratio.is_some());
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Optional event tracing for tests and debugging.
+
+use prio_graph::NodeId;
+
+/// One simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A batch of worker requests arrived.
+    BatchArrived {
+        /// Arrival time.
+        time: f64,
+        /// Number of requests in the batch.
+        size: u64,
+        /// How many jobs were assigned from this batch.
+        assigned: usize,
+        /// Whether the batch found pending work but nothing assignable.
+        stalled: bool,
+    },
+    /// A job was handed to a worker.
+    JobAssigned {
+        /// Assignment time.
+        time: f64,
+        /// The job.
+        job: NodeId,
+        /// Scheduled completion time.
+        completes_at: f64,
+    },
+    /// A worker returned a job's results.
+    JobCompleted {
+        /// Completion time.
+        time: f64,
+        /// The job.
+        job: NodeId,
+    },
+    /// A worker failed; the job re-entered the eligible queue
+    /// (robustness extension; never emitted under the paper's reliable
+    /// model).
+    JobFailed {
+        /// Failure time.
+        time: f64,
+        /// The job.
+        job: NodeId,
+    },
+}
+
+/// A recorded event sequence.
+pub type Trace = Vec<TraceEvent>;

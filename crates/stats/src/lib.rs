@@ -1,0 +1,33 @@
+//! # prio-stats — statistics substrate for the simulation study
+//!
+//! Implements the statistical methodology of §4.2 of the paper:
+//!
+//! * seedable random number generation with reproducible per-stream seed
+//!   derivation ([`rng`]);
+//! * the sampling distributions the grid model needs — exponential batch
+//!   inter-arrival times, (truncated) normal job running times, and a
+//!   geometric integer batch-size model as the discrete analog of the
+//!   paper's "exponentially distributed batch size" ([`dist`]);
+//! * summary statistics ([`summary`]);
+//! * *empirical sampling distributions*: `p` samples, each the average of
+//!   `q` measurements, the distribution of the ratio of two such sampling
+//!   distributions formed from all `p²` pairs, and 95% confidence intervals
+//!   obtained by trimming 2.5% from each tail ([`sampling`], [`ci`]).
+//!
+//! Only the `rand` crate is used (for the core RNG); all distributions are
+//! implemented here so the crate stays within the approved dependency set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod dist;
+pub mod rng;
+pub mod sampling;
+pub mod summary;
+
+pub use ci::ConfidenceInterval;
+pub use dist::{Exponential, Geometric, TruncatedNormal};
+pub use rng::{derive_seed, seeded_rng, SimRng};
+pub use sampling::SamplingDistribution;
+pub use summary::Summary;

@@ -1,0 +1,112 @@
+//! The AIRSN fMRI dag — the "double umbrella with fringes" (§3.3, Fig. 5).
+//!
+//! Structure, as described in the paper for width `w` (773 jobs at
+//! `w = 250`):
+//!
+//! * a *handle* of 21 chained jobs (the paper says "about twenty"; 21 makes
+//!   the counts work out exactly: the last handle job is the 21st job of
+//!   the PRIO schedule and therefore receives priority `773 − 21 + 1 = 753`,
+//!   the black-framed bottleneck of Fig. 5);
+//! * the last handle job forks into `w` parallel *first-cover* jobs;
+//! * each first-cover job additionally depends on its own dedicated
+//!   *fringe* source job;
+//! * a join collects the first cover, forks into `w` *second-cover* jobs,
+//!   and a final join collects those.
+//!
+//! Total: `21 + w (fringes) + w (cover 1) + 1 + w (cover 2) + 1 = 3w + 23`.
+
+use prio_graph::{Dag, DagBuilder};
+
+/// Length of the handle chain (fixed; see module docs).
+pub const HANDLE_LEN: usize = 21;
+
+/// The paper's AIRSN width.
+pub const PAPER_WIDTH: usize = 250;
+
+/// Number of jobs of the AIRSN dag of the given width.
+pub const fn num_jobs(width: usize) -> usize {
+    3 * width + HANDLE_LEN + 2
+}
+
+/// Builds the AIRSN dag of the given width (`width ≥ 1`).
+pub fn airsn(width: usize) -> Dag {
+    assert!(width >= 1, "AIRSN width must be positive");
+    let mut b = DagBuilder::with_capacity(num_jobs(width), 4 * width + HANDLE_LEN + 1);
+    // Handle chain h0 -> h1 -> ... -> h20.
+    let handle: Vec<_> = (0..HANDLE_LEN).map(|i| b.add_node(format!("handle{i}"))).collect();
+    for w in handle.windows(2) {
+        b.add_arc(w[0], w[1]).expect("handle chain");
+    }
+    let bottleneck = *handle.last().expect("non-empty handle");
+    // First cover with dedicated fringes.
+    let join1 = b.add_node("join1");
+    for i in 0..width {
+        let fringe = b.add_node(format!("fringe{i}"));
+        let cover = b.add_node(format!("cover1_{i}"));
+        b.add_arc(bottleneck, cover).expect("umbrella rib");
+        b.add_arc(fringe, cover).expect("fringe");
+        b.add_arc(cover, join1).expect("first join");
+    }
+    // Second cover.
+    let join2 = b.add_node("join2");
+    for i in 0..width {
+        let cover = b.add_node(format!("cover2_{i}"));
+        b.add_arc(join1, cover).expect("second umbrella rib");
+        b.add_arc(cover, join2).expect("final join");
+    }
+    b.build().expect("AIRSN is acyclic")
+}
+
+/// The paper's AIRSN of width 250 (773 jobs).
+pub fn airsn_paper() -> Dag {
+    airsn(PAPER_WIDTH)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_has_773_jobs() {
+        let d = airsn_paper();
+        assert_eq!(d.num_nodes(), 773);
+        assert_eq!(num_jobs(PAPER_WIDTH), 773);
+    }
+
+    #[test]
+    fn width_one_instance() {
+        let d = airsn(1);
+        assert_eq!(d.num_nodes(), num_jobs(1));
+        assert_eq!(d.num_nodes(), 26);
+    }
+
+    #[test]
+    fn structure_matches_description() {
+        let w = 10;
+        let d = airsn(w);
+        // Sources: handle0 plus the w fringes.
+        assert_eq!(d.sources().count(), 1 + w);
+        // Single sink: the final join.
+        assert_eq!(d.sinks().count(), 1);
+        // The bottleneck (last handle job) has w children.
+        let bottleneck = d.find("handle20").unwrap();
+        assert_eq!(d.out_degree(bottleneck), w);
+        // Every first-cover job has exactly two parents: bottleneck+fringe.
+        for i in 0..w {
+            let c = d.find(&format!("cover1_{i}")).unwrap();
+            assert_eq!(d.in_degree(c), 2);
+            assert!(d.parents(c).contains(&bottleneck));
+        }
+        // join1 collects the whole first cover and feeds the second.
+        let join1 = d.find("join1").unwrap();
+        assert_eq!(d.in_degree(join1), w);
+        assert_eq!(d.out_degree(join1), w);
+    }
+
+    #[test]
+    fn critical_path_spans_handle_and_both_covers() {
+        let d = airsn(5);
+        // handle (20 arcs) + cover1 + join1 + cover2 + join2 = 24 arcs.
+        assert_eq!(prio_graph::topo::critical_path_len(&d), HANDLE_LEN - 1 + 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Small textbook dags: the paper's Fig. 3 example and the standard shapes
+//! used across the test-suite, plus the entangled-ring gadget that defeats
+//! the bipartite decomposition (used inside the Inspiral workload).
+
+use prio_graph::{Dag, DagBuilder, NodeId};
+
+/// The paper's Fig. 3 example (`IV.dag`): jobs a, b, c, d, e with
+/// dependencies a → b, c → d, c → e. The PRIO schedule is c, a, b, d, e.
+pub fn fig3_dag() -> Dag {
+    let mut b = DagBuilder::new();
+    let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"].iter().map(|l| b.add_node(*l)).collect();
+    b.add_arc(ids[0], ids[1]).expect("a -> b");
+    b.add_arc(ids[2], ids[3]).expect("c -> d");
+    b.add_arc(ids[2], ids[4]).expect("c -> e");
+    b.build().expect("fig3 is acyclic")
+}
+
+/// A chain of `n` jobs.
+pub fn chain(n: usize) -> Dag {
+    let mut b = DagBuilder::with_capacity(n, n.saturating_sub(1));
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("c{i}"))).collect();
+    for w in ids.windows(2) {
+        b.add_arc(w[0], w[1]).expect("chain");
+    }
+    b.build().expect("chain is acyclic")
+}
+
+/// The diamond: one source forking to two middles joining into one sink.
+pub fn diamond() -> Dag {
+    Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).expect("diamond")
+}
+
+/// A fork-join: source → `w` parallel jobs → sink.
+pub fn fork_join(w: usize) -> Dag {
+    assert!(w >= 1);
+    let mut b = DagBuilder::with_capacity(w + 2, 2 * w);
+    let src = b.add_node("fork");
+    let middles: Vec<NodeId> = (0..w).map(|i| b.add_node(format!("par{i}"))).collect();
+    let sink = b.add_node("join");
+    for &m in &middles {
+        b.add_arc(src, m).expect("fork");
+        b.add_arc(m, sink).expect("join");
+    }
+    b.build().expect("fork-join is acyclic")
+}
+
+/// The *entangled ring* of `k` analysis triples: sources `s_i`, internals
+/// `j_i`, sinks `t_i` with arcs `s_i → j_i`, `s_i → t_i`,
+/// `j_i → t_{(i+1) mod k}` (3k jobs).
+///
+/// Every source's child `t_i` has an internal parent `j_{i−1}`, so *no*
+/// connected bipartite block whose sources are dag sources exists — the
+/// decomposition must fall back to the general minimal-`C(s)` search, and
+/// the whole ring comes out as one non-bipartite component. This is the
+/// gadget that gives the Inspiral workload its >1,000-job non-bipartite
+/// component.
+pub fn entangled_ring(k: usize) -> Dag {
+    assert!(k >= 2, "ring needs at least two triples");
+    let mut b = DagBuilder::with_capacity(3 * k, 3 * k);
+    let sources: Vec<NodeId> = (0..k).map(|i| b.add_node(format!("s{i}"))).collect();
+    let internals: Vec<NodeId> = (0..k).map(|i| b.add_node(format!("j{i}"))).collect();
+    let sinks: Vec<NodeId> = (0..k).map(|i| b.add_node(format!("t{i}"))).collect();
+    for i in 0..k {
+        b.add_arc(sources[i], internals[i]).expect("s -> j");
+        b.add_arc(sources[i], sinks[i]).expect("s -> t");
+        b.add_arc(internals[i], sinks[(i + 1) % k]).expect("j -> next t");
+    }
+    b.build().expect("ring dag is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape() {
+        let d = fig3_dag();
+        assert_eq!(d.num_nodes(), 5);
+        assert_eq!(d.num_arcs(), 3);
+        assert_eq!(d.label(NodeId(2)), "c");
+        assert_eq!(d.out_degree(d.find("c").unwrap()), 2);
+    }
+
+    #[test]
+    fn chain_and_diamond_and_fork_join() {
+        assert_eq!(chain(5).num_arcs(), 4);
+        assert_eq!(chain(1).num_arcs(), 0);
+        assert_eq!(diamond().num_nodes(), 4);
+        let fj = fork_join(7);
+        assert_eq!(fj.num_nodes(), 9);
+        assert_eq!(fj.num_arcs(), 14);
+        assert_eq!(fj.sources().count(), 1);
+        assert_eq!(fj.sinks().count(), 1);
+    }
+
+    #[test]
+    fn entangled_ring_shape() {
+        let k = 5;
+        let d = entangled_ring(k);
+        assert_eq!(d.num_nodes(), 3 * k);
+        assert_eq!(d.num_arcs(), 3 * k);
+        assert_eq!(d.sources().count(), k);
+        assert_eq!(d.sinks().count(), k);
+        // Every sink has one source parent and one internal parent.
+        for i in 0..k {
+            let t = d.find(&format!("t{i}")).unwrap();
+            assert_eq!(d.in_degree(t), 2);
+        }
+        // Internals are neither sources nor sinks.
+        for i in 0..k {
+            let j = d.find(&format!("j{i}")).unwrap();
+            assert_eq!(d.in_degree(j), 1);
+            assert_eq!(d.out_degree(j), 1);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The Inspiral gravitational-wave-search dag (§3.3).
+//!
+//! The paper states the dag has **2,988 jobs** and "includes a non-bipartite
+//! component with over 1000 jobs". The LIGO inspiral pipeline is a staged
+//! search (template bank generation, matched filtering, coincidence
+//! analysis, follow-up filtering); we synthesize:
+//!
+//! * a *datafind* source fanning into `pre_width` template-bank jobs,
+//!   collected by a coincidence join;
+//! * an **entangled ring** of `ring_k` analysis triples seeded from that
+//!   join ([`crate::classic::entangled_ring`] wiring) — this is the
+//!   non-bipartite component (`3·ring_k` jobs; 1,002 > 1,000 by default);
+//! * a collection join over the ring's outputs, fanning into `post_width`
+//!   trigger-bank jobs — each *also* depending on a dedicated veto-segment
+//!   source job (in the real pipeline the second-stage filter reads
+//!   per-chunk veto/injection files prepared independently) — each
+//!   followed by a second-stage filtering job, all collected by the final
+//!   coincidence join.
+//!
+//! The dedicated veto sources are what separates FIFO from PRIO here:
+//! FIFO spends its early steps on them (they are eligible from the start)
+//! while their trigger-bank children stay blocked behind the whole first
+//! stage; PRIO defers them, exactly like AIRSN's fringes.
+//!
+//! Default parameters give exactly `4 + pre_width + 3·ring_k + 3·post_width
+//! = 2,988` jobs.
+
+use prio_graph::{Dag, DagBuilder, NodeId};
+
+/// Parameters of the Inspiral-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InspiralParams {
+    /// Template-bank jobs in the first stage.
+    pub pre_width: usize,
+    /// Analysis triples in the entangled ring (component size `3·ring_k`).
+    pub ring_k: usize,
+    /// Veto-source + trigger-bank + filter triples in the second stage.
+    pub post_width: usize,
+}
+
+impl Default for InspiralParams {
+    /// The paper-sized instance: 2,988 jobs with a 1,002-job non-bipartite
+    /// component.
+    fn default() -> Self {
+        InspiralParams { pre_width: 401, ring_k: 334, post_width: 527 }
+    }
+}
+
+impl InspiralParams {
+    /// Total number of jobs generated.
+    pub const fn num_jobs(&self) -> usize {
+        4 + self.pre_width + 3 * self.ring_k + 3 * self.post_width
+    }
+
+    /// A scaled-down instance with roughly `fraction` of the paper's size
+    /// (structure preserved; the ring stays above 2 triples).
+    pub fn scaled(fraction: f64) -> Self {
+        let d = InspiralParams::default();
+        let s = |x: usize| ((x as f64 * fraction).round() as usize).max(2);
+        InspiralParams {
+            pre_width: s(d.pre_width),
+            ring_k: s(d.ring_k),
+            post_width: s(d.post_width),
+        }
+    }
+}
+
+/// Builds the Inspiral-like dag.
+pub fn inspiral(p: InspiralParams) -> Dag {
+    assert!(p.pre_width >= 1 && p.ring_k >= 2 && p.post_width >= 1);
+    let total = p.num_jobs();
+    let mut b = DagBuilder::with_capacity(total, total * 2);
+
+    // Stage 1: datafind -> template banks -> coincidence join.
+    let datafind = b.add_node("datafind");
+    let sire1 = b.add_node("sire1");
+    for i in 0..p.pre_width {
+        let bank = b.add_node(format!("tmpltbank{i}"));
+        b.add_arc(datafind, bank).expect("fan out");
+        b.add_arc(bank, sire1).expect("fan in");
+    }
+
+    // Stage 2: the entangled ring, seeded from sire1.
+    let ring_sources: Vec<NodeId> =
+        (0..p.ring_k).map(|i| b.add_node(format!("inspiral1_{i}"))).collect();
+    let ring_internal: Vec<NodeId> =
+        (0..p.ring_k).map(|i| b.add_node(format!("thinca1_{i}"))).collect();
+    let ring_out: Vec<NodeId> =
+        (0..p.ring_k).map(|i| b.add_node(format!("trigcheck{i}"))).collect();
+    for i in 0..p.ring_k {
+        b.add_arc(sire1, ring_sources[i]).expect("seed ring");
+        b.add_arc(ring_sources[i], ring_internal[i]).expect("s -> j");
+        b.add_arc(ring_sources[i], ring_out[i]).expect("s -> t");
+        b.add_arc(ring_internal[i], ring_out[(i + 1) % p.ring_k]).expect("j -> next t");
+    }
+
+    // Stage 3: collect, second-stage filtering, final coincidence.
+    let sire2 = b.add_node("sire2");
+    for &t in &ring_out {
+        b.add_arc(t, sire2).expect("collect ring");
+    }
+    let coinc = b.add_node("coinc_final");
+    for i in 0..p.post_width {
+        let veto = b.add_node(format!("veto{i}"));
+        let trig = b.add_node(format!("trigbank{i}"));
+        let insp2 = b.add_node(format!("inspiral2_{i}"));
+        b.add_arc(sire2, trig).expect("fan out 2");
+        b.add_arc(veto, trig).expect("dedicated veto source");
+        b.add_arc(trig, insp2).expect("filter pair");
+        b.add_arc(insp2, coinc).expect("final join");
+    }
+    let dag = b.build().expect("inspiral is acyclic");
+    debug_assert_eq!(dag.num_nodes(), total);
+    dag
+}
+
+/// The paper-sized Inspiral instance (2,988 jobs).
+pub fn inspiral_paper() -> Dag {
+    inspiral(InspiralParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_has_2988_jobs() {
+        assert_eq!(InspiralParams::default().num_jobs(), 2988);
+        let d = inspiral_paper();
+        assert_eq!(d.num_nodes(), 2988);
+    }
+
+    #[test]
+    fn ring_component_exceeds_1000_jobs() {
+        let p = InspiralParams::default();
+        assert!(3 * p.ring_k > 1000);
+    }
+
+    #[test]
+    fn sources_are_datafind_plus_vetoes() {
+        let d = inspiral(InspiralParams { pre_width: 3, ring_k: 4, post_width: 5 });
+        assert_eq!(d.sources().count(), 1 + 5);
+        assert_eq!(d.sinks().count(), 1);
+        assert_eq!(d.num_nodes(), 4 + 3 + 12 + 15);
+        // Each trigbank depends on the collector and its own veto source.
+        for i in 0..5 {
+            let t = d.find(&format!("trigbank{i}")).unwrap();
+            assert_eq!(d.in_degree(t), 2);
+        }
+    }
+
+    #[test]
+    fn ring_entanglement_present() {
+        let d = inspiral(InspiralParams { pre_width: 2, ring_k: 3, post_width: 2 });
+        // Each trigcheck sink-of-ring has 2 parents: its inspiral1 and the
+        // previous thinca1.
+        for i in 0..3 {
+            let t = d.find(&format!("trigcheck{i}")).unwrap();
+            assert_eq!(d.in_degree(t), 2);
+            let parents: Vec<&str> = d.parents(t).iter().map(|&p| d.label(p)).collect();
+            assert!(parents.iter().any(|l| l.starts_with("inspiral1")));
+            assert!(parents.iter().any(|l| l.starts_with("thinca1")));
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_structure() {
+        let p = InspiralParams::scaled(0.1);
+        let d = inspiral(p);
+        assert_eq!(d.num_nodes(), p.num_jobs());
+        assert!(p.ring_k >= 2);
+        assert!(d.num_nodes() < 400);
+    }
+}

@@ -1,0 +1,188 @@
+//! The Montage sky-mosaic dag (§3.3).
+//!
+//! The paper states the dag has **7,881 jobs** and "includes a bipartite
+//! component with over 1000 jobs each of whose source has from a few to
+//! about ten children some of which are shared among the sources". The
+//! real Montage workflow projects input images, fits the differences of
+//! overlapping projections, models the background, corrects each image and
+//! assembles the mosaic; we synthesize:
+//!
+//! * a 5-job setup chain (`mHdr`-style preamble);
+//! * `images` projection jobs (`mProject`), all children of the last setup
+//!   job — these are the >1,000 sources of the big bipartite component;
+//! * difference-fit jobs (`mDiffFit`): projection `i` spawns `c_i` children
+//!   (a deterministic cyclic pattern spanning 2..=10, average 4.5), and
+//!   the first difference of each projection is *shared* with the
+//!   cyclically next projection (overlap fitting), which both realizes
+//!   "some children shared among the sources" and chains the stage into a
+//!   single connected bipartite component;
+//! * a fit-concatenation join, a background model job, one background
+//!   correction per image, an image-table join, the mosaic assembly, and a
+//!   tile stage (`shrink` + `jpeg` per tile).
+//!
+//! Defaults give exactly 7,881 jobs.
+
+use prio_graph::{Dag, DagBuilder, NodeId};
+
+/// Children counts cycled over the projections: "a few to about ten",
+/// averaging 4.5 (sums to 54 per 12 images).
+pub const DIFF_PATTERN: [usize; 12] = [2, 3, 10, 4, 2, 8, 3, 5, 2, 6, 2, 7];
+
+/// Parameters of the Montage-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MontageParams {
+    /// Number of projection jobs (sources of the big bipartite component).
+    pub images: usize,
+    /// Number of output tiles (each adds a shrink and a jpeg job).
+    pub tiles: usize,
+}
+
+impl Default for MontageParams {
+    /// The paper-sized instance: 7,881 jobs.
+    fn default() -> Self {
+        MontageParams { images: 1200, tiles: 36 }
+    }
+}
+
+impl MontageParams {
+    /// Number of difference-fit jobs generated for these parameters.
+    pub fn num_diffs(&self) -> usize {
+        (0..self.images).map(|i| DIFF_PATTERN[i % DIFF_PATTERN.len()]).sum()
+    }
+
+    /// Total number of jobs generated:
+    /// `5 (setup) + images + diffs + 1 (concat) + 1 (bgmodel) + images
+    /// (corrections) + 1 (imgtbl) + 1 (madd) + 2·tiles`.
+    pub fn num_jobs(&self) -> usize {
+        5 + 2 * self.images + self.num_diffs() + 4 + 2 * self.tiles
+    }
+
+    /// A scaled-down instance with roughly `fraction` of the paper's size.
+    pub fn scaled(fraction: f64) -> Self {
+        let d = MontageParams::default();
+        MontageParams {
+            images: ((d.images as f64 * fraction).round() as usize).max(DIFF_PATTERN.len()),
+            tiles: ((d.tiles as f64 * fraction).round() as usize).max(1),
+        }
+    }
+}
+
+/// Builds the Montage-like dag.
+pub fn montage(p: MontageParams) -> Dag {
+    assert!(p.images >= 2 && p.tiles >= 1);
+    let total = p.num_jobs();
+    let mut b = DagBuilder::with_capacity(total, total * 2);
+
+    // Setup chain.
+    let setup: Vec<NodeId> = (0..5).map(|i| b.add_node(format!("setup{i}"))).collect();
+    for w in setup.windows(2) {
+        b.add_arc(w[0], w[1]).expect("setup chain");
+    }
+    let setup_end = *setup.last().expect("setup non-empty");
+
+    // Projections.
+    let projections: Vec<NodeId> =
+        (0..p.images).map(|i| b.add_node(format!("mProject{i}"))).collect();
+    for &proj in &projections {
+        b.add_arc(setup_end, proj).expect("setup feeds projection");
+    }
+
+    // Difference fits: projection i spawns c_i children; each child is
+    // shared with the next projection (cyclic neighbour overlap).
+    let concat = b.add_node("mConcatFit");
+    let mut num_diffs = 0usize;
+    for (i, &proj) in projections.iter().enumerate() {
+        let c = DIFF_PATTERN[i % DIFF_PATTERN.len()];
+        for k in 0..c {
+            let diff = b.add_node(format!("mDiffFit_{i}_{k}"));
+            num_diffs += 1;
+            b.add_arc(proj, diff).expect("own diff");
+            if k == 0 {
+                // The overlap fit is shared with the cyclically next
+                // projection.
+                let neighbour = projections[(i + 1) % p.images];
+                b.add_arc(neighbour, diff).expect("shared diff");
+            }
+            b.add_arc(diff, concat).expect("collect fits");
+        }
+    }
+    debug_assert_eq!(num_diffs, p.num_diffs());
+
+    // Background model + per-image corrections.
+    let bgmodel = b.add_node("mBgModel");
+    b.add_arc(concat, bgmodel).expect("model after concat");
+    let imgtbl = b.add_node("mImgtbl");
+    for i in 0..p.images {
+        let bg = b.add_node(format!("mBackground{i}"));
+        b.add_arc(bgmodel, bg).expect("model feeds correction");
+        b.add_arc(bg, imgtbl).expect("collect corrections");
+    }
+
+    // Mosaic assembly and tiles.
+    let madd = b.add_node("mAdd");
+    b.add_arc(imgtbl, madd).expect("assemble");
+    for t in 0..p.tiles {
+        let shrink = b.add_node(format!("mShrink{t}"));
+        let jpeg = b.add_node(format!("mJPEG{t}"));
+        b.add_arc(madd, shrink).expect("tile shrink");
+        b.add_arc(shrink, jpeg).expect("tile jpeg");
+    }
+
+    let dag = b.build().expect("montage is acyclic");
+    debug_assert_eq!(dag.num_nodes(), total);
+    dag
+}
+
+/// The paper-sized Montage instance (7,881 jobs).
+pub fn montage_paper() -> Dag {
+    montage(MontageParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_has_7881_jobs() {
+        assert_eq!(MontageParams::default().num_jobs(), 7881);
+        let d = montage_paper();
+        assert_eq!(d.num_nodes(), 7881);
+    }
+
+    #[test]
+    fn projection_stage_matches_description() {
+        let p = MontageParams { images: 24, tiles: 2 };
+        let d = montage(p);
+        assert_eq!(d.num_nodes(), p.num_jobs());
+        // Each projection's out-degree is its own diffs plus its cyclic
+        // predecessor's single shared diff: between 3 and 11 ("a few to
+        // about ten children").
+        for i in 0..p.images {
+            let proj = d.find(&format!("mProject{i}")).unwrap();
+            let own = DIFF_PATTERN[i % DIFF_PATTERN.len()];
+            assert_eq!(d.out_degree(proj), own + 1);
+            assert!((3..=11).contains(&d.out_degree(proj)));
+        }
+        // Only the first diff of each projection is shared.
+        assert_eq!(d.in_degree(d.find("mDiffFit_0_0").unwrap()), 2);
+        assert_eq!(d.in_degree(d.find("mDiffFit_0_1").unwrap()), 1);
+    }
+
+    #[test]
+    fn paper_component_has_over_1000_sources() {
+        let p = MontageParams::default();
+        assert!(p.images > 1000);
+        // Average children per source (own diffs only) is 4.5 — "a few".
+        let avg = p.num_diffs() as f64 / p.images as f64;
+        assert!((avg - 4.5).abs() < 1e-9);
+        assert_eq!(DIFF_PATTERN.iter().max(), Some(&10));
+    }
+
+    #[test]
+    fn single_source_and_tile_sinks() {
+        let p = MontageParams { images: 12, tiles: 3 };
+        let d = montage(p);
+        assert_eq!(d.sources().count(), 1);
+        assert_eq!(d.sinks().count(), p.tiles);
+    }
+}

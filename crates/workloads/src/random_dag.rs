@@ -1,0 +1,118 @@
+//! Seeded random DAG generators for property tests and stress tests.
+
+use prio_graph::{Dag, DagBuilder, NodeId};
+use rand::Rng;
+
+/// Parameters for the layered random dag generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredParams {
+    /// Number of layers (≥ 1).
+    pub layers: usize,
+    /// Jobs per layer (≥ 1).
+    pub width: usize,
+    /// Probability of an arc between a job and each job of the next layer.
+    pub arc_prob: f64,
+}
+
+impl Default for LayeredParams {
+    fn default() -> Self {
+        LayeredParams { layers: 4, width: 8, arc_prob: 0.3 }
+    }
+}
+
+/// Builds a layered random dag: `layers × width` jobs; arcs only between
+/// consecutive layers, each present independently with probability
+/// `arc_prob`. Every non-first-layer job is guaranteed at least one parent
+/// (a random one from the previous layer) so the layer structure is real.
+pub fn layered<R: Rng + ?Sized>(p: LayeredParams, rng: &mut R) -> Dag {
+    assert!(p.layers >= 1 && p.width >= 1);
+    assert!((0.0..=1.0).contains(&p.arc_prob));
+    let mut b = DagBuilder::with_capacity(p.layers * p.width, p.layers * p.width * 2);
+    let mut prev: Vec<NodeId> = Vec::new();
+    for l in 0..p.layers {
+        let layer: Vec<NodeId> =
+            (0..p.width).map(|i| b.add_node(format!("L{l}_{i}"))).collect();
+        for &v in &layer {
+            if !prev.is_empty() {
+                let mut has_parent = false;
+                for &u in &prev {
+                    if rng.gen_bool(p.arc_prob) {
+                        b.add_arc(u, v).expect("layer arc");
+                        has_parent = true;
+                    }
+                }
+                if !has_parent {
+                    let u = prev[rng.gen_range(0..prev.len())];
+                    b.add_arc(u, v).expect("guaranteed parent");
+                }
+            }
+        }
+        prev = layer;
+    }
+    b.build().expect("layered dag is acyclic")
+}
+
+/// Builds a "forward-pair" random dag on `n` nodes: each pair `(i, j)` with
+/// `i < j` is an arc independently with probability `arc_prob`. The index
+/// order is the topological witness.
+pub fn forward_pairs<R: Rng + ?Sized>(n: usize, arc_prob: f64, rng: &mut R) -> Dag {
+    let mut b = DagBuilder::with_capacity(n, n * 2);
+    let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("r{i}"))).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(arc_prob) {
+                b.add_arc(ids[i], ids[j]).expect("forward arc");
+            }
+        }
+    }
+    b.build().expect("forward-pair dag is acyclic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layered_is_deterministic_per_seed() {
+        let p = LayeredParams::default();
+        let a = layered(p, &mut SmallRng::seed_from_u64(1));
+        let b = layered(p, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let c = layered(p, &mut SmallRng::seed_from_u64(2));
+        assert_eq!(c.num_nodes(), a.num_nodes());
+    }
+
+    #[test]
+    fn layered_guarantees_parents() {
+        let p = LayeredParams { layers: 5, width: 6, arc_prob: 0.05 };
+        let d = layered(p, &mut SmallRng::seed_from_u64(3));
+        // Only first-layer jobs are sources.
+        assert_eq!(d.sources().count(), p.width);
+    }
+
+    #[test]
+    fn layered_single_layer_is_arcless() {
+        let p = LayeredParams { layers: 1, width: 5, arc_prob: 0.9 };
+        let d = layered(p, &mut SmallRng::seed_from_u64(4));
+        assert_eq!(d.num_arcs(), 0);
+    }
+
+    #[test]
+    fn forward_pairs_is_acyclic_and_sized() {
+        let d = forward_pairs(20, 0.2, &mut SmallRng::seed_from_u64(5));
+        assert_eq!(d.num_nodes(), 20);
+        for (u, v) in d.arcs() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn forward_pairs_extreme_probabilities() {
+        let empty = forward_pairs(6, 0.0, &mut SmallRng::seed_from_u64(6));
+        assert_eq!(empty.num_arcs(), 0);
+        let full = forward_pairs(6, 1.0, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(full.num_arcs(), 15);
+    }
+}

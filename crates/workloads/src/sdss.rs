@@ -1,0 +1,185 @@
+//! The SDSS galaxy-cluster-search dag (§3.3).
+//!
+//! The paper states the dag has **48,013 jobs** and "includes a bipartite
+//! component with over 1,500 jobs whose each source has three children some
+//! of which are shared among the sources". The Sloan cluster-finding
+//! pipeline processes sky *fields* and then runs a per-target search
+//! (brgSearch → bcgSearch → bcgCoalesce chains in the Chimera/maxBcg
+//! workflow); we synthesize:
+//!
+//! * `fields` field-calibration source jobs, each with exactly **three**
+//!   children (field products); every field after the first *shares* one
+//!   child with the previous field (adjacent sky fields overlap), which
+//!   chains the whole stage into a single bipartite component with
+//!   >1,500 sources;
+//! * a catalog join collecting all field products;
+//! * `targets` per-target search chains of length 3 hanging off the
+//!   catalog, each chain head *also* depending on a dedicated per-target
+//!   seed job (the target list extraction the real pipeline prepares
+//!   independently); one lengthened chain absorbs the remainder so the
+//!   default totals exactly 48,013;
+//! * a final cluster-catalog collection job.
+//!
+//! The per-target seeds are the FIFO trap: they are eligible from time 0,
+//! so FIFO executes tens of thousands of them while their chain children
+//! stay blocked behind the whole field stage; PRIO defers them — the same
+//! mechanism as AIRSN's fringes (§3.4).
+
+use prio_graph::{Dag, DagBuilder, NodeId};
+
+/// Parameters of the SDSS-like generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdssParams {
+    /// Number of field source jobs.
+    pub fields: usize,
+    /// Number of per-target search chains.
+    pub targets: usize,
+    /// Extra jobs appended to the first target chain (absorbs remainders
+    /// when matching an exact total).
+    pub extra_chain: usize,
+}
+
+impl Default for SdssParams {
+    /// The paper-sized instance: 48,013 jobs.
+    fn default() -> Self {
+        SdssParams { fields: 1600, targets: 10802, extra_chain: 2 }
+    }
+}
+
+impl SdssParams {
+    /// Field-product jobs: 3 per field, one shared with the previous field
+    /// for every field after the first: `3·fields − (fields − 1)`.
+    pub const fn num_products(&self) -> usize {
+        2 * self.fields + 1
+    }
+
+    /// Total jobs: `fields + products + 1 (catalog) + 4·targets (seed +
+    /// 3-chain each) + extra_chain + 1 (final)`.
+    pub const fn num_jobs(&self) -> usize {
+        self.fields + self.num_products() + 1 + 4 * self.targets + self.extra_chain + 1
+    }
+
+    /// A scaled-down instance with roughly `fraction` of the paper's size.
+    pub fn scaled(fraction: f64) -> Self {
+        let d = SdssParams::default();
+        SdssParams {
+            fields: ((d.fields as f64 * fraction).round() as usize).max(8),
+            targets: ((d.targets as f64 * fraction).round() as usize).max(2),
+            extra_chain: 0,
+        }
+    }
+}
+
+/// Builds the SDSS-like dag.
+pub fn sdss(p: SdssParams) -> Dag {
+    assert!(p.fields >= 4 && p.targets >= 1);
+    let total = p.num_jobs();
+    let mut b = DagBuilder::with_capacity(total, total * 2);
+
+    // Field stage: each field has 3 children; every field after the first
+    // shares one child (the overlap product) with the previous field.
+    let fields: Vec<NodeId> = (0..p.fields).map(|i| b.add_node(format!("field{i}"))).collect();
+    let catalog = b.add_node("catalog");
+    let mut last_product = None;
+    for (i, &field) in fields.iter().enumerate() {
+        let own = if i == 0 { 3 } else { 2 };
+        if let Some(shared) = last_product {
+            b.add_arc(field, shared).expect("shared overlap product");
+        }
+        for k in 0..own {
+            let prod = b.add_node(format!("product_{i}_{k}"));
+            b.add_arc(field, prod).expect("field product");
+            b.add_arc(prod, catalog).expect("collect products");
+            last_product = Some(prod);
+        }
+    }
+
+    // Target stage: per-target seed + chains of brgSearch -> bcgSearch ->
+    // bcgCoalesce; the chain head needs both the catalog and its seed.
+    let final_join = b.add_node("clusterCatalog");
+    for t in 0..p.targets {
+        let seed = b.add_node(format!("seed{t}"));
+        let len = if t == 0 { 3 + p.extra_chain } else { 3 };
+        let mut prev = catalog;
+        for step in 0..len {
+            let job = b.add_node(format!("target_{t}_{step}"));
+            b.add_arc(prev, job).expect("target chain");
+            if step == 0 {
+                b.add_arc(seed, job).expect("per-target seed");
+            }
+            prev = job;
+        }
+        b.add_arc(prev, final_join).expect("collect targets");
+    }
+
+    let dag = b.build().expect("sdss is acyclic");
+    debug_assert_eq!(dag.num_nodes(), total);
+    dag
+}
+
+/// The paper-sized SDSS instance (48,013 jobs).
+pub fn sdss_paper() -> Dag {
+    sdss(SdssParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_has_48013_jobs() {
+        assert_eq!(SdssParams::default().num_jobs(), 48013);
+    }
+
+    #[test]
+    fn paper_instance_builds_with_exact_count() {
+        // Building 48k nodes is cheap; keep this in the fast suite.
+        let d = sdss_paper();
+        assert_eq!(d.num_nodes(), 48013);
+        assert_eq!(d.sinks().count(), 1);
+    }
+
+    #[test]
+    fn field_stage_matches_description() {
+        let p = SdssParams { fields: 8, targets: 2, extra_chain: 0 };
+        let d = sdss(p);
+        assert_eq!(d.num_nodes(), p.num_jobs());
+        // Every field source has exactly 3 children.
+        for i in 0..p.fields {
+            let f = d.find(&format!("field{i}")).unwrap();
+            assert!(d.is_source(f));
+            assert_eq!(d.out_degree(f), 3, "field{i}");
+        }
+        // Each field's last product is shared with the next field.
+        let shared = d.find("product_0_2").unwrap();
+        assert_eq!(d.in_degree(shared), 2);
+        let unshared = d.find("product_0_0").unwrap();
+        assert_eq!(d.in_degree(unshared), 1);
+        // Sharing chains the whole field stage into one weakly-connected
+        // piece: walking shared products reaches every field.
+        let mut products = Vec::new();
+        for i in 0..p.fields {
+            for k in 0..3 {
+                if let Some(v) = d.find(&format!("product_{i}_{k}")) {
+                    products.push(v);
+                }
+            }
+        }
+        let shared_count = products.iter().filter(|&&v| d.in_degree(v) == 2).count();
+        assert_eq!(shared_count, p.fields - 1);
+    }
+
+    #[test]
+    fn component_has_over_1500_sources() {
+        let p = SdssParams::default();
+        assert!(p.fields > 1500);
+    }
+
+    #[test]
+    fn extra_chain_extends_first_target() {
+        let p = SdssParams { fields: 4, targets: 2, extra_chain: 2 };
+        let d = sdss(p);
+        assert!(d.find("target_0_4").is_some());
+        assert!(d.find("target_1_3").is_none());
+    }
+}

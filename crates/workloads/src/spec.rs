@@ -1,0 +1,91 @@
+//! The evaluation suite: the four scientific dags at paper scale and at
+//! reduced scale for the cheaper simulation sweeps.
+
+use crate::{airsn, inspiral, montage, sdss};
+use prio_graph::Dag;
+
+/// A named workload dag.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name, e.g. `"AIRSN"`.
+    pub name: &'static str,
+    /// The dag.
+    pub dag: Dag,
+}
+
+impl Workload {
+    fn new(name: &'static str, dag: Dag) -> Self {
+        Workload { name, dag }
+    }
+}
+
+/// The four scientific dags at the paper's exact sizes:
+/// AIRSN 773, Inspiral 2,988, Montage 7,881, SDSS 48,013.
+pub fn paper_suite() -> Vec<Workload> {
+    vec![
+        Workload::new("AIRSN", airsn::airsn_paper()),
+        Workload::new("Inspiral", inspiral::inspiral_paper()),
+        Workload::new("Montage", montage::montage_paper()),
+        Workload::new("SDSS", sdss::sdss_paper()),
+    ]
+}
+
+/// The suite scaled to roughly `fraction` of the paper's sizes (AIRSN by
+/// width, the others by their stage parameters). Used for laptop-scale
+/// simulation sweeps; the structural features (fringed double umbrella,
+/// non-bipartite ring, shared-children bipartite stages) are preserved.
+pub fn scaled_suite(fraction: f64) -> Vec<Workload> {
+    assert!(fraction > 0.0 && fraction <= 1.0);
+    let width = ((airsn::PAPER_WIDTH as f64 * fraction).round() as usize).max(4);
+    vec![
+        Workload::new("AIRSN", airsn::airsn(width)),
+        Workload::new("Inspiral", inspiral::inspiral(inspiral::InspiralParams::scaled(fraction))),
+        Workload::new("Montage", montage::montage(montage::MontageParams::scaled(fraction))),
+        Workload::new("SDSS", sdss::sdss(sdss::SdssParams::scaled(fraction))),
+    ]
+}
+
+/// Looks a workload up by (case-insensitive) name in the paper suite.
+pub fn paper_workload(name: &str) -> Option<Workload> {
+    paper_suite().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_sizes() {
+        let sizes: Vec<(&str, usize)> = paper_suite()
+            .iter()
+            .map(|w| (w.name, w.dag.num_nodes()))
+            .collect();
+        assert_eq!(
+            sizes,
+            vec![
+                ("AIRSN", 773),
+                ("Inspiral", 2988),
+                ("Montage", 7881),
+                ("SDSS", 48013)
+            ]
+        );
+    }
+
+    #[test]
+    fn scaled_suite_is_smaller_but_structured() {
+        let scaled = scaled_suite(0.1);
+        let paper = paper_suite();
+        for (s, p) in scaled.iter().zip(&paper) {
+            assert_eq!(s.name, p.name);
+            assert!(s.dag.num_nodes() < p.dag.num_nodes());
+            assert!(s.dag.num_nodes() > 10);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(paper_workload("airsn").unwrap().dag.num_nodes(), 773);
+        assert_eq!(paper_workload("SDSS").unwrap().dag.num_nodes(), 48013);
+        assert!(paper_workload("nope").is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! The AIRSN fMRI workflow (§3.3–3.4): why the fringed double umbrella is
+//! the dag where PRIO shines, and where the bottleneck priority of Fig. 5
+//! comes from.
+//!
+//! Run with: `cargo run --release --example airsn_eligibility`
+
+use dagprio::core::fifo::fifo_schedule;
+use dagprio::core::prio::prioritize;
+use dagprio::core::schedule::profile_difference;
+use dagprio::workloads::airsn::{airsn, HANDLE_LEN, PAPER_WIDTH};
+
+fn main() {
+    let dag = airsn(PAPER_WIDTH);
+    println!("AIRSN width {PAPER_WIDTH}: {} jobs, {} dependencies", dag.num_nodes(), dag.num_arcs());
+
+    let res = prioritize(&dag);
+    let s = &res.stats;
+    println!(
+        "decomposition: {} components ({} bipartite, {} catalog-scheduled, {} heuristic)",
+        s.num_components,
+        s.num_bipartite,
+        s.recognized.values().sum::<usize>(),
+        s.heuristic_scheduled
+    );
+
+    // The black-framed bottleneck of Fig. 5.
+    let bottleneck = dag.find(&format!("handle{}", HANDLE_LEN - 1)).expect("last handle job");
+    let priorities = res.schedule.priorities();
+    println!(
+        "bottleneck job {:?}: schedule position {}, priority {} (paper: 753)",
+        dag.label(bottleneck),
+        dag.num_nodes() as u32 - priorities[bottleneck.index()] + 1,
+        priorities[bottleneck.index()],
+    );
+
+    // Eligibility difference vs FIFO — a textual rendering of Fig. 4a.
+    let fifo = fifo_schedule(&dag);
+    let diff = profile_difference(&dag, &res.schedule, &fifo);
+    let max = *diff.iter().max().unwrap();
+    println!("\nE_PRIO(t) - E_FIFO(t), bucketed over the run (each row = 5% of steps):");
+    let buckets = 20;
+    let per = diff.len().div_ceil(buckets);
+    for (b, chunk) in diff.chunks(per).enumerate() {
+        let avg = chunk.iter().sum::<i64>() as f64 / chunk.len() as f64;
+        let bar = "#".repeat(((avg / max as f64) * 60.0).max(0.0) as usize);
+        println!("{:>3}%  {avg:>7.1}  {bar}", b * 100 / buckets);
+    }
+    println!(
+        "\nFIFO executes the {PAPER_WIDTH} fringe jobs first; their cover children stay\n\
+         blocked on the handle. PRIO pushes the handle (and its bottleneck tip) through\n\
+         first, so each later fringe completion immediately unlocks a cover job."
+    );
+    assert!(max as usize >= PAPER_WIDTH / 2, "the spike should be large");
+}

@@ -1,0 +1,109 @@
+//! # dagprio — a tool for prioritizing DAGMan jobs, and its evaluation
+//!
+//! A from-scratch Rust reproduction of Malewicz, Foster, Rosenberg and
+//! Wilde, *"A Tool for Prioritizing DAGMan Jobs and Its Evaluation"*
+//! (2006): an IC-optimality-inspired scheduling heuristic that prioritizes
+//! the interdependent jobs of a Condor DAGMan input file so that the
+//! number of *eligible* jobs stays as high as possible throughout the
+//! computation, plus the stochastic grid simulator used to evaluate it.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — DAG substrate (topological sort, transitive reduction,
+//!   bipartite analysis, DOT export);
+//! * [`core`] — the scheduling heuristic (decomposition, bipartite family
+//!   catalog, `⊵_r` priorities, greedy combine) and the FIFO baseline;
+//! * [`dagman`] — DAGMan input files and job-submit description files,
+//!   parsing and priority instrumentation;
+//! * [`workloads`] — synthetic AIRSN / Inspiral / Montage / SDSS dags;
+//! * [`stats`] — distributions, sampling distributions, ratio confidence
+//!   intervals;
+//! * [`sim`] — the event-driven grid simulator and the §4 experiment
+//!   harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dagprio::prioritize_dagman_text;
+//!
+//! let input = "\
+//! JOB a a.submit
+//! JOB b b.submit
+//! JOB c c.submit
+//! JOB d d.submit
+//! JOB e e.submit
+//! PARENT a CHILD b
+//! PARENT c CHILD d e
+//! ";
+//! let out = prioritize_dagman_text(input).unwrap();
+//! assert_eq!(out.schedule_names, ["c", "a", "b", "d", "e"]);
+//! assert!(out.instrumented.contains("VARS c jobpriority=\"5\""));
+//! ```
+
+pub use prio_core as core;
+pub use prio_dagman as dagman;
+pub use prio_graph as graph;
+pub use prio_sim as sim;
+pub use prio_stats as stats;
+pub use prio_workloads as workloads;
+
+use prio_dagman::instrument::{instrument_dagman, priorities_by_job};
+use prio_dagman::parse::parse_dagman;
+use prio_dagman::write::write_dagman;
+
+/// The result of running the `prio` pipeline over DAGMan text.
+#[derive(Debug, Clone)]
+pub struct PrioritizedDagman {
+    /// The instrumented DAGMan file text (with `jobpriority` VARS).
+    pub instrumented: String,
+    /// Job names in PRIO schedule order.
+    pub schedule_names: Vec<String>,
+    /// The extracted dependency dag.
+    pub dag: prio_graph::Dag,
+    /// The full scheduler output (components, superdag, statistics).
+    pub result: prio_core::PrioResult,
+}
+
+/// One-call convenience mirroring the `prio` tool: parse DAGMan text, run
+/// the scheduling heuristic, and return the instrumented text.
+pub fn prioritize_dagman_text(text: &str) -> Result<PrioritizedDagman, prio_dagman::DagmanError> {
+    let mut file = parse_dagman(text)?;
+    let dag = file.to_dag()?;
+    let result = prio_core::prioritize(&dag);
+    let schedule_names: Vec<String> = result
+        .schedule
+        .order()
+        .iter()
+        .map(|&u| dag.label(u).to_string())
+        .collect();
+    let priorities = priorities_by_job(schedule_names.iter().map(String::as_str));
+    instrument_dagman(&mut file, &priorities)?;
+    Ok(PrioritizedDagman { instrumented: write_dagman(&file), schedule_names, dag, result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_roundtrip() {
+        let input = "JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nJOB d d.sub\nJOB e e.sub\nPARENT a CHILD b\nPARENT c CHILD d e\n";
+        let out = prioritize_dagman_text(input).unwrap();
+        assert_eq!(out.schedule_names, ["c", "a", "b", "d", "e"]);
+        assert_eq!(out.dag.num_nodes(), 5);
+        assert_eq!(out.result.stats.num_components, 2);
+        // Instrumented text parses back and carries the priorities.
+        let reparsed = parse_dagman(&out.instrumented).unwrap();
+        assert_eq!(reparsed.vars_value("c", "jobpriority"), Some("5"));
+        assert_eq!(reparsed.vars_value("e", "jobpriority"), Some("1"));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(prioritize_dagman_text("JOB incomplete").is_err());
+        assert!(prioritize_dagman_text(
+            "JOB a x\nJOB b x\nPARENT a CHILD b\nPARENT b CHILD a\n"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end integration tests spanning the workspace: workloads →
+//! scheduler → DAGMan instrumentation → simulator.
+
+use dagprio::core::eligibility::eligibility_profile;
+use dagprio::core::fifo::fifo_schedule;
+use dagprio::core::prio::{prioritize, PrioOptions, Prioritizer};
+use dagprio::core::combine::CombineEngine;
+use dagprio::core::decompose::DecomposeOptions;
+use dagprio::dagman::parse::parse_dagman;
+use dagprio::prioritize_dagman_text;
+use dagprio::workloads::airsn::{airsn, HANDLE_LEN};
+use dagprio::workloads::classic::{entangled_ring, fig3_dag};
+use dagprio::workloads::inspiral::{inspiral, InspiralParams};
+use dagprio::workloads::montage::{montage, MontageParams};
+use dagprio::workloads::scaled_suite;
+use dagprio::workloads::sdss::{sdss, SdssParams};
+
+#[test]
+fn prio_schedules_are_valid_on_the_scaled_suite() {
+    for w in scaled_suite(0.05) {
+        let res = prioritize(&w.dag);
+        assert!(
+            res.schedule.is_valid_for(&w.dag),
+            "{}: invalid schedule",
+            w.name
+        );
+        assert_eq!(res.schedule.len(), w.dag.num_nodes());
+    }
+}
+
+#[test]
+fn prio_dominates_fifo_cumulatively_on_the_scaled_suite() {
+    for w in scaled_suite(0.05) {
+        let prio = prioritize(&w.dag).schedule;
+        let fifo = fifo_schedule(&w.dag);
+        let ep: usize = eligibility_profile(&w.dag, prio.order()).iter().sum();
+        let ef: usize = eligibility_profile(&w.dag, fifo.order()).iter().sum();
+        assert!(
+            ep >= ef,
+            "{}: PRIO cumulative eligibility {ep} below FIFO {ef}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn airsn_bottleneck_priority_matches_fig5_at_small_widths() {
+    // The last handle job must always sit at schedule position 21, i.e.
+    // priority n − 20, generalizing the paper's 753 at width 250.
+    for width in [5usize, 30, 100] {
+        let dag = airsn(width);
+        let res = prioritize(&dag);
+        let bottleneck = dag.find(&format!("handle{}", HANDLE_LEN - 1)).unwrap();
+        let prio = res.schedule.priorities();
+        assert_eq!(
+            prio[bottleneck.index()] as usize,
+            dag.num_nodes() - HANDLE_LEN + 1,
+            "width {width}"
+        );
+    }
+}
+
+#[test]
+fn airsn_eligibility_difference_spikes_by_the_fringe_count() {
+    // FIFO burns its early steps on fringes whose cover children stay
+    // blocked; PRIO unlocks the bottleneck first. The max difference is
+    // close to the width.
+    let width = 40;
+    let dag = airsn(width);
+    let prio = prioritize(&dag).schedule;
+    let fifo = fifo_schedule(&dag);
+    let diff = dagprio::core::schedule::profile_difference(&dag, &prio, &fifo);
+    let max = diff.iter().copied().max().unwrap();
+    assert!(
+        max as usize >= width - 2,
+        "expected a spike near the width {width}, got {max}"
+    );
+    assert!(diff.iter().all(|&d| d >= 0), "PRIO never below FIFO on AIRSN");
+}
+
+#[test]
+fn inspiral_ring_forces_the_general_search() {
+    let dag = inspiral(InspiralParams { pre_width: 5, ring_k: 20, post_width: 5 });
+    let res = prioritize(&dag);
+    assert!(res.stats.general_search_iterations >= 1);
+    // The ring is one non-bipartite component of 3k jobs.
+    let ring = res
+        .components
+        .iter()
+        .find(|c| !c.bipartite)
+        .expect("a non-bipartite component exists");
+    assert_eq!(ring.len(), 3 * 20);
+    assert!(res.schedule.is_valid_for(&dag));
+}
+
+#[test]
+fn entangled_ring_alone_is_one_component() {
+    let dag = entangled_ring(10);
+    let res = prioritize(&dag);
+    assert_eq!(res.stats.num_components, 1);
+    assert_eq!(res.stats.heuristic_scheduled, 1);
+    assert!(res.schedule.is_valid_for(&dag));
+}
+
+#[test]
+fn montage_big_bipartite_component_is_found() {
+    let p = MontageParams { images: 60, tiles: 4 };
+    let dag = montage(p);
+    let res = prioritize(&dag);
+    let big = res
+        .components
+        .iter()
+        .map(|c| (c.bipartite, c.len()))
+        .filter(|&(b, _)| b)
+        .map(|(_, l)| l)
+        .max()
+        .unwrap();
+    // projections + their diffs in a single connected block.
+    assert!(big >= 60 + p.num_diffs(), "got {big}");
+    assert!(res.schedule.is_valid_for(&dag));
+}
+
+#[test]
+fn sdss_field_component_has_three_children_per_source() {
+    let p = SdssParams { fields: 40, targets: 30, extra_chain: 0 };
+    let dag = sdss(p);
+    let res = prioritize(&dag);
+    // The field block: 40 sources and 81 shared products.
+    let field_block = res
+        .components
+        .iter()
+        .find(|c| c.num_nonsinks() == 40)
+        .expect("field block exists");
+    assert_eq!(field_block.len(), 40 + p.num_products());
+    assert!(res.schedule.is_valid_for(&dag));
+}
+
+#[test]
+fn engineered_and_naive_pipelines_agree_on_structured_dags() {
+    let naive = Prioritizer::with_options(PrioOptions {
+        decompose: DecomposeOptions { fast_path: false },
+        engine: CombineEngine::Naive,
+        optimal_search_limit: 0,
+    });
+    for dag in [
+        airsn(10),
+        inspiral(InspiralParams { pre_width: 4, ring_k: 5, post_width: 4 }),
+        montage(MontageParams { images: 12, tiles: 2 }),
+        sdss(SdssParams { fields: 8, targets: 5, extra_chain: 0 }),
+    ] {
+        let fast = prioritize(&dag).schedule;
+        let slow = naive.prioritize(&dag).schedule;
+        assert_eq!(fast, slow);
+    }
+}
+
+#[test]
+fn dagman_text_pipeline_matches_direct_pipeline() {
+    let dag = fig3_dag();
+    let direct = prioritize(&dag);
+    let text = "JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nJOB d d.sub\nJOB e e.sub\nPARENT a CHILD b\nPARENT c CHILD d e\n";
+    let via_text = prioritize_dagman_text(text).unwrap();
+    let direct_names: Vec<&str> = direct.schedule.order().iter().map(|&u| dag.label(u)).collect();
+    assert_eq!(via_text.schedule_names, direct_names);
+
+    // The instrumented file re-parses, and replaying its priorities gives
+    // back the same schedule.
+    let reparsed = parse_dagman(&via_text.instrumented).unwrap();
+    let dag2 = reparsed.to_dag().unwrap();
+    let mut named: Vec<(String, u32)> = reparsed
+        .job_names()
+        .iter()
+        .map(|&n| {
+            (
+                n.to_string(),
+                reparsed.vars_value(n, "jobpriority").unwrap().parse().unwrap(),
+            )
+        })
+        .collect();
+    named.sort_by_key(|&(_, p)| std::cmp::Reverse(p));
+    let replayed: Vec<_> = named.iter().map(|(n, _)| dag2.find(n).unwrap()).collect();
+    assert!(dagprio::graph::topo::is_linear_extension(&dag2, &replayed));
+}
+
+#[test]
+fn prio_on_meshes_is_ic_optimal() {
+    // The decomposition peels a 2-D mesh diagonal by diagonal, recovering
+    // the theory's known IC-optimal schedule (Rosenberg's mesh result).
+    use dagprio::core::optimal::{is_ic_optimal, DEFAULT_STATE_LIMIT};
+    use dagprio::workloads::mesh::{mesh2d, mesh_triangle};
+    for dag in [mesh2d(3, 3), mesh2d(2, 5), mesh_triangle(4)] {
+        let res = prioritize(&dag);
+        assert_eq!(
+            is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
+            Some(true),
+            "PRIO must be IC-optimal on {dag:?}"
+        );
+    }
+}
+
+#[test]
+fn theoretical_algorithm_succeeds_on_meshes_and_matches_optimality() {
+    use dagprio::core::optimal::{is_ic_optimal, DEFAULT_STATE_LIMIT};
+    use dagprio::core::theoretical::theoretical_schedule;
+    use dagprio::workloads::mesh::mesh2d;
+    let dag = mesh2d(3, 3);
+    let theo = theoretical_schedule(&dag).expect("meshes are theory-schedulable");
+    assert_eq!(
+        is_ic_optimal(&dag, theo.schedule.order(), DEFAULT_STATE_LIMIT),
+        Some(true)
+    );
+}
+
+#[test]
+fn theoretical_fails_on_inspiral_but_heuristic_handles_it() {
+    use dagprio::core::theoretical::{theoretical_schedule, TheoreticalFailure};
+    let dag = inspiral(InspiralParams { pre_width: 3, ring_k: 4, post_width: 3 });
+    match theoretical_schedule(&dag) {
+        Err(TheoreticalFailure::DecompositionFailed { .. }) => {}
+        other => panic!("the entangled ring must defeat the theory: {other:?}"),
+    }
+    assert!(prioritize(&dag).schedule.is_valid_for(&dag));
+}
+
+#[test]
+fn shortcutted_workload_still_schedules_correctly() {
+    // Add shortcut arcs over an AIRSN and verify they are stripped and the
+    // schedule is unchanged (shortcuts never affect eligibility).
+    let base = airsn(8);
+    let mut b = dagprio::graph::DagBuilder::new();
+    for u in base.node_ids() {
+        b.add_node(base.label(u));
+    }
+    for (u, v) in base.arcs() {
+        b.add_arc(u, v).unwrap();
+    }
+    // handle0 -> join2 is implied by the umbrella; add it as a shortcut.
+    let h0 = base.find("handle0").unwrap();
+    let j2 = base.find("join2").unwrap();
+    b.add_arc(h0, j2).unwrap();
+    let shortcutted = b.build().unwrap();
+
+    let res_base = prioritize(&base);
+    let res_cut = prioritize(&shortcutted);
+    assert_eq!(res_cut.stats.shortcuts_removed, 1);
+    assert_eq!(res_base.schedule.order(), res_cut.schedule.order());
+}
