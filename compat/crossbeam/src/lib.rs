@@ -1,0 +1,165 @@
+//! A std-only stand-in for the parts of `crossbeam` this workspace uses
+//! (an unbounded multi-producer multi-consumer channel), so the workspace
+//! builds with no network access to a crate registry. Built on
+//! `Mutex<VecDeque>` + `Condvar`; adequate for the coarse-grained
+//! work-queue fan-out in `prio-sim`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable: receivers
+    /// compete for items (a work queue, not a broadcast).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`. Never blocks; errs only if all receivers are
+        /// dropped (detected as this process holding the only references).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            state.items.push_back(value);
+            drop(state);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            state.senders += 1;
+            drop(state);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item is available or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.ready.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Takes an item without blocking, if one is queued.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.queue.lock().expect("channel lock");
+            state.items.pop_front().ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_consumes_every_item_exactly_once() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let collected = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let collected = &collected;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Ok(i) = rx.recv() {
+                        local.push(i);
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut got = collected.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errs_after_last_sender_drops() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+}

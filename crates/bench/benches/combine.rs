@@ -10,12 +10,7 @@ use prio_graph::Dag;
 /// drawn from a handful of profile classes.
 fn synthetic(n: usize) -> (Dag, Vec<Vec<usize>>) {
     let superdag = Dag::from_arcs(n, &[]).expect("independent supernodes");
-    let classes: Vec<Vec<usize>> = vec![
-        vec![1, 1],
-        vec![1, 2],
-        vec![2, 2, 3],
-        vec![3, 2, 1],
-    ];
+    let classes: Vec<Vec<usize>> = vec![vec![1, 1], vec![1, 2], vec![2, 2, 3], vec![3, 2, 1]];
     let profiles = (0..n).map(|i| classes[i % classes.len()].clone()).collect();
     (superdag, profiles)
 }

@@ -13,7 +13,10 @@ fn bench_overhead(c: &mut Criterion) {
     let cases = vec![
         ("AIRSN_773", airsn::airsn_paper()),
         ("Inspiral_2988", inspiral::inspiral_paper()),
-        ("Montage_scaled", montage::montage(montage::MontageParams::scaled(0.25))),
+        (
+            "Montage_scaled",
+            montage::montage(montage::MontageParams::scaled(0.25)),
+        ),
         ("SDSS_scaled", sdss::sdss(sdss::SdssParams::scaled(0.05))),
     ];
     for (name, dag) in cases {

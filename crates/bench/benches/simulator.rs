@@ -12,7 +12,10 @@ fn bench_simulator(c: &mut Criterion) {
     let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
     let fifo = PolicySpec::Fifo;
 
-    let cells = [("sweet_spot", GridModel::paper(1.0, 16.0)), ("abundant", GridModel::paper(0.01, 4096.0))];
+    let cells = [
+        ("sweet_spot", GridModel::paper(1.0, 16.0)),
+        ("abundant", GridModel::paper(0.01, 4096.0)),
+    ];
     let mut group = c.benchmark_group("simulate_airsn_w50");
     group.sample_size(20);
     for (cell, model) in cells {

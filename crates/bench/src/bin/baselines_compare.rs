@@ -32,9 +32,17 @@ fn main() {
     let baselines: Vec<(&str, PolicySpec)> = vec![
         ("FIFO", PolicySpec::Fifo),
         ("CP", PolicySpec::Oblivious(critical_path_schedule(&dag))),
-        ("RANDOM", PolicySpec::Oblivious(random_schedule(&dag, &mut rng))),
+        (
+            "RANDOM",
+            PolicySpec::Oblivious(random_schedule(&dag, &mut rng)),
+        ),
     ];
-    let plan = ReplicationPlan { p: 20, q: 12, seed: 3203, threads: 0 };
+    let plan = ReplicationPlan {
+        p: 20,
+        q: 12,
+        seed: 3203,
+        threads: 0,
+    };
     let model = GridModel::paper(1.0, 16.0);
 
     let mut table = Table::new(&[

@@ -33,7 +33,12 @@ fn main() {
     let dag = file.to_dag().expect("IV.dag is acyclic");
 
     let result = prioritize(&dag);
-    let names: Vec<&str> = result.schedule.order().iter().map(|&u| dag.label(u)).collect();
+    let names: Vec<&str> = result
+        .schedule
+        .order()
+        .iter()
+        .map(|&u| dag.label(u))
+        .collect();
     println!("PRIO schedule: {}", names.join(","));
     assert_eq!(names, ["c", "a", "b", "d", "e"], "must match the paper");
     assert_eq!(
@@ -60,6 +65,9 @@ fn main() {
     jsdf.instrument_priority();
     println!("instrumented c.submit:\n{}", jsdf.to_text());
 
-    println!("paper check: job c holds jobpriority 5 -> {}", priorities["c"] == 5);
+    println!(
+        "paper check: job c holds jobpriority 5 -> {}",
+        priorities["c"] == 5
+    );
     assert_eq!(priorities["c"], 5);
 }

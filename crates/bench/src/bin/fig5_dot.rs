@@ -15,19 +15,26 @@ fn main() {
     let dag = airsn_paper();
     let result = prioritize(&dag);
     let priorities = result.schedule.priorities();
-    let bottleneck = dag.find(&format!("handle{}", HANDLE_LEN - 1)).expect("bottleneck");
+    let bottleneck = dag
+        .find(&format!("handle{}", HANDLE_LEN - 1))
+        .expect("bottleneck");
     let p = priorities[bottleneck.index()];
     println!(
         "AIRSN width {PAPER_WIDTH}: bottleneck job {:?} has priority {p} (paper: 753)",
         dag.label(bottleneck)
     );
-    assert_eq!(p, 753, "the black-framed job of Fig. 5 must get priority 753");
+    assert_eq!(
+        p, 753,
+        "the black-framed job of Fig. 5 must get priority 753"
+    );
 
     // A small instance for a drawable figure.
     let small = airsn(8);
     let res = prioritize(&small);
     let prio = res.schedule.priorities();
-    let bott = small.find(&format!("handle{}", HANDLE_LEN - 1)).expect("bottleneck");
+    let bott = small
+        .find(&format!("handle{}", HANDLE_LEN - 1))
+        .expect("bottleneck");
     let opts = DotOptions {
         name: "AIRSN".into(),
         arcs_upward: true,

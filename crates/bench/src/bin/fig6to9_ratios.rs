@@ -37,7 +37,15 @@ struct Options {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
-    let mut opts = Options { p: 20, q: 10, seed: 20060401, threads: 0, scale: None, full: false, quick: false };
+    let mut opts = Options {
+        p: 20,
+        q: 10,
+        seed: 20060401,
+        threads: 0,
+        scale: None,
+        full: false,
+        quick: false,
+    };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -57,7 +65,12 @@ fn main() {
         i += 1;
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
-        which = vec!["airsn".into(), "inspiral".into(), "montage".into(), "sdss".into()];
+        which = vec![
+            "airsn".into(),
+            "inspiral".into(),
+            "montage".into(),
+            "sdss".into(),
+        ];
     }
     std::fs::create_dir_all("results").expect("create results dir");
     for name in which {
@@ -78,15 +91,17 @@ fn next<T: std::str::FromStr>(argv: &[String], i: &mut usize) -> T {
 fn build_dag(name: &str, opts: &Options) -> prio_graph::Dag {
     let scale = opts.scale;
     match name {
-        "airsn" => airsn::airsn(
-            scale.map_or(airsn::PAPER_WIDTH, |f| ((airsn::PAPER_WIDTH as f64 * f).round() as usize).max(4)),
-        ),
-        "inspiral" => inspiral::inspiral(
-            scale.map_or_else(inspiral::InspiralParams::default, inspiral::InspiralParams::scaled),
-        ),
-        "montage" => montage::montage(
-            scale.map_or_else(montage::MontageParams::default, montage::MontageParams::scaled),
-        ),
+        "airsn" => airsn::airsn(scale.map_or(airsn::PAPER_WIDTH, |f| {
+            ((airsn::PAPER_WIDTH as f64 * f).round() as usize).max(4)
+        })),
+        "inspiral" => inspiral::inspiral(scale.map_or_else(
+            inspiral::InspiralParams::default,
+            inspiral::InspiralParams::scaled,
+        )),
+        "montage" => montage::montage(scale.map_or_else(
+            montage::MontageParams::default,
+            montage::MontageParams::scaled,
+        )),
         "sdss" => {
             // The full 48,013-job SDSS is expensive to sweep; default to a
             // 1/10-scale instance unless --full (or an explicit --scale).
@@ -109,35 +124,62 @@ fn run_dag(name: &str, opts: &Options) {
     eprintln!("== {name}: {} jobs ==", dag.num_nodes());
     let start = Instant::now();
     let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
-    eprintln!("{name}: prioritized in {:.2}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "{name}: prioritized in {:.2}s",
+        start.elapsed().as_secs_f64()
+    );
 
     let (mu_bits, mu_bss) = if opts.quick {
-        (vec![1e-2, 1.0, 1e2], vec![1.0, 16.0, 256.0, 4096.0, 65536.0])
+        (
+            vec![1e-2, 1.0, 1e2],
+            vec![1.0, 16.0, 256.0, 4096.0, 65536.0],
+        )
     } else {
         (paper_mu_bits(), paper_mu_bss())
     };
-    let plan = ReplicationPlan { p: opts.p, q: opts.q, seed: opts.seed, threads: opts.threads };
+    let plan = ReplicationPlan {
+        p: opts.p,
+        q: opts.q,
+        seed: opts.seed,
+        threads: opts.threads,
+    };
 
     let total = mu_bits.len() * mu_bss.len();
     let mut done = 0usize;
     let sweep_start = Instant::now();
-    let cells = sweep(&dag, &prio, &PolicySpec::Fifo, &mu_bits, &mu_bss, &plan, |c| {
-        done += 1;
-        eprintln!(
+    let cells = sweep(
+        &dag,
+        &prio,
+        &PolicySpec::Fifo,
+        &mu_bits,
+        &mu_bss,
+        &plan,
+        |c| {
+            done += 1;
+            eprintln!(
             "{name}: cell {done}/{total} mu_bit={:.0e} mu_bs={:.0} time_ratio={} ({:.0}s elapsed)",
             c.mu_bit,
             c.mu_bs,
             fmt_ci(&c.result.execution_time_ratio),
             sweep_start.elapsed().as_secs_f64()
         );
-    });
+        },
+    );
 
     let mut tsv = Table::new(&[
-        "mu_bit", "mu_bs",
-        "time_ratio_median", "time_ratio_lo", "time_ratio_hi",
-        "stall_ratio_median", "stall_ratio_lo", "stall_ratio_hi",
-        "util_ratio_median", "util_ratio_lo", "util_ratio_hi",
-        "prio_time_mean", "fifo_time_mean",
+        "mu_bit",
+        "mu_bs",
+        "time_ratio_median",
+        "time_ratio_lo",
+        "time_ratio_hi",
+        "stall_ratio_median",
+        "stall_ratio_lo",
+        "stall_ratio_hi",
+        "util_ratio_median",
+        "util_ratio_lo",
+        "util_ratio_hi",
+        "prio_time_mean",
+        "fifo_time_mean",
     ]);
     for c in &cells {
         let tri = |ci: &Option<prio_stats::ConfidenceInterval>| -> [String; 3] {
@@ -156,9 +198,15 @@ fn run_dag(name: &str, opts: &Options) {
         tsv.row(vec![
             format!("{:e}", c.mu_bit),
             format!("{}", c.mu_bs),
-            t[0].clone(), t[1].clone(), t[2].clone(),
-            s[0].clone(), s[1].clone(), s[2].clone(),
-            u[0].clone(), u[1].clone(), u[2].clone(),
+            t[0].clone(),
+            t[1].clone(),
+            t[2].clone(),
+            s[0].clone(),
+            s[1].clone(),
+            s[2].clone(),
+            u[0].clone(),
+            u[1].clone(),
+            u[2].clone(),
             format!("{:.4}", c.result.a.execution_time.summary().mean),
             format!("{:.4}", c.result.b.execution_time.summary().mean),
         ]);
@@ -174,7 +222,12 @@ fn summarize(name: &str, cells: &[SweepCell]) {
     // Best (smallest) median execution-time ratio and where it occurs.
     let best = cells
         .iter()
-        .filter_map(|c| c.result.execution_time_ratio.as_ref().map(|ci| (ci.median, c)))
+        .filter_map(|c| {
+            c.result
+                .execution_time_ratio
+                .as_ref()
+                .map(|ci| (ci.median, c))
+        })
         .min_by(|a, b| a.0.total_cmp(&b.0));
     println!("\n== {name} summary ==");
     if let Some((median, cell)) = best {

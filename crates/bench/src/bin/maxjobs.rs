@@ -26,7 +26,12 @@ fn main() {
         .unwrap_or(250);
     let dag = airsn(width);
     let schedule = prioritize(&dag).schedule;
-    let plan = ReplicationPlan { p: 20, q: 12, seed: 32001, threads: 0 };
+    let plan = ReplicationPlan {
+        p: 20,
+        q: 12,
+        seed: 32001,
+        threads: 0,
+    };
     let model = GridModel::paper(1.0, 16.0);
 
     let mut table = Table::new(&[
@@ -37,18 +42,23 @@ fn main() {
     ]);
     let caps: [usize; 6] = [1, 4, 16, 64, 256, usize::MAX];
     for cap in caps {
-        let policy = PolicySpec::ThrottledOblivious { schedule: schedule.clone(), maxjobs: cap };
+        let policy = PolicySpec::ThrottledOblivious {
+            schedule: schedule.clone(),
+            maxjobs: cap,
+        };
         let r = compare_policies(&dag, &policy, &PolicySpec::Fifo, &model, &plan);
         table.row(vec![
-            if cap == usize::MAX { "unlimited".into() } else { cap.to_string() },
+            if cap == usize::MAX {
+                "unlimited".into()
+            } else {
+                cap.to_string()
+            },
             format!("{:.2}", r.a.execution_time.summary().mean),
             format!("{:.2}", r.b.execution_time.summary().mean),
             fmt_ci(&r.execution_time_ratio),
         ]);
     }
-    println!(
-        "\n== §3.2 shortcoming: PRIO behind a -maxjobs throttle (AIRSN width {width}) ==\n"
-    );
+    println!("\n== §3.2 shortcoming: PRIO behind a -maxjobs throttle (AIRSN width {width}) ==\n");
     println!("{}", table.render());
     println!(
         "expected shape: the advantage collapses toward 1 as maxjobs shrinks —\n\

@@ -22,7 +22,12 @@ fn main() {
         .unwrap_or(100);
     let dag = airsn(width);
     let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
-    let plan = ReplicationPlan { p: 20, q: 12, seed: 1123, threads: 0 };
+    let plan = ReplicationPlan {
+        p: 20,
+        q: 12,
+        seed: 1123,
+        threads: 0,
+    };
 
     let mut table = Table::new(&[
         "failure prob",

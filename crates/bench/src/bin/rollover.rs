@@ -21,7 +21,12 @@ fn main() {
         .unwrap_or(250);
     let dag = airsn(width);
     let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
-    let plan = ReplicationPlan { p: 16, q: 10, seed: 515, threads: 0 };
+    let plan = ReplicationPlan {
+        p: 16,
+        q: 10,
+        seed: 515,
+        threads: 0,
+    };
 
     let mut table = Table::new(&[
         "mu_bs",

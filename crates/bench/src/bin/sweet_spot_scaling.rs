@@ -80,13 +80,35 @@ fn main() {
             }
         };
         let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
-        let plan = ReplicationPlan { p, q, seed: 42, threads: 0 };
+        let plan = ReplicationPlan {
+            p,
+            q,
+            seed: 42,
+            threads: 0,
+        };
         let mu_bss = paper_mu_bss();
-        eprintln!("scale {scale}: {} jobs, sweeping {} batch sizes…", dag.num_nodes(), mu_bss.len());
-        let cells = sweep(&dag, &prio, &PolicySpec::Fifo, &[mu_bit], &mu_bss, &plan, |_| {});
+        eprintln!(
+            "scale {scale}: {} jobs, sweeping {} batch sizes…",
+            dag.num_nodes(),
+            mu_bss.len()
+        );
+        let cells = sweep(
+            &dag,
+            &prio,
+            &PolicySpec::Fifo,
+            &[mu_bit],
+            &mu_bss,
+            &plan,
+            |_| {},
+        );
         let best = cells
             .iter()
-            .filter_map(|c| c.result.execution_time_ratio.as_ref().map(|ci| (ci.median, c)))
+            .filter_map(|c| {
+                c.result
+                    .execution_time_ratio
+                    .as_ref()
+                    .map(|ci| (ci.median, c))
+            })
             .min_by(|a, b| a.0.total_cmp(&b.0))
             .expect("non-empty sweep");
         table.row(vec![
@@ -101,9 +123,6 @@ fn main() {
     println!("{}", table.render());
     println!("expected shape: log2(best mu_bs) grows with scale.");
     std::fs::create_dir_all("results").expect("results dir");
-    std::fs::write(
-        format!("results/sweet_spot_{dag_name}.txt"),
-        table.render(),
-    )
-    .expect("write table");
+    std::fs::write(format!("results/sweet_spot_{dag_name}.txt"), table.render())
+        .expect("write table");
 }

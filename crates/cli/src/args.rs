@@ -10,7 +10,15 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["fifo", "critical-path", "theoretical", "in-place", "full"];
+const BOOLEAN_FLAGS: &[&str] = &[
+    "fifo",
+    "critical-path",
+    "theoretical",
+    "in-place",
+    "full",
+    "verbose",
+    "timings",
+];
 
 impl Args {
     /// Parses argv-style tokens. A `--flag` consumes the following token

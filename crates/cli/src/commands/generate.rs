@@ -11,8 +11,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let scale: f64 = args.get_parsed("scale", 1.0)?;
     let dag = match which.as_str() {
         "airsn" => {
-            let width: usize =
-                args.get_parsed("width", (airsn::PAPER_WIDTH as f64 * scale).round() as usize)?;
+            let width: usize = args.get_parsed(
+                "width",
+                (airsn::PAPER_WIDTH as f64 * scale).round() as usize,
+            )?;
             airsn::airsn(width.max(1))
         }
         "inspiral" => inspiral::inspiral(if scale < 1.0 {

@@ -81,5 +81,22 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             }
         }
     }
+
+    // Structured snapshot of the pipeline's spans and counters as JSONL.
+    if let Some(out) = args.get("trace-out") {
+        let sink =
+            prio_obs::JsonlSink::to_file(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+        sink.write_meta(
+            "instrument",
+            &format!("input={path} jobs={}", dag.num_nodes()),
+        )
+        .map_err(|e| format!("{out}: {e}"))?;
+        sink.write_span_snapshot()
+            .map_err(|e| format!("{out}: {e}"))?;
+        sink.write_metrics_snapshot()
+            .map_err(|e| format!("{out}: {e}"))?;
+        sink.flush().map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("prio: wrote timing snapshot to {out}");
+    }
     Ok(())
 }

@@ -25,7 +25,10 @@ pub fn load_dag(args: &Args) -> Result<(String, Dag), String> {
                 .find(|w| w.name.eq_ignore_ascii_case(name))
                 .ok_or_else(|| format!("unknown workload {name:?}"))?
         };
-        Ok((format!("{} ({} jobs)", workload.name, workload.dag.num_nodes()), workload.dag))
+        Ok((
+            format!("{} ({} jobs)", workload.name, workload.dag.num_nodes()),
+            workload.dag,
+        ))
     } else {
         let path = args.one_positional()?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;

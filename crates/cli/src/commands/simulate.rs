@@ -3,8 +3,11 @@
 use crate::args::Args;
 use crate::commands::load_dag;
 use prio_core::prio::prioritize;
+use prio_obs::JsonlSink;
+use prio_sim::engine::simulate_traced;
 use prio_sim::replicate::ReplicationPlan;
 use prio_sim::{compare_policies, GridModel, PolicySpec};
+use std::path::Path;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv)?;
@@ -22,18 +25,42 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     eprintln!("prio: simulating {name} at mu_bit={mu_bit}, mu_bs={mu_bs} (p={p}, q={q})");
     let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
     let model = GridModel::paper(mu_bit, mu_bs);
-    let plan = ReplicationPlan { p, q, seed, threads };
+    let plan = ReplicationPlan {
+        p,
+        q,
+        seed,
+        threads,
+    };
     let r = compare_policies(&dag, &prio, &PolicySpec::Fifo, &model, &plan);
 
     println!("metric\tPRIO_mean\tFIFO_mean\tratio_median\tratio_lo\tratio_hi");
     let rows = [
-        ("execution_time", &r.a.execution_time, &r.b.execution_time, &r.execution_time_ratio),
-        ("stall_probability", &r.a.stalling, &r.b.stalling, &r.stalling_ratio),
-        ("utilization", &r.a.utilization, &r.b.utilization, &r.utilization_ratio),
+        (
+            "execution_time",
+            &r.a.execution_time,
+            &r.b.execution_time,
+            &r.execution_time_ratio,
+        ),
+        (
+            "stall_probability",
+            &r.a.stalling,
+            &r.b.stalling,
+            &r.stalling_ratio,
+        ),
+        (
+            "utilization",
+            &r.a.utilization,
+            &r.b.utilization,
+            &r.utilization_ratio,
+        ),
     ];
     for (name, a, b, ci) in rows {
         let (median, lo, hi) = match ci {
-            Some(ci) => (format!("{:.4}", ci.median), format!("{:.4}", ci.lo), format!("{:.4}", ci.hi)),
+            Some(ci) => (
+                format!("{:.4}", ci.median),
+                format!("{:.4}", ci.lo),
+                format!("{:.4}", ci.hi),
+            ),
             None => ("-".into(), "-".into(), "-".into()),
         };
         println!(
@@ -41,6 +68,30 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             a.summary().mean,
             b.summary().mean
         );
+    }
+
+    // Structured trace: one fully traced run per policy, then the span and
+    // counter snapshots, all as JSONL.
+    if let Some(out) = args.get("trace-out") {
+        let sink = JsonlSink::to_file(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+        sink.write_meta(
+            "simulate",
+            &format!("workload={name} mu_bit={mu_bit} mu_bs={mu_bs} seed={seed}"),
+        )
+        .map_err(|e| format!("{out}: {e}"))?;
+        for (policy_name, policy) in [("prio", &prio), ("fifo", &PolicySpec::Fifo)] {
+            sink.write_meta("trace", &format!("policy={policy_name} seed={seed}"))
+                .map_err(|e| format!("{out}: {e}"))?;
+            let traced = simulate_traced(&dag, policy, &model, seed);
+            let trace = traced.trace.expect("traced run records a trace");
+            prio_sim::trace_json::write_trace(&sink, &trace).map_err(|e| format!("{out}: {e}"))?;
+        }
+        sink.write_span_snapshot()
+            .map_err(|e| format!("{out}: {e}"))?;
+        sink.write_metrics_snapshot()
+            .map_err(|e| format!("{out}: {e}"))?;
+        sink.flush().map_err(|e| format!("{out}: {e}"))?;
+        eprintln!("prio: wrote event trace to {out}");
     }
     Ok(())
 }

@@ -18,7 +18,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     println!("shortcuts removed:       {}", s.shortcuts_removed);
     println!("components:              {}", s.num_components);
     println!("  bipartite:             {}", s.num_bipartite);
-    println!("  catalog-scheduled:     {}", s.recognized.values().sum::<usize>());
+    println!(
+        "  catalog-scheduled:     {}",
+        s.recognized.values().sum::<usize>()
+    );
     for (family, count) in &s.recognized {
         println!("    {family}: {count}");
     }

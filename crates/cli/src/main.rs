@@ -1,13 +1,20 @@
 //! The `prio` command-line tool (§3.2).
 //!
 //! ```text
-//! prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]\n                    [--mode vars|priority] [--search N]
+//! prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]
+//!                 [--mode vars|priority] [--search N]
 //! prio schedule   <file.dag> [--fifo] [--critical-path]
 //! prio compare    <file.dag | --workload NAME [--scale F]>
 //! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
 //! prio simulate   (<file.dag> | --workload NAME [--scale F]) [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S]
+//!                 [--trace-out <file>] [--timings]
 //! prio stats      <file.dag | --workload NAME>
 //! ```
+//!
+//! Every subcommand accepts the global `-v`/`--verbose` flag (or the
+//! `PRIO_LOG` environment variable) to print a phase-timing footer, and
+//! `simulate`/`instrument` additionally take `--trace-out <file>` to dump
+//! structured JSONL events plus span/counter snapshots.
 //!
 //! `instrument` reproduces the paper's tool exactly: parse the DAGMan
 //! input file, run the scheduling heuristic, define the `jobpriority`
@@ -21,13 +28,45 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // PRIO_LOG sets the baseline; explicit -v/-vv flags win.
+    prio_obs::init_from_env();
+    let argv = strip_verbosity(argv);
+    let timings = argv.iter().any(|a| a == "--timings");
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            // Phase-timing footer on every subcommand, to stderr so piped
+            // stdout output stays clean.
+            prio_obs::report::print_footer(timings);
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("prio: error: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Removes `-v`/`--verbose`/`-vv` wherever they appear (global flags,
+/// valid before or after the subcommand) and raises the verbosity
+/// accordingly.
+fn strip_verbosity(argv: Vec<String>) -> Vec<String> {
+    let mut level = prio_obs::verbosity();
+    let argv = argv
+        .into_iter()
+        .filter(|a| match a.as_str() {
+            "-v" | "--verbose" => {
+                level = level.max(prio_obs::Level::Info);
+                false
+            }
+            "-vv" => {
+                level = level.max(prio_obs::Level::Debug);
+                false
+            }
+            _ => true,
+        })
+        .collect();
+    prio_obs::set_verbosity(level);
+    argv
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -57,14 +96,22 @@ fn print_usage() {
 prio — prioritize DAGMan jobs to keep the number of eligible jobs high
 
 USAGE:
-    prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]\n                    [--mode vars|priority] [--search N]
+    prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]
+                    [--mode vars|priority] [--search N] [--trace-out <file>] [--timings]
     prio schedule   <file.dag> [--fifo | --critical-path | --theoretical]
     prio compare    (<file.dag> | --workload NAME [--scale F])
     prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
     prio simulate   (<file.dag> | --workload NAME [--scale F])
                     [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S] [--threads T]
+                    [--trace-out <file>] [--timings]
     prio stats      (<file.dag> | --workload NAME [--scale F])
     prio help
+
+GLOBAL FLAGS:
+    -v, --verbose   print a phase-timing footer to stderr (-vv adds counters);
+                    the PRIO_LOG env var (off|info|debug) sets the same levels
+    --timings       print the phase-timing footer regardless of verbosity
+    --trace-out F   write structured JSONL events/spans/counters to F
 
 SUBCOMMANDS:
     instrument  parse a DAGMan file, compute the PRIO schedule, write back

@@ -34,7 +34,11 @@ fn instrument_writes_fig3_priorities() {
     std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
     std::fs::write(dir.join("c.submit"), "universe = vanilla\nqueue\n").unwrap();
     let out = prio(&["instrument", "IV.dag"], &dir);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let instrumented = std::fs::read_to_string(dir.join("IV.prio.dag")).unwrap();
     assert!(instrumented.contains("VARS c jobpriority=\"5\""));
     assert!(instrumented.contains("VARS e jobpriority=\"1\""));
@@ -59,7 +63,10 @@ fn schedule_prints_prio_order() {
     let out = prio(&["schedule", "IV.dag"], &dir);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).unwrap();
-    let names: Vec<&str> = stdout.lines().map(|l| l.split('\t').next().unwrap()).collect();
+    let names: Vec<&str> = stdout
+        .lines()
+        .map(|l| l.split('\t').next().unwrap())
+        .collect();
     assert_eq!(names, vec!["c", "a", "b", "d", "e"]);
 }
 
@@ -90,7 +97,11 @@ fn generate_then_instrument_roundtrip() {
         &["generate", "airsn", "--width", "5", "--output", "airsn.dag"],
         &dir,
     );
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = prio(&["instrument", "airsn.dag", "--output", "out.dag"], &dir);
     assert!(out.status.success());
     let text = std::fs::read_to_string(dir.join("out.dag")).unwrap();
@@ -113,12 +124,27 @@ fn simulate_smoke() {
     let dir = tempdir("simulate");
     let out = prio(
         &[
-            "simulate", "--workload", "airsn", "--scale", "0.04", "--mu-bit", "1",
-            "--mu-bs", "8", "--p", "4", "--q", "3",
+            "simulate",
+            "--workload",
+            "airsn",
+            "--scale",
+            "0.04",
+            "--mu-bit",
+            "1",
+            "--mu-bs",
+            "8",
+            "--p",
+            "4",
+            "--q",
+            "3",
         ],
         &dir,
     );
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("execution_time"));
     assert!(stdout.contains("utilization"));

@@ -66,11 +66,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn test_dag() -> Dag {
-        Dag::from_arcs(
-            8,
-            &[(0, 2), (1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (0, 7)],
-        )
-        .unwrap()
+        Dag::from_arcs(8, &[(0, 2), (1, 2), (2, 3), (3, 4), (1, 5), (5, 6), (0, 7)]).unwrap()
     }
 
     #[test]

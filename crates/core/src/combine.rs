@@ -44,7 +44,12 @@ pub enum CombineEngine {
 /// eligibility profile `profiles[i]`. Returns the execution order of
 /// component indices (a linear extension of `superdag`).
 pub fn combine(superdag: &Dag, profiles: &[Vec<usize>], engine: CombineEngine) -> Vec<usize> {
-    assert_eq!(superdag.num_nodes(), profiles.len(), "one profile per supernode");
+    assert_eq!(
+        superdag.num_nodes(),
+        profiles.len(),
+        "one profile per supernode"
+    );
+    let _span = prio_obs::span("combine");
     match engine {
         CombineEngine::Naive => combine_naive(superdag, profiles),
         CombineEngine::ClassHeap => combine_class_heap(superdag, profiles),
@@ -54,8 +59,7 @@ pub fn combine(superdag: &Dag, profiles: &[Vec<usize>], engine: CombineEngine) -
 fn combine_naive(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
     let n = superdag.num_nodes();
     let mut indeg: Vec<usize> = superdag.node_ids().map(|u| superdag.in_degree(u)).collect();
-    let mut sources: BTreeSet<usize> =
-        superdag.sources().map(|u| u.index()).collect();
+    let mut sources: BTreeSet<usize> = superdag.sources().map(|u| u.index()).collect();
     let mut order = Vec::with_capacity(n);
     while !sources.is_empty() {
         // p_i = min over other sources j of priority(i over j); a lone
@@ -104,7 +108,10 @@ fn combine_class_heap(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
     // deterministic.
     let mut members: BTreeMap<ProfileClass, BTreeSet<usize>> = BTreeMap::new();
     for u in superdag.sources() {
-        members.entry(class_of[u.index()]).or_default().insert(u.index());
+        members
+            .entry(class_of[u.index()])
+            .or_default()
+            .insert(u.index());
     }
     // Cached per-class worst-case priorities, valid as long as the set of
     // distinct classes present (with count-1 vs count-many distinction)
@@ -147,7 +154,9 @@ fn combine_class_heap(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
             }
         }
         let (_, chosen, chosen_class) = best.expect("members non-empty");
-        let set = members.get_mut(&chosen_class).expect("chosen class present");
+        let set = members
+            .get_mut(&chosen_class)
+            .expect("chosen class present");
         set.remove(&chosen);
         let class_vanished = set.is_empty();
         if class_vanished {
@@ -172,6 +181,9 @@ fn combine_class_heap(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
         }
     }
     debug_assert_eq!(order.len(), n, "superdag is acyclic");
+    prio_obs::counter("core.profile_classes").add(interner.num_classes() as u64);
+    prio_obs::counter("core.priority_cache_hits").add(cache.hits as u64);
+    prio_obs::counter("core.priority_cache_misses").add(cache.misses as u64);
     order
 }
 
@@ -216,12 +228,7 @@ mod tests {
     fn mixed_classes_and_dependencies() {
         // 0 -> 2, 1 -> 3; profiles make 1 (expansive) beat 0 (flat).
         let superdag = Dag::from_arcs(4, &[(0, 2), (1, 3)]).unwrap();
-        let profiles = vec![
-            vec![1, 1],
-            vec![1, 3],
-            vec![1, 2],
-            vec![1, 1],
-        ];
+        let profiles = vec![vec![1, 1], vec![1, 3], vec![1, 2], vec![1, 1]];
         let order = check_both(&superdag, &profiles);
         assert_eq!(order[0], 1, "expansive root first");
         // All four appear exactly once.

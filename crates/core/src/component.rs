@@ -70,9 +70,6 @@ impl Component {
 
     /// The component's sinks (original ids, local index order).
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.local
-            .sinks()
-            .map(|s| self.map.to_super(s))
-            .collect()
+        self.local.sinks().map(|s| self.map.to_super(s)).collect()
     }
 }

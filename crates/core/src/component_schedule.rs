@@ -106,7 +106,10 @@ mod tests {
         let (dag, _) = crate::families::w_dag(3, 2);
         let part = single_part(&dag);
         let (order, source, profile) = schedule_part(&dag, &part, 0);
-        assert!(matches!(source, ScheduleSource::Catalog(Family::W { s: 3, d: 2 })));
+        assert!(matches!(
+            source,
+            ScheduleSource::Catalog(Family::W { s: 3, d: 2 })
+        ));
         assert_eq!(order.len(), 3);
         // (3,2)-W profile: 3 sources, then +1 net per source executed.
         assert_eq!(profile, vec![3, 3, 3, 4]);
@@ -127,11 +130,7 @@ mod tests {
         // Bipartite but irregular: u0 with 3 children, u1 with 1, u2 with
         // 2; u0 shares a child with u1 and u2 so the block is connected
         // and unrecognized.
-        let dag = Dag::from_arcs(
-            7,
-            &[(0, 3), (0, 4), (0, 5), (1, 4), (2, 5), (2, 6)],
-        )
-        .unwrap();
+        let dag = Dag::from_arcs(7, &[(0, 3), (0, 4), (0, 5), (1, 4), (2, 5), (2, 6)]).unwrap();
         let part = single_part(&dag);
         let (order, source, _) = schedule_part(&dag, &part, 0);
         assert_eq!(source, ScheduleSource::OutDegreeHeuristic);
@@ -144,11 +143,7 @@ mod tests {
         // Non-bipartite component forced via the general path: internal
         // node 2 must come after its parent 1 despite a big out-degree.
         // (See decompose tests for why this dag defeats the fast path.)
-        let dag = Dag::from_arcs(
-            6,
-            &[(0, 4), (2, 4), (1, 2), (1, 5), (3, 5), (0, 3)],
-        )
-        .unwrap();
+        let dag = Dag::from_arcs(6, &[(0, 4), (2, 4), (1, 2), (1, 5), (3, 5), (0, 3)]).unwrap();
         let dec = decompose(&dag, DecomposeOptions::default());
         assert_eq!(dec.parts.len(), 1, "entangled dag collapses to one part");
         let part = dec.parts.into_iter().next().unwrap();

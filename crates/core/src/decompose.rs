@@ -115,6 +115,7 @@ pub struct Decomposition {
 /// Decomposes `g` (assumed shortcut-free; the caller runs the transitive
 /// reduction first) into components plus a superdag.
 pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
+    let _span = prio_obs::span("decompose");
     let n = g.num_nodes();
     let mut alive = vec![true; n];
     let mut alive_indeg: Vec<usize> = g.node_ids().map(|u| g.in_degree(u)).collect();
@@ -154,7 +155,10 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
     }
 
     while remaining > 0 {
-        debug_assert!(!source_set.is_empty(), "non-empty remnant must have a source");
+        debug_assert!(
+            !source_set.is_empty(),
+            "non-empty remnant must have a source"
+        );
         let mut via_fast_path = false;
         let mut block: Option<Vec<NodeId>> = None;
 
@@ -196,9 +200,7 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
                     let c = closure(g, &alive, &alive_indeg, s, &mut stamp_of, stamp);
                     let better = match &best {
                         None => true,
-                        Some((size, seed, _)) => {
-                            c.len() < *size || (c.len() == *size && s < *seed)
-                        }
+                        Some((size, seed, _)) => c.len() < *size || (c.len() == *size && s < *seed),
                     };
                     if better {
                         best = Some((c.len(), s, c));
@@ -244,7 +246,14 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
             }
         }
         let bipartite = is_bipartite_dag(&local);
-        parts.push(Part { nodes, local, map, bipartite, via_fast_path, removed });
+        parts.push(Part {
+            nodes,
+            local,
+            map,
+            bipartite,
+            via_fast_path,
+            removed,
+        });
     }
 
     // Build the superdag as the quotient of g by comp_removed.
@@ -262,7 +271,14 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
     }
     let superdag = sb.build().expect("detach order is a topological witness");
 
-    Decomposition { parts, superdag, comp_removed, general_search_iterations }
+    prio_obs::counter("core.components_detached").add(parts.len() as u64);
+    prio_obs::counter("core.general_search_iterations").add(general_search_iterations as u64);
+    Decomposition {
+        parts,
+        superdag,
+        comp_removed,
+        general_search_iterations,
+    }
 }
 
 /// Why a bipartite-block attempt failed: the sources visited before the
@@ -305,7 +321,10 @@ fn bipartite_block(
             for &p in g.parents(w) {
                 if alive[p.index()] {
                     if alive_indeg[p.index()] != 0 {
-                        return Err(BlockFailure { visited_sources, blocker: p });
+                        return Err(BlockFailure {
+                            visited_sources,
+                            blocker: p,
+                        });
                     }
                     if stamp_of[p.index()] != stamp {
                         stamp_of[p.index()] = stamp;
@@ -378,7 +397,11 @@ mod tests {
                 removed_by[u.index()] = i;
             }
             for u in part.nonsinks() {
-                assert_eq!(nonsink_owner[u.index()], usize::MAX, "{u:?} scheduled twice");
+                assert_eq!(
+                    nonsink_owner[u.index()],
+                    usize::MAX,
+                    "{u:?} scheduled twice"
+                );
                 nonsink_owner[u.index()] = i;
             }
         }
@@ -386,9 +409,17 @@ mod tests {
             assert_ne!(removed_by[u.index()], usize::MAX, "{u:?} never removed");
             assert_eq!(removed_by[u.index()], dec.comp_removed[u.index()]);
             if !g.is_sink(u) {
-                assert_ne!(nonsink_owner[u.index()], usize::MAX, "non-sink {u:?} unscheduled");
+                assert_ne!(
+                    nonsink_owner[u.index()],
+                    usize::MAX,
+                    "non-sink {u:?} unscheduled"
+                );
             } else {
-                assert_eq!(nonsink_owner[u.index()], usize::MAX, "sink {u:?} scheduled early");
+                assert_eq!(
+                    nonsink_owner[u.index()],
+                    usize::MAX,
+                    "sink {u:?} scheduled early"
+                );
             }
         }
         // Superdag arcs all point forward in detach order.
@@ -467,7 +498,16 @@ mod tests {
         // block decomposition there).
         let g = Dag::from_arcs(
             7,
-            &[(0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let with = decompose(&g, DecomposeOptions { fast_path: true });

@@ -27,8 +27,7 @@ pub struct EligibilityTracker<'a> {
 impl<'a> EligibilityTracker<'a> {
     /// Creates a tracker with no job executed; every source is eligible.
     pub fn new(dag: &'a Dag) -> Self {
-        let missing_parents: Vec<u32> =
-            dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
+        let missing_parents: Vec<u32> = dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
         let eligible_count = missing_parents.iter().filter(|&&m| m == 0).count();
         EligibilityTracker {
             dag,
@@ -75,7 +74,10 @@ impl<'a> EligibilityTracker<'a> {
 
     /// The currently eligible jobs, in index order.
     pub fn eligible_jobs(&self) -> Vec<NodeId> {
-        self.dag.node_ids().filter(|&u| self.is_eligible(u)).collect()
+        self.dag
+            .node_ids()
+            .filter(|&u| self.is_eligible(u))
+            .collect()
     }
 
     /// Executes `u`, returning the children that became eligible (in index
@@ -141,10 +143,7 @@ pub fn partial_eligibility_profile(dag: &Dag, prefix: &[NodeId]) -> Vec<usize> {
 /// the O(n + arcs)-per-call oracle used to cross-check the tracker in tests.
 pub fn eligible_count_naive(dag: &Dag, executed: &[bool]) -> usize {
     dag.node_ids()
-        .filter(|&u| {
-            !executed[u.index()]
-                && dag.parents(u).iter().all(|p| executed[p.index()])
-        })
+        .filter(|&u| !executed[u.index()] && dag.parents(u).iter().all(|p| executed[p.index()]))
         .count()
 }
 
@@ -219,17 +218,32 @@ mod tests {
     fn tracker_matches_naive_oracle() {
         let d = Dag::from_arcs(
             8,
-            &[(0, 3), (1, 3), (1, 4), (2, 4), (3, 5), (4, 6), (5, 7), (6, 7)],
+            &[
+                (0, 3),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 7),
+            ],
         )
         .unwrap();
         let order = prio_graph::topo::topo_order(&d);
         let mut tracker = EligibilityTracker::new(&d);
         let mut executed = vec![false; d.num_nodes()];
-        assert_eq!(tracker.eligible_count(), eligible_count_naive(&d, &executed));
+        assert_eq!(
+            tracker.eligible_count(),
+            eligible_count_naive(&d, &executed)
+        );
         for &u in &order {
             tracker.execute(u);
             executed[u.index()] = true;
-            assert_eq!(tracker.eligible_count(), eligible_count_naive(&d, &executed));
+            assert_eq!(
+                tracker.eligible_count(),
+                eligible_count_naive(&d, &executed)
+            );
         }
         assert!(tracker.is_complete());
     }

@@ -116,7 +116,9 @@ pub fn w_dag(s: usize, d: usize) -> (Dag, Vec<NodeId>) {
     let num_sinks = s * (d - 1) + 1;
     let mut b = DagBuilder::with_capacity(s + num_sinks, s * d);
     let sources: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("u{i}"))).collect();
-    let sinks: Vec<NodeId> = (0..num_sinks).map(|i| b.add_node(format!("v{i}"))).collect();
+    let sinks: Vec<NodeId> = (0..num_sinks)
+        .map(|i| b.add_node(format!("v{i}")))
+        .collect();
     for (i, &u) in sources.iter().enumerate() {
         for j in 0..d {
             b.add_arc(u, sinks[i * (d - 1) + j]).expect("w-dag arc");
@@ -136,7 +138,9 @@ pub fn m_dag(s: usize, d: usize) -> (Dag, Vec<NodeId>) {
     assert!(d >= 2, "M-dag sinks have in-degree >= 2");
     let num_sources = s * (d - 1) + 1;
     let mut b = DagBuilder::with_capacity(num_sources + s, s * d);
-    let sources: Vec<NodeId> = (0..num_sources).map(|i| b.add_node(format!("u{i}"))).collect();
+    let sources: Vec<NodeId> = (0..num_sources)
+        .map(|i| b.add_node(format!("u{i}")))
+        .collect();
     let sinks: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("w{i}"))).collect();
     for (i, &w) in sinks.iter().enumerate() {
         for j in 0..d {
@@ -179,7 +183,8 @@ pub fn cycle_dag(d: usize) -> (Dag, Vec<NodeId>) {
     let sinks: Vec<NodeId> = (0..d).map(|i| b.add_node(format!("v{i}"))).collect();
     for i in 0..d {
         b.add_arc(sources[i], sinks[i]).expect("cycle arc");
-        b.add_arc(sources[i], sinks[(i + 1) % d]).expect("cycle arc");
+        b.add_arc(sources[i], sinks[(i + 1) % d])
+            .expect("cycle arc");
     }
     (b.build().expect("cycle-dag is acyclic"), sources)
 }

@@ -63,7 +63,16 @@ mod tests {
     fn fifo_covers_every_job_exactly_once() {
         let dag = Dag::from_arcs(
             9,
-            &[(0, 3), (1, 3), (1, 4), (2, 4), (3, 5), (4, 6), (5, 7), (6, 8)],
+            &[
+                (0, 3),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 8),
+            ],
         )
         .unwrap();
         let fifo = fifo_schedule(&dag);

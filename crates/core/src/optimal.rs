@@ -103,10 +103,7 @@ pub fn max_coverage_curve(dag: &Dag) -> Option<Vec<usize>> {
     let mut maxcov = vec![0usize; s + 1];
     for subset in 0u32..(1u32 << s) {
         let x = subset.count_ones() as usize;
-        let covered = sink_masks
-            .iter()
-            .filter(|&&m| m & !subset == 0)
-            .count();
+        let covered = sink_masks.iter().filter(|&&m| m & !subset == 0).count();
         maxcov[x] = maxcov[x].max(covered);
     }
     Some(maxcov)
@@ -194,9 +191,8 @@ pub fn find_ic_optimal_source_order(dag: &Dag) -> Option<Vec<NodeId>> {
         })
         .collect();
     // covered(subset) helper — O(#sinks) per call; fine at this size.
-    let covered = |subset: u32| -> usize {
-        sink_masks.iter().filter(|&&m| m & !subset == 0).count()
-    };
+    let covered =
+        |subset: u32| -> usize { sink_masks.iter().filter(|&&m| m & !subset == 0).count() };
     // DFS over prefixes; memoize failed subsets (a subset that cannot be
     // extended to a full IC-optimal order fails regardless of its order).
     let mut dead: HashSet<u32> = HashSet::new();
@@ -350,7 +346,19 @@ mod tests {
         // 0 -> {4,8}, 1 -> {4,6,7}, 2 -> {4,5,7,9}, 3 -> {5,9}.
         let d = Dag::from_arcs(
             10,
-            &[(0, 4), (0, 8), (1, 4), (1, 6), (1, 7), (2, 4), (2, 5), (2, 7), (2, 9), (3, 5), (3, 9)],
+            &[
+                (0, 4),
+                (0, 8),
+                (1, 4),
+                (1, 6),
+                (1, 7),
+                (2, 4),
+                (2, 5),
+                (2, 7),
+                (2, 9),
+                (3, 5),
+                (3, 9),
+            ],
         )
         .unwrap();
         let order = find_ic_optimal_source_order(&d).expect("an optimal order exists");

@@ -16,7 +16,7 @@ use crate::component::{Component, ScheduleSource};
 use crate::component_schedule::schedule_part;
 use crate::decompose::{decompose, DecomposeOptions, Decomposition};
 use crate::schedule::Schedule;
-use prio_graph::reduction::{shortcut_arcs, remove_arcs};
+use prio_graph::reduction::{remove_arcs, shortcut_arcs};
 use prio_graph::{Dag, NodeId};
 use std::collections::BTreeMap;
 
@@ -96,6 +96,7 @@ impl Prioritizer {
         // Step 1: shortcut removal. Node ids are preserved, so schedules on
         // the reduced dag are schedules on the original.
         let shortcuts = shortcut_arcs(dag);
+        prio_obs::counter("graph.shortcut_arcs_removed").add(shortcuts.len() as u64);
         let reduced = if shortcuts.is_empty() {
             dag.clone()
         } else {
@@ -103,8 +104,12 @@ impl Prioritizer {
         };
 
         // Step 2: decomposition.
-        let Decomposition { parts, superdag, comp_removed: _, general_search_iterations } =
-            decompose(&reduced, self.opts.decompose);
+        let Decomposition {
+            parts,
+            superdag,
+            comp_removed: _,
+            general_search_iterations,
+        } = decompose(&reduced, self.opts.decompose);
 
         // Step 3: per-component schedules and profiles.
         let mut stats = PrioStats {
@@ -114,6 +119,7 @@ impl Prioritizer {
             ..PrioStats::default()
         };
         let mut components: Vec<Component> = Vec::with_capacity(parts.len());
+        let schedule_span = prio_obs::span("schedule");
         for (i, part) in parts.into_iter().enumerate() {
             if part.bipartite {
                 stats.num_bipartite += 1;
@@ -130,24 +136,32 @@ impl Prioritizer {
             }
             components.push(part.into_component(i, order, source, profile));
         }
+        drop(schedule_span);
 
         // Steps 4–6: greedy combine over the superdag.
-        let profiles: Vec<Vec<usize>> =
-            components.iter().map(|c| c.profile.clone()).collect();
+        let profiles: Vec<Vec<usize>> = components.iter().map(|c| c.profile.clone()).collect();
         let component_order = combine(&superdag, &profiles, self.opts.engine);
 
         // Emit: non-sinks per component in greedy order, then every sink of
         // G in index order (the paper executes sinks "in arbitrary order";
         // index order matches the Fig. 3 output and is deterministic).
+        let assign_span = prio_obs::span("assign");
         let mut order: Vec<NodeId> = Vec::with_capacity(dag.num_nodes());
         for &ci in &component_order {
             order.extend_from_slice(&components[ci].nonsink_schedule);
         }
         order.extend(dag.sinks());
-        let schedule = Schedule::new(dag, order)
-            .expect("PRIO pipeline must produce a linear extension");
+        let schedule =
+            Schedule::new(dag, order).expect("PRIO pipeline must produce a linear extension");
+        drop(assign_span);
 
-        PrioResult { schedule, components, superdag, component_order, stats }
+        PrioResult {
+            schedule,
+            components,
+            superdag,
+            component_order,
+            stats,
+        }
     }
 }
 
@@ -234,7 +248,16 @@ mod tests {
     fn both_engines_and_paths_agree() {
         let dag = Dag::from_arcs(
             7,
-            &[(0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 6), (5, 6)],
+            &[
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 6),
+            ],
         )
         .unwrap();
         let default = prioritize(&dag);
@@ -251,7 +274,17 @@ mod tests {
     fn prio_never_below_fifo_on_block_compositions() {
         let dag = Dag::from_arcs(
             9,
-            &[(0, 3), (0, 4), (1, 4), (1, 5), (2, 5), (3, 6), (4, 6), (5, 7), (5, 8)],
+            &[
+                (0, 3),
+                (0, 4),
+                (1, 4),
+                (1, 5),
+                (2, 5),
+                (3, 6),
+                (4, 6),
+                (5, 7),
+                (5, 8),
+            ],
         )
         .unwrap();
         let prio = prioritize(&dag).schedule;

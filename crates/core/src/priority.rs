@@ -73,7 +73,12 @@ impl PriorityCache {
 
     /// The priority of class `a` over class `b`, computing and caching on
     /// first use.
-    pub fn priority(&mut self, interner: &ProfileInterner, a: ProfileClass, b: ProfileClass) -> f64 {
+    pub fn priority(
+        &mut self,
+        interner: &ProfileInterner,
+        a: ProfileClass,
+        b: ProfileClass,
+    ) -> f64 {
         if let Some(&p) = self.cache.get(&(a, b)) {
             self.hits += 1;
             return p;

@@ -32,13 +32,18 @@ pub fn recognize(dag: &Dag) -> Option<(Family, Vec<NodeId>)> {
 }
 
 /// Complete bipartite `K_{s,t}`: every source adjacent to every sink.
-fn recognize_clique(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+fn recognize_clique(
+    dag: &Dag,
+    sources: &[NodeId],
+    sinks: &[NodeId],
+) -> Option<(Family, Vec<NodeId>)> {
     let t = sinks.len();
-    if sources.iter().all(|&u| dag.out_degree(u) == t)
-        && dag.num_arcs() == sources.len() * t
-    {
+    if sources.iter().all(|&u| dag.out_degree(u) == t) && dag.num_arcs() == sources.len() * t {
         Some((
-            Family::Clique { s: sources.len(), t },
+            Family::Clique {
+                s: sources.len(),
+                t,
+            },
             sources.to_vec(),
         ))
     } else {
@@ -58,7 +63,10 @@ fn recognize_w(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Famil
     if sinks.len() != s * (d - 1) + 1 {
         return None;
     }
-    if sinks.iter().any(|&v| dag.in_degree(v) > 2 || dag.in_degree(v) == 0) {
+    if sinks
+        .iter()
+        .any(|&v| dag.in_degree(v) > 2 || dag.in_degree(v) == 0)
+    {
         return None;
     }
     if s == 1 {
@@ -82,7 +90,10 @@ fn recognize_m(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Famil
     if sources.len() != s * (d - 1) + 1 {
         return None;
     }
-    if sources.iter().any(|&u| dag.out_degree(u) > 2 || dag.out_degree(u) == 0) {
+    if sources
+        .iter()
+        .any(|&u| dag.out_degree(u) > 2 || dag.out_degree(u) == 0)
+    {
         return None;
     }
     let sink_order = if s == 1 {
@@ -139,7 +150,11 @@ fn recognize_n(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Famil
 
 /// `d`-Cycle-dag: the underlying undirected graph is a single cycle of
 /// length `2d`, alternating sources (out-degree 2) and sinks (in-degree 2).
-fn recognize_cycle(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(Family, Vec<NodeId>)> {
+fn recognize_cycle(
+    dag: &Dag,
+    sources: &[NodeId],
+    sinks: &[NodeId],
+) -> Option<(Family, Vec<NodeId>)> {
     let d = sources.len();
     if d < 3 || sinks.len() != d {
         return None;
@@ -173,7 +188,11 @@ fn recognize_cycle(dag: &Dag, sources: &[NodeId], sinks: &[NodeId]) -> Option<(F
 
 /// Undirected neighbors of `u` (children + parents; disjoint in a DAG).
 fn neighbors(dag: &Dag, u: NodeId) -> Vec<NodeId> {
-    dag.children(u).iter().chain(dag.parents(u)).copied().collect()
+    dag.children(u)
+        .iter()
+        .chain(dag.parents(u))
+        .copied()
+        .collect()
 }
 
 /// If the underlying undirected graph is a simple path, returns its nodes in
@@ -314,7 +333,7 @@ fn sharing_path<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::families::{cycle_dag, m_dag, n_dag, w_dag, clique_dag};
+    use crate::families::{clique_dag, cycle_dag, m_dag, n_dag, w_dag};
     use crate::optimal::is_source_order_ic_optimal;
 
     /// Relabel a dag's nodes by a rotation permutation to make sure the
@@ -326,7 +345,8 @@ mod tests {
     }
 
     fn assert_recognized(dag: &Dag, expect: Family) {
-        let (fam, order) = recognize(dag).unwrap_or_else(|| panic!("{} not recognized", expect.name()));
+        let (fam, order) =
+            recognize(dag).unwrap_or_else(|| panic!("{} not recognized", expect.name()));
         assert_eq!(fam, expect);
         assert_eq!(
             is_source_order_ic_optimal(dag, &order),
@@ -410,11 +430,7 @@ mod tests {
     fn rejects_irregular_bipartite() {
         // Bipartite but no family: source degrees 2 and 3 with a sink of
         // in-degree 3.
-        let d = Dag::from_arcs(
-            6,
-            &[(0, 3), (0, 4), (1, 3), (1, 4), (1, 5), (2, 3)],
-        )
-        .unwrap();
+        let d = Dag::from_arcs(6, &[(0, 3), (0, 4), (1, 3), (1, 4), (1, 5), (2, 3)]).unwrap();
         assert!(recognize(&d).is_none());
     }
 

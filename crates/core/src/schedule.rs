@@ -98,7 +98,10 @@ impl Schedule {
 pub fn profile_difference(dag: &Dag, a: &Schedule, b: &Schedule) -> Vec<i64> {
     let pa = a.eligibility_profile(dag);
     let pb = b.eligibility_profile(dag);
-    pa.iter().zip(&pb).map(|(&x, &y)| x as i64 - y as i64).collect()
+    pa.iter()
+        .zip(&pb)
+        .map(|(&x, &y)| x as i64 - y as i64)
+        .collect()
 }
 
 #[cfg(test)]

@@ -67,16 +67,25 @@ impl std::fmt::Display for TheoreticalFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TheoreticalFailure::DecompositionFailed { component } => {
-                write!(f, "decomposition failed: component {component} is not a bipartite building block")
+                write!(
+                    f,
+                    "decomposition failed: component {component} is not a bipartite building block"
+                )
             }
             TheoreticalFailure::NoOptimalSchedule { component } => {
-                write!(f, "no IC-optimal schedule found for building block {component}")
+                write!(
+                    f,
+                    "no IC-optimal schedule found for building block {component}"
+                )
             }
             TheoreticalFailure::Incomparable { i, j } => {
                 write!(f, "building blocks {i} and {j} are ⊵-incomparable")
             }
             TheoreticalFailure::PriorityViolation { parent, child } => {
-                write!(f, "superdag requires block {parent} before {child} but {parent} ⊵ {child} fails")
+                write!(
+                    f,
+                    "superdag requires block {parent} before {child} but {parent} ⊵ {child} fails"
+                )
             }
         }
     }
@@ -153,7 +162,10 @@ pub fn theoretical_schedule(dag: &Dag) -> Result<TheoreticalResult, TheoreticalF
     for (u, v) in dec.superdag.arcs() {
         let (p, c) = (u.index(), v.index());
         if !prior[p][c] {
-            return Err(TheoreticalFailure::PriorityViolation { parent: p, child: c });
+            return Err(TheoreticalFailure::PriorityViolation {
+                parent: p,
+                child: c,
+            });
         }
     }
 
@@ -186,9 +198,12 @@ pub fn theoretical_schedule(dag: &Dag) -> Result<TheoreticalResult, TheoreticalF
         order.extend_from_slice(&block_orders[b]);
     }
     order.extend(dag.sinks());
-    let schedule = Schedule::new(dag, order)
-        .expect("theoretical composition is a linear extension");
-    Ok(TheoreticalResult { schedule, block_order })
+    let schedule =
+        Schedule::new(dag, order).expect("theoretical composition is a linear extension");
+    Ok(TheoreticalResult {
+        schedule,
+        block_order,
+    })
 }
 
 #[cfg(test)]
@@ -206,15 +221,17 @@ mod tests {
             Some(true)
         );
         let heur = prioritize(&dag);
-        assert_eq!(theo.schedule, heur.schedule, "heuristic agrees when theory works");
+        assert_eq!(
+            theo.schedule, heur.schedule,
+            "heuristic agrees when theory works"
+        );
     }
 
     #[test]
     fn catalog_families_succeed() {
         for fam in crate::families::Family::fig2_catalog() {
             let (dag, _) = fam.instantiate();
-            let theo = theoretical_schedule(&dag)
-                .unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
+            let theo = theoretical_schedule(&dag).unwrap_or_else(|e| panic!("{}: {e}", fam.name()));
             assert_eq!(
                 is_ic_optimal(&dag, theo.schedule.order(), DEFAULT_STATE_LIMIT),
                 Some(true),
@@ -264,7 +281,11 @@ mod tests {
             TheoreticalFailure::DecompositionFailed { component: 1 }.to_string(),
             TheoreticalFailure::NoOptimalSchedule { component: 2 }.to_string(),
             TheoreticalFailure::Incomparable { i: 0, j: 1 }.to_string(),
-            TheoreticalFailure::PriorityViolation { parent: 0, child: 1 }.to_string(),
+            TheoreticalFailure::PriorityViolation {
+                parent: 0,
+                child: 1,
+            }
+            .to_string(),
         ];
         assert!(msgs.iter().all(|m| !m.is_empty()));
     }

@@ -2,7 +2,9 @@
 //! the recognizers and the eligibility engine, on randomly generated
 //! bipartite blocks.
 
-use prio_core::eligibility::{eligible_count_naive, partial_eligibility_profile, EligibilityTracker};
+use prio_core::eligibility::{
+    eligible_count_naive, partial_eligibility_profile, EligibilityTracker,
+};
 use prio_core::optimal::{find_ic_optimal_source_order, is_source_order_ic_optimal};
 use prio_core::priority::{has_priority_over, priority_over};
 use prio_core::recognize::recognize;

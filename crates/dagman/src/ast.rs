@@ -67,7 +67,11 @@ impl fmt::Display for Statement {
         match self {
             Statement::Blank => Ok(()),
             Statement::Comment(text) => write!(f, "{text}"),
-            Statement::Job { name, submit_file, options } => {
+            Statement::Job {
+                name,
+                submit_file,
+                options,
+            } => {
                 write!(f, "JOB {name} {submit_file}")?;
                 for o in options {
                     write!(f, " {o}")?;
@@ -75,7 +79,12 @@ impl fmt::Display for Statement {
                 Ok(())
             }
             Statement::ParentChild { parents, children } => {
-                write!(f, "PARENT {} CHILD {}", parents.join(" "), children.join(" "))
+                write!(
+                    f,
+                    "PARENT {} CHILD {}",
+                    parents.join(" "),
+                    children.join(" ")
+                )
             }
             Statement::Vars { job, pairs } => {
                 write!(f, "VARS {job}")?;
@@ -150,9 +159,9 @@ impl DagmanFile {
     /// The submit file declared for `job`, if any.
     pub fn submit_file(&self, job: &str) -> Option<&str> {
         self.statements.iter().find_map(|s| match s {
-            Statement::Job { name, submit_file, .. } if name == job => {
-                Some(submit_file.as_str())
-            }
+            Statement::Job {
+                name, submit_file, ..
+            } if name == job => Some(submit_file.as_str()),
             _ => None,
         })
     }
@@ -172,7 +181,10 @@ impl DagmanFile {
                 _ => continue,
             };
             if ids.contains_key(name.as_str()) {
-                return Err(DagmanError::DuplicateJob { line: 0, job: name.clone() });
+                return Err(DagmanError::DuplicateJob {
+                    line: 0,
+                    job: name.clone(),
+                });
             }
             ids.insert(name, b.add_node(name.clone()));
         }
@@ -183,22 +195,36 @@ impl DagmanFile {
                         let (&pu, &cu) = match (ids.get(p.as_str()), ids.get(c.as_str())) {
                             (Some(pu), Some(cu)) => (pu, cu),
                             (None, _) => {
-                                return Err(DagmanError::UnknownJob { line: 0, job: p.clone() })
+                                return Err(DagmanError::UnknownJob {
+                                    line: 0,
+                                    job: p.clone(),
+                                })
                             }
                             (_, None) => {
-                                return Err(DagmanError::UnknownJob { line: 0, job: c.clone() })
+                                return Err(DagmanError::UnknownJob {
+                                    line: 0,
+                                    job: c.clone(),
+                                })
                             }
                         };
-                        b.add_arc(pu, cu).map_err(|_| DagmanError::Cyclic { job: p.clone() })?;
+                        b.add_arc(pu, cu)
+                            .map_err(|_| DagmanError::Cyclic { job: p.clone() })?;
                     }
                 }
             }
         }
         b.build().map_err(|e| match e {
             prio_graph::GraphError::Cycle { on_cycle } => DagmanError::Cyclic {
-                job: self.job_names().get(on_cycle as usize).unwrap_or(&"?").to_string(),
+                job: self
+                    .job_names()
+                    .get(on_cycle as usize)
+                    .unwrap_or(&"?")
+                    .to_string(),
             },
-            other => DagmanError::Malformed { line: 0, message: other.to_string() },
+            other => DagmanError::Malformed {
+                line: 0,
+                message: other.to_string(),
+            },
         })
     }
 
@@ -223,12 +249,35 @@ mod tests {
         DagmanFile {
             statements: vec![
                 Statement::Comment("# Fig. 3 example".into()),
-                Statement::Job { name: "a".into(), submit_file: "a.submit".into(), options: vec![] },
-                Statement::Job { name: "b".into(), submit_file: "b.submit".into(), options: vec![] },
-                Statement::Job { name: "c".into(), submit_file: "c.submit".into(), options: vec![] },
-                Statement::Job { name: "d".into(), submit_file: "d.submit".into(), options: vec![] },
-                Statement::Job { name: "e".into(), submit_file: "e.submit".into(), options: vec![] },
-                Statement::ParentChild { parents: vec!["a".into()], children: vec!["b".into()] },
+                Statement::Job {
+                    name: "a".into(),
+                    submit_file: "a.submit".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "b".into(),
+                    submit_file: "b.submit".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "c".into(),
+                    submit_file: "c.submit".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "d".into(),
+                    submit_file: "d.submit".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "e".into(),
+                    submit_file: "e.submit".into(),
+                    options: vec![],
+                },
+                Statement::ParentChild {
+                    parents: vec!["a".into()],
+                    children: vec!["b".into()],
+                },
                 Statement::ParentChild {
                     parents: vec!["c".into()],
                     children: vec!["d".into(), "e".into()],
@@ -256,10 +305,26 @@ mod tests {
     fn multi_parent_child_expands_to_product() {
         let f = DagmanFile {
             statements: vec![
-                Statement::Job { name: "p1".into(), submit_file: "x".into(), options: vec![] },
-                Statement::Job { name: "p2".into(), submit_file: "x".into(), options: vec![] },
-                Statement::Job { name: "c1".into(), submit_file: "x".into(), options: vec![] },
-                Statement::Job { name: "c2".into(), submit_file: "x".into(), options: vec![] },
+                Statement::Job {
+                    name: "p1".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "p2".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "c1".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "c2".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
                 Statement::ParentChild {
                     parents: vec!["p1".into(), "p2".into()],
                     children: vec!["c1".into(), "c2".into()],
@@ -274,8 +339,15 @@ mod tests {
     fn unknown_job_rejected() {
         let f = DagmanFile {
             statements: vec![
-                Statement::Job { name: "a".into(), submit_file: "x".into(), options: vec![] },
-                Statement::ParentChild { parents: vec!["a".into()], children: vec!["ghost".into()] },
+                Statement::Job {
+                    name: "a".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::ParentChild {
+                    parents: vec!["a".into()],
+                    children: vec!["ghost".into()],
+                },
             ],
         };
         assert!(matches!(f.to_dag(), Err(DagmanError::UnknownJob { .. })));
@@ -285,8 +357,16 @@ mod tests {
     fn duplicate_job_rejected() {
         let f = DagmanFile {
             statements: vec![
-                Statement::Job { name: "a".into(), submit_file: "x".into(), options: vec![] },
-                Statement::Job { name: "a".into(), submit_file: "y".into(), options: vec![] },
+                Statement::Job {
+                    name: "a".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "a".into(),
+                    submit_file: "y".into(),
+                    options: vec![],
+                },
             ],
         };
         assert!(matches!(f.to_dag(), Err(DagmanError::DuplicateJob { .. })));
@@ -296,10 +376,24 @@ mod tests {
     fn cycle_rejected() {
         let f = DagmanFile {
             statements: vec![
-                Statement::Job { name: "a".into(), submit_file: "x".into(), options: vec![] },
-                Statement::Job { name: "b".into(), submit_file: "x".into(), options: vec![] },
-                Statement::ParentChild { parents: vec!["a".into()], children: vec!["b".into()] },
-                Statement::ParentChild { parents: vec!["b".into()], children: vec!["a".into()] },
+                Statement::Job {
+                    name: "a".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::Job {
+                    name: "b".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
+                Statement::ParentChild {
+                    parents: vec!["a".into()],
+                    children: vec!["b".into()],
+                },
+                Statement::ParentChild {
+                    parents: vec!["b".into()],
+                    children: vec!["a".into()],
+                },
             ],
         };
         assert!(matches!(f.to_dag(), Err(DagmanError::Cyclic { .. })));
@@ -309,7 +403,11 @@ mod tests {
     fn vars_lookup_takes_last_definition() {
         let f = DagmanFile {
             statements: vec![
-                Statement::Job { name: "a".into(), submit_file: "x".into(), options: vec![] },
+                Statement::Job {
+                    name: "a".into(),
+                    submit_file: "x".into(),
+                    options: vec![],
+                },
                 Statement::Vars {
                     job: "a".into(),
                     pairs: vec![("jobpriority".into(), "1".into())],

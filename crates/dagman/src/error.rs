@@ -60,9 +60,15 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = DagmanError::Malformed { line: 3, message: "JOB needs a file".into() };
+        let e = DagmanError::Malformed {
+            line: 3,
+            message: "JOB needs a file".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = DagmanError::UnknownJob { line: 9, job: "x".into() };
+        let e = DagmanError::UnknownJob {
+            line: 9,
+            job: "x".into(),
+        };
         assert!(e.to_string().contains("\"x\""));
         let e = DagmanError::Cyclic { job: "a".into() };
         assert!(e.to_string().contains("cycle"));

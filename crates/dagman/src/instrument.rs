@@ -62,10 +62,14 @@ pub fn instrument_dagman_with(
     priorities: &BTreeMap<String, u32>,
     mode: InstrumentMode,
 ) -> Result<(), DagmanError> {
+    let _span = prio_obs::span("write");
     // Verify coverage first.
     for name in file.job_names() {
         if !priorities.contains_key(name) {
-            return Err(DagmanError::UnknownJob { line: 0, job: name.to_string() });
+            return Err(DagmanError::UnknownJob {
+                line: 0,
+                job: name.to_string(),
+            });
         }
     }
     // Update existing definitions in place.
@@ -103,7 +107,10 @@ pub fn instrument_dagman_with(
             if !updated.contains(&name) {
                 let p = priorities[&name];
                 let stmt = if mode == InstrumentMode::PriorityStatement || is_subdag {
-                    Statement::Priority { job: name, value: p as i64 }
+                    Statement::Priority {
+                        job: name,
+                        value: p as i64,
+                    }
                 } else {
                     Statement::Vars {
                         job: name,
@@ -212,7 +219,12 @@ PARENT c CHILD d e
         assert!(text.contains("PRIORITY b 1"));
         assert!(!text.contains("VARS"));
         // Idempotent and updatable.
-        instrument_dagman_with(&mut f, &priorities_by_job(["b", "a"]), InstrumentMode::PriorityStatement).unwrap();
+        instrument_dagman_with(
+            &mut f,
+            &priorities_by_job(["b", "a"]),
+            InstrumentMode::PriorityStatement,
+        )
+        .unwrap();
         let text = write_dagman(&f);
         assert!(text.contains("PRIORITY a 1"));
         assert!(text.contains("PRIORITY b 2"));

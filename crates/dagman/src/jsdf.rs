@@ -18,7 +18,9 @@ impl Jsdf {
     /// Parses a JSDF (line-preserving; Condor submit syntax is forgiving,
     /// so no line is rejected).
     pub fn parse(text: &str) -> Jsdf {
-        Jsdf { lines: text.lines().map(str::to_string).collect() }
+        Jsdf {
+            lines: text.lines().map(str::to_string).collect(),
+        }
     }
 
     /// Serializes the file.
@@ -64,8 +66,7 @@ impl Jsdf {
         }
         let queue_pos = self.lines.iter().position(|l| {
             let t = l.trim();
-            t.eq_ignore_ascii_case("queue")
-                || t.to_ascii_lowercase().starts_with("queue ")
+            t.eq_ignore_ascii_case("queue") || t.to_ascii_lowercase().starts_with("queue ")
         });
         match queue_pos {
             Some(i) => self.lines.insert(i, assignment),
@@ -105,7 +106,10 @@ queue
         let mut j = Jsdf::parse(SAMPLE);
         j.instrument_priority();
         let text = j.to_text();
-        let prio_line = text.lines().position(|l| l == "priority = $(jobpriority)").unwrap();
+        let prio_line = text
+            .lines()
+            .position(|l| l == "priority = $(jobpriority)")
+            .unwrap();
         let queue_line = text.lines().position(|l| l == "queue").unwrap();
         assert!(prio_line < queue_line);
         assert_eq!(j.get("priority"), Some("$(jobpriority)"));

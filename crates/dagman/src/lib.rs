@@ -30,5 +30,7 @@ pub mod write;
 
 pub use ast::{DagmanFile, Statement};
 pub use error::DagmanError;
-pub use instrument::{instrument_dagman, instrument_dagman_with, priorities_by_job, InstrumentMode};
+pub use instrument::{
+    instrument_dagman, instrument_dagman_with, priorities_by_job, InstrumentMode,
+};
 pub use jsdf::Jsdf;

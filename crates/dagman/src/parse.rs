@@ -9,6 +9,7 @@ use crate::error::DagmanError;
 
 /// Parses the text of a DAGMan input file.
 pub fn parse_dagman(text: &str) -> Result<DagmanFile, DagmanError> {
+    let _span = prio_obs::span("parse");
     let mut statements = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
@@ -38,7 +39,11 @@ fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
                 .ok_or_else(|| malformed(line, "JOB requires a submit description file"))?
                 .to_string();
             let options = tokens.map(str::to_string).collect();
-            Ok(Statement::Job { name, submit_file, options })
+            Ok(Statement::Job {
+                name,
+                submit_file,
+                options,
+            })
         }
         "PARENT" => {
             let mut parents = Vec::new();
@@ -137,7 +142,9 @@ fn parse_vars_pairs(s: &str, line: usize) -> Result<Vec<(String, String)>, Dagma
         while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
             chars.next();
         }
-        let Some(&(start, _)) = chars.peek() else { break };
+        let Some(&(start, _)) = chars.peek() else {
+            break;
+        };
         // Key runs until '='.
         let mut key_end = start;
         let mut found_eq = false;
@@ -188,7 +195,10 @@ fn parse_vars_pairs(s: &str, line: usize) -> Result<Vec<(String, String)>, Dagma
 }
 
 fn malformed(line: usize, message: &str) -> DagmanError {
-    DagmanError::Malformed { line, message: message.to_string() }
+    DagmanError::Malformed {
+        line,
+        message: message.to_string(),
+    }
 }
 
 #[cfg(test)]
@@ -226,7 +236,10 @@ PARENT c CHILD d e
         let f = parse_dagman("JOB a a.sub DIR subdir DONE").unwrap();
         match &f.statements[0] {
             Statement::Job { options, .. } => {
-                assert_eq!(options, &vec!["DIR".to_string(), "subdir".into(), "DONE".into()]);
+                assert_eq!(
+                    options,
+                    &vec!["DIR".to_string(), "subdir".into(), "DONE".into()]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -234,7 +247,8 @@ PARENT c CHILD d e
 
     #[test]
     fn vars_with_quotes_and_escapes() {
-        let f = parse_dagman("JOB a a.sub\nVARS a jobpriority=\"5\" note=\"say \\\"hi\\\"\"").unwrap();
+        let f =
+            parse_dagman("JOB a a.sub\nVARS a jobpriority=\"5\" note=\"say \\\"hi\\\"\"").unwrap();
         assert_eq!(f.vars_value("a", "jobpriority"), Some("5"));
         assert_eq!(f.vars_value("a", "note"), Some("say \"hi\""));
     }
@@ -242,13 +256,17 @@ PARENT c CHILD d e
     #[test]
     fn unknown_keywords_pass_through() {
         let f = parse_dagman("RETRY a 3\nCONFIG dagman.config\nSCRIPT PRE a setup.sh").unwrap();
-        assert!(f.statements.iter().all(|s| matches!(s, Statement::Other(_))));
+        assert!(f
+            .statements
+            .iter()
+            .all(|s| matches!(s, Statement::Other(_))));
     }
 
     #[test]
     fn subdag_external_parses_and_counts_as_node() {
-        let f = parse_dagman("JOB a a.sub\nSUBDAG EXTERNAL inner inner.dag\nPARENT a CHILD inner\n")
-            .unwrap();
+        let f =
+            parse_dagman("JOB a a.sub\nSUBDAG EXTERNAL inner inner.dag\nPARENT a CHILD inner\n")
+                .unwrap();
         assert_eq!(f.job_names(), vec!["a", "inner"]);
         let dag = f.to_dag().unwrap();
         assert_eq!(dag.num_nodes(), 2);

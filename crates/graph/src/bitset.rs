@@ -31,7 +31,11 @@ impl FixedBitSet {
     /// Inserts `i`, returning `true` if it was not already present.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "bit index {i} >= capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit index {i} >= capacity {}",
+            self.capacity
+        );
         let (b, m) = (i / 64, 1u64 << (i % 64));
         let was = self.blocks[b] & m != 0;
         self.blocks[b] |= m;
@@ -82,7 +86,10 @@ impl FixedBitSet {
 
     /// In-place intersection: `self &= other`. Panics if capacities differ.
     pub fn intersect_with(&mut self, other: &FixedBitSet) {
-        assert_eq!(self.capacity, other.capacity, "capacity mismatch in intersect");
+        assert_eq!(
+            self.capacity, other.capacity,
+            "capacity mismatch in intersect"
+        );
         for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
             *a &= b;
         }
@@ -90,12 +97,18 @@ impl FixedBitSet {
 
     /// Whether `self` and `other` share no element.
     pub fn is_disjoint(&self, other: &FixedBitSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     /// Whether every element of `self` is in `other`.
     pub fn is_subset(&self, other: &FixedBitSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the contained indices in increasing order.

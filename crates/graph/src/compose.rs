@@ -13,10 +13,8 @@ use crate::error::GraphError;
 /// Disjoint union of two dags. Nodes of `b` are renumbered after `a`'s;
 /// labels are prefixed (`a.`/`b.`) to stay unique.
 pub fn disjoint_union(a: &Dag, b: &Dag) -> Dag {
-    let mut builder = DagBuilder::with_capacity(
-        a.num_nodes() + b.num_nodes(),
-        a.num_arcs() + b.num_arcs(),
-    );
+    let mut builder =
+        DagBuilder::with_capacity(a.num_nodes() + b.num_nodes(), a.num_arcs() + b.num_arcs());
     for u in a.node_ids() {
         builder.add_node(format!("a.{}", a.label(u)));
     }
@@ -49,13 +47,21 @@ pub fn series(a: &Dag, b: &Dag, identify: &[(NodeId, NodeId)]) -> Result<Dag, Gr
     let mut b_to_a: Vec<Option<NodeId>> = vec![None; b.num_nodes()];
     for &(sa, sb) in identify {
         if sa.index() >= a.num_nodes() || !a.is_sink(sa) {
-            return Err(GraphError::InvalidNode { index: sa.0, len: a.num_nodes() as u32 });
+            return Err(GraphError::InvalidNode {
+                index: sa.0,
+                len: a.num_nodes() as u32,
+            });
         }
         if sb.index() >= b.num_nodes() || !b.is_source(sb) {
-            return Err(GraphError::InvalidNode { index: sb.0, len: b.num_nodes() as u32 });
+            return Err(GraphError::InvalidNode {
+                index: sb.0,
+                len: b.num_nodes() as u32,
+            });
         }
         if seen_a[sa.index()] || b_to_a[sb.index()].is_some() {
-            return Err(GraphError::DuplicateLabel { label: a.label(sa).to_string() });
+            return Err(GraphError::DuplicateLabel {
+                label: a.label(sa).to_string(),
+            });
         }
         seen_a[sa.index()] = true;
         b_to_a[sb.index()] = Some(sa);
@@ -88,8 +94,7 @@ pub fn series(a: &Dag, b: &Dag, identify: &[(NodeId, NodeId)]) -> Result<Dag, Gr
 pub fn series_zip(a: &Dag, b: &Dag) -> Result<Dag, GraphError> {
     let sinks: Vec<NodeId> = a.sinks().collect();
     let sources: Vec<NodeId> = b.sources().collect();
-    let pairs: Vec<(NodeId, NodeId)> =
-        sinks.into_iter().zip(sources).collect();
+    let pairs: Vec<(NodeId, NodeId)> = sinks.into_iter().zip(sources).collect();
     series(a, b, &pairs)
 }
 

@@ -124,7 +124,10 @@ impl Dag {
     /// Finds the node with the given label, if any (linear scan; use a
     /// [`DagBuilder`]'s handle instead when building).
     pub fn find(&self, label: &str) -> Option<NodeId> {
-        self.labels.iter().position(|l| l == label).map(|i| NodeId(i as u32))
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(|i| NodeId(i as u32))
     }
 
     /// Whether the arc `u -> v` is present.
@@ -172,9 +175,17 @@ impl Dag {
         for list in children.iter_mut().chain(parents.iter_mut()) {
             list.sort_unstable();
         }
-        let labels = to_super.iter().map(|&u| self.labels[u.index()].clone()).collect();
+        let labels = to_super
+            .iter()
+            .map(|&u| self.labels[u.index()].clone())
+            .collect();
         (
-            Dag { labels, children, parents, num_arcs },
+            Dag {
+                labels,
+                children,
+                parents,
+                num_arcs,
+            },
             SubgraphMap { to_sub, to_super },
         )
     }
@@ -349,7 +360,10 @@ impl DagBuilder {
         // Kahn's algorithm purely to detect cycles; the sort itself lives in
         // `topo`.
         let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
-        let mut stack: Vec<NodeId> = (0..n as u32).map(NodeId).filter(|u| indeg[u.index()] == 0).collect();
+        let mut stack: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|u| indeg[u.index()] == 0)
+            .collect();
         let mut seen = 0usize;
         while let Some(u) = stack.pop() {
             seen += 1;
@@ -364,7 +378,12 @@ impl DagBuilder {
             let on_cycle = indeg.iter().position(|&d| d > 0).expect("cycle node") as u32;
             return Err(GraphError::Cycle { on_cycle });
         }
-        Ok(Dag { labels: self.labels, children, parents, num_arcs })
+        Ok(Dag {
+            labels: self.labels,
+            children,
+            parents,
+            num_arcs,
+        })
     }
 }
 

@@ -74,7 +74,13 @@ pub fn to_dot(dag: &Dag, opts: &DotOptions) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "G".into()
@@ -113,7 +119,10 @@ mod tests {
         let dot = to_dot(&d, &opts);
         assert!(dot.contains("[2]"), "priority shown in label");
         assert!(dot.contains("penwidth=3"), "framed node is bold");
-        assert!(dot.contains("fillcolor=\"#7f7f7f\""), "max priority is darkest");
+        assert!(
+            dot.contains("fillcolor=\"#7f7f7f\""),
+            "max priority is darkest"
+        );
     }
 
     #[test]

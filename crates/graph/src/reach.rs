@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn descendants_of_root() {
         let d = diamond_plus_tail();
-        let ds: Vec<u32> = descendants(&d, NodeId(0)).into_iter().map(|u| u.0).collect();
+        let ds: Vec<u32> = descendants(&d, NodeId(0))
+            .into_iter()
+            .map(|u| u.0)
+            .collect();
         assert_eq!(ds, vec![1, 2, 3, 4]);
         assert!(descendants(&d, NodeId(4)).is_empty());
     }

@@ -29,6 +29,7 @@ use crate::topo::topo_ranks;
 /// between `u` and its last child in topological order — effectively linear
 /// on the layered scientific workflows of the paper.
 pub fn shortcut_arcs(dag: &Dag) -> Vec<(NodeId, NodeId)> {
+    let _span = prio_obs::span("reduce");
     let n = dag.num_nodes();
     let rank = topo_ranks(dag);
     let mut shortcuts = Vec::new();
@@ -100,6 +101,7 @@ pub fn shortcut_arcs_via_closure(dag: &Dag) -> Vec<(NodeId, NodeId)> {
 /// at least one other incident arc by definition).
 pub fn transitive_reduction(dag: &Dag) -> Dag {
     let shortcuts = shortcut_arcs(dag);
+    prio_obs::counter("graph.shortcut_arcs_removed").add(shortcuts.len() as u64);
     remove_arcs(dag, &shortcuts)
 }
 

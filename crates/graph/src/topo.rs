@@ -6,8 +6,8 @@
 //! produced elsewhere (e.g. by the PRIO heuristic or the FIFO baseline).
 
 use crate::dag::{Dag, NodeId};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Returns a deterministic topological order of `dag`.
 ///

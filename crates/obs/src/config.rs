@@ -1,0 +1,76 @@
+//! Verbosity configuration: the `PRIO_LOG` environment variable and the
+//! CLI's `-v`/`--verbose` flag both funnel into one process-global level.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the observability layer reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No footer, no event logging (the default).
+    Off = 0,
+    /// Phase-timing footer after each command (`-v`, `PRIO_LOG=info`).
+    Info = 1,
+    /// Footer plus counter values (`-vv`, `PRIO_LOG=debug`).
+    Debug = 2,
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Sets the process-global verbosity.
+pub fn set_verbosity(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current process-global verbosity.
+pub fn verbosity() -> Level {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Parses a `PRIO_LOG` value: `0`/`off`, `1`/`info`/`v`, `2`/`debug`.
+/// Unknown values map to [`Level::Info`] (asking for *something* should
+/// never silently disable everything).
+pub fn parse_level(value: &str) -> Level {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "off" | "none" | "false" => Level::Off,
+        "1" | "info" | "v" | "true" | "on" => Level::Info,
+        "2" | "debug" | "vv" | "trace" => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// Initializes verbosity from the `PRIO_LOG` environment variable, if
+/// set. Explicit [`set_verbosity`] calls (CLI flags) should come after
+/// and win.
+pub fn init_from_env() {
+    if let Ok(value) = std::env::var("PRIO_LOG") {
+        set_verbosity(parse_level(&value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(parse_level("off"), Level::Off);
+        assert_eq!(parse_level("0"), Level::Off);
+        assert_eq!(parse_level(""), Level::Off);
+        assert_eq!(parse_level("info"), Level::Info);
+        assert_eq!(parse_level("1"), Level::Info);
+        assert_eq!(parse_level("DEBUG"), Level::Debug);
+        assert_eq!(parse_level(" 2 "), Level::Debug);
+        assert_eq!(parse_level("bogus"), Level::Info);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

@@ -1,0 +1,507 @@
+//! A hand-rolled JSON writer and a minimal parser — enough to emit JSONL
+//! event lines and to validate/replay them, with no external dependency.
+//!
+//! The writer escapes per RFC 8259 (quotes, backslashes, control
+//! characters); non-ASCII passes through as UTF-8, which is valid JSON
+//! and keeps DAGMan job names readable. Non-finite floats serialize as
+//! `null` (JSON has no NaN/Infinity).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Appends the JSON string literal for `s` (including the quotes) to
+/// `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The JSON string literal for `s`.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(s, &mut out);
+    out
+}
+
+/// Appends a JSON number for `v` (or `null` if non-finite).
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's shortest-round-trip Display: parses back bit-identical.
+        let _ = write!(out, "{v}");
+        // `Display` omits the fraction for integral floats; that is still
+        // a valid JSON number.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An in-progress single-line JSON object, appended key by key.
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    /// Starts an object with a `type` discriminator field — every JSONL
+    /// line the sink emits carries one.
+    pub fn typed(kind: &str) -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            empty: true,
+        }
+        .str("type", kind)
+    }
+
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(mut self, key: &str) -> Self {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        write_escaped(key, &mut self.buf);
+        self.buf.push(':');
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let mut obj = self.key(key);
+        write_escaped(value, &mut obj.buf);
+        obj
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        let mut obj = self.key(key);
+        let _ = write!(obj.buf, "{value}");
+        obj
+    }
+
+    /// Appends a float field (`null` if non-finite).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let mut obj = self.key(key);
+        write_f64(value, &mut obj.buf);
+        obj
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        let mut obj = self.key(key);
+        obj.buf.push_str(if value { "true" } else { "false" });
+        obj
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (insertion order not preserved; keyed lookup only).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if numeric and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a JSON object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, JsonValue::Obj(_))
+    }
+}
+
+/// Parses one JSON document. Errors carry a byte offset and message.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by \uXXXX with a low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(code).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape \\{} at byte {}",
+                                other as char, self.pos
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(format!("raw control character at byte {}", self.pos));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "non-ASCII in \\u escape")?;
+        self.pos += 4;
+        u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape {hex:?}: {e}"))
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_edge_cases() {
+        // Quotes, backslashes, and non-ASCII job names straight out of
+        // DAGMan files must survive a write → parse round trip.
+        let cases = [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash and C:\\jobs\\a.submit",
+            "tab\there, newline\nhere",
+            "control \u{01} char",
+            "jöb-ñame-日本語-🧪",
+            "",
+            "\\\"\\", // pathological: backslash, quote, backslash
+        ];
+        for case in cases {
+            let line = JsonObject::typed("t").str("name", case).finish();
+            let parsed = parse(&line).unwrap_or_else(|e| panic!("parse {line:?}: {e}"));
+            assert_eq!(
+                parsed.get("name").and_then(JsonValue::as_str),
+                Some(case),
+                "round trip of {case:?} via {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_objects_carry_the_discriminator() {
+        let line = JsonObject::typed("span")
+            .str("name", "reduce")
+            .u64("count", 3)
+            .finish();
+        let v = parse(&line).unwrap();
+        assert!(v.is_object());
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("span"));
+        assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(3));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_identical() {
+        for x in [
+            0.0,
+            1.5,
+            0.1 + 0.2,
+            1e-300,
+            123_456_789.123_456_79,
+            f64::MIN_POSITIVE,
+        ] {
+            let line = JsonObject::new().f64("x", x).finish();
+            let v = parse(&line).unwrap();
+            assert_eq!(v.get("x").and_then(JsonValue::as_f64), Some(x), "{line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = JsonObject::new()
+            .f64("x", f64::NAN)
+            .f64("y", f64::INFINITY)
+            .finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("x"), Some(&JsonValue::Null));
+        assert_eq!(v.get("y"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn parser_accepts_unicode_escapes_and_pairs() {
+        let v = parse(r#"{"s":"a\u00e9b\ud83e\uddeac"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("aéb🧪c"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn nested_values_parse() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":true,"d":-1.5e3}"#).unwrap();
+        assert_eq!(v.get("d").and_then(JsonValue::as_f64), Some(-1500.0));
+        match v.get("a") {
+            Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # prio-obs — zero-dependency observability for the prioritization
+//! pipeline
+//!
+//! The paper's §3.5 evaluation measures the tool itself: per-phase running
+//! time of the prioritization pipeline and per-run behavior of the
+//! simulator. This crate provides the three signal families that
+//! measurement needs, with `std` only (atomics, [`std::time::Instant`], a
+//! hand-rolled JSON writer):
+//!
+//! * **[`span`]s** — RAII guards timing named scopes. Nesting composes
+//!   paths (`decompose` inside `prio` records as `prio/decompose`), and
+//!   every completed span feeds a thread-safe registry of per-path
+//!   count / total / max statistics.
+//! * **[`metrics`]** — named atomic [`metrics::Counter`]s and
+//!   high-water-mark [`metrics::Gauge`]s recording hot-path facts
+//!   (shortcut arcs removed, profile-interner hit ratio, simulator events
+//!   processed, completion-heap high-water mark, …).
+//! * **[`sink`]** — a structured JSONL event sink serializing span and
+//!   counter snapshots (and, via `prio-sim`, the simulator's trace
+//!   events) to a file or stderr; [`json`] holds the writer and a minimal
+//!   parser used to validate and replay the output.
+//!
+//! Verbosity is gated by [`config`]: the CLI's `-v`/`--verbose` flag and
+//! the `PRIO_LOG` environment variable. [`report`] renders the
+//! human-readable phase-timing footer the CLI prints.
+//!
+//! All state is process-global so instrumentation points need no plumbed
+//! handles; [`reset`] clears it between measured sections (the overhead
+//! harness does this per workload).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod sink;
+pub mod span;
+
+pub use config::{init_from_env, set_verbosity, verbosity, Level};
+pub use metrics::{counter, gauge, Counter, Gauge};
+pub use sink::JsonlSink;
+pub use span::{span, SpanGuard};
+
+/// Clears all recorded spans and zeroes all counters and gauges, so a
+/// fresh measured section starts from nothing. Registered metric names
+/// survive (they are `&'static`); only their values reset.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+}

@@ -1,0 +1,222 @@
+//! A registry of named atomic counters and high-water-mark gauges.
+//!
+//! Names are `&'static str` dot-paths (`sim.events_processed`,
+//! `core.priority_cache_hits`); the first use of a name allocates the
+//! metric, later uses return the same `&'static` handle, so hot paths can
+//! look a metric up once and then touch only an atomic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An atomic gauge that remembers the largest value recorded (a
+/// high-water mark) — e.g. the completion-heap size of the simulator.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Records `v`, keeping the maximum seen.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The largest value recorded.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+}
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    // The map holds only `&'static` handles, so a panic mid-insert cannot
+    // leave it inconsistent — recover from poisoning rather than cascade.
+    match REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The counter named `name`, allocated on first use. Panics if `name` is
+/// already registered as a gauge.
+pub fn counter(name: &'static str) -> &'static Counter {
+    match registry()
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::default()))))
+    {
+        Metric::Counter(c) => c,
+        Metric::Gauge(_) => panic!("metric {name:?} is a gauge, not a counter"),
+    }
+}
+
+/// The gauge named `name`, allocated on first use. Panics if `name` is
+/// already registered as a counter.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    match registry()
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::default()))))
+    {
+        Metric::Gauge(g) => g,
+        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a gauge"),
+    }
+}
+
+/// One row of a [`metrics_snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRecord {
+    /// The metric name.
+    pub name: &'static str,
+    /// Its current value.
+    pub value: u64,
+    /// `true` for gauges (high-water marks), `false` for counters.
+    pub is_gauge: bool,
+}
+
+/// A snapshot of every registered metric, sorted by name.
+pub fn metrics_snapshot() -> Vec<MetricRecord> {
+    registry()
+        .iter()
+        .map(|(&name, metric)| match metric {
+            Metric::Counter(c) => MetricRecord {
+                name,
+                value: c.get(),
+                is_gauge: false,
+            },
+            Metric::Gauge(g) => MetricRecord {
+                name,
+                value: g.get(),
+                is_gauge: true,
+            },
+        })
+        .collect()
+}
+
+/// Zeroes every registered counter and gauge (names stay registered).
+pub fn reset_metrics() {
+    for metric in registry().values() {
+        match metric {
+            Metric::Counter(c) => c.reset(),
+            Metric::Gauge(g) => g.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Metrics are process-global and tests run concurrently, so every test
+    // uses names unique to itself.
+
+    #[test]
+    fn counter_handle_is_stable_and_accumulates() {
+        let a = counter("test.metrics.stable");
+        let b = counter("test.metrics.stable");
+        assert!(std::ptr::eq(a, b), "same name must yield the same handle");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn gauge_keeps_high_water_mark() {
+        let g = gauge("test.metrics.hwm");
+        g.record_max(3);
+        g.record_max(9);
+        g.record_max(5);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        // The multi-threaded registry contract the `--threads` simulate
+        // path relies on: N threads × M increments must all land.
+        let c = counter("test.metrics.concurrent");
+        let before = c.get();
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get() - before, THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn concurrent_first_use_registers_once() {
+        // Many threads racing to create the same name must all get the
+        // same counter.
+        let handles: Vec<&'static Counter> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| counter("test.metrics.race")))
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        for h in &handles[1..] {
+            assert!(std::ptr::eq(handles[0], *h));
+        }
+    }
+
+    #[test]
+    fn snapshot_lists_registered_metrics() {
+        counter("test.metrics.snap_counter").add(7);
+        gauge("test.metrics.snap_gauge").record_max(2);
+        let snap = metrics_snapshot();
+        let c = snap
+            .iter()
+            .find(|m| m.name == "test.metrics.snap_counter")
+            .unwrap();
+        assert!(!c.is_gauge);
+        assert!(c.value >= 7);
+        let g = snap
+            .iter()
+            .find(|m| m.name == "test.metrics.snap_gauge")
+            .unwrap();
+        assert!(g.is_gauge);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, not a gauge")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.kind");
+        gauge("test.metrics.kind");
+    }
+}

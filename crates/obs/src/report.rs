@@ -1,0 +1,147 @@
+//! Human-readable rendering of span and metric snapshots: the phase-timing
+//! footer the CLI prints after each subcommand when `-v`/`PRIO_LOG` asks
+//! for it.
+
+use crate::config::{verbosity, Level};
+use crate::{metrics, span};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.3}s")
+    } else if secs >= 1e-3 {
+        format!("{:.3}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+/// Renders the phase-timing footer from the current span registry:
+/// one line per span path, indented by nesting depth, with count, total,
+/// and max. Returns an empty string when nothing was recorded.
+pub fn phase_timing_footer() -> String {
+    let snapshot = span::snapshot();
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("timings:\n");
+    for record in &snapshot {
+        let depth = record.path.matches('/').count();
+        let name = record.path.rsplit('/').next().unwrap_or(&record.path);
+        let indent = "  ".repeat(depth + 1);
+        let _ = write!(
+            out,
+            "{indent}{name:<12} {:>10}",
+            fmt_duration(record.stat.total)
+        );
+        if record.stat.count > 1 {
+            let _ = write!(
+                out,
+                "  (n={}, max {})",
+                record.stat.count,
+                fmt_duration(record.stat.max)
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the counter/gauge footer from the current metrics registry.
+/// Returns an empty string when nothing was recorded.
+pub fn metrics_footer() -> String {
+    let snapshot = metrics::metrics_snapshot();
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("counters:\n");
+    for record in &snapshot {
+        let suffix = if record.is_gauge { " (high-water)" } else { "" };
+        let _ = writeln!(out, "  {:<36} {:>12}{suffix}", record.name, record.value);
+    }
+    out
+}
+
+/// Prints the footer(s) to stderr according to the current verbosity:
+/// nothing at `Off`, phase timings at `Info`, timings plus counters at
+/// `Debug`. `force_timings` (the `--timings` flag) prints timings even at
+/// `Off`.
+pub fn print_footer(force_timings: bool) {
+    let level = verbosity();
+    if level >= Level::Info || force_timings {
+        let footer = phase_timing_footer();
+        if !footer.is_empty() {
+            eprint!("{footer}");
+        }
+    }
+    if level >= Level::Debug {
+        let footer = metrics_footer();
+        if !footer.is_empty() {
+            eprint!("{footer}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footer_lists_phases_with_nesting() {
+        crate::span::time("test_report_outer", || {
+            crate::span::time("test_report_inner", || {
+                std::thread::sleep(Duration::from_millis(1));
+            });
+        });
+        let footer = phase_timing_footer();
+        assert!(footer.starts_with("timings:"), "{footer}");
+        let outer_line = footer
+            .lines()
+            .find(|l| l.trim_start().starts_with("test_report_outer"))
+            .expect("outer line");
+        let inner_line = footer
+            .lines()
+            .find(|l| l.trim_start().starts_with("test_report_inner"))
+            .expect("inner line");
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(
+            indent(inner_line) > indent(outer_line),
+            "nesting must indent: {footer}"
+        );
+    }
+
+    #[test]
+    fn footer_reports_counts_for_repeated_spans() {
+        for _ in 0..3 {
+            crate::span::time("test_report_repeat", || ());
+        }
+        let footer = phase_timing_footer();
+        let line = footer
+            .lines()
+            .find(|l| l.trim_start().starts_with("test_report_repeat"))
+            .expect("repeat line");
+        assert!(line.contains("n=3"), "{line}");
+    }
+
+    #[test]
+    fn metrics_footer_marks_gauges() {
+        crate::metrics::counter("test.report.counter").add(2);
+        crate::metrics::gauge("test.report.gauge").record_max(7);
+        let footer = metrics_footer();
+        assert!(footer.contains("test.report.counter"));
+        let gauge_line = footer
+            .lines()
+            .find(|l| l.contains("test.report.gauge"))
+            .expect("gauge line");
+        assert!(gauge_line.contains("high-water"), "{gauge_line}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000ms");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.0µs");
+    }
+}

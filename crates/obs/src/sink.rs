@@ -1,0 +1,233 @@
+//! A structured JSONL event sink: one JSON object per line, written to a
+//! file or stderr behind a mutex so concurrent simulator workers can share
+//! one sink.
+//!
+//! Every line is an object with a `type` field. The sink itself emits
+//! `meta`, `span`, `counter`, and `gauge` lines; `prio-sim` appends its
+//! trace-event lines (`batch_arrived`, `job_assigned`, `job_completed`,
+//! `job_failed`) through [`JsonlSink::write_line`].
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::JsonObject;
+use crate::{metrics, span};
+
+/// A line-oriented JSON sink. Cheap to share (`&JsonlSink` is `Send +
+/// Sync`); each line is written atomically with respect to other writers.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    /// Where the lines go, for human-readable reporting.
+    target: String,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("target", &self.target)
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// A sink appending lines to `path` (truncating an existing file).
+    pub fn to_file(path: &Path) -> io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(Box::new(BufWriter::new(file))),
+            target: path.display().to_string(),
+        })
+    }
+
+    /// A sink writing lines to stderr.
+    pub fn to_stderr() -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(Box::new(io::stderr())),
+            target: "stderr".into(),
+        }
+    }
+
+    /// A sink writing into any `Write` (used by tests to capture output).
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(writer),
+            target: "writer".into(),
+        }
+    }
+
+    /// Where this sink writes (a path, `stderr`, or `writer`).
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Writes one pre-serialized JSON object as a line. The caller
+    /// guarantees `line` is a single-line JSON object; use
+    /// [`JsonObject`] to build one.
+    pub fn write_line(&self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        let mut out = self.out.lock().expect("sink lock");
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")
+    }
+
+    /// Writes a `meta` line identifying the producing command.
+    pub fn write_meta(&self, command: &str, detail: &str) -> io::Result<()> {
+        self.write_line(
+            &JsonObject::typed("meta")
+                .str("command", command)
+                .str("detail", detail)
+                .finish(),
+        )
+    }
+
+    /// Writes one `span` line per recorded span path.
+    pub fn write_span_snapshot(&self) -> io::Result<()> {
+        for record in span::snapshot() {
+            self.write_line(
+                &JsonObject::typed("span")
+                    .str("path", &record.path)
+                    .u64("count", record.stat.count)
+                    .f64("total_ms", record.stat.total.as_secs_f64() * 1e3)
+                    .f64("max_ms", record.stat.max.as_secs_f64() * 1e3)
+                    .finish(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Writes one `counter`/`gauge` line per registered metric.
+    pub fn write_metrics_snapshot(&self) -> io::Result<()> {
+        for record in metrics::metrics_snapshot() {
+            let kind = if record.is_gauge { "gauge" } else { "counter" };
+            self.write_line(
+                &JsonObject::typed(kind)
+                    .str("name", record.name)
+                    .u64("value", record.value)
+                    .finish(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered lines to the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().expect("sink lock").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A Write that appends into a shared Vec<u8> so the test can read
+    /// back what the sink wrote.
+    #[derive(Clone)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn capture() -> (JsonlSink, Arc<StdMutex<Vec<u8>>>) {
+        let buf = Arc::new(StdMutex::new(Vec::new()));
+        let sink = JsonlSink::to_writer(Box::new(SharedBuf(buf.clone())));
+        (sink, buf)
+    }
+
+    fn lines(buf: &Arc<StdMutex<Vec<u8>>>) -> Vec<String> {
+        String::from_utf8(buf.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn every_line_is_a_typed_json_object() {
+        let (sink, buf) = capture();
+        sink.write_meta("simulate", "workload=airsn").unwrap();
+        crate::span::time("test_sink_span", || ());
+        crate::metrics::counter("test.sink.counter").add(3);
+        crate::metrics::gauge("test.sink.gauge").record_max(11);
+        sink.write_span_snapshot().unwrap();
+        sink.write_metrics_snapshot().unwrap();
+        sink.flush().unwrap();
+
+        let lines = lines(&buf);
+        assert!(!lines.is_empty());
+        for line in &lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("invalid JSONL {line:?}: {e}"));
+            assert!(v.is_object(), "{line:?}");
+            assert!(
+                v.get("type").and_then(JsonValue::as_str).is_some(),
+                "missing type field in {line:?}"
+            );
+        }
+        assert!(lines.iter().any(|l| {
+            let v = parse(l).unwrap();
+            v.get("type").and_then(JsonValue::as_str) == Some("span")
+                && v.get("path").and_then(JsonValue::as_str) == Some("test_sink_span")
+        }));
+        assert!(lines.iter().any(|l| {
+            let v = parse(l).unwrap();
+            v.get("type").and_then(JsonValue::as_str) == Some("counter")
+                && v.get("name").and_then(JsonValue::as_str) == Some("test.sink.counter")
+        }));
+        assert!(lines.iter().any(|l| {
+            let v = parse(l).unwrap();
+            v.get("type").and_then(JsonValue::as_str) == Some("gauge")
+                && v.get("name").and_then(JsonValue::as_str) == Some("test.sink.gauge")
+        }));
+    }
+
+    #[test]
+    fn concurrent_writers_never_interleave_within_a_line() {
+        let (sink, buf) = capture();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let line = JsonObject::typed("job_completed")
+                            .str("job", &format!("t{t}_job\"{i}\""))
+                            .u64("time", i)
+                            .finish();
+                        sink.write_line(&line).unwrap();
+                    }
+                });
+            }
+        });
+        sink.flush().unwrap();
+        let lines = lines(&buf);
+        assert_eq!(lines.len(), 800);
+        for line in &lines {
+            parse(line).unwrap_or_else(|e| panic!("corrupt line {line:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("prio_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace_{}.jsonl", std::process::id()));
+        let sink = JsonlSink::to_file(&path).unwrap();
+        assert_eq!(sink.target(), path.display().to_string());
+        sink.write_meta("test", "file round trip").unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = parse(text.trim()).unwrap();
+        assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("meta"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,207 @@
+//! Scoped spans: RAII guards timing named scopes, feeding a thread-safe
+//! registry of per-path statistics.
+//!
+//! Nesting composes paths per thread: a `span("decompose")` opened while
+//! `span("prio")` is live records as `prio/decompose`. The six pipeline
+//! phases (`parse`, `reduce`, `decompose`, `schedule`, `combine`,
+//! `write`) are instrumented at their implementation sites, so whoever
+//! runs the pipeline — CLI, bench harness, tests — reads the same clock.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Aggregate statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans recorded under this path.
+    pub count: u64,
+    /// Total elapsed time across those spans.
+    pub total: Duration,
+    /// The longest single span.
+    pub max: Duration,
+}
+
+/// One row of a [`snapshot`]: a span path with its statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The `/`-joined nesting path, e.g. `prio/decompose`.
+    pub path: String,
+    /// Aggregate statistics for the path.
+    pub stat: SpanStat,
+}
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, SpanStat>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+    // Guards drop during unwinding; recover from poisoning so a panic in
+    // a spanned scope never turns into a double panic (abort).
+    match REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; records its elapsed time into the registry on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Instant,
+    /// Stack depth *after* pushing this span's name; drop truncates back
+    /// to `depth - 1` so a non-LIFO drop cannot corrupt deeper paths.
+    depth: usize,
+}
+
+/// Opens a span named `name` nested under the calling thread's current
+/// span path. Drop the returned guard to record it.
+pub fn span(name: &'static str) -> SpanGuard {
+    let depth = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.len()
+    });
+    SpanGuard {
+        start: Instant::now(),
+        depth,
+    }
+}
+
+/// Times a closure under a span.
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = span(name);
+    f()
+}
+
+impl SpanGuard {
+    /// Elapsed time so far (the guard keeps running until dropped).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = stack[..self.depth].join("/");
+            stack.truncate(self.depth - 1);
+            path
+        });
+        let mut registry = registry();
+        let stat = registry.entry(path).or_default();
+        stat.count += 1;
+        stat.total += elapsed;
+        stat.max = stat.max.max(elapsed);
+    }
+}
+
+/// A snapshot of every recorded span path, sorted by path.
+pub fn snapshot() -> Vec<SpanRecord> {
+    registry()
+        .iter()
+        .map(|(path, &stat)| SpanRecord {
+            path: path.clone(),
+            stat,
+        })
+        .collect()
+}
+
+/// The aggregate statistics of one path, if recorded.
+pub fn stat_of(path: &str) -> Option<SpanStat> {
+    registry().get(path).copied()
+}
+
+/// Clears every recorded span.
+pub fn reset_spans() {
+    registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and tests run concurrently, so every
+    // test here uses span names unique to itself and asserts only on them.
+
+    #[test]
+    fn nesting_composes_paths() {
+        {
+            let _a = span("test_nest_outer");
+            {
+                let _b = span("test_nest_inner");
+            }
+        }
+        let outer = stat_of("test_nest_outer").expect("outer recorded");
+        let inner = stat_of("test_nest_outer/test_nest_inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(
+            stat_of("test_nest_inner").is_none(),
+            "inner must not appear top-level"
+        );
+    }
+
+    #[test]
+    fn elapsed_is_monotone_and_parent_covers_child() {
+        let parent_guard = span("test_mono_parent");
+        let t1 = parent_guard.elapsed();
+        std::thread::sleep(Duration::from_millis(2));
+        let t2 = parent_guard.elapsed();
+        assert!(t2 >= t1, "elapsed must be monotone: {t2:?} < {t1:?}");
+        {
+            let _child = span("test_mono_child");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(parent_guard);
+        let parent = stat_of("test_mono_parent").unwrap();
+        let child = stat_of("test_mono_parent/test_mono_child").unwrap();
+        assert!(
+            parent.total >= child.total,
+            "parent {parent:?} must cover child {child:?}"
+        );
+        assert!(child.total >= Duration::from_millis(1));
+        assert!(
+            parent.max >= parent.total / 2,
+            "single span: max tracks total"
+        );
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        for _ in 0..5 {
+            let _g = span("test_accumulate");
+        }
+        let stat = stat_of("test_accumulate").unwrap();
+        assert_eq!(stat.count, 5);
+        assert!(stat.total >= stat.max);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_nest_under_each_other() {
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _a = span("test_thread_a");
+                std::thread::sleep(Duration::from_millis(1));
+            });
+            scope.spawn(|| {
+                let _b = span("test_thread_b");
+                std::thread::sleep(Duration::from_millis(1));
+            });
+        });
+        assert!(stat_of("test_thread_a").is_some());
+        assert!(stat_of("test_thread_b").is_some());
+        assert!(stat_of("test_thread_a/test_thread_b").is_none());
+        assert!(stat_of("test_thread_b/test_thread_a").is_none());
+    }
+
+    #[test]
+    fn time_helper_records_and_returns() {
+        let v = time("test_time_helper", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(stat_of("test_time_helper").unwrap().count, 1);
+    }
+}

@@ -40,14 +40,26 @@ pub fn compare_policies(
     model: &GridModel,
     plan: &ReplicationPlan,
 ) -> ComparisonResult {
-    let plan_a = ReplicationPlan { seed: plan.seed ^ 0xA11CE, ..*plan };
-    let plan_b = ReplicationPlan { seed: plan.seed ^ 0xB0B, ..*plan };
+    let plan_a = ReplicationPlan {
+        seed: plan.seed ^ 0xA11CE,
+        ..*plan
+    };
+    let plan_b = ReplicationPlan {
+        seed: plan.seed ^ 0xB0B,
+        ..*plan
+    };
     let da = sampling_distributions(dag, a, model, &plan_a);
     let db = sampling_distributions(dag, b, model, &plan_b);
     let execution_time_ratio = da.execution_time.ratio_ci(&db.execution_time);
     let stalling_ratio = da.stalling.ratio_ci(&db.stalling);
     let utilization_ratio = da.utilization.ratio_ci(&db.utilization);
-    ComparisonResult { a: da, b: db, execution_time_ratio, stalling_ratio, utilization_ratio }
+    ComparisonResult {
+        a: da,
+        b: db,
+        execution_time_ratio,
+        stalling_ratio,
+        utilization_ratio,
+    }
 }
 
 #[cfg(test)]
@@ -59,7 +71,12 @@ mod tests {
     #[test]
     fn identical_policies_give_ratios_near_one() {
         let dag = Dag::from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
-        let plan = ReplicationPlan { p: 12, q: 8, seed: 3, threads: 0 };
+        let plan = ReplicationPlan {
+            p: 12,
+            q: 8,
+            seed: 3,
+            threads: 0,
+        };
         let model = GridModel::paper(1.0, 2.0);
         let r = compare_policies(&dag, &PolicySpec::Fifo, &PolicySpec::Fifo, &model, &plan);
         let ci = r.execution_time_ratio.unwrap();
@@ -72,7 +89,12 @@ mod tests {
         // A miniature AIRSN: the structure where PRIO demonstrably wins.
         let dag = prio_workloads::airsn::airsn(12);
         let prio = prioritize(&dag).schedule;
-        let plan = ReplicationPlan { p: 16, q: 12, seed: 17, threads: 0 };
+        let plan = ReplicationPlan {
+            p: 16,
+            q: 12,
+            seed: 17,
+            threads: 0,
+        };
         // Medium batches, batches arriving at job-runtime pace: the
         // regime the paper identifies as PRIO-favourable.
         let model = GridModel::paper(1.0, 8.0);
@@ -98,7 +120,12 @@ mod tests {
         // FIFO under abundant workers (both become breadth-first).
         let dag = prio_workloads::classic::fork_join(6);
         let frozen = PolicySpec::Oblivious(fifo_schedule(&dag));
-        let plan = ReplicationPlan { p: 10, q: 6, seed: 5, threads: 0 };
+        let plan = ReplicationPlan {
+            p: 10,
+            q: 6,
+            seed: 5,
+            threads: 0,
+        };
         let model = GridModel::paper(0.01, 64.0);
         let r = compare_policies(&dag, &frozen, &PolicySpec::Fifo, &model, &plan);
         let ci = r.execution_time_ratio.unwrap();

@@ -31,6 +31,7 @@ pub mod policy;
 pub mod replicate;
 pub mod sweep;
 pub mod trace;
+pub mod trace_json;
 
 pub use engine::{simulate, SimOutcome};
 pub use experiment::{compare_policies, ComparisonResult};

@@ -18,12 +18,15 @@ impl RunMetrics {
     /// The metric values as an array in the fixed order used by the
     /// experiment harness: execution time, stalling, utilization.
     pub fn as_array(&self) -> [f64; 3] {
-        [self.execution_time, self.stall_probability, self.utilization]
+        [
+            self.execution_time,
+            self.stall_probability,
+            self.utilization,
+        ]
     }
 
     /// Metric display names matching [`RunMetrics::as_array`].
-    pub const NAMES: [&'static str; 3] =
-        ["execution_time", "stall_probability", "utilization"];
+    pub const NAMES: [&'static str; 3] = ["execution_time", "stall_probability", "utilization"];
 }
 
 #[cfg(test)]
@@ -32,7 +35,11 @@ mod tests {
 
     #[test]
     fn array_order_matches_names() {
-        let m = RunMetrics { execution_time: 1.0, stall_probability: 0.5, utilization: 0.25 };
+        let m = RunMetrics {
+            execution_time: 1.0,
+            stall_probability: 0.5,
+            utilization: 0.25,
+        };
         assert_eq!(m.as_array(), [1.0, 0.5, 0.25]);
         assert_eq!(RunMetrics::NAMES[0], "execution_time");
         assert_eq!(RunMetrics::NAMES.len(), 3);

@@ -121,7 +121,10 @@ mod tests {
     fn batch_sizes_are_positive_under_both_models() {
         let mut rng = seeded_rng(1);
         for model in [BatchSizeModel::Geometric, BatchSizeModel::CeilExponential] {
-            let m = GridModel { batch_size_model: model, ..GridModel::paper(1.0, 4.0) };
+            let m = GridModel {
+                batch_size_model: model,
+                ..GridModel::paper(1.0, 4.0)
+            };
             for _ in 0..1000 {
                 assert!(m.sample_batch_size(&mut rng) >= 1);
             }

@@ -55,7 +55,9 @@ impl PolicySpec {
                     heap: BinaryHeap::new(),
                 }
             }
-            PolicySpec::Fifo => PolicyQueue::Fifo { queue: VecDeque::new() },
+            PolicySpec::Fifo => PolicyQueue::Fifo {
+                queue: VecDeque::new(),
+            },
             PolicySpec::ThrottledOblivious { schedule, maxjobs } => {
                 assert_eq!(
                     schedule.len(),
@@ -102,7 +104,12 @@ impl PolicyQueue {
                 heap.push(Reverse((position[job.index()], job)));
             }
             PolicyQueue::Fifo { queue } => queue.push_back(job),
-            PolicyQueue::Throttled { position, maxjobs, dagman, condor } => {
+            PolicyQueue::Throttled {
+                position,
+                maxjobs,
+                dagman,
+                condor,
+            } => {
                 dagman.push_back(job);
                 refill(position, *maxjobs, dagman, condor);
             }
@@ -114,7 +121,12 @@ impl PolicyQueue {
         match self {
             PolicyQueue::Oblivious { heap, .. } => heap.pop().map(|Reverse((_, j))| j),
             PolicyQueue::Fifo { queue } => queue.pop_front(),
-            PolicyQueue::Throttled { position, maxjobs, dagman, condor } => {
+            PolicyQueue::Throttled {
+                position,
+                maxjobs,
+                dagman,
+                condor,
+            } => {
                 let job = condor.pop().map(|Reverse((_, j))| j);
                 if job.is_some() {
                     refill(position, *maxjobs, dagman, condor);
@@ -134,7 +146,6 @@ impl PolicyQueue {
             PolicyQueue::Throttled { condor, .. } => condor.len(),
         }
     }
-
 }
 
 /// Forwards DAGMan-queue jobs into the Condor queue up to the throttle.
@@ -197,9 +208,11 @@ mod tests {
     fn throttled_honors_priorities_only_inside_the_condor_queue() {
         let dag = Dag::from_arcs(4, &[]).unwrap();
         // Priority order: 3, 2, 1, 0.
-        let sched =
-            Schedule::new(&dag, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]).unwrap();
-        let spec = PolicySpec::ThrottledOblivious { schedule: sched, maxjobs: 2 };
+        let sched = Schedule::new(&dag, vec![NodeId(3), NodeId(2), NodeId(1), NodeId(0)]).unwrap();
+        let spec = PolicySpec::ThrottledOblivious {
+            schedule: sched,
+            maxjobs: 2,
+        };
         let mut q = spec.make_queue(4);
         // Jobs become eligible in FIFO order 0, 1, 2, 3; only two fit in
         // the Condor queue, so the high-priority 3 waits in DAGMan.
@@ -220,7 +233,10 @@ mod tests {
     fn throttled_with_huge_maxjobs_equals_oblivious() {
         let dag = Dag::from_arcs(3, &[]).unwrap();
         let sched = Schedule::new(&dag, vec![NodeId(2), NodeId(0), NodeId(1)]).unwrap();
-        let spec = PolicySpec::ThrottledOblivious { schedule: sched, maxjobs: usize::MAX };
+        let spec = PolicySpec::ThrottledOblivious {
+            schedule: sched,
+            maxjobs: usize::MAX,
+        };
         let mut q = spec.make_queue(3);
         for i in 0..3 {
             q.push(NodeId(i));

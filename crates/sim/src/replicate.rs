@@ -31,19 +31,31 @@ pub struct ReplicationPlan {
 impl ReplicationPlan {
     /// A small default plan suitable for tests and quick sweeps.
     pub fn quick(seed: u64) -> Self {
-        ReplicationPlan { p: 20, q: 5, seed, threads: 0 }
+        ReplicationPlan {
+            p: 20,
+            q: 5,
+            seed,
+            threads: 0,
+        }
     }
 
     /// The paper's plan (p = 300 samples of q = 300 measurements).
     pub fn paper(seed: u64) -> Self {
-        ReplicationPlan { p: 300, q: 300, seed, threads: 0 }
+        ReplicationPlan {
+            p: 300,
+            q: 300,
+            seed,
+            threads: 0,
+        }
     }
 
     fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -67,7 +79,10 @@ pub fn sampling_distributions(
     model: &GridModel,
     plan: &ReplicationPlan,
 ) -> MetricDistributions {
-    assert!(plan.p > 0 && plan.q > 0, "plan must run at least one simulation");
+    assert!(
+        plan.p > 0 && plan.q > 0,
+        "plan must run at least one simulation"
+    );
     let total = plan.p * plan.q;
     let mut measurements: Vec<[f64; 3]> = vec![[0.0; 3]; total];
 
@@ -109,7 +124,13 @@ pub fn sampling_distributions(
     }
 }
 
-fn run_one(dag: &Dag, policy: &PolicySpec, model: &GridModel, master: u64, index: usize) -> [f64; 3] {
+fn run_one(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    master: u64,
+    index: usize,
+) -> [f64; 3] {
     let seed = derive_seed(master, index as u64);
     simulate(dag, policy, model, seed).metrics().as_array()
 }
@@ -125,7 +146,12 @@ mod tests {
     #[test]
     fn distributions_have_plan_shape() {
         let dag = small_dag();
-        let plan = ReplicationPlan { p: 4, q: 3, seed: 1, threads: 1 };
+        let plan = ReplicationPlan {
+            p: 4,
+            q: 3,
+            seed: 1,
+            threads: 1,
+        };
         let d = sampling_distributions(&dag, &PolicySpec::Fifo, &GridModel::paper(1.0, 2.0), &plan);
         assert_eq!(d.execution_time.p(), 4);
         assert_eq!(d.execution_time.q(), 3);
@@ -137,13 +163,56 @@ mod tests {
     fn parallel_equals_serial() {
         let dag = small_dag();
         let model = GridModel::paper(0.7, 3.0);
-        let serial = ReplicationPlan { p: 6, q: 4, seed: 9, threads: 1 };
-        let parallel = ReplicationPlan { p: 6, q: 4, seed: 9, threads: 4 };
+        let serial = ReplicationPlan {
+            p: 6,
+            q: 4,
+            seed: 9,
+            threads: 1,
+        };
+        let parallel = ReplicationPlan {
+            p: 6,
+            q: 4,
+            seed: 9,
+            threads: 4,
+        };
         let a = sampling_distributions(&dag, &PolicySpec::Fifo, &model, &serial);
         let b = sampling_distributions(&dag, &PolicySpec::Fifo, &model, &parallel);
         assert_eq!(a.execution_time.samples(), b.execution_time.samples());
         assert_eq!(a.stalling.samples(), b.stalling.samples());
         assert_eq!(a.utilization.samples(), b.utilization.samples());
+    }
+
+    #[test]
+    fn threaded_runs_accumulate_shared_counters() {
+        // The multi-threaded replication path increments the global run
+        // counters from every worker thread; none may be lost. Deltas are
+        // used because the registry is process-global and other tests run
+        // concurrently (≥ not = for the same reason).
+        let dag = small_dag();
+        let model = GridModel::paper(0.7, 3.0);
+        let runs_before = prio_obs::counter("sim.runs").get();
+        let events_before = prio_obs::counter("sim.events_processed").get();
+        let plan = ReplicationPlan {
+            p: 8,
+            q: 4,
+            seed: 11,
+            threads: 4,
+        };
+        let _ = sampling_distributions(&dag, &PolicySpec::Fifo, &model, &plan);
+        let runs = prio_obs::counter("sim.runs").get() - runs_before;
+        let events = prio_obs::counter("sim.events_processed").get() - events_before;
+        assert!(
+            runs >= 32,
+            "8×4 threaded runs must all be counted, got {runs}"
+        );
+        assert!(
+            events >= 32,
+            "every run processes at least one event, got {events}"
+        );
+        assert!(
+            prio_obs::gauge("sim.completion_heap_high_water").get() >= 1,
+            "some run must have had a job in flight"
+        );
     }
 
     #[test]
@@ -154,13 +223,23 @@ mod tests {
             &dag,
             &PolicySpec::Fifo,
             &model,
-            &ReplicationPlan { p: 3, q: 2, seed: 1, threads: 1 },
+            &ReplicationPlan {
+                p: 3,
+                q: 2,
+                seed: 1,
+                threads: 1,
+            },
         );
         let b = sampling_distributions(
             &dag,
             &PolicySpec::Fifo,
             &model,
-            &ReplicationPlan { p: 3, q: 2, seed: 2, threads: 1 },
+            &ReplicationPlan {
+                p: 3,
+                q: 2,
+                seed: 2,
+                threads: 1,
+            },
         );
         assert_ne!(a.execution_time.samples(), b.execution_time.samples());
     }
@@ -171,6 +250,10 @@ mod tests {
         let plan = ReplicationPlan::quick(5);
         let d = sampling_distributions(&dag, &PolicySpec::Fifo, &GridModel::paper(1.0, 4.0), &plan);
         assert!(d.execution_time.samples().iter().all(|&t| t > 0.0));
-        assert!(d.utilization.samples().iter().all(|&u| (0.0..=1.0).contains(&u)));
+        assert!(d
+            .utilization
+            .samples()
+            .iter()
+            .all(|&u| (0.0..=1.0).contains(&u)));
     }
 }

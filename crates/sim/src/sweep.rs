@@ -56,7 +56,11 @@ pub fn sweep(
                 ..*plan
             };
             let result = compare_policies(dag, a, b, &model, &cell_plan);
-            let cell = SweepCell { mu_bit, mu_bs, result };
+            let cell = SweepCell {
+                mu_bit,
+                mu_bs,
+                result,
+            };
             on_cell(&cell);
             cells.push(cell);
         }
@@ -83,7 +87,12 @@ mod tests {
     fn tiny_sweep_runs_all_cells_in_order() {
         let dag = prio_workloads::classic::fork_join(4);
         let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
-        let plan = ReplicationPlan { p: 3, q: 2, seed: 1, threads: 0 };
+        let plan = ReplicationPlan {
+            p: 3,
+            q: 2,
+            seed: 1,
+            threads: 0,
+        };
         let mut seen = Vec::new();
         let cells = sweep(
             &dag,

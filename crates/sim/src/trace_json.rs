@@ -1,0 +1,200 @@
+//! JSONL serialization of [`TraceEvent`]s.
+//!
+//! Each event becomes one JSON object with a `type` field
+//! (`batch_arrived`, `job_assigned`, `job_completed`, `job_failed`), so a
+//! trace file interleaves cleanly with the `span`/`counter`/`meta` lines
+//! the observability sink emits. Deserialization skips lines of other
+//! types, which makes a full `--trace-out` file replayable: reading it
+//! back yields exactly the in-memory [`Trace`] (floats round-trip through
+//! Rust's shortest-representation `Display`).
+
+use crate::trace::{Trace, TraceEvent};
+use prio_graph::NodeId;
+use prio_obs::json::{parse, JsonObject, JsonValue};
+use prio_obs::JsonlSink;
+
+/// Serializes one event as a single-line JSON object.
+pub fn event_to_json(event: &TraceEvent) -> String {
+    match *event {
+        TraceEvent::BatchArrived {
+            time,
+            size,
+            assigned,
+            stalled,
+        } => JsonObject::typed("batch_arrived")
+            .f64("time", time)
+            .u64("size", size)
+            .u64("assigned", assigned as u64)
+            .bool("stalled", stalled)
+            .finish(),
+        TraceEvent::JobAssigned {
+            time,
+            job,
+            completes_at,
+        } => JsonObject::typed("job_assigned")
+            .f64("time", time)
+            .u64("job", u64::from(job.0))
+            .f64("completes_at", completes_at)
+            .finish(),
+        TraceEvent::JobCompleted { time, job } => JsonObject::typed("job_completed")
+            .f64("time", time)
+            .u64("job", u64::from(job.0))
+            .finish(),
+        TraceEvent::JobFailed { time, job } => JsonObject::typed("job_failed")
+            .f64("time", time)
+            .u64("job", u64::from(job.0))
+            .finish(),
+    }
+}
+
+/// Parses one JSONL line back into an event. Returns `Ok(None)` for valid
+/// JSON objects of a non-event `type` (`span`, `counter`, `meta`, …) so
+/// callers can stream over a mixed trace file; `Err` for anything that is
+/// not a JSON object or is a malformed event.
+pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
+    let v = parse(line)?;
+    if !v.is_object() {
+        return Err(format!("not a JSON object: {line:?}"));
+    }
+    let kind = v
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing type field: {line:?}"))?;
+    let time = |v: &JsonValue| {
+        v.get("time")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| "missing time".to_string())
+    };
+    let job = |v: &JsonValue| {
+        v.get("job")
+            .and_then(JsonValue::as_u64)
+            .and_then(|j| u32::try_from(j).ok())
+            .map(NodeId)
+            .ok_or_else(|| "missing job".to_string())
+    };
+    let event = match kind {
+        "batch_arrived" => TraceEvent::BatchArrived {
+            time: time(&v)?,
+            size: v
+                .get("size")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing size")?,
+            assigned: v
+                .get("assigned")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing assigned")? as usize,
+            stalled: v
+                .get("stalled")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing stalled")?,
+        },
+        "job_assigned" => TraceEvent::JobAssigned {
+            time: time(&v)?,
+            job: job(&v)?,
+            completes_at: v
+                .get("completes_at")
+                .and_then(JsonValue::as_f64)
+                .ok_or("missing completes_at")?,
+        },
+        "job_completed" => TraceEvent::JobCompleted {
+            time: time(&v)?,
+            job: job(&v)?,
+        },
+        "job_failed" => TraceEvent::JobFailed {
+            time: time(&v)?,
+            job: job(&v)?,
+        },
+        _ => return Ok(None),
+    };
+    Ok(Some(event))
+}
+
+/// Writes every event of `trace` to `sink`, one line each.
+pub fn write_trace(sink: &JsonlSink, trace: &Trace) -> std::io::Result<()> {
+    for event in trace {
+        sink.write_line(&event_to_json(event))?;
+    }
+    Ok(())
+}
+
+/// Reads the events out of JSONL `text`, skipping non-event lines (span
+/// and counter snapshots, metadata) and blank lines.
+pub fn read_trace(text: &str) -> Result<Trace, String> {
+    let mut trace = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(event) = event_from_json(line).map_err(|e| format!("line {}: {e}", i + 1))? {
+            trace.push(event);
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        vec![
+            TraceEvent::BatchArrived {
+                time: 0.0,
+                size: 3,
+                assigned: 2,
+                stalled: false,
+            },
+            TraceEvent::JobAssigned {
+                time: 0.0,
+                job: NodeId(0),
+                completes_at: 1.0625,
+            },
+            TraceEvent::JobAssigned {
+                time: 0.0,
+                job: NodeId(4),
+                completes_at: 0.97,
+            },
+            TraceEvent::JobFailed {
+                time: 0.97,
+                job: NodeId(4),
+            },
+            TraceEvent::JobCompleted {
+                time: 1.0625,
+                job: NodeId(0),
+            },
+            TraceEvent::BatchArrived {
+                time: 2.5,
+                size: 1,
+                assigned: 0,
+                stalled: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for event in sample_trace() {
+            let line = event_to_json(&event);
+            let back = event_from_json(&line).unwrap().expect("event line");
+            assert_eq!(back, event, "via {line}");
+        }
+    }
+
+    #[test]
+    fn read_trace_skips_non_event_lines() {
+        let mut text = String::from("{\"type\":\"meta\",\"command\":\"simulate\"}\n");
+        for event in sample_trace() {
+            text.push_str(&event_to_json(&event));
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"counter\",\"name\":\"sim.runs\",\"value\":1}\n");
+        assert_eq!(read_trace(&text).unwrap(), sample_trace());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_skips() {
+        assert!(read_trace("{\"type\":\"job_completed\",\"time\":1.0}").is_err());
+        assert!(read_trace("not json").is_err());
+        assert!(read_trace("[1,2]").is_err());
+    }
+}

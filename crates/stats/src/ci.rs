@@ -57,7 +57,13 @@ mod tests {
 
     #[test]
     fn predicates() {
-        let ci = ConfidenceInterval { lo: 0.8, hi: 0.9, median: 0.85, mean: 0.85, sd: 0.02 };
+        let ci = ConfidenceInterval {
+            lo: 0.8,
+            hi: 0.9,
+            median: 0.85,
+            mean: 0.85,
+            sd: 0.02,
+        };
         assert!(ci.entirely_below(1.0));
         assert!(!ci.entirely_below(0.85));
         assert!(ci.entirely_above(0.5));
@@ -67,7 +73,13 @@ mod tests {
 
     #[test]
     fn display_shows_all_fields() {
-        let ci = ConfidenceInterval { lo: 0.5, hi: 1.5, median: 1.0, mean: 1.0, sd: 0.1 };
+        let ci = ConfidenceInterval {
+            lo: 0.5,
+            hi: 1.5,
+            median: 1.0,
+            mean: 1.0,
+            sd: 0.1,
+        };
         let s = ci.to_string();
         assert!(s.contains("0.5") && s.contains("1.5") && s.contains("median"));
     }

@@ -22,7 +22,10 @@ pub struct Exponential {
 impl Exponential {
     /// Creates the distribution. Panics unless `mean > 0` and finite.
     pub fn new(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive, got {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "exponential mean must be positive, got {mean}"
+        );
         Exponential { mean }
     }
 
@@ -57,7 +60,10 @@ impl TruncatedNormal {
     /// Creates the distribution. Panics unless `sd >= 0` and `min` is
     /// reachable (i.e. not absurdly far above the mean).
     pub fn new(mean: f64, sd: f64, min: f64) -> Self {
-        assert!(sd >= 0.0 && sd.is_finite(), "standard deviation must be non-negative");
+        assert!(
+            sd >= 0.0 && sd.is_finite(),
+            "standard deviation must be non-negative"
+        );
         assert!(
             min <= mean + 8.0 * sd.max(f64::MIN_POSITIVE),
             "truncation bound {min} unreachable for N({mean}, {sd})"
@@ -112,7 +118,10 @@ pub struct Geometric {
 impl Geometric {
     /// Creates the distribution. Panics unless `mean >= 1`.
     pub fn new(mean: f64) -> Self {
-        assert!(mean >= 1.0 && mean.is_finite(), "geometric mean must be >= 1, got {mean}");
+        assert!(
+            mean >= 1.0 && mean.is_finite(),
+            "geometric mean must be >= 1, got {mean}"
+        );
         Geometric { mean }
     }
 
@@ -146,7 +155,9 @@ pub struct CeilExponential {
 impl CeilExponential {
     /// Creates the distribution with the mean of the underlying exponential.
     pub fn new(mean: f64) -> Self {
-        CeilExponential { inner: Exponential::new(mean) }
+        CeilExponential {
+            inner: Exponential::new(mean),
+        }
     }
 
     /// Draws an integer sample ≥ 1.

@@ -90,13 +90,23 @@ impl SamplingDistribution {
 /// fraction from each tail; location statistics are computed on the full
 /// distribution. Panics on empty input.
 pub fn trimmed_ci(mut values: Vec<f64>, tail: f64) -> ConfidenceInterval {
-    assert!(!values.is_empty(), "confidence interval of empty distribution");
-    assert!((0.0..0.5).contains(&tail), "tail fraction {tail} out of range");
+    assert!(
+        !values.is_empty(),
+        "confidence interval of empty distribution"
+    );
+    assert!(
+        (0.0..0.5).contains(&tail),
+        "tail fraction {tail} out of range"
+    );
     values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in ratio distribution"));
     let n = values.len();
     let cut = ((n as f64) * tail).floor() as usize;
     // Keep at least one value.
-    let (lo_i, hi_i) = if 2 * cut >= n { (0, n - 1) } else { (cut, n - 1 - cut) };
+    let (lo_i, hi_i) = if 2 * cut >= n {
+        (0, n - 1)
+    } else {
+        (cut, n - 1 - cut)
+    };
     let mean = values.iter().sum::<f64>() / n as f64;
     let sd = if n < 2 {
         0.0

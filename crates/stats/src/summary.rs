@@ -22,7 +22,14 @@ impl Summary {
     pub fn of(xs: &[f64]) -> Summary {
         let n = xs.len();
         if n == 0 {
-            return Summary { n, mean: 0.0, sd: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, median: 0.0 };
+            return Summary {
+                n,
+                mean: 0.0,
+                sd: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                median: 0.0,
+            };
         }
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = if n < 2 {

@@ -33,7 +33,9 @@ pub fn airsn(width: usize) -> Dag {
     assert!(width >= 1, "AIRSN width must be positive");
     let mut b = DagBuilder::with_capacity(num_jobs(width), 4 * width + HANDLE_LEN + 1);
     // Handle chain h0 -> h1 -> ... -> h20.
-    let handle: Vec<_> = (0..HANDLE_LEN).map(|i| b.add_node(format!("handle{i}"))).collect();
+    let handle: Vec<_> = (0..HANDLE_LEN)
+        .map(|i| b.add_node(format!("handle{i}")))
+        .collect();
     for w in handle.windows(2) {
         b.add_arc(w[0], w[1]).expect("handle chain");
     }

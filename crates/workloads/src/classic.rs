@@ -8,7 +8,10 @@ use prio_graph::{Dag, DagBuilder, NodeId};
 /// dependencies a → b, c → d, c → e. The PRIO schedule is c, a, b, d, e.
 pub fn fig3_dag() -> Dag {
     let mut b = DagBuilder::new();
-    let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"].iter().map(|l| b.add_node(*l)).collect();
+    let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+        .iter()
+        .map(|l| b.add_node(*l))
+        .collect();
     b.add_arc(ids[0], ids[1]).expect("a -> b");
     b.add_arc(ids[2], ids[3]).expect("c -> d");
     b.add_arc(ids[2], ids[4]).expect("c -> e");
@@ -63,7 +66,8 @@ pub fn entangled_ring(k: usize) -> Dag {
     for i in 0..k {
         b.add_arc(sources[i], internals[i]).expect("s -> j");
         b.add_arc(sources[i], sinks[i]).expect("s -> t");
-        b.add_arc(internals[i], sinks[(i + 1) % k]).expect("j -> next t");
+        b.add_arc(internals[i], sinks[(i + 1) % k])
+            .expect("j -> next t");
     }
     b.build().expect("ring dag is acyclic")
 }

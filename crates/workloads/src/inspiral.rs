@@ -42,7 +42,11 @@ impl Default for InspiralParams {
     /// The paper-sized instance: 2,988 jobs with a 1,002-job non-bipartite
     /// component.
     fn default() -> Self {
-        InspiralParams { pre_width: 401, ring_k: 334, post_width: 527 }
+        InspiralParams {
+            pre_width: 401,
+            ring_k: 334,
+            post_width: 527,
+        }
     }
 }
 
@@ -81,17 +85,22 @@ pub fn inspiral(p: InspiralParams) -> Dag {
     }
 
     // Stage 2: the entangled ring, seeded from sire1.
-    let ring_sources: Vec<NodeId> =
-        (0..p.ring_k).map(|i| b.add_node(format!("inspiral1_{i}"))).collect();
-    let ring_internal: Vec<NodeId> =
-        (0..p.ring_k).map(|i| b.add_node(format!("thinca1_{i}"))).collect();
-    let ring_out: Vec<NodeId> =
-        (0..p.ring_k).map(|i| b.add_node(format!("trigcheck{i}"))).collect();
+    let ring_sources: Vec<NodeId> = (0..p.ring_k)
+        .map(|i| b.add_node(format!("inspiral1_{i}")))
+        .collect();
+    let ring_internal: Vec<NodeId> = (0..p.ring_k)
+        .map(|i| b.add_node(format!("thinca1_{i}")))
+        .collect();
+    let ring_out: Vec<NodeId> = (0..p.ring_k)
+        .map(|i| b.add_node(format!("trigcheck{i}")))
+        .collect();
     for i in 0..p.ring_k {
         b.add_arc(sire1, ring_sources[i]).expect("seed ring");
-        b.add_arc(ring_sources[i], ring_internal[i]).expect("s -> j");
+        b.add_arc(ring_sources[i], ring_internal[i])
+            .expect("s -> j");
         b.add_arc(ring_sources[i], ring_out[i]).expect("s -> t");
-        b.add_arc(ring_internal[i], ring_out[(i + 1) % p.ring_k]).expect("j -> next t");
+        b.add_arc(ring_internal[i], ring_out[(i + 1) % p.ring_k])
+            .expect("j -> next t");
     }
 
     // Stage 3: collect, second-stage filtering, final coincidence.
@@ -138,7 +147,11 @@ mod tests {
 
     #[test]
     fn sources_are_datafind_plus_vetoes() {
-        let d = inspiral(InspiralParams { pre_width: 3, ring_k: 4, post_width: 5 });
+        let d = inspiral(InspiralParams {
+            pre_width: 3,
+            ring_k: 4,
+            post_width: 5,
+        });
         assert_eq!(d.sources().count(), 1 + 5);
         assert_eq!(d.sinks().count(), 1);
         assert_eq!(d.num_nodes(), 4 + 3 + 12 + 15);
@@ -151,7 +164,11 @@ mod tests {
 
     #[test]
     fn ring_entanglement_present() {
-        let d = inspiral(InspiralParams { pre_width: 2, ring_k: 3, post_width: 2 });
+        let d = inspiral(InspiralParams {
+            pre_width: 2,
+            ring_k: 3,
+            post_width: 2,
+        });
         // Each trigcheck sink-of-ring has 2 parents: its inspiral1 and the
         // previous thinca1.
         for i in 0..3 {

@@ -40,14 +40,19 @@ pub struct MontageParams {
 impl Default for MontageParams {
     /// The paper-sized instance: 7,881 jobs.
     fn default() -> Self {
-        MontageParams { images: 1200, tiles: 36 }
+        MontageParams {
+            images: 1200,
+            tiles: 36,
+        }
     }
 }
 
 impl MontageParams {
     /// Number of difference-fit jobs generated for these parameters.
     pub fn num_diffs(&self) -> usize {
-        (0..self.images).map(|i| DIFF_PATTERN[i % DIFF_PATTERN.len()]).sum()
+        (0..self.images)
+            .map(|i| DIFF_PATTERN[i % DIFF_PATTERN.len()])
+            .sum()
     }
 
     /// Total number of jobs generated:
@@ -81,8 +86,9 @@ pub fn montage(p: MontageParams) -> Dag {
     let setup_end = *setup.last().expect("setup non-empty");
 
     // Projections.
-    let projections: Vec<NodeId> =
-        (0..p.images).map(|i| b.add_node(format!("mProject{i}"))).collect();
+    let projections: Vec<NodeId> = (0..p.images)
+        .map(|i| b.add_node(format!("mProject{i}")))
+        .collect();
     for &proj in &projections {
         b.add_arc(setup_end, proj).expect("setup feeds projection");
     }
@@ -151,7 +157,10 @@ mod tests {
 
     #[test]
     fn projection_stage_matches_description() {
-        let p = MontageParams { images: 24, tiles: 2 };
+        let p = MontageParams {
+            images: 24,
+            tiles: 2,
+        };
         let d = montage(p);
         assert_eq!(d.num_nodes(), p.num_jobs());
         // Each projection's out-degree is its own diffs plus its cyclic
@@ -180,7 +189,10 @@ mod tests {
 
     #[test]
     fn single_source_and_tile_sinks() {
-        let p = MontageParams { images: 12, tiles: 3 };
+        let p = MontageParams {
+            images: 12,
+            tiles: 3,
+        };
         let d = montage(p);
         assert_eq!(d.sources().count(), 1);
         assert_eq!(d.sinks().count(), p.tiles);

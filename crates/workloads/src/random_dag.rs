@@ -16,7 +16,11 @@ pub struct LayeredParams {
 
 impl Default for LayeredParams {
     fn default() -> Self {
-        LayeredParams { layers: 4, width: 8, arc_prob: 0.3 }
+        LayeredParams {
+            layers: 4,
+            width: 8,
+            arc_prob: 0.3,
+        }
     }
 }
 
@@ -30,8 +34,9 @@ pub fn layered<R: Rng + ?Sized>(p: LayeredParams, rng: &mut R) -> Dag {
     let mut b = DagBuilder::with_capacity(p.layers * p.width, p.layers * p.width * 2);
     let mut prev: Vec<NodeId> = Vec::new();
     for l in 0..p.layers {
-        let layer: Vec<NodeId> =
-            (0..p.width).map(|i| b.add_node(format!("L{l}_{i}"))).collect();
+        let layer: Vec<NodeId> = (0..p.width)
+            .map(|i| b.add_node(format!("L{l}_{i}")))
+            .collect();
         for &v in &layer {
             if !prev.is_empty() {
                 let mut has_parent = false;
@@ -86,7 +91,11 @@ mod tests {
 
     #[test]
     fn layered_guarantees_parents() {
-        let p = LayeredParams { layers: 5, width: 6, arc_prob: 0.05 };
+        let p = LayeredParams {
+            layers: 5,
+            width: 6,
+            arc_prob: 0.05,
+        };
         let d = layered(p, &mut SmallRng::seed_from_u64(3));
         // Only first-layer jobs are sources.
         assert_eq!(d.sources().count(), p.width);
@@ -94,7 +103,11 @@ mod tests {
 
     #[test]
     fn layered_single_layer_is_arcless() {
-        let p = LayeredParams { layers: 1, width: 5, arc_prob: 0.9 };
+        let p = LayeredParams {
+            layers: 1,
+            width: 5,
+            arc_prob: 0.9,
+        };
         let d = layered(p, &mut SmallRng::seed_from_u64(4));
         assert_eq!(d.num_arcs(), 0);
     }

@@ -42,7 +42,11 @@ pub struct SdssParams {
 impl Default for SdssParams {
     /// The paper-sized instance: 48,013 jobs.
     fn default() -> Self {
-        SdssParams { fields: 1600, targets: 10802, extra_chain: 2 }
+        SdssParams {
+            fields: 1600,
+            targets: 10802,
+            extra_chain: 2,
+        }
     }
 }
 
@@ -78,7 +82,9 @@ pub fn sdss(p: SdssParams) -> Dag {
 
     // Field stage: each field has 3 children; every field after the first
     // shares one child (the overlap product) with the previous field.
-    let fields: Vec<NodeId> = (0..p.fields).map(|i| b.add_node(format!("field{i}"))).collect();
+    let fields: Vec<NodeId> = (0..p.fields)
+        .map(|i| b.add_node(format!("field{i}")))
+        .collect();
     let catalog = b.add_node("catalog");
     let mut last_product = None;
     for (i, &field) in fields.iter().enumerate() {
@@ -141,7 +147,11 @@ mod tests {
 
     #[test]
     fn field_stage_matches_description() {
-        let p = SdssParams { fields: 8, targets: 2, extra_chain: 0 };
+        let p = SdssParams {
+            fields: 8,
+            targets: 2,
+            extra_chain: 0,
+        };
         let d = sdss(p);
         assert_eq!(d.num_nodes(), p.num_jobs());
         // Every field source has exactly 3 children.
@@ -177,7 +187,11 @@ mod tests {
 
     #[test]
     fn extra_chain_extends_first_target() {
-        let p = SdssParams { fields: 4, targets: 2, extra_chain: 2 };
+        let p = SdssParams {
+            fields: 4,
+            targets: 2,
+            extra_chain: 2,
+        };
         let d = sdss(p);
         assert!(d.find("target_0_4").is_some());
         assert!(d.find("target_1_3").is_none());

@@ -39,15 +39,23 @@ pub fn scaled_suite(fraction: f64) -> Vec<Workload> {
     let width = ((airsn::PAPER_WIDTH as f64 * fraction).round() as usize).max(4);
     vec![
         Workload::new("AIRSN", airsn::airsn(width)),
-        Workload::new("Inspiral", inspiral::inspiral(inspiral::InspiralParams::scaled(fraction))),
-        Workload::new("Montage", montage::montage(montage::MontageParams::scaled(fraction))),
+        Workload::new(
+            "Inspiral",
+            inspiral::inspiral(inspiral::InspiralParams::scaled(fraction)),
+        ),
+        Workload::new(
+            "Montage",
+            montage::montage(montage::MontageParams::scaled(fraction)),
+        ),
         Workload::new("SDSS", sdss::sdss(sdss::SdssParams::scaled(fraction))),
     ]
 }
 
 /// Looks a workload up by (case-insensitive) name in the paper suite.
 pub fn paper_workload(name: &str) -> Option<Workload> {
-    paper_suite().into_iter().find(|w| w.name.eq_ignore_ascii_case(name))
+    paper_suite()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
 }
 
 #[cfg(test)]

@@ -11,7 +11,11 @@ use dagprio::workloads::airsn::{airsn, HANDLE_LEN, PAPER_WIDTH};
 
 fn main() {
     let dag = airsn(PAPER_WIDTH);
-    println!("AIRSN width {PAPER_WIDTH}: {} jobs, {} dependencies", dag.num_nodes(), dag.num_arcs());
+    println!(
+        "AIRSN width {PAPER_WIDTH}: {} jobs, {} dependencies",
+        dag.num_nodes(),
+        dag.num_arcs()
+    );
 
     let res = prioritize(&dag);
     let s = &res.stats;
@@ -24,7 +28,9 @@ fn main() {
     );
 
     // The black-framed bottleneck of Fig. 5.
-    let bottleneck = dag.find(&format!("handle{}", HANDLE_LEN - 1)).expect("last handle job");
+    let bottleneck = dag
+        .find(&format!("handle{}", HANDLE_LEN - 1))
+        .expect("last handle job");
     let priorities = res.schedule.priorities();
     println!(
         "bottleneck job {:?}: schedule position {}, priority {} (paper: 753)",

@@ -12,9 +12,14 @@ use dagprio::workloads::montage::{montage, MontageParams};
 
 fn main() {
     // 1. Generate a small Montage-like dag and express it as DAGMan text.
-    let dag = montage(MontageParams { images: 24, tiles: 3 });
+    let dag = montage(MontageParams {
+        images: 24,
+        tiles: 3,
+    });
     let mut statements = Vec::new();
-    statements.push(Statement::Comment("# synthetic Montage-like workflow".into()));
+    statements.push(Statement::Comment(
+        "# synthetic Montage-like workflow".into(),
+    ));
     for u in dag.node_ids() {
         statements.push(Statement::Job {
             name: dag.label(u).to_string(),
@@ -26,12 +31,20 @@ fn main() {
         if dag.out_degree(u) > 0 {
             statements.push(Statement::ParentChild {
                 parents: vec![dag.label(u).to_string()],
-                children: dag.children(u).iter().map(|&c| dag.label(c).to_string()).collect(),
+                children: dag
+                    .children(u)
+                    .iter()
+                    .map(|&c| dag.label(c).to_string())
+                    .collect(),
             });
         }
     }
     let text = write_dagman(&DagmanFile { statements });
-    println!("generated DAGMan file: {} lines, {} jobs", text.lines().count(), dag.num_nodes());
+    println!(
+        "generated DAGMan file: {} lines, {} jobs",
+        text.lines().count(),
+        dag.num_nodes()
+    );
 
     // 2. Run the prio pipeline on the text.
     let out = prioritize_dagman_text(&text).expect("valid DAGMan text");

@@ -6,11 +6,16 @@
 
 use dagprio::core::eligibility::partial_eligibility_profile;
 use dagprio::core::families::Family;
-use dagprio::core::optimal::{is_source_order_ic_optimal, max_eligibility_curve, DEFAULT_STATE_LIMIT};
+use dagprio::core::optimal::{
+    is_source_order_ic_optimal, max_eligibility_curve, DEFAULT_STATE_LIMIT,
+};
 use dagprio::core::recognize::recognize;
 
 fn main() {
-    println!("{:<14} {:>6} {:>5}  {:<28} {:<20} IC-optimal?", "family", "nodes", "arcs", "source order", "E(x) over sources");
+    println!(
+        "{:<14} {:>6} {:>5}  {:<28} {:<20} IC-optimal?",
+        "family", "nodes", "arcs", "source order", "E(x) over sources"
+    );
     for fam in Family::fig2_catalog() {
         let (dag, order) = fam.instantiate();
         let labels: Vec<&str> = order.iter().map(|&u| dag.label(u)).collect();
@@ -39,7 +44,14 @@ fn main() {
         let mut full_order = order.clone();
         full_order.extend(dag.sinks());
         let full_profile = dagprio::core::eligibility::eligibility_profile(&dag, &full_order);
-        assert_eq!(full_profile, curve, "{}: profile must meet the lattice maximum", fam.name());
+        assert_eq!(
+            full_profile,
+            curve,
+            "{}: profile must meet the lattice maximum",
+            fam.name()
+        );
     }
-    println!("\nall Fig. 2 schedules verified IC-optimal against the exhaustive ideal-lattice oracle");
+    println!(
+        "\nall Fig. 2 schedules verified IC-optimal against the exhaustive ideal-lattice oracle"
+    );
 }

@@ -12,10 +12,21 @@ use dagprio::workloads::airsn::airsn;
 fn main() {
     let dag = airsn(50); // 173 jobs: quick but structured
     let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
-    let plan = ReplicationPlan { p: 24, q: 12, seed: 7, threads: 0 };
+    let plan = ReplicationPlan {
+        p: 24,
+        q: 12,
+        seed: 7,
+        threads: 0,
+    };
 
-    println!("AIRSN width 50 ({} jobs); ratios are PRIO/FIFO, medians with 95% CIs\n", dag.num_nodes());
-    println!("{:<22} {:<26} {:<26} {:<26}", "regime", "time ratio", "stall ratio", "util ratio");
+    println!(
+        "AIRSN width 50 ({} jobs); ratios are PRIO/FIFO, medians with 95% CIs\n",
+        dag.num_nodes()
+    );
+    println!(
+        "{:<22} {:<26} {:<26} {:<26}",
+        "regime", "time ratio", "stall ratio", "util ratio"
+    );
     let regimes: [(&str, f64, f64); 5] = [
         ("frequent tiny batches", 0.01, 1.0),
         ("rare tiny batches", 10.0, 1.0),

@@ -16,20 +16,24 @@ use dagprio::workloads::classic::{diamond, entangled_ring, fig3_dag};
 use dagprio::workloads::mesh::mesh2d;
 
 fn main() {
-    let w22 = dagprio::core::families::Family::W { s: 2, d: 2 }.instantiate().0;
-    let m22 = dagprio::core::families::Family::M { s: 2, d: 2 }.instantiate().0;
+    let w22 = dagprio::core::families::Family::W { s: 2, d: 2 }
+        .instantiate()
+        .0;
+    let m22 = dagprio::core::families::Family::M { s: 2, d: 2 }
+        .instantiate()
+        .0;
     let gallery: Vec<(&str, Dag)> = vec![
         ("Fig. 3 example", fig3_dag()),
         ("diamond", diamond()),
         ("3x3 mesh", mesh2d(3, 3)),
-        ("W(2,2) over M(2,2)", series_zip(&w22, &m22).expect("composition")),
+        (
+            "W(2,2) over M(2,2)",
+            series_zip(&w22, &m22).expect("composition"),
+        ),
         ("entangled ring (k=4)", entangled_ring(4)),
     ];
 
-    println!(
-        "{:<22} {:<44} heuristic",
-        "dag", "theoretical algorithm"
-    );
+    println!("{:<22} {:<44} heuristic", "dag", "theoretical algorithm");
     for (name, dag) in gallery {
         let heur = prioritize(&dag);
         assert!(heur.schedule.is_valid_for(&dag));
@@ -45,7 +49,11 @@ fn main() {
                 format!(
                     "succeeds ({} blocks){}",
                     res.block_order.len(),
-                    if verified { ", verified IC-optimal" } else { "" }
+                    if verified {
+                        ", verified IC-optimal"
+                    } else {
+                        ""
+                    }
                 )
             }
             Err(e) => format!("FAILS: {e}"),

@@ -19,7 +19,9 @@
 //! * [`stats`] — distributions, sampling distributions, ratio confidence
 //!   intervals;
 //! * [`sim`] — the event-driven grid simulator and the §4 experiment
-//!   harness.
+//!   harness;
+//! * [`obs`] — zero-dependency observability: phase-timing spans, atomic
+//!   counters, and structured JSONL event traces across the pipeline.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 pub use prio_core as core;
 pub use prio_dagman as dagman;
 pub use prio_graph as graph;
+pub use prio_obs as obs;
 pub use prio_sim as sim;
 pub use prio_stats as stats;
 pub use prio_workloads as workloads;
@@ -78,7 +81,12 @@ pub fn prioritize_dagman_text(text: &str) -> Result<PrioritizedDagman, prio_dagm
         .collect();
     let priorities = priorities_by_job(schedule_names.iter().map(String::as_str));
     instrument_dagman(&mut file, &priorities)?;
-    Ok(PrioritizedDagman { instrumented: write_dagman(&file), schedule_names, dag, result })
+    Ok(PrioritizedDagman {
+        instrumented: write_dagman(&file),
+        schedule_names,
+        dag,
+        result,
+    })
 }
 
 #[cfg(test)]
@@ -101,9 +109,9 @@ mod tests {
     #[test]
     fn parse_errors_propagate() {
         assert!(prioritize_dagman_text("JOB incomplete").is_err());
-        assert!(prioritize_dagman_text(
-            "JOB a x\nJOB b x\nPARENT a CHILD b\nPARENT b CHILD a\n"
-        )
-        .is_err());
+        assert!(
+            prioritize_dagman_text("JOB a x\nJOB b x\nPARENT a CHILD b\nPARENT b CHILD a\n")
+                .is_err()
+        );
     }
 }

@@ -1,11 +1,11 @@
 //! End-to-end integration tests spanning the workspace: workloads →
 //! scheduler → DAGMan instrumentation → simulator.
 
+use dagprio::core::combine::CombineEngine;
+use dagprio::core::decompose::DecomposeOptions;
 use dagprio::core::eligibility::eligibility_profile;
 use dagprio::core::fifo::fifo_schedule;
 use dagprio::core::prio::{prioritize, PrioOptions, Prioritizer};
-use dagprio::core::combine::CombineEngine;
-use dagprio::core::decompose::DecomposeOptions;
 use dagprio::dagman::parse::parse_dagman;
 use dagprio::prioritize_dagman_text;
 use dagprio::workloads::airsn::{airsn, HANDLE_LEN};
@@ -75,12 +75,19 @@ fn airsn_eligibility_difference_spikes_by_the_fringe_count() {
         max as usize >= width - 2,
         "expected a spike near the width {width}, got {max}"
     );
-    assert!(diff.iter().all(|&d| d >= 0), "PRIO never below FIFO on AIRSN");
+    assert!(
+        diff.iter().all(|&d| d >= 0),
+        "PRIO never below FIFO on AIRSN"
+    );
 }
 
 #[test]
 fn inspiral_ring_forces_the_general_search() {
-    let dag = inspiral(InspiralParams { pre_width: 5, ring_k: 20, post_width: 5 });
+    let dag = inspiral(InspiralParams {
+        pre_width: 5,
+        ring_k: 20,
+        post_width: 5,
+    });
     let res = prioritize(&dag);
     assert!(res.stats.general_search_iterations >= 1);
     // The ring is one non-bipartite component of 3k jobs.
@@ -104,7 +111,10 @@ fn entangled_ring_alone_is_one_component() {
 
 #[test]
 fn montage_big_bipartite_component_is_found() {
-    let p = MontageParams { images: 60, tiles: 4 };
+    let p = MontageParams {
+        images: 60,
+        tiles: 4,
+    };
     let dag = montage(p);
     let res = prioritize(&dag);
     let big = res
@@ -122,7 +132,11 @@ fn montage_big_bipartite_component_is_found() {
 
 #[test]
 fn sdss_field_component_has_three_children_per_source() {
-    let p = SdssParams { fields: 40, targets: 30, extra_chain: 0 };
+    let p = SdssParams {
+        fields: 40,
+        targets: 30,
+        extra_chain: 0,
+    };
     let dag = sdss(p);
     let res = prioritize(&dag);
     // The field block: 40 sources and 81 shared products.
@@ -144,9 +158,20 @@ fn engineered_and_naive_pipelines_agree_on_structured_dags() {
     });
     for dag in [
         airsn(10),
-        inspiral(InspiralParams { pre_width: 4, ring_k: 5, post_width: 4 }),
-        montage(MontageParams { images: 12, tiles: 2 }),
-        sdss(SdssParams { fields: 8, targets: 5, extra_chain: 0 }),
+        inspiral(InspiralParams {
+            pre_width: 4,
+            ring_k: 5,
+            post_width: 4,
+        }),
+        montage(MontageParams {
+            images: 12,
+            tiles: 2,
+        }),
+        sdss(SdssParams {
+            fields: 8,
+            targets: 5,
+            extra_chain: 0,
+        }),
     ] {
         let fast = prioritize(&dag).schedule;
         let slow = naive.prioritize(&dag).schedule;
@@ -160,7 +185,12 @@ fn dagman_text_pipeline_matches_direct_pipeline() {
     let direct = prioritize(&dag);
     let text = "JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nJOB d d.sub\nJOB e e.sub\nPARENT a CHILD b\nPARENT c CHILD d e\n";
     let via_text = prioritize_dagman_text(text).unwrap();
-    let direct_names: Vec<&str> = direct.schedule.order().iter().map(|&u| dag.label(u)).collect();
+    let direct_names: Vec<&str> = direct
+        .schedule
+        .order()
+        .iter()
+        .map(|&u| dag.label(u))
+        .collect();
     assert_eq!(via_text.schedule_names, direct_names);
 
     // The instrumented file re-parses, and replaying its priorities gives
@@ -173,7 +203,11 @@ fn dagman_text_pipeline_matches_direct_pipeline() {
         .map(|&n| {
             (
                 n.to_string(),
-                reparsed.vars_value(n, "jobpriority").unwrap().parse().unwrap(),
+                reparsed
+                    .vars_value(n, "jobpriority")
+                    .unwrap()
+                    .parse()
+                    .unwrap(),
             )
         })
         .collect();
@@ -214,7 +248,11 @@ fn theoretical_algorithm_succeeds_on_meshes_and_matches_optimality() {
 #[test]
 fn theoretical_fails_on_inspiral_but_heuristic_handles_it() {
     use dagprio::core::theoretical::{theoretical_schedule, TheoreticalFailure};
-    let dag = inspiral(InspiralParams { pre_width: 3, ring_k: 4, post_width: 3 });
+    let dag = inspiral(InspiralParams {
+        pre_width: 3,
+        ring_k: 4,
+        post_width: 3,
+    });
     match theoretical_schedule(&dag) {
         Err(TheoreticalFailure::DecompositionFailed { .. }) => {}
         other => panic!("the entangled ring must defeat the theory: {other:?}"),
