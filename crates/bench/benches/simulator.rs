@@ -9,7 +9,7 @@ use prio_workloads::airsn::airsn;
 
 fn bench_simulator(c: &mut Criterion) {
     let dag = airsn(50);
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
     let fifo = PolicySpec::Fifo;
 
     let cells = [

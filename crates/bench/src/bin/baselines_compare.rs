@@ -27,7 +27,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(100);
     let dag = airsn(width);
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
     let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
     let baselines: Vec<(&str, PolicySpec)> = vec![
         ("FIFO", PolicySpec::Fifo),

@@ -32,7 +32,7 @@ fn main() {
     let mut file = parse_dagman(IV_DAG).expect("IV.dag parses");
     let dag = file.to_dag().expect("IV.dag is acyclic");
 
-    let result = prioritize(&dag);
+    let result = prioritize(&dag).unwrap();
     let names: Vec<&str> = result
         .schedule
         .order()

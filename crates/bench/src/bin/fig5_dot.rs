@@ -13,7 +13,7 @@ use prio_workloads::airsn::{airsn, airsn_paper, HANDLE_LEN, PAPER_WIDTH};
 fn main() {
     // Full-size instance for the priority check.
     let dag = airsn_paper();
-    let result = prioritize(&dag);
+    let result = prioritize(&dag).unwrap();
     let priorities = result.schedule.priorities();
     let bottleneck = dag
         .find(&format!("handle{}", HANDLE_LEN - 1))
@@ -30,7 +30,7 @@ fn main() {
 
     // A small instance for a drawable figure.
     let small = airsn(8);
-    let res = prioritize(&small);
+    let res = prioritize(&small).unwrap();
     let prio = res.schedule.priorities();
     let bott = small
         .find(&format!("handle{}", HANDLE_LEN - 1))

@@ -123,7 +123,7 @@ fn run_dag(name: &str, opts: &Options) {
     let dag = build_dag(name, opts);
     eprintln!("== {name}: {} jobs ==", dag.num_nodes());
     let start = Instant::now();
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
     eprintln!(
         "{name}: prioritized in {:.2}s",
         start.elapsed().as_secs_f64()

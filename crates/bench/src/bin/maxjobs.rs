@@ -25,7 +25,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(250);
     let dag = airsn(width);
-    let schedule = prioritize(&dag).schedule;
+    let schedule = prioritize(&dag).unwrap().schedule;
     let plan = ReplicationPlan {
         p: 20,
         q: 12,

@@ -21,7 +21,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(100);
     let dag = airsn(width);
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
     let plan = ReplicationPlan {
         p: 20,
         q: 12,

@@ -20,7 +20,7 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(250);
     let dag = airsn(width);
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
     let plan = ReplicationPlan {
         p: 16,
         q: 10,

@@ -79,7 +79,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+        let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
         let plan = ReplicationPlan {
             p,
             q,

@@ -6,7 +6,7 @@
 //! Timing comes from the observability span registry — the same clocks the
 //! CLI's `--timings` footer reads — so the table additionally breaks the
 //! total down into the pipeline phases (reduce, decompose, schedule,
-//! combine).
+//! combine, emit).
 
 use prio_bench::mem::{peak_since, reset_peak, CountingAllocator};
 use prio_bench::report::{fmt_bytes, fmt_duration, Table};
@@ -26,9 +26,16 @@ const PAPER: [(&str, &str, &str); 4] = [
     ("SDSS", "845 s", "1.3 GB"),
 ];
 
-/// The phase spans broken out as columns (recorded at their
-/// implementation sites inside prio-graph and prio-core).
-const PHASES: [&str; 4] = ["reduce", "decompose", "schedule", "combine"];
+/// The phase spans broken out as columns — the stage vocabulary shared by
+/// the span registry and the error taxonomy, recorded at their
+/// implementation sites inside prio-graph and prio-core.
+const PHASES: [&str; 5] = [
+    prio_obs::stage::REDUCE,
+    prio_obs::stage::DECOMPOSE,
+    prio_obs::stage::SCHEDULE,
+    prio_obs::stage::COMBINE,
+    prio_obs::stage::EMIT,
+];
 
 fn phase_total(path: &str) -> Duration {
     span::stat_of(path).map(|s| s.total).unwrap_or_default()
@@ -51,7 +58,7 @@ fn main() {
         let baseline = reset_peak();
         let total = {
             let guard = span::span("prioritize");
-            let result = prioritize(&w.dag);
+            let result = prioritize(&w.dag).unwrap();
             assert!(result.schedule.is_valid_for(&w.dag));
             guard.elapsed()
         };

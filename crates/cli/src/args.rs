@@ -1,5 +1,9 @@
 //! Minimal flag parsing shared by the subcommands (no external deps).
+//!
+//! Every parse failure is a [`CliError::Usage`] (exit code 2): the command
+//! line itself, not the input data, was wrong.
 
+use crate::error::CliError;
 use std::collections::HashMap;
 
 /// Parsed positional arguments and `--flag [value]` options.
@@ -24,14 +28,14 @@ impl Args {
     /// Parses argv-style tokens. A `--flag` consumes the following token
     /// as its value unless it is boolean or the next token is another
     /// flag.
-    pub fn parse(argv: &[String]) -> Result<Args, String> {
+    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
         let mut args = Args::default();
         let mut i = 0;
         while i < argv.len() {
             let tok = &argv[i];
             if let Some(name) = tok.strip_prefix("--") {
                 if name.is_empty() {
-                    return Err("bare `--` is not supported".into());
+                    return Err(CliError::usage("bare `--` is not supported"));
                 }
                 let takes_value = !BOOLEAN_FLAGS.contains(&name);
                 let value = if takes_value {
@@ -41,13 +45,15 @@ impl Args {
                             i += 1;
                             Some(v.clone())
                         }
-                        _ => return Err(format!("flag --{name} requires a value")),
+                        _ => {
+                            return Err(CliError::usage(format!("flag --{name} requires a value")))
+                        }
                     }
                 } else {
                     None
                 };
                 if args.flags.insert(name.to_string(), value).is_some() {
-                    return Err(format!("flag --{name} given twice"));
+                    return Err(CliError::usage(format!("flag --{name} given twice")));
                 }
             } else {
                 args.positional.push(tok.clone());
@@ -68,21 +74,21 @@ impl Args {
     }
 
     /// A flag parsed as `T`, with a default.
-    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("flag --{name}: cannot parse {v:?}")),
+                .map_err(|_| CliError::usage(format!("flag --{name}: cannot parse {v:?}"))),
         }
     }
 
     /// The single required positional argument.
-    pub fn one_positional(&self) -> Result<&str, String> {
+    pub fn one_positional(&self) -> Result<&str, CliError> {
         match self.positional.as_slice() {
             [one] => Ok(one),
-            [] => Err("expected one positional argument".into()),
-            _ => Err("too many positional arguments".into()),
+            [] => Err(CliError::usage("expected one positional argument")),
+            _ => Err(CliError::usage("too many positional arguments")),
         }
     }
 }

@@ -1,0 +1,139 @@
+//! `prio batch` — prioritize every DAGMan file in a directory.
+//!
+//! Scans `<dir>` for `*.dag` files (sorted by name, skipping previous
+//! `*.prio.dag` outputs), runs the PRIO pipeline over all of them through
+//! one [`prio_core::Prioritizer::prioritize_many`] call — so scratch
+//! buffers are shared across the whole batch — and writes each result next
+//! to its input as `<stem>.prio.dag`.
+//!
+//! Per-file failures do not abort the batch: every remaining file is still
+//! processed, failures are reported to stderr, and the exit code reflects
+//! the worst failure class seen (internal 70 beats input 1).
+
+use crate::args::Args;
+use crate::error::CliError;
+use prio_core::prio::{PrioOptions, Prioritizer};
+use prio_core::PrioError;
+use prio_dagman::ast::DagmanFile;
+use prio_dagman::instrument::{instrument_dagman, priorities_by_job};
+use prio_dagman::parse::parse_dagman;
+use prio_dagman::write::write_dagman;
+use prio_graph::Dag;
+use std::path::{Path, PathBuf};
+
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let dir = args.one_positional()?.to_string();
+    let search: usize = args.get_parsed("search", 0)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
+
+    let paths = dag_files(&dir)?;
+    if paths.is_empty() {
+        return Err(CliError::input(format!("{dir}: no .dag files found")));
+    }
+
+    // Parse every file up front; parse failures are reported but do not
+    // stop the batch.
+    let mut failures: Vec<(PathBuf, CliError)> = Vec::new();
+    let mut parsed: Vec<(PathBuf, DagmanFile, Dag)> = Vec::new();
+    for path in paths {
+        match read_one(&path) {
+            Ok((file, dag)) => parsed.push((path, file, dag)),
+            Err(e) => failures.push((path, e)),
+        }
+    }
+
+    // One batch call over all parsed dags, sharing scratch state.
+    let prioritizer = Prioritizer::with_options(PrioOptions {
+        optimal_search_limit: search,
+        threads,
+        ..PrioOptions::default()
+    });
+    let results = prioritizer.prioritize_many(parsed.iter().map(|(_, _, dag)| dag));
+
+    let mut written = 0usize;
+    for ((path, mut file, dag), result) in parsed.into_iter().zip(results) {
+        match write_one(&path, &mut file, &dag, result) {
+            Ok(out) => {
+                written += 1;
+                eprintln!("prio: wrote {} ({} jobs)", out.display(), dag.num_nodes());
+            }
+            Err(e) => failures.push((path, e)),
+        }
+    }
+
+    eprintln!(
+        "prio: batch: {written} prioritized, {} failed",
+        failures.len()
+    );
+    if failures.is_empty() {
+        return Ok(());
+    }
+    let mut internal = false;
+    for (path, e) in &failures {
+        eprintln!("prio: {}: {e}", path.display());
+        internal |= matches!(e, CliError::Internal(_));
+    }
+    let summary = format!("batch: {} of {} files failed", failures.len(), {
+        written + failures.len()
+    });
+    if internal {
+        Err(CliError::internal(summary))
+    } else {
+        Err(CliError::input(summary))
+    }
+}
+
+/// The `*.dag` files of `dir`, sorted by file name; `*.prio.dag` outputs
+/// from previous runs are skipped so a batch is idempotent.
+fn dag_files(dir: &str) -> Result<Vec<PathBuf>, CliError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CliError::input(format!("{dir}: {e}")))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError::input(format!("{dir}: {e}")))?;
+        let path = entry.path();
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue,
+        };
+        if name.ends_with(".dag") && !name.ends_with(".prio.dag") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+fn read_one(path: &Path) -> Result<(DagmanFile, Dag), CliError> {
+    let shown = path.display();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{shown}: {e}")))?;
+    let file = parse_dagman(&text)
+        .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
+    let dag = file
+        .to_dag()
+        .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
+    Ok((file, dag))
+}
+
+fn write_one(
+    path: &Path,
+    file: &mut DagmanFile,
+    dag: &Dag,
+    result: Result<prio_core::PrioResult, PrioError>,
+) -> Result<PathBuf, CliError> {
+    let result = result?;
+    let names = result.schedule.order().iter().map(|&u| dag.label(u));
+    let priorities = priorities_by_job(names);
+    instrument_dagman(file, &priorities)?;
+    let out = output_path(path);
+    std::fs::write(&out, write_dagman(file))
+        .map_err(|e| CliError::input(format!("{}: {e}", out.display())))?;
+    Ok(out)
+}
+
+/// `foo.dag` -> `foo.prio.dag`, next to the input.
+fn output_path(path: &Path) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+    path.with_file_name(format!("{stem}.prio.dag"))
+}

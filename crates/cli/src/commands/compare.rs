@@ -2,14 +2,15 @@
 
 use crate::args::Args;
 use crate::commands::load_dag;
+use crate::error::CliError;
 use prio_core::fifo::fifo_schedule;
 use prio_core::prio::prioritize;
 use prio_core::schedule::profile_difference;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let (name, dag) = load_dag(&args)?;
-    let prio = prioritize(&dag).schedule;
+    let prio = prioritize(&dag)?.schedule;
     let fifo = fifo_schedule(&dag);
     let diff = profile_difference(&dag, &prio, &fifo);
     let n = dag.num_nodes() as f64;

@@ -1,11 +1,12 @@
 //! `prio generate` — emit a synthetic scientific dag as a DAGMan file.
 
 use crate::args::Args;
+use crate::error::CliError;
 use prio_dagman::ast::DagmanFile;
 use prio_dagman::write::write_dagman;
 use prio_workloads::{airsn, classic, inspiral, montage, sdss};
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let which = args.one_positional()?.to_ascii_lowercase();
     let scale: f64 = args.get_parsed("scale", 1.0)?;
@@ -33,12 +34,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             sdss::SdssParams::default()
         }),
         "fig3" => classic::fig3_dag(),
-        other => return Err(format!("unknown workload {other:?}")),
+        other => return Err(CliError::usage(format!("unknown workload {other:?}"))),
     };
     let text = write_dagman(&DagmanFile::from_dag(&dag));
     match args.get("output") {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(path, text).map_err(|e| CliError::input(format!("{path}: {e}")))?;
             eprintln!("prio: wrote {path} ({} jobs)", dag.num_nodes());
         }
         None => print!("{text}"),

@@ -1,34 +1,39 @@
 //! `prio instrument` — the paper's tool: prioritize a DAGMan file.
 
 use crate::args::Args;
+use crate::commands::load_dagman_file;
+use crate::error::CliError;
 use prio_core::prio::{PrioOptions, Prioritizer};
 use prio_dagman::instrument::{instrument_dagman_with, priorities_by_job, InstrumentMode};
 use prio_dagman::jsdf::Jsdf;
-use prio_dagman::parse::parse_dagman;
 use prio_dagman::write::write_dagman;
 use std::path::{Path, PathBuf};
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let path = args.one_positional()?.to_string();
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
-    let mut file = parse_dagman(&text).map_err(|e| format!("{path}: {e}"))?;
-    let dag = file.to_dag().map_err(|e| format!("{path}: {e}"))?;
+    let (mut file, dag) = load_dagman_file(&path)?;
 
     let search: usize = args.get_parsed("search", 0)?;
+    let threads: usize = args.get_parsed("threads", 0)?;
     let mode = match args.get("mode") {
         None | Some("vars") => InstrumentMode::VarsMacro,
         Some("priority") => InstrumentMode::PriorityStatement,
-        Some(other) => return Err(format!("unknown --mode {other:?} (vars|priority)")),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown --mode {other:?} (vars|priority)"
+            )))
+        }
     };
     let result = Prioritizer::with_options(PrioOptions {
         optimal_search_limit: search,
+        threads,
         ..PrioOptions::default()
     })
-    .prioritize(&dag);
+    .prioritize(&dag)?;
     let names = result.schedule.order().iter().map(|&u| dag.label(u));
     let priorities = priorities_by_job(names);
-    instrument_dagman_with(&mut file, &priorities, mode).map_err(|e| e.to_string())?;
+    instrument_dagman_with(&mut file, &priorities, mode)?;
     let instrumented = write_dagman(&file);
 
     let output: PathBuf = if args.has("in-place") {
@@ -42,7 +47,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let ext = p.extension().and_then(|s| s.to_str()).unwrap_or("dag");
         p.with_file_name(format!("{stem}.prio.{ext}"))
     };
-    std::fs::write(&output, instrumented).map_err(|e| format!("{}: {e}", output.display()))?;
+    std::fs::write(&output, instrumented)
+        .map_err(|e| CliError::input(format!("{}: {e}", output.display())))?;
     eprintln!(
         "prio: wrote {} ({} jobs, {} components, {} shortcuts removed)",
         output.display(),
@@ -69,7 +75,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     let mut jsdf = Jsdf::parse(&text);
                     jsdf.instrument_priority();
                     std::fs::write(&jsdf_path, jsdf.to_text())
-                        .map_err(|e| format!("{}: {e}", jsdf_path.display()))?;
+                        .map_err(|e| CliError::input(format!("{}: {e}", jsdf_path.display())))?;
                     eprintln!("prio: instrumented {}", jsdf_path.display());
                 }
                 Err(_) => {
@@ -84,18 +90,19 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     // Structured snapshot of the pipeline's spans and counters as JSONL.
     if let Some(out) = args.get("trace-out") {
-        let sink =
-            prio_obs::JsonlSink::to_file(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+        let sink = prio_obs::JsonlSink::to_file(Path::new(out))
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         sink.write_meta(
             "instrument",
             &format!("input={path} jobs={}", dag.num_nodes()),
         )
-        .map_err(|e| format!("{out}: {e}"))?;
+        .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         sink.write_span_snapshot()
-            .map_err(|e| format!("{out}: {e}"))?;
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         sink.write_metrics_snapshot()
-            .map_err(|e| format!("{out}: {e}"))?;
-        sink.flush().map_err(|e| format!("{out}: {e}"))?;
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+        sink.flush()
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         eprintln!("prio: wrote timing snapshot to {out}");
     }
     Ok(())

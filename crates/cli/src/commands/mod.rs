@@ -1,5 +1,9 @@
 //! Subcommand implementations.
+//!
+//! Every subcommand returns `Result<(), CliError>`; `main` maps the error
+//! class onto the process exit code (usage 2, input 1, internal 70).
 
+pub mod batch;
 pub mod compare;
 pub mod generate;
 pub mod instrument;
@@ -8,22 +12,25 @@ pub mod simulate;
 pub mod stats;
 
 use crate::args::Args;
+use crate::error::CliError;
+use prio_core::PrioError;
 use prio_dagman::parse::parse_dagman;
 use prio_graph::Dag;
 use prio_workloads::spec::{paper_workload, scaled_suite};
 
 /// Loads the dag a subcommand operates on: either a DAGMan file path
 /// (positional) or `--workload NAME` with optional `--scale F`.
-pub fn load_dag(args: &Args) -> Result<(String, Dag), String> {
+pub fn load_dag(args: &Args) -> Result<(String, Dag), CliError> {
     if let Some(name) = args.get("workload") {
         let scale: f64 = args.get_parsed("scale", 1.0)?;
         let workload = if (scale - 1.0).abs() < f64::EPSILON {
-            paper_workload(name).ok_or_else(|| format!("unknown workload {name:?}"))?
+            paper_workload(name)
+                .ok_or_else(|| CliError::usage(format!("unknown workload {name:?}")))?
         } else {
             scaled_suite(scale)
                 .into_iter()
                 .find(|w| w.name.eq_ignore_ascii_case(name))
-                .ok_or_else(|| format!("unknown workload {name:?}"))?
+                .ok_or_else(|| CliError::usage(format!("unknown workload {name:?}")))?
         };
         Ok((
             format!("{} ({} jobs)", workload.name, workload.dag.num_nodes()),
@@ -31,9 +38,21 @@ pub fn load_dag(args: &Args) -> Result<(String, Dag), String> {
         ))
     } else {
         let path = args.one_positional()?;
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let file = parse_dagman(&text).map_err(|e| format!("{path}: {e}"))?;
-        let dag = file.to_dag().map_err(|e| format!("{path}: {e}"))?;
+        let (_, dag) = load_dagman_file(path)?;
         Ok((path.to_string(), dag))
     }
+}
+
+/// Reads and parses one DAGMan file. Read failures and parse/graph errors
+/// are input errors prefixed with the file path; parse errors keep their
+/// pipeline stage name (`parse:`).
+pub fn load_dagman_file(path: &str) -> Result<(prio_dagman::ast::DagmanFile, Dag), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+    let file = parse_dagman(&text)
+        .map_err(|e| CliError::input(format!("{path}: {}", PrioError::from(e))))?;
+    let dag = file
+        .to_dag()
+        .map_err(|e| CliError::input(format!("{path}: {}", PrioError::from(e))))?;
+    Ok((file, dag))
 }

@@ -2,12 +2,13 @@
 
 use crate::args::Args;
 use crate::commands::load_dag;
+use crate::error::CliError;
 use prio_core::baselines::critical_path_schedule;
 use prio_core::fifo::fifo_schedule;
 use prio_core::prio::prioritize;
 use prio_core::theoretical::theoretical_schedule;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let (name, dag) = load_dag(&args)?;
     let schedule = if args.has("fifo") {
@@ -16,10 +17,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         critical_path_schedule(&dag)
     } else if args.has("theoretical") {
         theoretical_schedule(&dag)
-            .map_err(|e| format!("theoretical algorithm failed: {e}"))?
+            .map_err(|e| CliError::input(format!("theoretical algorithm failed: {e}")))?
             .schedule
     } else {
-        prioritize(&dag).schedule
+        prioritize(&dag)?.schedule
     };
     eprintln!("prio: schedule for {name}");
     let n = schedule.len();

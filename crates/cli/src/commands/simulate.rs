@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::commands::load_dag;
+use crate::error::CliError;
 use prio_core::prio::prioritize;
 use prio_obs::JsonlSink;
 use prio_sim::engine::simulate_traced;
@@ -9,7 +10,7 @@ use prio_sim::replicate::ReplicationPlan;
 use prio_sim::{compare_policies, GridModel, PolicySpec};
 use std::path::Path;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let (name, dag) = load_dag(&args)?;
     let mu_bit: f64 = args.get_parsed("mu-bit", 1.0)?;
@@ -19,11 +20,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let seed: u64 = args.get_parsed("seed", 20060401)?;
     let threads: usize = args.get_parsed("threads", 0)?;
     if mu_bit <= 0.0 || mu_bs < 1.0 {
-        return Err("--mu-bit must be > 0 and --mu-bs >= 1".into());
+        return Err(CliError::usage("--mu-bit must be > 0 and --mu-bs >= 1"));
     }
 
     eprintln!("prio: simulating {name} at mu_bit={mu_bit}, mu_bs={mu_bs} (p={p}, q={q})");
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag)?.schedule);
     let model = GridModel::paper(mu_bit, mu_bs);
     let plan = ReplicationPlan {
         p,
@@ -73,24 +74,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     // Structured trace: one fully traced run per policy, then the span and
     // counter snapshots, all as JSONL.
     if let Some(out) = args.get("trace-out") {
-        let sink = JsonlSink::to_file(Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+        let sink = JsonlSink::to_file(Path::new(out))
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         sink.write_meta(
             "simulate",
             &format!("workload={name} mu_bit={mu_bit} mu_bs={mu_bs} seed={seed}"),
         )
-        .map_err(|e| format!("{out}: {e}"))?;
+        .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         for (policy_name, policy) in [("prio", &prio), ("fifo", &PolicySpec::Fifo)] {
             sink.write_meta("trace", &format!("policy={policy_name} seed={seed}"))
-                .map_err(|e| format!("{out}: {e}"))?;
+                .map_err(|e| CliError::input(format!("{out}: {e}")))?;
             let traced = simulate_traced(&dag, policy, &model, seed);
-            let trace = traced.trace.expect("traced run records a trace");
-            prio_sim::trace_json::write_trace(&sink, &trace).map_err(|e| format!("{out}: {e}"))?;
+            let trace = traced
+                .trace
+                .ok_or_else(|| CliError::internal("traced run recorded no trace"))?;
+            prio_sim::trace_json::write_trace(&sink, &trace)
+                .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         }
         sink.write_span_snapshot()
-            .map_err(|e| format!("{out}: {e}"))?;
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         sink.write_metrics_snapshot()
-            .map_err(|e| format!("{out}: {e}"))?;
-        sink.flush().map_err(|e| format!("{out}: {e}"))?;
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+        sink.flush()
+            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
         eprintln!("prio: wrote event trace to {out}");
     }
     Ok(())

@@ -2,14 +2,15 @@
 
 use crate::args::Args;
 use crate::commands::load_dag;
+use crate::error::CliError;
 use prio_core::prio::prioritize;
 use std::time::Instant;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let (name, dag) = load_dag(&args)?;
     let start = Instant::now();
-    let result = prioritize(&dag);
+    let result = prioritize(&dag)?;
     let elapsed = start.elapsed();
     let s = &result.stats;
     println!("dag:                     {name}");

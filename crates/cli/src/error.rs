@@ -1,0 +1,121 @@
+//! CLI error classification and exit codes.
+//!
+//! The `prio` tool distinguishes three failure classes, following the
+//! sysexits convention so scripts and batch drivers can react without
+//! parsing stderr:
+//!
+//! | class                        | exit code | examples                         |
+//! |------------------------------|-----------|----------------------------------|
+//! | [`CliError::Usage`]          | 2         | unknown subcommand, bad flag     |
+//! | [`CliError::Input`]          | 1         | missing file, parse error, cycle |
+//! | [`CliError::Internal`]       | 70        | pipeline invariant violation     |
+//!
+//! Pipeline errors ([`prio_core::PrioError`]) carry their stage name
+//! (`parse:`, `emit:`, …) in the rendered message, so `prio: error:
+//! parse: line 3: …` tells both the failure class and where in the
+//! pipeline it arose.
+
+use prio_core::PrioError;
+use std::fmt;
+
+/// Exit code for command-line usage errors (sysexits `EX_USAGE` is 64;
+/// the conventional shell value 2 is used here, matching common tools).
+pub const EXIT_USAGE: u8 = 2;
+/// Exit code for invalid input data (general failure).
+pub const EXIT_INPUT: u8 = 1;
+/// Exit code for internal software errors (sysexits `EX_SOFTWARE`).
+pub const EXIT_INTERNAL: u8 = 70;
+
+/// A classified CLI failure; the class decides the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself was wrong (exit 2).
+    Usage(String),
+    /// The input data was unreadable or invalid (exit 1).
+    Input(String),
+    /// The pipeline violated one of its own invariants (exit 70).
+    Internal(String),
+}
+
+impl CliError {
+    /// A usage error.
+    pub fn usage(msg: impl Into<String>) -> CliError {
+        CliError::Usage(msg.into())
+    }
+
+    /// An input error.
+    pub fn input(msg: impl Into<String>) -> CliError {
+        CliError::Input(msg.into())
+    }
+
+    /// An internal error.
+    pub fn internal(msg: impl Into<String>) -> CliError {
+        CliError::Internal(msg.into())
+    }
+
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => EXIT_USAGE,
+            CliError::Input(_) => EXIT_INPUT,
+            CliError::Internal(_) => EXIT_INTERNAL,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Internal(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<PrioError> for CliError {
+    /// Classifies a pipeline error: internal invariant violations are
+    /// software bugs (exit 70); everything else is bad input (exit 1).
+    /// The rendered message keeps the stage prefix (`parse:`, `emit:`, …).
+    fn from(e: PrioError) -> CliError {
+        if e.is_internal() {
+            CliError::Internal(e.to_string())
+        } else {
+            CliError::Input(e.to_string())
+        }
+    }
+}
+
+impl From<prio_dagman::DagmanError> for CliError {
+    /// Parse errors route through [`PrioError`] so the message carries the
+    /// `parse:` stage prefix.
+    fn from(e: prio_dagman::DagmanError) -> CliError {
+        CliError::from(PrioError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_core::Stage;
+
+    #[test]
+    fn exit_codes_follow_the_convention() {
+        assert_eq!(CliError::usage("x").exit_code(), 2, "usage errors exit 2");
+        assert_eq!(CliError::input("x").exit_code(), 1);
+        assert_eq!(CliError::internal("x").exit_code(), 70);
+    }
+
+    #[test]
+    fn pipeline_errors_classify_by_kind_and_keep_the_stage() {
+        let parse: CliError = prio_dagman::DagmanError::Malformed {
+            line: 2,
+            message: "bad".into(),
+        }
+        .into();
+        assert_eq!(parse.exit_code(), EXIT_INPUT);
+        assert!(parse.to_string().contains("parse:"), "{parse}");
+
+        let internal: CliError = PrioError::internal(Stage::Emit, "broken").into();
+        assert_eq!(internal.exit_code(), EXIT_INTERNAL);
+        assert!(internal.to_string().contains("emit:"), "{internal}");
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]
-//!                 [--mode vars|priority] [--search N]
+//!                 [--mode vars|priority] [--search N] [--threads T]
+//! prio batch      <dir> [--search N] [--threads T]
 //! prio schedule   <file.dag> [--fifo] [--critical-path]
 //! prio compare    <file.dag | --workload NAME [--scale F]>
 //! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
@@ -23,7 +24,9 @@
 
 mod args;
 mod commands;
+mod error;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -41,7 +44,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("prio: error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -69,14 +72,15 @@ fn strip_verbosity(argv: Vec<String>) -> Vec<String> {
     argv
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         print_usage();
-        return Err("missing subcommand".into());
+        return Err(CliError::usage("missing subcommand"));
     };
     let rest = &argv[1..];
     match cmd.as_str() {
         "instrument" => commands::instrument::run(rest),
+        "batch" => commands::batch::run(rest),
         "schedule" => commands::schedule::run(rest),
         "compare" => commands::compare::run(rest),
         "generate" => commands::generate::run(rest),
@@ -86,7 +90,9 @@ fn run(argv: &[String]) -> Result<(), String> {
             print_usage();
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?} (try `prio help`)")),
+        other => Err(CliError::usage(format!(
+            "unknown subcommand {other:?} (try `prio help`)"
+        ))),
     }
 }
 
@@ -97,7 +103,9 @@ prio — prioritize DAGMan jobs to keep the number of eligible jobs high
 
 USAGE:
     prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]
-                    [--mode vars|priority] [--search N] [--trace-out <file>] [--timings]
+                    [--mode vars|priority] [--search N] [--threads T]
+                    [--trace-out <file>] [--timings]
+    prio batch      <dir> [--search N] [--threads T]
     prio schedule   <file.dag> [--fifo | --critical-path | --theoretical]
     prio compare    (<file.dag> | --workload NAME [--scale F])
     prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
@@ -116,10 +124,18 @@ GLOBAL FLAGS:
 SUBCOMMANDS:
     instrument  parse a DAGMan file, compute the PRIO schedule, write back
                 jobpriority VARS (and JSDF priority lines when found)
+    batch       prioritize every *.dag file in a directory, writing each
+                result next to its input as <stem>.prio.dag
     schedule    print the schedule, one job name per line
     compare     print E_PRIO(t) - E_FIFO(t) per step (the paper's Fig. 4)
     generate    emit a synthetic scientific dag as a DAGMan file
     simulate    compare PRIO vs FIFO under the stochastic grid model
-    stats       print pipeline statistics (components, families, shortcuts)"
+    stats       print pipeline statistics (components, families, shortcuts)
+
+EXIT CODES:
+    0   success
+    1   invalid input (unreadable file, parse error, dependency cycle)
+    2   command-line usage error (unknown subcommand or flag value)
+    70  internal error (a pipeline invariant was violated — a bug)"
     );
 }

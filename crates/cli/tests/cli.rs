@@ -151,18 +151,112 @@ fn simulate_smoke() {
 }
 
 #[test]
-fn unknown_subcommand_fails_cleanly() {
+fn unknown_subcommand_exits_with_usage_code() {
     let dir = tempdir("unknown");
     let out = prio(&["frobnicate"], &dir);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 }
 
 #[test]
-fn missing_file_reports_error() {
+fn bad_flag_value_exits_with_usage_code() {
+    let dir = tempdir("badflag");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["instrument", "IV.dag", "--search", "lots"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--search"));
+    let out = prio(&[], &dir);
+    assert_eq!(out.status.code(), Some(2), "missing subcommand exits 2");
+}
+
+#[test]
+fn missing_file_exits_with_input_code() {
     let dir = tempdir("missing");
     let out = prio(&["schedule", "nope.dag"], &dir);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "input errors exit 1");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope.dag"));
+}
+
+#[test]
+fn malformed_file_reports_the_parse_stage() {
+    let dir = tempdir("malformed");
+    std::fs::write(dir.join("bad.dag"), "JOB incomplete\n").unwrap();
+    let out = prio(&["schedule", "bad.dag"], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("parse:"),
+        "stage name missing from: {stderr}"
+    );
+}
+
+#[test]
+fn batch_prioritizes_a_directory() {
+    let dir = tempdir("batch");
+    std::fs::write(dir.join("one.dag"), FIG3).unwrap();
+    std::fs::write(
+        dir.join("two.dag"),
+        "JOB x x.sub\nJOB y y.sub\nPARENT x CHILD y\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("notes.txt"), "not a dag").unwrap();
+    let out = prio(&["batch", ".", "--threads", "2"], &dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let one = std::fs::read_to_string(dir.join("one.prio.dag")).unwrap();
+    assert!(one.contains("VARS c jobpriority=\"5\""));
+    let two = std::fs::read_to_string(dir.join("two.prio.dag")).unwrap();
+    assert!(two.contains("jobpriority=\"2\""));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2 prioritized, 0 failed"), "{stderr}");
+}
+
+#[test]
+fn batch_continues_past_bad_files_and_exits_nonzero() {
+    let dir = tempdir("batchbad");
+    std::fs::write(dir.join("good.dag"), FIG3).unwrap();
+    std::fs::write(dir.join("bad.dag"), "JOB incomplete\n").unwrap();
+    let out = prio(&["batch", "."], &dir);
+    assert_eq!(out.status.code(), Some(1), "input failures exit 1");
+    // The good file was still written.
+    assert!(dir.join("good.prio.dag").exists());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 prioritized, 1 failed"), "{stderr}");
+    assert!(stderr.contains("parse:"), "{stderr}");
+}
+
+#[test]
+fn batch_of_empty_directory_is_an_input_error() {
+    let dir = tempdir("batchempty");
+    let out = prio(&["batch", "."], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no .dag files"));
+}
+
+#[test]
+fn threaded_instrument_matches_serial() {
+    let dir = tempdir("threadedinstr");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let serial = prio(&["instrument", "IV.dag", "--output", "s.dag"], &dir);
+    assert!(serial.status.success());
+    let threaded = prio(
+        &[
+            "instrument",
+            "IV.dag",
+            "--output",
+            "t.dag",
+            "--threads",
+            "4",
+        ],
+        &dir,
+    );
+    assert!(threaded.status.success());
+    let s = std::fs::read_to_string(dir.join("s.dag")).unwrap();
+    let t = std::fs::read_to_string(dir.join("t.dag")).unwrap();
+    assert_eq!(s, t, "--threads must not change the output");
 }
 
 #[test]

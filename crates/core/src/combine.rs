@@ -43,20 +43,28 @@ pub enum CombineEngine {
 /// Greedily orders the supernodes of `superdag`, whose node `i` carries
 /// eligibility profile `profiles[i]`. Returns the execution order of
 /// component indices (a linear extension of `superdag`).
-pub fn combine(superdag: &Dag, profiles: &[Vec<usize>], engine: CombineEngine) -> Vec<usize> {
+///
+/// Profiles are taken by reference (`&[usize]`, `Vec<usize>`, … all work),
+/// so the pipeline can pass the components' own profile vectors without
+/// cloning them per call.
+pub fn combine<P: AsRef<[usize]>>(
+    superdag: &Dag,
+    profiles: &[P],
+    engine: CombineEngine,
+) -> Vec<usize> {
     assert_eq!(
         superdag.num_nodes(),
         profiles.len(),
         "one profile per supernode"
     );
-    let _span = prio_obs::span("combine");
+    let _span = prio_obs::span(prio_obs::stage::COMBINE);
     match engine {
         CombineEngine::Naive => combine_naive(superdag, profiles),
         CombineEngine::ClassHeap => combine_class_heap(superdag, profiles),
     }
 }
 
-fn combine_naive(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
+fn combine_naive<P: AsRef<[usize]>>(superdag: &Dag, profiles: &[P]) -> Vec<usize> {
     let n = superdag.num_nodes();
     let mut indeg: Vec<usize> = superdag.node_ids().map(|u| superdag.in_degree(u)).collect();
     let mut sources: BTreeSet<usize> = superdag.sources().map(|u| u.index()).collect();
@@ -69,7 +77,7 @@ fn combine_naive(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
             let mut p_i = 1.0f64;
             for &j in &sources {
                 if i != j {
-                    let p = priority_over(&profiles[i], &profiles[j]);
+                    let p = priority_over(profiles[i].as_ref(), profiles[j].as_ref());
                     if p < p_i {
                         p_i = p;
                     }
@@ -97,10 +105,13 @@ fn combine_naive(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
     order
 }
 
-fn combine_class_heap(superdag: &Dag, profiles: &[Vec<usize>]) -> Vec<usize> {
+fn combine_class_heap<P: AsRef<[usize]>>(superdag: &Dag, profiles: &[P]) -> Vec<usize> {
     let n = superdag.num_nodes();
     let mut interner = ProfileInterner::new();
-    let class_of: Vec<ProfileClass> = profiles.iter().map(|p| interner.intern(p)).collect();
+    let class_of: Vec<ProfileClass> = profiles
+        .iter()
+        .map(|p| interner.intern(p.as_ref()))
+        .collect();
     let mut cache = PriorityCache::new();
 
     let mut indeg: Vec<usize> = superdag.node_ids().map(|u| superdag.in_degree(u)).collect();

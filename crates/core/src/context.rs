@@ -1,0 +1,45 @@
+//! [`PrioContext`]: reusable scratch state for repeated pipeline runs.
+//!
+//! One-shot prioritization allocates its working memory — visited stamps,
+//! topological worklists, reachability bitsets, the shortcut-arc buffer —
+//! afresh every call. Callers that prioritize many dags in a row (the
+//! `prio batch` subcommand, the simulator's sweeps, the benchmark harness)
+//! can instead hold a `PrioContext` and pass it to
+//! [`crate::Prioritizer::prioritize_in`]: buffers grow to the largest dag
+//! seen and are then reused, so steady-state runs allocate only for the
+//! result itself.
+//!
+//! The context is deliberately *not* shared between threads: it is cheap
+//! (one per worker) and keeping it thread-local keeps the pipeline free of
+//! synchronization on the hot path. Reuse never changes results — the
+//! property tests cross-check context-reuse runs against fresh runs.
+
+use prio_graph::{GraphScratch, NodeId};
+
+/// Reusable scratch buffers for the PRIO pipeline.
+///
+/// Functionally equivalent to allocating fresh state per run; exists purely
+/// to amortize allocations across [`crate::Prioritizer::prioritize_in`] /
+/// [`crate::Prioritizer::prioritize_many`] calls.
+#[derive(Debug, Default)]
+pub struct PrioContext {
+    /// Graph-layer scratch: timestamped visited marks, Kahn worklists,
+    /// rank buffers and the shared reachability bitset.
+    pub(crate) graph: GraphScratch,
+    /// Shortcut arcs found by the reduce stage (cleared and refilled each
+    /// run).
+    pub(crate) shortcuts: Vec<(NodeId, NodeId)>,
+}
+
+impl PrioContext {
+    /// An empty context; buffers grow on first use.
+    pub fn new() -> PrioContext {
+        PrioContext::default()
+    }
+
+    /// Number of shortcut arcs found by the most recent run through this
+    /// context (diagnostic; mirrors `PrioStats::shortcuts_removed`).
+    pub fn last_shortcut_count(&self) -> usize {
+        self.shortcuts.len()
+    }
+}

@@ -115,7 +115,7 @@ pub struct Decomposition {
 /// Decomposes `g` (assumed shortcut-free; the caller runs the transitive
 /// reduction first) into components plus a superdag.
 pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
-    let _span = prio_obs::span("decompose");
+    let _span = prio_obs::span(prio_obs::stage::DECOMPOSE);
     let n = g.num_nodes();
     let mut alive = vec![true; n];
     let mut alive_indeg: Vec<usize> = g.node_ids().map(|u| g.in_degree(u)).collect();

@@ -44,7 +44,7 @@
 //! b.add_arc(ids[2], ids[4]).unwrap();
 //! let dag: Dag = b.build().unwrap();
 //!
-//! let prio = prioritize(&dag);
+//! let prio = prioritize(&dag).unwrap();
 //! let names: Vec<&str> = prio.schedule.order().iter().map(|&u| dag.label(u)).collect();
 //! assert_eq!(names, ["c", "a", "b", "d", "e"]); // the PRIO schedule of Fig. 3
 //!
@@ -61,8 +61,10 @@ pub mod baselines;
 pub mod combine;
 pub mod component;
 pub mod component_schedule;
+pub mod context;
 pub mod decompose;
 pub mod eligibility;
+pub mod error;
 pub mod families;
 pub mod fifo;
 pub mod optimal;
@@ -73,5 +75,7 @@ pub mod recognize;
 pub mod schedule;
 pub mod theoretical;
 
+pub use context::PrioContext;
+pub use error::{PrioError, Stage};
 pub use prio::{prioritize, PrioOptions, PrioResult, Prioritizer};
 pub use schedule::Schedule;

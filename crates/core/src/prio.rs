@@ -14,11 +14,15 @@
 use crate::combine::{combine, CombineEngine};
 use crate::component::{Component, ScheduleSource};
 use crate::component_schedule::schedule_part;
-use crate::decompose::{decompose, DecomposeOptions, Decomposition};
+use crate::context::PrioContext;
+use crate::decompose::{decompose, DecomposeOptions, Decomposition, Part};
+use crate::error::{PrioError, Stage};
 use crate::schedule::Schedule;
-use prio_graph::reduction::{remove_arcs, shortcut_arcs};
+use prio_graph::reduction::{remove_arcs, shortcut_arcs_into};
+use prio_graph::topo::{linear_extension_violation, ExtensionViolation};
 use prio_graph::{Dag, NodeId};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Options for the PRIO pipeline. The defaults reproduce the paper's tool;
 /// the alternative settings exist for the §3.5 engineering ablations.
@@ -33,6 +37,12 @@ pub struct PrioOptions {
     /// order before falling back to the out-degree heuristic. 0 (the
     /// default) reproduces the paper's tool exactly.
     pub optimal_search_limit: usize,
+    /// Worker threads for the per-component scheduling stage. `0` (the
+    /// default) and `1` run serially, as the paper's tool does; `n > 1`
+    /// schedules independent components across up to `n` scoped threads.
+    /// Results are placed by component index, so every thread count
+    /// produces bit-identical schedules and statistics.
+    pub threads: usize,
 }
 
 /// Statistics collected along the pipeline (reported by the CLI and used by
@@ -91,16 +101,27 @@ impl Prioritizer {
         Prioritizer { opts }
     }
 
-    /// Runs the full pipeline on `dag`.
-    pub fn prioritize(&self, dag: &Dag) -> PrioResult {
+    /// Runs the full pipeline on `dag` with fresh scratch state.
+    pub fn prioritize(&self, dag: &Dag) -> Result<PrioResult, PrioError> {
+        self.prioritize_in(dag, &mut PrioContext::new())
+    }
+
+    /// Runs the full pipeline on `dag`, reusing the scratch buffers in
+    /// `ctx`. Equivalent to [`Prioritizer::prioritize`] — same result for
+    /// any context state — but amortizes working-memory allocations across
+    /// calls, which matters when prioritizing many dags in a row.
+    pub fn prioritize_in(&self, dag: &Dag, ctx: &mut PrioContext) -> Result<PrioResult, PrioError> {
         // Step 1: shortcut removal. Node ids are preserved, so schedules on
-        // the reduced dag are schedules on the original.
-        let shortcuts = shortcut_arcs(dag);
-        prio_obs::counter("graph.shortcut_arcs_removed").add(shortcuts.len() as u64);
-        let reduced = if shortcuts.is_empty() {
-            dag.clone()
+        // the reduced dag are schedules on the original. When there is
+        // nothing to remove, the input dag is used as-is (no clone).
+        shortcut_arcs_into(dag, &mut ctx.graph, &mut ctx.shortcuts);
+        prio_obs::counter("graph.shortcut_arcs_removed").add(ctx.shortcuts.len() as u64);
+        let reduced_storage;
+        let reduced: &Dag = if ctx.shortcuts.is_empty() {
+            dag
         } else {
-            remove_arcs(dag, &shortcuts)
+            reduced_storage = remove_arcs(dag, &ctx.shortcuts);
+            &reduced_storage
         };
 
         // Step 2: decomposition.
@@ -109,23 +130,85 @@ impl Prioritizer {
             superdag,
             comp_removed: _,
             general_search_iterations,
-        } = decompose(&reduced, self.opts.decompose);
+        } = decompose(reduced, self.opts.decompose);
 
-        // Step 3: per-component schedules and profiles.
+        // Step 3: per-component schedules and profiles (serial or across a
+        // scoped thread pool — bit-identical either way).
         let mut stats = PrioStats {
-            shortcuts_removed: shortcuts.len(),
+            shortcuts_removed: ctx.shortcuts.len(),
             num_components: parts.len(),
             general_search_iterations,
             ..PrioStats::default()
         };
+        let components = self.schedule_components(reduced, parts, &mut stats);
+
+        // Steps 4–6: greedy combine over the superdag, borrowing the
+        // components' profiles.
+        let profiles: Vec<&[usize]> = components.iter().map(|c| c.profile.as_slice()).collect();
+        let component_order = combine(&superdag, &profiles, self.opts.engine);
+
+        // Emit: non-sinks per component in greedy order, then every sink of
+        // G in index order (the paper executes sinks "in arbitrary order";
+        // index order matches the Fig. 3 output and is deterministic).
+        let emit_span = prio_obs::span(prio_obs::stage::EMIT);
+        let mut order: Vec<NodeId> = Vec::with_capacity(dag.num_nodes());
+        for &ci in &component_order {
+            order.extend_from_slice(&components[ci].nonsink_schedule);
+        }
+        order.extend(dag.sinks());
+        let schedule = emit_schedule(dag, order)?;
+        drop(emit_span);
+
+        Ok(PrioResult {
+            schedule,
+            components,
+            superdag,
+            component_order,
+            stats,
+        })
+    }
+
+    /// Prioritizes a batch of dags, reusing one scratch context across the
+    /// whole batch. Returns one result per input dag, in order; a failure
+    /// on one dag does not affect the others.
+    pub fn prioritize_many<'a, I>(&self, dags: I) -> Vec<Result<PrioResult, PrioError>>
+    where
+        I: IntoIterator<Item = &'a Dag>,
+    {
+        let mut ctx = PrioContext::new();
+        dags.into_iter()
+            .map(|dag| self.prioritize_in(dag, &mut ctx))
+            .collect()
+    }
+
+    /// Step 3: schedules every component of `reduced` and tallies the
+    /// per-source statistics. With `opts.threads > 1` the independent
+    /// components are scheduled across scoped worker threads; results are
+    /// placed by component index, so the output is identical to the serial
+    /// path for every thread count.
+    fn schedule_components(
+        &self,
+        reduced: &Dag,
+        parts: Vec<Part>,
+        stats: &mut PrioStats,
+    ) -> Vec<Component> {
+        let _span = prio_obs::span(prio_obs::stage::SCHEDULE);
+        let limit = self.opts.optimal_search_limit;
+        let workers = self.opts.threads.min(parts.len());
+        let results: Vec<ScheduledPart> = if workers > 1 {
+            schedule_parts_parallel(reduced, &parts, limit, workers)
+        } else {
+            parts
+                .iter()
+                .map(|part| schedule_part(reduced, part, limit))
+                .collect()
+        };
+
         let mut components: Vec<Component> = Vec::with_capacity(parts.len());
-        let schedule_span = prio_obs::span("schedule");
-        for (i, part) in parts.into_iter().enumerate() {
+        for (i, (part, (order, source, profile))) in parts.into_iter().zip(results).enumerate() {
             if part.bipartite {
                 stats.num_bipartite += 1;
             }
-            let (order, source, profile) =
-                schedule_part(&reduced, &part, self.opts.optimal_search_limit);
             match &source {
                 ScheduleSource::Catalog(f) => {
                     *stats.recognized.entry(f.name()).or_insert(0) += 1;
@@ -136,37 +219,91 @@ impl Prioritizer {
             }
             components.push(part.into_component(i, order, source, profile));
         }
-        drop(schedule_span);
+        components
+    }
+}
 
-        // Steps 4–6: greedy combine over the superdag.
-        let profiles: Vec<Vec<usize>> = components.iter().map(|c| c.profile.clone()).collect();
-        let component_order = combine(&superdag, &profiles, self.opts.engine);
+/// One scheduled component before it is wrapped into a [`Component`]:
+/// the order over original node ids, how it was obtained, and its
+/// eligibility profile.
+type ScheduledPart = (Vec<NodeId>, ScheduleSource, Vec<usize>);
 
-        // Emit: non-sinks per component in greedy order, then every sink of
-        // G in index order (the paper executes sinks "in arbitrary order";
-        // index order matches the Fig. 3 output and is deterministic).
-        let assign_span = prio_obs::span("assign");
-        let mut order: Vec<NodeId> = Vec::with_capacity(dag.num_nodes());
-        for &ci in &component_order {
-            order.extend_from_slice(&components[ci].nonsink_schedule);
+/// Schedules `parts` across `workers` scoped threads pulling component
+/// indices from a shared channel. Each result is placed back at its
+/// component's index, so the returned vector is independent of thread
+/// count, scheduling order and channel timing.
+fn schedule_parts_parallel(
+    reduced: &Dag,
+    parts: &[Part],
+    limit: usize,
+    workers: usize,
+) -> Vec<ScheduledPart> {
+    let n = parts.len();
+    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+    for i in 0..n {
+        let _ = tx.send(i);
+    }
+    drop(tx);
+
+    let collected: Mutex<Vec<(usize, ScheduledPart)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let collected = &collected;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                while let Ok(i) = rx.recv() {
+                    local.push((i, schedule_part(reduced, &parts[i], limit)));
+                }
+                let mut sink = collected
+                    .lock()
+                    .unwrap_or_else(|poison| poison.into_inner());
+                sink.extend(local);
+            });
         }
-        order.extend(dag.sinks());
-        let schedule =
-            Schedule::new(dag, order).expect("PRIO pipeline must produce a linear extension");
-        drop(assign_span);
+    });
 
-        PrioResult {
-            schedule,
-            components,
-            superdag,
-            component_order,
-            stats,
+    // Every index was sent exactly once and every worker drained its
+    // receipts into `collected`, so each slot is written exactly once.
+    // Slots are pre-filled with trivial placeholders rather than unwrapped
+    // options; a (impossible) miss would surface as an emit-stage
+    // invariant error, not a panic.
+    let mut results: Vec<ScheduledPart> =
+        std::iter::repeat_with(|| (Vec::new(), ScheduleSource::Trivial, Vec::new()))
+            .take(n)
+            .collect();
+    for (i, result) in collected
+        .into_inner()
+        .unwrap_or_else(|poison| poison.into_inner())
+    {
+        results[i] = result;
+    }
+    results
+}
+
+/// Validates the emitted global order and wraps it into a [`Schedule`].
+/// A violation is a pipeline bug; it surfaces as
+/// [`PrioError::InternalInvariant`] carrying the offending arc instead of
+/// aborting the process.
+fn emit_schedule(dag: &Dag, order: Vec<NodeId>) -> Result<Schedule, PrioError> {
+    match linear_extension_violation(dag, &order) {
+        None => Ok(Schedule::from_order_unchecked(order)),
+        Some(violation) => {
+            let arc = match violation {
+                ExtensionViolation::ArcOutOfOrder { parent, child } => Some((parent, child)),
+                _ => None,
+            };
+            Err(PrioError::InternalInvariant {
+                stage: Stage::Emit,
+                detail: format!("emitted order is not a linear extension: {violation}"),
+                arc,
+            })
         }
     }
 }
 
 /// Convenience: run the PRIO pipeline with default options.
-pub fn prioritize(dag: &Dag) -> PrioResult {
+pub fn prioritize(dag: &Dag) -> Result<PrioResult, PrioError> {
     Prioritizer::new().prioritize(dag)
 }
 
@@ -180,7 +317,7 @@ mod tests {
     #[test]
     fn fig3_schedule_matches_paper() {
         let dag = Dag::from_arcs(5, &[(0, 1), (2, 3), (2, 4)]).unwrap();
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         let order: Vec<u32> = res.schedule.order().iter().map(|u| u.0).collect();
         assert_eq!(order, vec![2, 0, 1, 3, 4], "PRIO = c, a, b, d, e");
         // Priorities as in Fig. 3: c gets 5.
@@ -193,7 +330,7 @@ mod tests {
     #[test]
     fn fig3_schedule_is_ic_optimal() {
         let dag = Dag::from_arcs(5, &[(0, 1), (2, 3), (2, 4)]).unwrap();
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         assert_eq!(
             is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
             Some(true)
@@ -204,7 +341,7 @@ mod tests {
     fn catalog_families_schedule_ic_optimally_end_to_end() {
         for fam in crate::families::Family::fig2_catalog() {
             let (dag, _) = fam.instantiate();
-            let res = prioritize(&dag);
+            let res = prioritize(&dag).unwrap();
             assert_eq!(
                 is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
                 Some(true),
@@ -219,7 +356,7 @@ mod tests {
         // Fork then join through shared middles: 0 -> {1,2}, {1,2} -> 3,
         // i.e. the diamond — decomposes into two blocks in series.
         let dag = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         assert_eq!(
             is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
             Some(true)
@@ -230,7 +367,7 @@ mod tests {
     fn shortcuts_are_removed_and_do_not_change_validity() {
         // Diamond plus the shortcut 0 -> 3.
         let dag = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap();
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         assert_eq!(res.stats.shortcuts_removed, 1);
         assert!(res.schedule.is_valid_for(&dag));
     }
@@ -238,7 +375,7 @@ mod tests {
     #[test]
     fn entangled_dag_still_gets_a_valid_schedule() {
         let dag = Dag::from_arcs(6, &[(0, 4), (2, 4), (1, 2), (1, 5), (3, 5), (0, 3)]).unwrap();
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         assert!(res.schedule.is_valid_for(&dag));
         assert_eq!(res.stats.general_search_iterations, 1);
         assert_eq!(res.stats.heuristic_scheduled, 1);
@@ -260,13 +397,15 @@ mod tests {
             ],
         )
         .unwrap();
-        let default = prioritize(&dag);
+        let default = prioritize(&dag).unwrap();
         let naive = Prioritizer::with_options(PrioOptions {
             decompose: DecomposeOptions { fast_path: false },
             engine: CombineEngine::Naive,
             optimal_search_limit: 0,
+            threads: 0,
         })
-        .prioritize(&dag);
+        .prioritize(&dag)
+        .unwrap();
         assert_eq!(default.schedule, naive.schedule);
     }
 
@@ -287,7 +426,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let prio = prioritize(&dag).schedule;
+        let prio = prioritize(&dag).unwrap().schedule;
         let fifo = fifo_schedule(&dag);
         let ep = eligibility_profile(&dag, prio.order());
         let ef = eligibility_profile(&dag, fifo.order());
@@ -302,7 +441,7 @@ mod tests {
     #[test]
     fn stats_count_recognized_families() {
         let (dag, _) = crate::families::w_dag(3, 2);
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         assert_eq!(res.stats.recognized.get("(3,2)-W"), Some(&1));
         assert_eq!(res.stats.num_bipartite, 1);
     }
@@ -314,7 +453,7 @@ mod tests {
         // with job 1 (degree 2) covering nothing; the searched order
         // starts {1,2} covering sink 4.
         let dag = Dag::from_arcs(6, &[(0, 5), (1, 4), (1, 5), (2, 4), (3, 5)]).unwrap();
-        let paper = prioritize(&dag);
+        let paper = prioritize(&dag).unwrap();
         assert_eq!(paper.stats.heuristic_scheduled, 1);
         assert_eq!(
             is_ic_optimal(&dag, paper.schedule.order(), DEFAULT_STATE_LIMIT),
@@ -325,7 +464,8 @@ mod tests {
             optimal_search_limit: 16,
             ..PrioOptions::default()
         })
-        .prioritize(&dag);
+        .prioritize(&dag)
+        .unwrap();
         assert_eq!(searched.stats.searched, 1);
         assert_eq!(searched.stats.heuristic_scheduled, 0);
         assert_eq!(
@@ -338,11 +478,98 @@ mod tests {
     #[test]
     fn empty_and_singleton_dags() {
         let empty = prio_graph::DagBuilder::new().build().unwrap();
-        let res = prioritize(&empty);
+        let res = prioritize(&empty).unwrap();
         assert!(res.schedule.is_empty());
         let single = Dag::from_arcs(1, &[]).unwrap();
-        let res = prioritize(&single);
+        let res = prioritize(&single).unwrap();
         assert_eq!(res.schedule.order(), &[NodeId(0)]);
         assert_eq!(res.stats.trivial, 1);
+    }
+
+    fn sample_dags() -> Vec<Dag> {
+        vec![
+            Dag::from_arcs(5, &[(0, 1), (2, 3), (2, 4)]).unwrap(),
+            Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)]).unwrap(),
+            Dag::from_arcs(6, &[(0, 4), (2, 4), (1, 2), (1, 5), (3, 5), (0, 3)]).unwrap(),
+            Dag::from_arcs(1, &[]).unwrap(),
+            Dag::from_arcs(9, &[(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (5, 8)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn context_reuse_matches_fresh_runs() {
+        let p = Prioritizer::new();
+        let mut ctx = PrioContext::new();
+        // Deliberately interleave dag sizes so stale scratch from a larger
+        // dag is live when a smaller one is prioritized.
+        for dag in sample_dags().iter().chain(sample_dags().iter().rev()) {
+            let reused = p.prioritize_in(dag, &mut ctx).unwrap();
+            let fresh = p.prioritize(dag).unwrap();
+            assert_eq!(reused.schedule, fresh.schedule);
+            assert_eq!(reused.stats, fresh.stats);
+            assert_eq!(reused.component_order, fresh.component_order);
+        }
+    }
+
+    #[test]
+    fn prioritize_many_matches_individual_calls() {
+        let dags = sample_dags();
+        let p = Prioritizer::new();
+        let batch = p.prioritize_many(&dags);
+        assert_eq!(batch.len(), dags.len());
+        for (dag, res) in dags.iter().zip(batch) {
+            let single = p.prioritize(dag).unwrap();
+            let res = res.unwrap();
+            assert_eq!(res.schedule, single.schedule);
+            assert_eq!(res.stats, single.stats);
+        }
+    }
+
+    #[test]
+    fn threaded_scheduling_is_bit_identical_to_serial() {
+        for dag in sample_dags() {
+            let serial = Prioritizer::with_options(PrioOptions {
+                threads: 1,
+                ..PrioOptions::default()
+            })
+            .prioritize(&dag)
+            .unwrap();
+            for threads in [2, 4, 7] {
+                let parallel = Prioritizer::with_options(PrioOptions {
+                    threads,
+                    ..PrioOptions::default()
+                })
+                .prioritize(&dag)
+                .unwrap();
+                assert_eq!(parallel.schedule, serial.schedule, "threads={threads}");
+                assert_eq!(parallel.stats, serial.stats, "threads={threads}");
+                assert_eq!(parallel.component_order, serial.component_order);
+            }
+        }
+    }
+
+    #[test]
+    fn emit_invariant_violation_is_an_error_not_a_panic() {
+        // Regression for the old `expect` on Schedule::new: an order that
+        // breaks an arc must surface as a structured emit-stage error
+        // naming the offending arc.
+        let dag = Dag::from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+        let err = emit_schedule(&dag, vec![NodeId(1), NodeId(0), NodeId(2)]).unwrap_err();
+        assert!(err.is_internal());
+        assert_eq!(err.stage(), crate::error::Stage::Emit);
+        match &err {
+            PrioError::InternalInvariant { arc, .. } => {
+                assert_eq!(*arc, Some((NodeId(0), NodeId(1))));
+            }
+            other => panic!("expected InternalInvariant, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.starts_with("emit:"), "stage prefix missing: {msg}");
+        assert!(msg.contains("0 -> 1"), "offending arc missing: {msg}");
+
+        // A wrong-length order is also an error (no localized arc).
+        let err = emit_schedule(&dag, vec![NodeId(0)]).unwrap_err();
+        assert!(err.is_internal());
+        assert!(err.to_string().contains("emit:"));
     }
 }

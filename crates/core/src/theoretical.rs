@@ -220,7 +220,7 @@ mod tests {
             is_ic_optimal(&dag, theo.schedule.order(), DEFAULT_STATE_LIMIT),
             Some(true)
         );
-        let heur = prioritize(&dag);
+        let heur = prioritize(&dag).unwrap();
         assert_eq!(
             theo.schedule, heur.schedule,
             "heuristic agrees when theory works"
@@ -259,7 +259,7 @@ mod tests {
             other => panic!("expected decomposition failure, got {other:?}"),
         }
         // The heuristic still handles it — the whole point of the paper.
-        assert!(prioritize(&dag).schedule.is_valid_for(&dag));
+        assert!(prioritize(&dag).unwrap().schedule.is_valid_for(&dag));
     }
 
     #[test]

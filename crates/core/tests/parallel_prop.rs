@@ -1,0 +1,111 @@
+//! Determinism of the parallel Step 3: `threads: N` must be bit-identical
+//! to `threads: 1` — same schedule, same stats, same component order — on
+//! every workload generator and on random dags.
+//!
+//! This is the contract that makes `--threads` safe to expose: the worker
+//! pool only changes *when* components are scheduled, never *what* is
+//! produced, because results are placed back by component index before the
+//! combine step runs.
+
+use prio_core::prio::{PrioOptions, Prioritizer};
+use prio_graph::Dag;
+use prio_workloads::random_dag::{self, LayeredParams};
+use prio_workloads::spec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn with_threads(threads: usize) -> Prioritizer {
+    Prioritizer::with_options(PrioOptions {
+        threads,
+        ..PrioOptions::default()
+    })
+}
+
+/// Asserts that the serial and threaded pipelines agree on everything
+/// observable: schedule, per-stage stats, and the combined component order.
+fn assert_thread_invariant(dag: &Dag, label: &str) {
+    let serial = with_threads(1).prioritize(dag).unwrap();
+    for threads in [2, 4, 7] {
+        let parallel = with_threads(threads).prioritize(dag).unwrap();
+        assert_eq!(
+            serial.schedule, parallel.schedule,
+            "{label}: schedule differs at threads={threads}"
+        );
+        assert_eq!(
+            serial.stats, parallel.stats,
+            "{label}: stats differ at threads={threads}"
+        );
+        assert_eq!(
+            serial.component_order, parallel.component_order,
+            "{label}: component order differs at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn workload_suite_is_thread_invariant() {
+    // AIRSN, Inspiral, Montage, SDSS — scaled down so the whole suite
+    // stays fast, but large enough for many components per dag.
+    for w in spec::scaled_suite(0.05) {
+        assert_thread_invariant(&w.dag, w.name);
+    }
+}
+
+#[test]
+fn layered_random_dags_are_thread_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0xDA6);
+    for (layers, width, arc_prob) in [(3, 6, 0.25), (5, 9, 0.4), (8, 4, 0.6)] {
+        let dag = random_dag::layered(
+            LayeredParams {
+                layers,
+                width,
+                arc_prob,
+            },
+            &mut rng,
+        );
+        assert_thread_invariant(&dag, &format!("layered {layers}x{width}@{arc_prob}"));
+    }
+}
+
+#[test]
+fn forward_pair_random_dags_are_thread_invariant() {
+    let mut rng = SmallRng::seed_from_u64(0xF0D);
+    for (n, arc_prob) in [(12, 0.15), (24, 0.3), (40, 0.08)] {
+        let dag = random_dag::forward_pairs(n, arc_prob, &mut rng);
+        assert_thread_invariant(&dag, &format!("forward_pairs n={n}@{arc_prob}"));
+    }
+}
+
+/// Random DAG strategy: arcs only between `i < j`, like the workspace
+/// pipeline property tests.
+fn arb_dag(max_n: usize, density: f64) -> impl Strategy<Value = Dag> {
+    (2..=max_n).prop_flat_map(move |n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let k = pairs.len();
+        proptest::collection::vec(proptest::bool::weighted(density), k).prop_map(move |mask| {
+            let arcs: Vec<(u32, u32)> = pairs
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &m)| m)
+                .map(|(&p, _)| p)
+                .collect();
+            Dag::from_arcs(n, &arcs).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dags_are_thread_invariant(dag in arb_dag(24, 0.25)) {
+        let serial = with_threads(1).prioritize(&dag).unwrap();
+        let parallel = with_threads(4).prioritize(&dag).unwrap();
+        prop_assert_eq!(&serial.schedule, &parallel.schedule);
+        prop_assert_eq!(&serial.stats, &parallel.stats);
+        prop_assert_eq!(&serial.component_order, &parallel.component_order);
+    }
+}

@@ -62,7 +62,7 @@ pub fn instrument_dagman_with(
     priorities: &BTreeMap<String, u32>,
     mode: InstrumentMode,
 ) -> Result<(), DagmanError> {
-    let _span = prio_obs::span("write");
+    let _span = prio_obs::span(prio_obs::stage::WRITE);
     // Verify coverage first.
     for name in file.job_names() {
         if !priorities.contains_key(name) {

@@ -9,7 +9,7 @@ use crate::error::DagmanError;
 
 /// Parses the text of a DAGMan input file.
 pub fn parse_dagman(text: &str) -> Result<DagmanFile, DagmanError> {
-    let _span = prio_obs::span("parse");
+    let _span = prio_obs::span(prio_obs::stage::PARSE);
     let mut statements = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 /// Serializes the file, one statement per line, ending with a newline for
 /// non-empty files.
 pub fn write_dagman(file: &DagmanFile) -> String {
-    let _span = prio_obs::span("write");
+    let _span = prio_obs::span(prio_obs::stage::WRITE);
     let mut out = String::new();
     for s in &file.statements {
         // Statement's Display escapes VARS values.

@@ -7,7 +7,7 @@
 ///
 /// All operations are `O(capacity / 64)` or better. Indices at or above the
 /// capacity must not be inserted (debug-asserted).
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct FixedBitSet {
     blocks: Vec<u64>,
     capacity: usize,
@@ -74,6 +74,15 @@ impl FixedBitSet {
     /// Removes every element.
     pub fn clear(&mut self) {
         self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// Grows the capacity to at least `capacity` (existing bits keep their
+    /// values; a no-op when already large enough).
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.blocks.resize(capacity.div_ceil(64), 0);
+            self.capacity = capacity;
+        }
     }
 
     /// In-place union: `self |= other`. Panics if capacities differ.

@@ -47,8 +47,10 @@ pub mod dot;
 pub mod error;
 pub mod reach;
 pub mod reduction;
+pub mod scratch;
 pub mod topo;
 
 pub use bitset::FixedBitSet;
 pub use dag::{Dag, DagBuilder, NodeId, SubgraphMap};
 pub use error::GraphError;
+pub use scratch::GraphScratch;

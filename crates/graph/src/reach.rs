@@ -6,42 +6,73 @@
 
 use crate::bitset::FixedBitSet;
 use crate::dag::{Dag, NodeId};
+use crate::scratch::GraphScratch;
 use crate::topo::topo_order;
 
 /// All nodes reachable from `u` by directed paths of length ≥ 1
 /// (`u` itself is excluded unless it lies on a cycle, which a [`Dag`]
 /// forbids). Returned in increasing index order.
 pub fn descendants(dag: &Dag, u: NodeId) -> Vec<NodeId> {
-    let mut seen = FixedBitSet::new(dag.num_nodes());
-    let mut stack: Vec<NodeId> = dag.children(u).to_vec();
-    for &c in dag.children(u) {
-        seen.insert(c.index());
+    let mut out = Vec::new();
+    descendants_into(dag, u, &mut GraphScratch::new(), &mut out);
+    out
+}
+
+/// [`descendants`], but writing into `out` (cleared first) and borrowing
+/// the visited set and worklist from `scratch`.
+pub fn descendants_into(dag: &Dag, u: NodeId, scratch: &mut GraphScratch, out: &mut Vec<NodeId>) {
+    reachable_into(dag, u, scratch, out, |dag, w| dag.children(w));
+}
+
+/// All nodes that can reach `u` by directed paths of length ≥ 1.
+pub fn ancestors(dag: &Dag, u: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    ancestors_into(dag, u, &mut GraphScratch::new(), &mut out);
+    out
+}
+
+/// [`ancestors`], but writing into `out` (cleared first) and borrowing the
+/// visited set and worklist from `scratch`.
+pub fn ancestors_into(dag: &Dag, u: NodeId, scratch: &mut GraphScratch, out: &mut Vec<NodeId>) {
+    reachable_into(dag, u, scratch, out, |dag, w| dag.parents(w));
+}
+
+/// Shared scratch-borrowing closure walk behind the descendant/ancestor
+/// queries; `step` selects the traversal direction.
+fn reachable_into(
+    dag: &Dag,
+    u: NodeId,
+    scratch: &mut GraphScratch,
+    out: &mut Vec<NodeId>,
+    step: impl Fn(&Dag, NodeId) -> &[NodeId],
+) {
+    out.clear();
+    let seen_capacity = dag.num_nodes();
+    let mut stack = std::mem::take(&mut scratch.stack);
+    stack.clear();
+    let seen = scratch.seen_mut(seen_capacity);
+    for &c in step(dag, u) {
+        if seen.insert(c.index()) {
+            stack.push(c);
+        }
     }
     while let Some(w) = stack.pop() {
-        for &c in dag.children(w) {
+        for &c in step(dag, w) {
             if seen.insert(c.index()) {
                 stack.push(c);
             }
         }
     }
-    seen.iter().map(|i| NodeId(i as u32)).collect()
-}
-
-/// All nodes that can reach `u` by directed paths of length ≥ 1.
-pub fn ancestors(dag: &Dag, u: NodeId) -> Vec<NodeId> {
-    let mut seen = FixedBitSet::new(dag.num_nodes());
-    let mut stack: Vec<NodeId> = dag.parents(u).to_vec();
-    for &p in dag.parents(u) {
-        seen.insert(p.index());
-    }
-    while let Some(w) = stack.pop() {
-        for &p in dag.parents(w) {
-            if seen.insert(p.index()) {
-                stack.push(p);
-            }
-        }
-    }
-    seen.iter().map(|i| NodeId(i as u32)).collect()
+    scratch.stack = stack;
+    // Bitset iteration yields increasing indices; clamp to this dag's node
+    // range since the shared bitset may be larger than the graph.
+    out.extend(
+        scratch
+            .seen
+            .iter()
+            .take_while(|&i| i < seen_capacity)
+            .map(|i| NodeId(i as u32)),
+    );
 }
 
 /// Whether a directed path of length ≥ 1 from `u` to `v` exists.
@@ -125,6 +156,22 @@ mod tests {
         assert!(!is_reachable(&d, NodeId(1), NodeId(2)));
         assert!(!is_reachable(&d, NodeId(4), NodeId(0)));
         assert!(!is_reachable(&d, NodeId(2), NodeId(2)), "length >= 1 only");
+    }
+
+    #[test]
+    fn into_variants_reuse_scratch_across_dags_of_different_sizes() {
+        let mut scratch = GraphScratch::new();
+        let mut out = Vec::new();
+        let big = diamond_plus_tail();
+        let small = Dag::from_arcs(2, &[(0, 1)]).unwrap();
+        for d in [&big, &small, &big] {
+            for u in d.node_ids() {
+                descendants_into(d, u, &mut scratch, &mut out);
+                assert_eq!(out, descendants(d, u));
+                ancestors_into(d, u, &mut scratch, &mut out);
+                assert_eq!(out, ancestors(d, u));
+            }
+        }
     }
 
     #[test]

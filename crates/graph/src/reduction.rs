@@ -21,7 +21,8 @@
 
 use crate::dag::{Dag, DagBuilder, NodeId};
 use crate::reach::transitive_closure;
-use crate::topo::topo_ranks;
+use crate::scratch::GraphScratch;
+use crate::topo::topo_ranks_into;
 
 /// Finds all shortcut arcs using the rank-pruned DFS strategy.
 ///
@@ -29,29 +30,41 @@ use crate::topo::topo_ranks;
 /// between `u` and its last child in topological order — effectively linear
 /// on the layered scientific workflows of the paper.
 pub fn shortcut_arcs(dag: &Dag) -> Vec<(NodeId, NodeId)> {
-    let _span = prio_obs::span("reduce");
-    let n = dag.num_nodes();
-    let rank = topo_ranks(dag);
     let mut shortcuts = Vec::new();
-    // Timestamped visited marks so the scratch array is allocated once.
-    let mut mark = vec![0u32; n];
-    let mut stamp = 0u32;
-    let mut stack: Vec<NodeId> = Vec::new();
+    shortcut_arcs_into(dag, &mut GraphScratch::new(), &mut shortcuts);
+    shortcuts
+}
+
+/// [`shortcut_arcs`], but writing into `out` (cleared first) and borrowing
+/// the rank table, visited marks and DFS worklist from `scratch`, so a
+/// caller prioritizing many dags performs no per-call allocations here.
+pub fn shortcut_arcs_into(dag: &Dag, scratch: &mut GraphScratch, out: &mut Vec<(NodeId, NodeId)>) {
+    let _span = prio_obs::span(prio_obs::stage::REDUCE);
+    let n = dag.num_nodes();
+    out.clear();
+    // Rank table and traversal state all live in the scratch.
+    let mut rank = std::mem::take(&mut scratch.rank);
+    topo_ranks_into(dag, scratch, &mut rank);
+    let mut stack = std::mem::take(&mut scratch.stack);
+    let mut by_rank = std::mem::take(&mut scratch.by_rank);
+    stack.clear();
 
     for u in dag.node_ids() {
         let kids = dag.children(u);
         if kids.len() < 2 {
             continue; // a single arc can never be a shortcut
         }
-        stamp += 1;
-        let mut by_rank: Vec<NodeId> = kids.to_vec();
+        let stamp = scratch.next_stamp(n);
+        let mark = &mut scratch.mark;
+        by_rank.clear();
+        by_rank.extend_from_slice(kids);
         by_rank.sort_unstable_by_key(|c| rank[c.index()]);
         let max_rank = rank[by_rank.last().expect("non-empty").index()];
         for &c in &by_rank {
             if mark[c.index()] == stamp {
                 // Reachable from an earlier-ranked child: any path through
                 // that child gives `u ->* c` avoiding the direct arc.
-                shortcuts.push((u, c));
+                out.push((u, c));
                 continue;
             }
             // Keep the arc and mark everything reachable from `c` whose rank
@@ -73,8 +86,10 @@ pub fn shortcut_arcs(dag: &Dag) -> Vec<(NodeId, NodeId)> {
             }
         }
     }
-    shortcuts.sort_unstable();
-    shortcuts
+    scratch.rank = rank;
+    scratch.stack = stack;
+    scratch.by_rank = by_rank;
+    out.sort_unstable();
 }
 
 /// Finds all shortcut arcs via the full transitive closure (verification
@@ -184,6 +199,23 @@ mod tests {
         }
         let d = Dag::from_arcs(12, &arcs).unwrap();
         assert_eq!(shortcut_arcs(&d), shortcut_arcs_via_closure(&d));
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_dags_matches_fresh_runs() {
+        let mut scratch = GraphScratch::new();
+        let mut out = Vec::new();
+        let dags = [
+            Dag::from_arcs(3, &[(0, 1), (1, 2), (0, 2)]).unwrap(),
+            Dag::from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap(),
+            Dag::from_arcs(2, &[(0, 1)]).unwrap(),
+            Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap(),
+        ];
+        for d in &dags {
+            shortcut_arcs_into(d, &mut scratch, &mut out);
+            assert_eq!(out, shortcut_arcs(d), "scratch reuse changed the result");
+            assert_eq!(out, shortcut_arcs_via_closure(d), "oracle mismatch");
+        }
     }
 
     #[test]

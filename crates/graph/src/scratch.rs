@@ -1,0 +1,110 @@
+//! Reusable scratch state for the graph algorithms.
+//!
+//! The `*_into` variants of the reduction, reachability and topological
+//! helpers ([`crate::reduction::shortcut_arcs_into`],
+//! [`crate::reach::descendants_into`], [`crate::topo::topo_ranks_into`],
+//! …) borrow a [`GraphScratch`] instead of allocating their worklists,
+//! visited marks and rank tables per call. A long-lived caller — the
+//! batch-mode PRIO pipeline prioritizing many dags in a row — allocates
+//! one scratch and reuses it, so steady-state prioritization performs no
+//! per-call setup allocations in these helpers.
+//!
+//! The scratch grows monotonically to the largest graph seen and is safe
+//! to share across graphs of different sizes: visited marks are
+//! timestamped (a new stamp invalidates all previous marks without
+//! clearing), and the remaining buffers are explicitly resized or cleared
+//! at the start of each call.
+
+use crate::bitset::FixedBitSet;
+use crate::dag::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable buffers for the graph algorithms' `*_into` variants.
+///
+/// All state is transient between calls; a `GraphScratch` carries no
+/// results, only capacity. `Default::default()` is an empty scratch that
+/// grows on first use.
+#[derive(Debug, Default)]
+pub struct GraphScratch {
+    /// Timestamped visited marks (`mark[u] == stamp` means visited in the
+    /// current traversal).
+    pub(crate) mark: Vec<u32>,
+    /// The current timestamp; bumped per traversal so `mark` never needs
+    /// zeroing.
+    pub(crate) stamp: u32,
+    /// DFS/BFS worklist.
+    pub(crate) stack: Vec<NodeId>,
+    /// In-degree table for Kahn's algorithm.
+    pub(crate) indeg: Vec<usize>,
+    /// Ready-node min-heap for Kahn's algorithm.
+    pub(crate) heap: BinaryHeap<Reverse<NodeId>>,
+    /// Topological-rank table (used internally by shortcut detection).
+    pub(crate) rank: Vec<usize>,
+    /// Children-sorted-by-rank buffer for shortcut detection.
+    pub(crate) by_rank: Vec<NodeId>,
+    /// Visited set for reachability queries (sorted iteration).
+    pub(crate) seen: FixedBitSet,
+}
+
+impl GraphScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the stamped-mark table to at least `n` nodes and returns a
+    /// fresh stamp, invalidating every mark from earlier traversals.
+    pub(crate) fn next_stamp(&mut self, n: usize) -> u32 {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        if self.stamp == u32::MAX {
+            // Wrapped: old marks could collide with re-issued stamps.
+            self.mark.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// The visited bitset, grown to `n` bits and cleared.
+    pub(crate) fn seen_mut(&mut self, n: usize) -> &mut FixedBitSet {
+        self.seen.grow(n);
+        self.seen.clear();
+        &mut self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_monotonic_and_marks_grow() {
+        let mut s = GraphScratch::new();
+        let a = s.next_stamp(4);
+        let b = s.next_stamp(8);
+        assert!(b > a);
+        assert!(s.mark.len() >= 8);
+    }
+
+    #[test]
+    fn stamp_wraparound_clears_marks() {
+        let mut s = GraphScratch::new();
+        s.next_stamp(2);
+        s.mark[0] = u32::MAX;
+        s.stamp = u32::MAX;
+        let fresh = s.next_stamp(2);
+        assert_eq!(fresh, 1);
+        assert_eq!(s.mark[0], 0, "wraparound must invalidate stale marks");
+    }
+
+    #[test]
+    fn seen_is_cleared_between_uses() {
+        let mut s = GraphScratch::new();
+        s.seen_mut(10).insert(3);
+        assert!(!s.seen_mut(10).contains(3));
+        assert!(s.seen_mut(20).capacity() >= 20);
+    }
+}

@@ -6,8 +6,10 @@
 //! produced elsewhere (e.g. by the PRIO heuristic or the FIFO baseline).
 
 use crate::dag::{Dag, NodeId};
+use crate::scratch::GraphScratch;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Returns a deterministic topological order of `dag`.
 ///
@@ -38,29 +40,129 @@ pub fn topo_order(dag: &Dag) -> Vec<NodeId> {
 
 /// Returns `rank[u] = position of u` in the canonical topological order.
 pub fn topo_ranks(dag: &Dag) -> Vec<usize> {
-    let order = topo_order(dag);
-    let mut rank = vec![0usize; dag.num_nodes()];
-    for (i, u) in order.iter().enumerate() {
-        rank[u.index()] = i;
-    }
+    let mut rank = Vec::new();
+    topo_ranks_into(dag, &mut GraphScratch::new(), &mut rank);
     rank
+}
+
+/// Writes `rank[u] = position of u` in the canonical topological order
+/// into `rank` (cleared and resized), borrowing `scratch` for the
+/// in-degree table and ready heap instead of allocating them.
+pub fn topo_ranks_into(dag: &Dag, scratch: &mut GraphScratch, rank: &mut Vec<usize>) {
+    let n = dag.num_nodes();
+    rank.clear();
+    rank.resize(n, 0);
+    scratch.indeg.clear();
+    scratch
+        .indeg
+        .extend(dag.node_ids().map(|u| dag.in_degree(u)));
+    scratch.heap.clear();
+    scratch.heap.extend(
+        dag.node_ids()
+            .filter(|u| scratch.indeg[u.index()] == 0)
+            .map(Reverse),
+    );
+    let mut next = 0usize;
+    while let Some(Reverse(u)) = scratch.heap.pop() {
+        rank[u.index()] = next;
+        next += 1;
+        for &v in dag.children(u) {
+            scratch.indeg[v.index()] -= 1;
+            if scratch.indeg[v.index()] == 0 {
+                scratch.heap.push(Reverse(v));
+            }
+        }
+    }
+    debug_assert_eq!(next, n, "Dag invariant guarantees acyclicity");
+}
+
+/// Why an order fails to be a linear extension of a dag — the diagnostic
+/// behind [`is_linear_extension`], surfaced by the PRIO pipeline's
+/// internal-invariant errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtensionViolation {
+    /// The order does not mention every node exactly once.
+    WrongLength {
+        /// Number of nodes in the dag.
+        expected: usize,
+        /// Length of the order.
+        got: usize,
+    },
+    /// The order mentions a node the dag does not contain.
+    OutOfRange {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The order mentions a node twice.
+    Duplicate {
+        /// The repeated node.
+        node: NodeId,
+    },
+    /// An arc's child is ordered before its parent.
+    ArcOutOfOrder {
+        /// The arc's tail (the parent scheduled too late).
+        parent: NodeId,
+        /// The arc's head (the child scheduled too early).
+        child: NodeId,
+    },
+}
+
+impl fmt::Display for ExtensionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtensionViolation::WrongLength { expected, got } => {
+                write!(f, "order has {got} entries for a dag of {expected} nodes")
+            }
+            ExtensionViolation::OutOfRange { node } => {
+                write!(f, "order mentions nonexistent node {}", node.0)
+            }
+            ExtensionViolation::Duplicate { node } => {
+                write!(f, "order mentions node {} twice", node.0)
+            }
+            ExtensionViolation::ArcOutOfOrder { parent, child } => {
+                write!(
+                    f,
+                    "arc {} -> {} violated (child ordered first)",
+                    parent.0, child.0
+                )
+            }
+        }
+    }
+}
+
+/// Returns the first violation that makes `order` fail to be a linear
+/// extension of `dag`, or `None` if it is one. Arc violations are
+/// reported in the dag's arc iteration order, deterministically.
+pub fn linear_extension_violation(dag: &Dag, order: &[NodeId]) -> Option<ExtensionViolation> {
+    let n = dag.num_nodes();
+    if order.len() != n {
+        return Some(ExtensionViolation::WrongLength {
+            expected: n,
+            got: order.len(),
+        });
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        if u.index() >= n {
+            return Some(ExtensionViolation::OutOfRange { node: u });
+        }
+        if pos[u.index()] != usize::MAX {
+            return Some(ExtensionViolation::Duplicate { node: u });
+        }
+        pos[u.index()] = i;
+    }
+    dag.arcs()
+        .find(|&(u, v)| pos[u.index()] >= pos[v.index()])
+        .map(|(u, v)| ExtensionViolation::ArcOutOfOrder {
+            parent: u,
+            child: v,
+        })
 }
 
 /// Checks that `order` is a permutation of all nodes of `dag` that respects
 /// every arc (each parent precedes each child).
 pub fn is_linear_extension(dag: &Dag, order: &[NodeId]) -> bool {
-    let n = dag.num_nodes();
-    if order.len() != n {
-        return false;
-    }
-    let mut pos = vec![usize::MAX; n];
-    for (i, u) in order.iter().enumerate() {
-        if u.index() >= n || pos[u.index()] != usize::MAX {
-            return false; // out of range or duplicate
-        }
-        pos[u.index()] = i;
-    }
-    dag.arcs().all(|(u, v)| pos[u.index()] < pos[v.index()])
+    linear_extension_violation(dag, order).is_none()
 }
 
 /// Computes, for each node, the length (number of arcs) of the longest
@@ -144,6 +246,42 @@ mod tests {
             &d,
             &[NodeId(3), NodeId(1), NodeId(2), NodeId(0)]
         ));
+    }
+
+    #[test]
+    fn violation_pinpoints_the_offending_arc() {
+        let d = diamond();
+        // Child 1 ordered before its parent 0.
+        let v = linear_extension_violation(&d, &[NodeId(1), NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            v,
+            Some(ExtensionViolation::ArcOutOfOrder {
+                parent: NodeId(0),
+                child: NodeId(1)
+            })
+        );
+        assert!(v.unwrap().to_string().contains("0 -> 1"));
+        let v = linear_extension_violation(&d, &[NodeId(0), NodeId(1)]);
+        assert!(matches!(v, Some(ExtensionViolation::WrongLength { .. })));
+        let v = linear_extension_violation(&d, &[NodeId(0), NodeId(1), NodeId(1), NodeId(3)]);
+        assert_eq!(v, Some(ExtensionViolation::Duplicate { node: NodeId(1) }));
+        let v = linear_extension_violation(&d, &[NodeId(0), NodeId(1), NodeId(9), NodeId(3)]);
+        assert_eq!(v, Some(ExtensionViolation::OutOfRange { node: NodeId(9) }));
+        assert_eq!(linear_extension_violation(&d, &topo_order(&d)), None);
+    }
+
+    #[test]
+    fn topo_ranks_into_matches_fresh_allocation_across_graphs() {
+        let mut scratch = GraphScratch::new();
+        let mut rank = Vec::new();
+        for d in [
+            diamond(),
+            Dag::from_arcs(6, &[(0, 5), (1, 4), (2, 3)]).unwrap(),
+            Dag::from_arcs(2, &[(1, 0)]).unwrap(),
+        ] {
+            topo_ranks_into(&d, &mut scratch, &mut rank);
+            assert_eq!(rank, topo_ranks(&d), "scratch reuse changed the ranks");
+        }
     }
 
     #[test]

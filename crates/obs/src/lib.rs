@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
+pub mod stage;
 
 pub use config::{init_from_env, set_verbosity, verbosity, Level};
 pub use metrics::{counter, gauge, Counter, Gauge};

@@ -4,7 +4,8 @@
 //! Nesting composes paths per thread: a `span("decompose")` opened while
 //! `span("prio")` is live records as `prio/decompose`. The six pipeline
 //! phases (`parse`, `reduce`, `decompose`, `schedule`, `combine`,
-//! `write`) are instrumented at their implementation sites, so whoever
+//! `emit` — canonical names in [`crate::stage`], plus `write` for
+//! serialization) are instrumented at their implementation sites, so whoever
 //! runs the pipeline — CLI, bench harness, tests — reads the same clock.
 
 use std::cell::RefCell;

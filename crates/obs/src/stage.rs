@@ -1,0 +1,42 @@
+//! Canonical names of the PRIO pipeline stages.
+//!
+//! The pipeline is parse → reduce → decompose → schedule → combine →
+//! emit (plus `write` when instrumented text is written back to disk).
+//! Each stage opens a [`crate::span`] under its name at its
+//! implementation site, and these constants are the single source of
+//! truth shared by the span call sites, the error taxonomy's stage
+//! provenance (`prio_core::error::Stage`), and the §3.6 overhead table,
+//! so a renamed stage cannot silently desynchronize the three.
+
+/// DAGMan input-file parsing (`prio-dagman`).
+pub const PARSE: &str = "parse";
+/// Shortcut removal / transitive reduction (`prio-graph`).
+pub const REDUCE: &str = "reduce";
+/// Decomposition into components plus the superdag (`prio-core`).
+pub const DECOMPOSE: &str = "decompose";
+/// Per-component scheduling and eligibility profiles (`prio-core`).
+pub const SCHEDULE: &str = "schedule";
+/// Greedy component ordering over the superdag (`prio-core`).
+pub const COMBINE: &str = "combine";
+/// Emission of the global job order and its validation (`prio-core`).
+pub const EMIT: &str = "emit";
+/// Writing instrumented DAGMan/JSDF text back out (`prio-dagman`).
+pub const WRITE: &str = "write";
+
+/// The six in-memory pipeline stages, in execution order (excludes
+/// [`WRITE`], which only runs when output is serialized).
+pub const PIPELINE: [&str; 6] = [PARSE, REDUCE, DECOMPOSE, SCHEDULE, COMBINE, EMIT];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_lists_the_stages_in_order() {
+        assert_eq!(PIPELINE.first(), Some(&PARSE));
+        assert_eq!(PIPELINE.last(), Some(&EMIT));
+        let mut unique: Vec<&str> = PIPELINE.to_vec();
+        unique.dedup();
+        assert_eq!(unique.len(), PIPELINE.len());
+    }
+}

@@ -10,6 +10,7 @@
 use crate::model::GridModel;
 use crate::policy::PolicySpec;
 use crate::replicate::{sampling_distributions, MetricDistributions, ReplicationPlan};
+use prio_core::{PrioError, Prioritizer};
 use prio_graph::Dag;
 use prio_stats::ConfidenceInterval;
 
@@ -62,6 +63,29 @@ pub fn compare_policies(
     }
 }
 
+/// Batch variant of the paper's PRIO-vs-FIFO experiment: prioritizes all
+/// `dags` through one shared pipeline context
+/// ([`Prioritizer::prioritize_many`]) and compares PRIO against FIFO on
+/// the same model cell for each. A pipeline failure on one dag yields an
+/// `Err` in its slot without affecting the others.
+pub fn compare_prio_fifo_many(
+    dags: &[Dag],
+    model: &GridModel,
+    plan: &ReplicationPlan,
+) -> Vec<Result<ComparisonResult, PrioError>> {
+    Prioritizer::new()
+        .prioritize_many(dags)
+        .into_iter()
+        .zip(dags)
+        .map(|(res, dag)| {
+            res.map(|r| {
+                let prio = PolicySpec::Oblivious(r.schedule);
+                compare_policies(dag, &prio, &PolicySpec::Fifo, model, plan)
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,7 +112,7 @@ mod tests {
     fn prio_beats_fifo_on_a_fringed_umbrella() {
         // A miniature AIRSN: the structure where PRIO demonstrably wins.
         let dag = prio_workloads::airsn::airsn(12);
-        let prio = prioritize(&dag).schedule;
+        let prio = prioritize(&dag).unwrap().schedule;
         let plan = ReplicationPlan {
             p: 16,
             q: 12,
@@ -112,6 +136,33 @@ mod tests {
         );
         let util = r.utilization_ratio.unwrap();
         assert!(util.median > 0.99, "PRIO should not waste workers: {util}");
+    }
+
+    #[test]
+    fn batch_comparison_matches_individual_runs() {
+        let dags = vec![
+            prio_workloads::classic::fork_join(5),
+            prio_workloads::airsn::airsn(6),
+        ];
+        let plan = ReplicationPlan {
+            p: 6,
+            q: 4,
+            seed: 11,
+            threads: 0,
+        };
+        let model = GridModel::paper(1.0, 4.0);
+        let batch = compare_prio_fifo_many(&dags, &model, &plan);
+        assert_eq!(batch.len(), dags.len());
+        for (dag, res) in dags.iter().zip(batch) {
+            let res = res.unwrap();
+            let prio = PolicySpec::Oblivious(prioritize(dag).unwrap().schedule);
+            let single = compare_policies(dag, &prio, &PolicySpec::Fifo, &model, &plan);
+            assert_eq!(
+                res.a.execution_time.samples(),
+                single.a.execution_time.samples(),
+                "batch and single runs must see identical PRIO schedules"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ fn main() {
         dag.num_arcs()
     );
 
-    let res = prioritize(&dag);
+    let res = prioritize(&dag).unwrap();
     let s = &res.stats;
     println!(
         "decomposition: {} components ({} bipartite, {} catalog-scheduled, {} heuristic)",

@@ -11,7 +11,7 @@ use dagprio::workloads::airsn::airsn;
 
 fn main() {
     let dag = airsn(50); // 173 jobs: quick but structured
-    let prio = PolicySpec::Oblivious(prioritize(&dag).schedule);
+    let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
     let plan = ReplicationPlan {
         p: 24,
         q: 12,

@@ -35,7 +35,7 @@ fn main() {
 
     println!("{:<22} {:<44} heuristic", "dag", "theoretical algorithm");
     for (name, dag) in gallery {
-        let heur = prioritize(&dag);
+        let heur = prioritize(&dag).unwrap();
         assert!(heur.schedule.is_valid_for(&dag));
         let heur_note = match is_ic_optimal(&dag, heur.schedule.order(), DEFAULT_STATE_LIMIT) {
             Some(true) => "valid, IC-optimal",

@@ -22,6 +22,10 @@ run_cargo() {
 set -e
 run_cargo build --workspace --release
 run_cargo test --workspace -q
+# The CLI's exit-code contract (0/1/2/70) is enforced by its integration
+# tests; run them by name so a workspace filter can't silently skip them.
+run_cargo test -p prio-cli --test cli -q
+run_cargo bench --no-run
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all checks passed"

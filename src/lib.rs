@@ -69,10 +69,14 @@ pub struct PrioritizedDagman {
 
 /// One-call convenience mirroring the `prio` tool: parse DAGMan text, run
 /// the scheduling heuristic, and return the instrumented text.
-pub fn prioritize_dagman_text(text: &str) -> Result<PrioritizedDagman, prio_dagman::DagmanError> {
+///
+/// Failures carry stage provenance: parse errors surface as
+/// [`prio_core::PrioError::Parse`], pipeline bugs as
+/// [`prio_core::PrioError::InternalInvariant`].
+pub fn prioritize_dagman_text(text: &str) -> Result<PrioritizedDagman, prio_core::PrioError> {
     let mut file = parse_dagman(text)?;
     let dag = file.to_dag()?;
-    let result = prio_core::prioritize(&dag);
+    let result = prio_core::prioritize(&dag)?;
     let schedule_names: Vec<String> = result
         .schedule
         .order()

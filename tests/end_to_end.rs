@@ -18,7 +18,7 @@ use dagprio::workloads::sdss::{sdss, SdssParams};
 #[test]
 fn prio_schedules_are_valid_on_the_scaled_suite() {
     for w in scaled_suite(0.05) {
-        let res = prioritize(&w.dag);
+        let res = prioritize(&w.dag).unwrap();
         assert!(
             res.schedule.is_valid_for(&w.dag),
             "{}: invalid schedule",
@@ -31,7 +31,7 @@ fn prio_schedules_are_valid_on_the_scaled_suite() {
 #[test]
 fn prio_dominates_fifo_cumulatively_on_the_scaled_suite() {
     for w in scaled_suite(0.05) {
-        let prio = prioritize(&w.dag).schedule;
+        let prio = prioritize(&w.dag).unwrap().schedule;
         let fifo = fifo_schedule(&w.dag);
         let ep: usize = eligibility_profile(&w.dag, prio.order()).iter().sum();
         let ef: usize = eligibility_profile(&w.dag, fifo.order()).iter().sum();
@@ -49,7 +49,7 @@ fn airsn_bottleneck_priority_matches_fig5_at_small_widths() {
     // priority n − 20, generalizing the paper's 753 at width 250.
     for width in [5usize, 30, 100] {
         let dag = airsn(width);
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         let bottleneck = dag.find(&format!("handle{}", HANDLE_LEN - 1)).unwrap();
         let prio = res.schedule.priorities();
         assert_eq!(
@@ -67,7 +67,7 @@ fn airsn_eligibility_difference_spikes_by_the_fringe_count() {
     // close to the width.
     let width = 40;
     let dag = airsn(width);
-    let prio = prioritize(&dag).schedule;
+    let prio = prioritize(&dag).unwrap().schedule;
     let fifo = fifo_schedule(&dag);
     let diff = dagprio::core::schedule::profile_difference(&dag, &prio, &fifo);
     let max = diff.iter().copied().max().unwrap();
@@ -88,7 +88,7 @@ fn inspiral_ring_forces_the_general_search() {
         ring_k: 20,
         post_width: 5,
     });
-    let res = prioritize(&dag);
+    let res = prioritize(&dag).unwrap();
     assert!(res.stats.general_search_iterations >= 1);
     // The ring is one non-bipartite component of 3k jobs.
     let ring = res
@@ -103,7 +103,7 @@ fn inspiral_ring_forces_the_general_search() {
 #[test]
 fn entangled_ring_alone_is_one_component() {
     let dag = entangled_ring(10);
-    let res = prioritize(&dag);
+    let res = prioritize(&dag).unwrap();
     assert_eq!(res.stats.num_components, 1);
     assert_eq!(res.stats.heuristic_scheduled, 1);
     assert!(res.schedule.is_valid_for(&dag));
@@ -116,7 +116,7 @@ fn montage_big_bipartite_component_is_found() {
         tiles: 4,
     };
     let dag = montage(p);
-    let res = prioritize(&dag);
+    let res = prioritize(&dag).unwrap();
     let big = res
         .components
         .iter()
@@ -138,7 +138,7 @@ fn sdss_field_component_has_three_children_per_source() {
         extra_chain: 0,
     };
     let dag = sdss(p);
-    let res = prioritize(&dag);
+    let res = prioritize(&dag).unwrap();
     // The field block: 40 sources and 81 shared products.
     let field_block = res
         .components
@@ -155,6 +155,7 @@ fn engineered_and_naive_pipelines_agree_on_structured_dags() {
         decompose: DecomposeOptions { fast_path: false },
         engine: CombineEngine::Naive,
         optimal_search_limit: 0,
+        threads: 0,
     });
     for dag in [
         airsn(10),
@@ -173,8 +174,8 @@ fn engineered_and_naive_pipelines_agree_on_structured_dags() {
             extra_chain: 0,
         }),
     ] {
-        let fast = prioritize(&dag).schedule;
-        let slow = naive.prioritize(&dag).schedule;
+        let fast = prioritize(&dag).unwrap().schedule;
+        let slow = naive.prioritize(&dag).unwrap().schedule;
         assert_eq!(fast, slow);
     }
 }
@@ -182,7 +183,7 @@ fn engineered_and_naive_pipelines_agree_on_structured_dags() {
 #[test]
 fn dagman_text_pipeline_matches_direct_pipeline() {
     let dag = fig3_dag();
-    let direct = prioritize(&dag);
+    let direct = prioritize(&dag).unwrap();
     let text = "JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nJOB d d.sub\nJOB e e.sub\nPARENT a CHILD b\nPARENT c CHILD d e\n";
     let via_text = prioritize_dagman_text(text).unwrap();
     let direct_names: Vec<&str> = direct
@@ -223,7 +224,7 @@ fn prio_on_meshes_is_ic_optimal() {
     use dagprio::core::optimal::{is_ic_optimal, DEFAULT_STATE_LIMIT};
     use dagprio::workloads::mesh::{mesh2d, mesh_triangle};
     for dag in [mesh2d(3, 3), mesh2d(2, 5), mesh_triangle(4)] {
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         assert_eq!(
             is_ic_optimal(&dag, res.schedule.order(), DEFAULT_STATE_LIMIT),
             Some(true),
@@ -257,7 +258,7 @@ fn theoretical_fails_on_inspiral_but_heuristic_handles_it() {
         Err(TheoreticalFailure::DecompositionFailed { .. }) => {}
         other => panic!("the entangled ring must defeat the theory: {other:?}"),
     }
-    assert!(prioritize(&dag).schedule.is_valid_for(&dag));
+    assert!(prioritize(&dag).unwrap().schedule.is_valid_for(&dag));
 }
 
 #[test]
@@ -278,8 +279,8 @@ fn shortcutted_workload_still_schedules_correctly() {
     b.add_arc(h0, j2).unwrap();
     let shortcutted = b.build().unwrap();
 
-    let res_base = prioritize(&base);
-    let res_cut = prioritize(&shortcutted);
+    let res_base = prioritize(&base).unwrap();
+    let res_cut = prioritize(&shortcutted).unwrap();
     assert_eq!(res_cut.stats.shortcuts_removed, 1);
     assert_eq!(res_base.schedule.order(), res_cut.schedule.order());
 }

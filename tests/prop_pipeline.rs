@@ -90,7 +90,7 @@ proptest! {
     /// core promise that distinguishes it from the theoretical algorithm.
     #[test]
     fn prio_is_always_a_linear_extension(dag in arb_dag(28, 0.2)) {
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         prop_assert!(res.schedule.is_valid_for(&dag));
         // Stats are consistent.
         let s = &res.stats;
@@ -102,7 +102,7 @@ proptest! {
 
     #[test]
     fn prio_is_always_valid_on_dense_dags(dag in arb_dag(16, 0.6)) {
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         prop_assert!(res.schedule.is_valid_for(&dag));
     }
 
@@ -110,14 +110,15 @@ proptest! {
     /// combine engines (on the same decomposition) yield the *same* one.
     #[test]
     fn engines_agree_and_all_configurations_are_valid(dag in arb_dag(20, 0.25)) {
-        let default = prioritize(&dag).schedule;
+        let default = prioritize(&dag).unwrap().schedule;
         let make = |fast: bool, engine: CombineEngine| {
             Prioritizer::with_options(PrioOptions {
                 decompose: DecomposeOptions { fast_path: fast },
                 engine,
                 optimal_search_limit: 0,
+                threads: 0,
             })
-            .prioritize(&dag)
+            .prioritize(&dag).unwrap()
             .schedule
         };
         let fast_naive = make(true, CombineEngine::Naive);
@@ -135,7 +136,7 @@ proptest! {
     /// always satisfy, and which the heuristic enforces by construction.
     #[test]
     fn nonsinks_run_before_sinks(dag in arb_dag(24, 0.25)) {
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         let mut seen_sink = false;
         for &u in res.schedule.order() {
             if dag.is_sink(u) {
@@ -153,7 +154,7 @@ proptest! {
     fn prio_maximal_at_the_nonsink_boundary(dag in arb_dag(24, 0.25)) {
         let num_nonsinks = dag.node_ids().filter(|&u| !dag.is_sink(u)).count();
         let num_sinks = dag.num_nodes() - num_nonsinks;
-        let prio = prioritize(&dag).schedule;
+        let prio = prioritize(&dag).unwrap().schedule;
         let fifo = fifo_schedule(&dag);
         let ep = eligibility_profile(&dag, prio.order());
         let ef = eligibility_profile(&dag, fifo.order());
@@ -165,7 +166,7 @@ proptest! {
     /// blocks, sources scheduled first, all sinks last.
     #[test]
     fn bipartite_dags_schedule_sources_then_sinks(dag in arb_bipartite(12, 4)) {
-        let res = prioritize(&dag);
+        let res = prioritize(&dag).unwrap();
         prop_assert!(res.schedule.is_valid_for(&dag));
         prop_assert!(res.stats.num_bipartite >= 1);
         prop_assert_eq!(res.stats.heuristic_scheduled + res.stats.searched + res.stats.recognized.values().sum::<usize>() + res.stats.trivial, res.stats.num_components);
@@ -182,8 +183,8 @@ proptest! {
     #[test]
     fn shortcut_removal_is_idempotent_in_the_pipeline(dag in arb_dag(18, 0.4)) {
         let reduced = dagprio::graph::reduction::transitive_reduction(&dag);
-        let a = prioritize(&dag).schedule;
-        let b = prioritize(&reduced).schedule;
+        let a = prioritize(&dag).unwrap().schedule;
+        let b = prioritize(&reduced).unwrap().schedule;
         prop_assert_eq!(a, b);
     }
 
@@ -217,7 +218,7 @@ proptest! {
         use dagprio::core::optimal::is_ic_optimal;
         use dagprio::core::theoretical::theoretical_schedule;
         if theoretical_schedule(&dag).is_ok() {
-            let heur = prioritize(&dag);
+            let heur = prioritize(&dag).unwrap();
             if heur.stats.heuristic_scheduled == 0 {
                 if let Some(verdict) = is_ic_optimal(&dag, heur.schedule.order(), 500_000) {
                     prop_assert!(
@@ -236,7 +237,7 @@ proptest! {
     fn composed_family_blocks_behave(dag in arb_composed()) {
         use dagprio::core::optimal::is_ic_optimal;
         use dagprio::core::theoretical::theoretical_schedule;
-        let heur = prioritize(&dag);
+        let heur = prioritize(&dag).unwrap();
         prop_assert!(heur.schedule.is_valid_for(&dag));
         if let Ok(theo) = theoretical_schedule(&dag) {
             prop_assert!(theo.schedule.is_valid_for(&dag));
