@@ -1,0 +1,137 @@
+//! Bench-regression guard: re-measures the pipeline (or reads a fresh
+//! measurement) and fails when any metric is slower than the committed
+//! `BENCH_pipeline.json` baseline by more than the threshold.
+//!
+//! ```text
+//! bench_check [--baseline FILE] [--fresh FILE] [--threshold F]
+//! ```
+//!
+//! * `--baseline FILE` — committed baseline (default `BENCH_pipeline.json`)
+//! * `--fresh FILE`    — compare an existing measurement instead of
+//!   re-measuring (useful when `bench_pipeline` already ran)
+//! * `--threshold F`   — allowed slowdown factor, fresh/baseline
+//!   (default 2.0: best-of-N on shared CI machines is noisy, so the guard
+//!   catches order-of-magnitude regressions, not percent-level drift)
+//!
+//! Exit codes: 0 within threshold, 1 regression, 2 usage/IO error.
+
+use prio_bench::pipeline::{self, PipelineBench};
+use std::process::ExitCode;
+
+const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
+const DEFAULT_THRESHOLD: f64 = 2.0;
+
+struct Options {
+    baseline: String,
+    fresh: Option<String>,
+    threshold: f64,
+}
+
+fn parse_args(argv: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: DEFAULT_BASELINE.into(),
+        fresh: None,
+        threshold: DEFAULT_THRESHOLD,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("flag {} requires a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--baseline" => {
+                opts.baseline = value(i)?;
+                i += 2;
+            }
+            "--fresh" => {
+                opts.fresh = Some(value(i)?);
+                i += 2;
+            }
+            "--threshold" => {
+                let v = value(i)?;
+                opts.threshold = v
+                    .parse()
+                    .map_err(|_| format!("--threshold: cannot parse {v:?}"))?;
+                if opts.threshold.is_nan() || opts.threshold < 1.0 {
+                    return Err(format!("--threshold must be >= 1.0, got {v}"));
+                }
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn load(path: &str) -> Result<PipelineBench, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    PipelineBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&argv) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("bench_check: error: {msg}");
+            }
+            eprintln!("usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline = match load(&opts.baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_check: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match &opts.fresh {
+        Some(path) => match load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_check: error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            eprintln!("bench_check: measuring (no --fresh file given)...");
+            pipeline::measure()
+        }
+    };
+
+    if baseline.jobs != fresh.jobs || baseline.workload != fresh.workload {
+        eprintln!(
+            "bench_check: warning: baseline is {} ({} jobs), fresh is {} ({} jobs) — \
+             comparing anyway, but the workload changed",
+            baseline.workload, baseline.jobs, fresh.workload, fresh.jobs
+        );
+    }
+
+    let mut failed = false;
+    for check in pipeline::compare(&baseline, &fresh, opts.threshold) {
+        let verdict = if check.regressed { "REGRESSED" } else { "ok" };
+        eprintln!(
+            "bench_check: {:<17} baseline {:>10} ns, fresh {:>10} ns, ratio {:.2} (threshold {:.2}) {verdict}",
+            check.name, check.baseline_ns, check.fresh_ns, check.ratio, opts.threshold
+        );
+        failed |= check.regressed;
+    }
+    if failed {
+        eprintln!(
+            "bench_check: FAIL — a metric slowed by more than {:.2}x; if intentional, \
+             regenerate the baseline with `cargo run --release -p prio-bench --bin bench_pipeline`",
+            opts.threshold
+        );
+        return ExitCode::from(1);
+    }
+    eprintln!("bench_check: all metrics within threshold");
+    ExitCode::SUCCESS
+}

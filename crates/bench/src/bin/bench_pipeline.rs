@@ -1,87 +1,32 @@
 //! Pipeline throughput measurement for CI and the README: times the PRIO
 //! pipeline on a Montage-like dag (~1k jobs) in three configurations —
 //! single-shot (fresh scratch each run), context reuse
-//! ([`Prioritizer::prioritize_in`] with one persistent [`PrioContext`]),
-//! and the threaded Step 3 — and writes `BENCH_pipeline.json` to the
-//! current directory.
+//! ([`prio_core::prio::Prioritizer::prioritize_in`] with one persistent
+//! [`prio_core::PrioContext`]), and the threaded Step 3 — and writes
+//! `BENCH_pipeline.json` to the current directory.
 //!
-//! Reports best-of-N wall time (minimum over timed iterations), which is
-//! robust to scheduling noise on shared machines. The JSON additionally
-//! records the reuse-vs-single-shot speedup; context reuse must not be
-//! slower than single-shot, since it does strictly less allocation.
+//! The measurement and the deterministic-key-order JSON format live in
+//! [`prio_bench::pipeline`]; `bench_check` reads the same format back to
+//! guard against regressions.
 
-use prio_core::prio::{PrioOptions, Prioritizer};
-use prio_core::PrioContext;
-use prio_workloads::montage::{montage, MontageParams};
-use std::time::Instant;
-
-const WARMUP: usize = 3;
-const ITERS: usize = 40;
-
-/// Best-of-N wall time for each of the given closures, in nanoseconds.
-/// One iteration of every variant runs per round (round-robin), so clock
-/// drift and background load hit all variants alike instead of biasing
-/// whichever happened to run first.
-fn best_ns_interleaved(fs: &mut [&mut dyn FnMut()]) -> Vec<u128> {
-    for _ in 0..WARMUP {
-        for f in fs.iter_mut() {
-            f();
-        }
-    }
-    let mut best = vec![u128::MAX; fs.len()];
-    for _ in 0..ITERS {
-        for (f, best) in fs.iter_mut().zip(&mut best) {
-            let t = Instant::now();
-            f();
-            let ns = t.elapsed().as_nanos();
-            if ns < *best {
-                *best = ns;
-            }
-        }
-    }
-    best
-}
+use prio_bench::pipeline;
 
 fn main() {
-    let dag = montage(MontageParams::scaled(0.13));
+    let bench = pipeline::measure();
     eprintln!(
         "bench_pipeline: Montage-like dag, {} jobs, {} arcs",
-        dag.num_nodes(),
-        dag.num_arcs()
+        bench.jobs, bench.arcs
     );
 
-    let serial = Prioritizer::new();
-    let threaded_prio = Prioritizer::with_options(PrioOptions {
-        threads: 4,
-        ..PrioOptions::default()
-    });
-    let mut ctx = PrioContext::new();
-    let mut tctx = PrioContext::new();
-
-    let mut run_single = || {
-        serial.prioritize(&dag).unwrap();
-    };
-    let mut run_reuse = || {
-        serial.prioritize_in(&dag, &mut ctx).unwrap();
-    };
-    let mut run_threaded = || {
-        threaded_prio.prioritize_in(&dag, &mut tctx).unwrap();
-    };
-    let best = best_ns_interleaved(&mut [&mut run_single, &mut run_reuse, &mut run_threaded]);
-    let (single_shot, context_reuse, threaded) = (best[0], best[1], best[2]);
-
-    let speedup = single_shot as f64 / context_reuse.max(1) as f64;
-    let json = format!(
-        "{{\n  \"workload\": \"montage\",\n  \"jobs\": {},\n  \"arcs\": {},\n  \"iters\": {ITERS},\n  \"metric\": \"best_of_n_wall_ns\",\n  \"single_shot_ns\": {single_shot},\n  \"context_reuse_ns\": {context_reuse},\n  \"threaded_4_ns\": {threaded},\n  \"reuse_speedup\": {speedup:.4}\n}}\n",
-        dag.num_nodes(),
-        dag.num_arcs(),
-    );
+    let json = bench.to_json();
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     print!("{json}");
     eprintln!("bench_pipeline: wrote BENCH_pipeline.json");
 
     assert!(
-        context_reuse <= single_shot,
-        "context reuse ({context_reuse} ns) must not be slower than single-shot ({single_shot} ns)"
+        bench.context_reuse_ns <= bench.single_shot_ns,
+        "context reuse ({} ns) must not be slower than single-shot ({} ns)",
+        bench.context_reuse_ns,
+        bench.single_shot_ns
     );
 }

@@ -13,8 +13,11 @@
 //! | §3.6 overhead table | `cargo bench -p prio-bench --bench overhead`, `cargo run -p prio-bench --release --bin table_overhead` |
 //!
 //! The library part holds shared plumbing: plain-text table/TSV rendering
-//! ([`report`]) and a byte-counting global allocator used to estimate the
-//! §3.6 memory column ([`mem`]).
+//! ([`report`]), a byte-counting global allocator used to estimate the
+//! §3.6 memory column ([`mem`]), and the pipeline-throughput measurement
+//! shared by `bench_pipeline` and the `bench_check` regression guard
+//! ([`pipeline`]).
 
 pub mod mem;
+pub mod pipeline;
 pub mod report;

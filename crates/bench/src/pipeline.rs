@@ -1,0 +1,314 @@
+//! Shared pipeline-throughput measurement: the library behind the
+//! `bench_pipeline` (measure and record) and `bench_check` (regression
+//! guard) binaries.
+//!
+//! The measurement times the PRIO pipeline on a Montage-like dag (~1k
+//! jobs) in three configurations — single-shot, context reuse, threaded
+//! Step 3 — interleaved round-robin so background load biases no variant,
+//! reporting best-of-N wall time. [`PipelineBench::to_json`] serializes
+//! with a **fixed key order** ([`KEY_ORDER`]) so the committed
+//! `BENCH_pipeline.json` diffs cleanly run to run; [`PipelineBench::from_json`]
+//! reads it back (key order independent), and [`compare`] checks a fresh
+//! measurement against a committed baseline under a slowdown threshold.
+
+use prio_core::prio::{PrioOptions, Prioritizer};
+use prio_core::PrioContext;
+use prio_obs::json::{parse, JsonValue};
+use prio_workloads::montage::{montage, MontageParams};
+use std::time::Instant;
+
+/// Warm-up rounds before timing starts.
+pub const WARMUP: usize = 3;
+/// Timed rounds; the metric is the minimum over them.
+pub const ITERS: usize = 40;
+
+/// The serialized keys, in the exact order [`PipelineBench::to_json`]
+/// emits them.
+pub const KEY_ORDER: [&str; 9] = [
+    "workload",
+    "jobs",
+    "arcs",
+    "iters",
+    "metric",
+    "single_shot_ns",
+    "context_reuse_ns",
+    "threaded_4_ns",
+    "reuse_speedup",
+];
+
+/// One pipeline-throughput measurement (or a parsed committed baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineBench {
+    /// Workload family name (`"montage"`).
+    pub workload: String,
+    /// Jobs in the measured dag.
+    pub jobs: u64,
+    /// Arcs in the measured dag.
+    pub arcs: u64,
+    /// Timed iterations behind the best-of-N metric.
+    pub iters: u64,
+    /// Metric name (`"best_of_n_wall_ns"`).
+    pub metric: String,
+    /// Best-of-N wall time, fresh scratch each run.
+    pub single_shot_ns: u64,
+    /// Best-of-N wall time reusing one [`PrioContext`].
+    pub context_reuse_ns: u64,
+    /// Best-of-N wall time with the 4-thread Step 3.
+    pub threaded_4_ns: u64,
+    /// `single_shot_ns / context_reuse_ns`.
+    pub reuse_speedup: f64,
+}
+
+/// Best-of-N wall time for each closure, in nanoseconds. One iteration of
+/// every variant runs per round (round-robin), so clock drift and
+/// background load hit all variants alike instead of biasing whichever
+/// happened to run first.
+fn best_ns_interleaved(fs: &mut [&mut dyn FnMut()]) -> Vec<u128> {
+    for _ in 0..WARMUP {
+        for f in fs.iter_mut() {
+            f();
+        }
+    }
+    let mut best = vec![u128::MAX; fs.len()];
+    for _ in 0..ITERS {
+        for (f, best) in fs.iter_mut().zip(&mut best) {
+            let t = Instant::now();
+            f();
+            let ns = t.elapsed().as_nanos();
+            if ns < *best {
+                *best = ns;
+            }
+        }
+    }
+    best
+}
+
+/// Runs the measurement on the standard Montage-like dag.
+pub fn measure() -> PipelineBench {
+    let dag = montage(MontageParams::scaled(0.13));
+    let serial = Prioritizer::new();
+    let threaded_prio = Prioritizer::with_options(PrioOptions {
+        threads: 4,
+        ..PrioOptions::default()
+    });
+    let mut ctx = PrioContext::new();
+    let mut tctx = PrioContext::new();
+
+    let mut run_single = || {
+        serial.prioritize(&dag).unwrap();
+    };
+    let mut run_reuse = || {
+        serial.prioritize_in(&dag, &mut ctx).unwrap();
+    };
+    let mut run_threaded = || {
+        threaded_prio.prioritize_in(&dag, &mut tctx).unwrap();
+    };
+    let best = best_ns_interleaved(&mut [&mut run_single, &mut run_reuse, &mut run_threaded]);
+    let (single_shot, context_reuse, threaded) = (best[0], best[1], best[2]);
+
+    PipelineBench {
+        workload: "montage".into(),
+        jobs: dag.num_nodes() as u64,
+        arcs: dag.num_arcs() as u64,
+        iters: ITERS as u64,
+        metric: "best_of_n_wall_ns".into(),
+        single_shot_ns: single_shot as u64,
+        context_reuse_ns: context_reuse as u64,
+        threaded_4_ns: threaded as u64,
+        reuse_speedup: single_shot as f64 / context_reuse.max(1) as f64,
+    }
+}
+
+impl PipelineBench {
+    /// Serializes in the committed `BENCH_pipeline.json` format: keys in
+    /// [`KEY_ORDER`], one per line, trailing newline — byte-deterministic
+    /// for identical measurements.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"{}\",\n  \"jobs\": {},\n  \"arcs\": {},\n  \"iters\": {},\n  \"metric\": \"{}\",\n  \"single_shot_ns\": {},\n  \"context_reuse_ns\": {},\n  \"threaded_4_ns\": {},\n  \"reuse_speedup\": {:.4}\n}}\n",
+            self.workload,
+            self.jobs,
+            self.arcs,
+            self.iters,
+            self.metric,
+            self.single_shot_ns,
+            self.context_reuse_ns,
+            self.threaded_4_ns,
+            self.reuse_speedup,
+        )
+    }
+
+    /// Parses the `BENCH_pipeline.json` format (any key order).
+    pub fn from_json(text: &str) -> Result<PipelineBench, String> {
+        let v = parse(text)?;
+        if !v.is_object() {
+            return Err("expected a JSON object".into());
+        }
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        };
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing integer field {key:?}"))
+        };
+        Ok(PipelineBench {
+            workload: s("workload")?,
+            jobs: u("jobs")?,
+            arcs: u("arcs")?,
+            iters: u("iters")?,
+            metric: s("metric")?,
+            single_shot_ns: u("single_shot_ns")?,
+            context_reuse_ns: u("context_reuse_ns")?,
+            threaded_4_ns: u("threaded_4_ns")?,
+            reuse_speedup: v
+                .get("reuse_speedup")
+                .and_then(JsonValue::as_f64)
+                .ok_or("missing number field \"reuse_speedup\"")?,
+        })
+    }
+
+    /// The three timed metrics by name, in serialization order.
+    pub fn metrics(&self) -> [(&'static str, u64); 3] {
+        [
+            ("single_shot_ns", self.single_shot_ns),
+            ("context_reuse_ns", self.context_reuse_ns),
+            ("threaded_4_ns", self.threaded_4_ns),
+        ]
+    }
+}
+
+/// One metric's baseline-vs-fresh verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricCheck {
+    /// Metric name (`single_shot_ns`, …).
+    pub name: &'static str,
+    /// Committed baseline, nanoseconds.
+    pub baseline_ns: u64,
+    /// Fresh measurement, nanoseconds.
+    pub fresh_ns: u64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+    /// Whether the ratio exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// Compares a fresh measurement against a committed baseline: a metric
+/// regresses when `fresh > baseline × threshold`. Returns one verdict per
+/// metric; the caller fails when any is regressed.
+pub fn compare(
+    baseline: &PipelineBench,
+    fresh: &PipelineBench,
+    threshold: f64,
+) -> Vec<MetricCheck> {
+    baseline
+        .metrics()
+        .iter()
+        .zip(fresh.metrics().iter())
+        .map(|(&(name, baseline_ns), &(_, fresh_ns))| {
+            let ratio = fresh_ns as f64 / baseline_ns.max(1) as f64;
+            MetricCheck {
+                name,
+                baseline_ns,
+                fresh_ns,
+                ratio,
+                regressed: ratio > threshold,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PipelineBench {
+        PipelineBench {
+            workload: "montage".into(),
+            jobs: 1033,
+            arcs: 2044,
+            iters: 40,
+            metric: "best_of_n_wall_ns".into(),
+            single_shot_ns: 622_366,
+            context_reuse_ns: 611_205,
+            threaded_4_ns: 729_699,
+            reuse_speedup: 1.0183,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let back = PipelineBench::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn key_order_is_deterministic() {
+        let json = sample().to_json();
+        // Every key appears exactly once, in KEY_ORDER.
+        let mut last = 0;
+        for key in KEY_ORDER {
+            let needle = format!("\"{key}\":");
+            let pos = json
+                .find(&needle)
+                .unwrap_or_else(|| panic!("missing {key}"));
+            assert!(pos > last, "{key} out of order in {json}");
+            assert_eq!(json.rfind(&needle), Some(pos), "{key} appears twice");
+            last = pos;
+        }
+        // Byte-identical for identical measurements.
+        assert_eq!(json, sample().to_json());
+    }
+
+    #[test]
+    fn committed_baseline_format_parses() {
+        // The exact shape committed at the repository root.
+        let committed = "{\n  \"workload\": \"montage\",\n  \"jobs\": 1033,\n  \"arcs\": 2044,\n  \"iters\": 40,\n  \"metric\": \"best_of_n_wall_ns\",\n  \"single_shot_ns\": 622366,\n  \"context_reuse_ns\": 611205,\n  \"threaded_4_ns\": 729699,\n  \"reuse_speedup\": 1.0183\n}\n";
+        let b = PipelineBench::from_json(committed).unwrap();
+        assert_eq!(b, sample());
+        assert_eq!(
+            b.to_json(),
+            committed,
+            "writer reproduces the committed bytes"
+        );
+    }
+
+    #[test]
+    fn missing_fields_are_errors() {
+        assert!(PipelineBench::from_json("{}").is_err());
+        assert!(PipelineBench::from_json("[1]").is_err());
+        assert!(PipelineBench::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_threshold_breaches() {
+        let baseline = sample();
+        let mut fresh = sample();
+        fresh.single_shot_ns = baseline.single_shot_ns * 3; // 3× slower
+        fresh.context_reuse_ns = baseline.context_reuse_ns; // unchanged
+        fresh.threaded_4_ns = baseline.threaded_4_ns / 2; // faster
+        let checks = compare(&baseline, &fresh, 2.0);
+        assert_eq!(checks.len(), 3);
+        assert!(checks[0].regressed, "3× exceeds a 2× threshold");
+        assert!(!checks[1].regressed);
+        assert!(!checks[2].regressed, "speedups never regress");
+        assert!((checks[0].ratio - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_smoke_is_consistent() {
+        // Not a timing assertion (CI machines vary wildly) — just that the
+        // measurement runs and produces internally consistent fields.
+        let b = measure();
+        assert_eq!(b.workload, "montage");
+        assert!(b.jobs > 0 && b.arcs > 0);
+        assert!(b.single_shot_ns > 0 && b.context_reuse_ns > 0 && b.threaded_4_ns > 0);
+        let expected = b.single_shot_ns as f64 / b.context_reuse_ns.max(1) as f64;
+        assert!((b.reuse_speedup - expected).abs() < 1e-9);
+        PipelineBench::from_json(&b.to_json()).unwrap();
+    }
+}

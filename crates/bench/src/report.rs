@@ -27,13 +27,15 @@ impl Table {
     /// Renders with space-aligned columns.
     pub fn render(&self) -> String {
         let cols = self.header.len();
+        // Widths in chars, not bytes: cells may hold non-ASCII (µ,
+        // sparkline blocks) and `format!` pads by char count.
         let mut width = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
-            width[i] = h.len();
+            width[i] = h.chars().count();
         }
         for row in &self.rows {
             for (i, c) in row.iter().enumerate() {
-                width[i] = width[i].max(c.len());
+                width[i] = width[i].max(c.chars().count());
             }
         }
         let mut out = String::new();

@@ -22,6 +22,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "full",
     "verbose",
     "timings",
+    "json",
 ];
 
 impl Args {

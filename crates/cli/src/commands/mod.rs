@@ -7,6 +7,7 @@ pub mod batch;
 pub mod compare;
 pub mod generate;
 pub mod instrument;
+pub mod report;
 pub mod schedule;
 pub mod simulate;
 pub mod stats;

@@ -1,0 +1,828 @@
+//! `prio report` — summarize one or more `--trace-out` JSONL files.
+//!
+//! Reads the v2 record stream (`meta`, `span`, `counter`/`gauge`, the four
+//! simulator trace events, and the telemetry records `ts`/`hist`) and
+//! renders a run summary: a span-timing table with latency percentiles, a
+//! per-policy simulator time-series digest (peak/mean eligible pool,
+//! utilization curve), per-job latency histograms, and — when exactly two
+//! policies are present (one file with both, or two files) — a PRIO-vs-FIFO
+//! side-by-side comparison. `--json` emits the same summary as a single
+//! JSON document on stdout.
+//!
+//! Everything derived from the simulator telemetry is deterministic per
+//! seed, which is what the golden-output test pins; span timings are
+//! wall-clock and vary run to run.
+
+use crate::args::Args;
+use crate::error::CliError;
+use prio_bench::report::Table;
+use prio_obs::json::{parse, JsonObject, JsonValue, SCHEMA_VERSION};
+
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    let json = args.has("json");
+    if args.positional.is_empty() {
+        return Err(CliError::usage(
+            "expected one or more trace files: prio report <trace.jsonl>... [--json]",
+        ));
+    }
+    let sources = args
+        .positional
+        .iter()
+        .map(|path| Source::load(path))
+        .collect::<Result<Vec<_>, _>>()?;
+    let comparison = comparison(&sources);
+    if json {
+        println!("{}", render_json(&sources, &comparison));
+    } else {
+        print!("{}", render_text(&sources, &comparison));
+    }
+    Ok(())
+}
+
+/// One time-series telemetry record (`type: "ts"`).
+#[derive(Debug)]
+struct TsRecord {
+    series: String,
+    pushed: u64,
+    peak: f64,
+    peak_t: f64,
+    mean: f64,
+    last_t: f64,
+    last_v: f64,
+    samples: Vec<(f64, f64)>,
+}
+
+/// One histogram summary record (`type: "hist"`).
+#[derive(Debug)]
+struct HistRecord {
+    name: String,
+    count: u64,
+    mean: f64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
+}
+
+/// Simulator event counts for one policy segment.
+#[derive(Debug, Default)]
+struct EventCounts {
+    batches: u64,
+    requests: u64,
+    stalled: u64,
+    assigned: u64,
+    completed: u64,
+    failed: u64,
+}
+
+/// Everything recorded under one `policy=` tag.
+#[derive(Debug, Default)]
+struct PolicyGroup {
+    policy: String,
+    events: EventCounts,
+    series: Vec<TsRecord>,
+    hists: Vec<HistRecord>,
+}
+
+impl PolicyGroup {
+    fn digest(&self, series: &str) -> Option<&TsRecord> {
+        self.series.iter().find(|t| t.series == series)
+    }
+
+    fn hist(&self, name: &str) -> Option<&HistRecord> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+}
+
+/// One `span` record.
+#[derive(Debug)]
+struct SpanRow {
+    path: String,
+    count: u64,
+    total_ms: f64,
+    max_ms: f64,
+    /// `(p50, p90, p99)` in ms; absent on v1 traces.
+    percentiles: Option<(f64, f64, f64)>,
+}
+
+/// One parsed trace file.
+#[derive(Debug)]
+struct Source {
+    path: String,
+    metas: Vec<String>,
+    spans: Vec<SpanRow>,
+    /// Per-policy groups in encounter order; events before the first
+    /// `policy=` meta land in a `"-"` group.
+    groups: Vec<PolicyGroup>,
+    /// Registry histograms (pipeline-side, not policy-tagged).
+    registry_hists: Vec<HistRecord>,
+    counters: u64,
+}
+
+impl Source {
+    fn load(path: &str) -> Result<Source, CliError> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        let mut source = Source {
+            path: path.to_string(),
+            metas: Vec::new(),
+            spans: Vec::new(),
+            groups: Vec::new(),
+            registry_hists: Vec::new(),
+            counters: 0,
+        };
+        let mut current = String::from("-");
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            source
+                .ingest(line, &mut current)
+                .map_err(|e| CliError::input(format!("{path}: line {}: {e}", i + 1)))?;
+        }
+        Ok(source)
+    }
+
+    fn group_mut(&mut self, policy: &str) -> &mut PolicyGroup {
+        if let Some(i) = self.groups.iter().position(|g| g.policy == policy) {
+            return &mut self.groups[i];
+        }
+        self.groups.push(PolicyGroup {
+            policy: policy.to_string(),
+            ..PolicyGroup::default()
+        });
+        self.groups.last_mut().expect("just pushed")
+    }
+
+    fn ingest(&mut self, line: &str, current_policy: &mut String) -> Result<(), String> {
+        let v = parse(line)?;
+        if !v.is_object() {
+            return Err(format!("not a JSON object: {line:?}"));
+        }
+        let kind = v
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("missing type field: {line:?}"))?;
+        if let Some(version) = v.get("v").and_then(JsonValue::as_u64) {
+            if version > SCHEMA_VERSION {
+                return Err(format!(
+                    "record schema v{version} is newer than supported v{SCHEMA_VERSION}"
+                ));
+            }
+        }
+        let f = |key: &str| v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let u = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        let s = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or("-")
+                .to_string()
+        };
+        match kind {
+            "meta" => {
+                let detail = s("detail");
+                // `trace` meta lines open a per-policy segment; everything
+                // else is header material.
+                if s("command") == "trace" {
+                    if let Some(policy) = detail
+                        .split_whitespace()
+                        .find_map(|kv| kv.strip_prefix("policy="))
+                    {
+                        *current_policy = policy.to_string();
+                    }
+                }
+                self.metas.push(format!("{} {detail}", s("command")));
+            }
+            "span" => {
+                let percentiles = match (
+                    v.get("p50_ms").and_then(JsonValue::as_f64),
+                    v.get("p90_ms").and_then(JsonValue::as_f64),
+                    v.get("p99_ms").and_then(JsonValue::as_f64),
+                ) {
+                    (Some(p50), Some(p90), Some(p99)) => Some((p50, p90, p99)),
+                    _ => None,
+                };
+                self.spans.push(SpanRow {
+                    path: s("path"),
+                    count: u("count"),
+                    total_ms: f("total_ms"),
+                    max_ms: f("max_ms"),
+                    percentiles,
+                });
+            }
+            "counter" | "gauge" => self.counters += 1,
+            "batch_arrived" => {
+                let events = &mut self.group_mut(current_policy).events;
+                events.batches += 1;
+                events.requests += u("size");
+                if v.get("stalled").and_then(JsonValue::as_bool) == Some(true) {
+                    events.stalled += 1;
+                }
+            }
+            "job_assigned" => self.group_mut(current_policy).events.assigned += 1,
+            "job_completed" => self.group_mut(current_policy).events.completed += 1,
+            "job_failed" => self.group_mut(current_policy).events.failed += 1,
+            "ts" => {
+                let samples = match v.get("samples") {
+                    Some(JsonValue::Arr(items)) => items
+                        .iter()
+                        .filter_map(|pair| match pair {
+                            JsonValue::Arr(tv) if tv.len() == 2 => {
+                                Some((tv[0].as_f64()?, tv[1].as_f64()?))
+                            }
+                            _ => None,
+                        })
+                        .collect(),
+                    _ => Vec::new(),
+                };
+                let policy = s("policy");
+                self.group_mut(&policy).series.push(TsRecord {
+                    series: s("series"),
+                    pushed: u("pushed"),
+                    peak: f("peak"),
+                    peak_t: f("peak_t"),
+                    mean: f("mean"),
+                    last_t: f("last_t"),
+                    last_v: f("last_v"),
+                    samples,
+                });
+            }
+            "hist" => {
+                let record = HistRecord {
+                    name: s("name"),
+                    count: u("count"),
+                    mean: f("mean"),
+                    p50: u("p50"),
+                    p90: u("p90"),
+                    p99: u("p99"),
+                    max: u("max"),
+                };
+                // Telemetry histograms carry a policy tag; registry
+                // histograms (pipeline-side) do not.
+                match v.get("policy").and_then(JsonValue::as_str) {
+                    Some(policy) => {
+                        let policy = policy.to_string();
+                        self.group_mut(&policy).hists.push(record);
+                    }
+                    None => self.registry_hists.push(record),
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// A digest field of one named series, or 0 when the series is absent.
+fn ts_metric(g: &PolicyGroup, series: &str, pick: fn(&TsRecord) -> f64) -> f64 {
+    g.digest(series).map(pick).unwrap_or(0.0)
+}
+
+/// A summary field of one named histogram, or 0 when it is absent.
+fn hist_metric(g: &PolicyGroup, name: &str, pick: fn(&HistRecord) -> f64) -> f64 {
+    g.hist(name).map(pick).unwrap_or(0.0)
+}
+
+/// One row of the side-by-side comparison.
+struct ComparisonRow {
+    metric: &'static str,
+    a: f64,
+    b: f64,
+}
+
+/// The two policies compared, plus the metric rows. `None` unless exactly
+/// two policy groups with telemetry exist across all sources.
+struct Comparison {
+    a_name: String,
+    b_name: String,
+    rows: Vec<ComparisonRow>,
+}
+
+fn comparison(sources: &[Source]) -> Option<Comparison> {
+    let groups: Vec<(usize, &PolicyGroup)> = sources
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.groups.iter().map(move |g| (i, g)))
+        .filter(|(_, g)| !g.series.is_empty())
+        .collect();
+    let [(ai, a), (bi, b)] = groups.as_slice() else {
+        return None;
+    };
+    let label = |i: usize, g: &PolicyGroup| {
+        if sources.len() > 1 {
+            format!("{}:{}", i, g.policy)
+        } else {
+            g.policy.clone()
+        }
+    };
+    type Metric = (&'static str, fn(&PolicyGroup) -> f64);
+    let metrics: [Metric; 7] = [
+        ("makespan", |g| ts_metric(g, "eligible_pool", |t| t.last_t)),
+        ("eligible_pool_mean", |g| {
+            ts_metric(g, "eligible_pool", |t| t.mean)
+        }),
+        ("eligible_pool_peak", |g| {
+            ts_metric(g, "eligible_pool", |t| t.peak)
+        }),
+        ("utilization_final", |g| {
+            ts_metric(g, "utilization", |t| t.last_v)
+        }),
+        ("job_wait_mean_milli", |g| {
+            hist_metric(g, "job_wait_milli", |h| h.mean)
+        }),
+        ("job_wait_p90_milli", |g| {
+            hist_metric(g, "job_wait_milli", |h| h.p90 as f64)
+        }),
+        ("job_service_mean_milli", |g| {
+            hist_metric(g, "job_service_milli", |h| h.mean)
+        }),
+    ];
+    Some(Comparison {
+        a_name: label(*ai, a),
+        b_name: label(*bi, b),
+        rows: metrics
+            .iter()
+            .map(|(metric, pick)| ComparisonRow {
+                metric,
+                a: pick(a),
+                b: pick(b),
+            })
+            .collect(),
+    })
+}
+
+/// A fixed-width sparkline of the stored samples (value axis normalized to
+/// the series' own min..max). Unicode block characters; kept in the last
+/// table column so byte-width alignment does not matter.
+fn sparkline(samples: &[(f64, f64)], width: usize) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if samples.is_empty() {
+        return String::new();
+    }
+    let min = samples
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let max = samples
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let n = samples.len().min(width);
+    (0..n)
+        .map(|i| {
+            let idx = if n == 1 {
+                0
+            } else {
+                i * (samples.len() - 1) / (n - 1)
+            };
+            let v = samples[idx].1;
+            let level = if max > min {
+                (((v - min) / (max - min)) * 7.0).round() as usize
+            } else {
+                0
+            };
+            LEVELS[level.min(7)]
+        })
+        .collect()
+}
+
+fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        fmt(a / b)
+    }
+}
+
+fn render_text(sources: &[Source], comparison: &Option<Comparison>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "prio report — {} trace file{}, schema v{SCHEMA_VERSION}\n",
+        sources.len(),
+        if sources.len() == 1 { "" } else { "s" },
+    ));
+    for (i, source) in sources.iter().enumerate() {
+        out.push_str(&format!("\nsource {i}: {}\n", source.path));
+        for meta in &source.metas {
+            out.push_str(&format!("  meta: {meta}\n"));
+        }
+    }
+
+    let opt = |p: Option<f64>| p.map(fmt).unwrap_or_else(|| "-".to_string());
+    let mut spans = Table::new(&[
+        "source", "span", "count", "total_ms", "max_ms", "p50_ms", "p90_ms", "p99_ms",
+    ]);
+    let mut have_spans = false;
+    for (i, source) in sources.iter().enumerate() {
+        for row in &source.spans {
+            have_spans = true;
+            spans.row(vec![
+                i.to_string(),
+                row.path.clone(),
+                row.count.to_string(),
+                fmt(row.total_ms),
+                fmt(row.max_ms),
+                opt(row.percentiles.map(|p| p.0)),
+                opt(row.percentiles.map(|p| p.1)),
+                opt(row.percentiles.map(|p| p.2)),
+            ]);
+        }
+    }
+    if have_spans {
+        out.push_str("\nspans (wall-clock)\n");
+        out.push_str(&spans.render());
+    }
+
+    let mut events = Table::new(&[
+        "source",
+        "policy",
+        "batches",
+        "requests",
+        "stalled",
+        "assigned",
+        "completed",
+        "failed",
+    ]);
+    let mut have_events = false;
+    let mut telemetry = Table::new(&[
+        "source", "policy", "series", "pushed", "peak", "peak@t", "mean", "last", "curve",
+    ]);
+    let mut have_telemetry = false;
+    let mut latencies = Table::new(&[
+        "source",
+        "policy",
+        "histogram",
+        "count",
+        "mean",
+        "p50",
+        "p90",
+        "p99",
+        "max",
+    ]);
+    let mut have_latencies = false;
+    for (i, source) in sources.iter().enumerate() {
+        for group in &source.groups {
+            let e = &group.events;
+            if e.batches + e.assigned + e.completed + e.failed > 0 {
+                have_events = true;
+                events.row(vec![
+                    i.to_string(),
+                    group.policy.clone(),
+                    e.batches.to_string(),
+                    e.requests.to_string(),
+                    e.stalled.to_string(),
+                    e.assigned.to_string(),
+                    e.completed.to_string(),
+                    e.failed.to_string(),
+                ]);
+            }
+            for t in &group.series {
+                have_telemetry = true;
+                telemetry.row(vec![
+                    i.to_string(),
+                    group.policy.clone(),
+                    t.series.clone(),
+                    t.pushed.to_string(),
+                    fmt(t.peak),
+                    fmt(t.peak_t),
+                    fmt(t.mean),
+                    fmt(t.last_v),
+                    sparkline(&t.samples, 24),
+                ]);
+            }
+            for h in &group.hists {
+                have_latencies = true;
+                latencies.row(vec![
+                    i.to_string(),
+                    group.policy.clone(),
+                    h.name.clone(),
+                    h.count.to_string(),
+                    fmt(h.mean),
+                    h.p50.to_string(),
+                    h.p90.to_string(),
+                    h.p99.to_string(),
+                    h.max.to_string(),
+                ]);
+            }
+        }
+        for h in &source.registry_hists {
+            have_latencies = true;
+            latencies.row(vec![
+                i.to_string(),
+                "-".to_string(),
+                h.name.clone(),
+                h.count.to_string(),
+                fmt(h.mean),
+                h.p50.to_string(),
+                h.p90.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]);
+        }
+    }
+    if have_events {
+        out.push_str("\nsimulator events\n");
+        out.push_str(&events.render());
+    }
+    if have_telemetry {
+        out.push_str("\nsimulator telemetry (time-series digests)\n");
+        out.push_str(&telemetry.render());
+    }
+    if have_latencies {
+        out.push_str("\nlatency histograms\n");
+        out.push_str(&latencies.render());
+    }
+
+    if let Some(c) = comparison {
+        out.push_str(&format!("\n{} vs {}\n", c.a_name, c.b_name));
+        let mut table = Table::new(&["metric", &c.a_name, &c.b_name, "ratio"]);
+        for row in &c.rows {
+            table.row(vec![
+                row.metric.to_string(),
+                fmt(row.a),
+                fmt(row.b),
+                ratio(row.a, row.b),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out
+}
+
+fn render_json(sources: &[Source], comparison: &Option<Comparison>) -> String {
+    let join = |items: Vec<String>| items.join(",");
+    let mut out = format!("{{\"type\":\"report\",\"v\":{SCHEMA_VERSION}");
+
+    out.push_str(",\"sources\":[");
+    out.push_str(&join(
+        sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                JsonObject::new()
+                    .u64("file", i as u64)
+                    .str("path", &s.path)
+                    .u64("spans", s.spans.len() as u64)
+                    .u64("scalar_metrics", s.counters)
+                    .finish()
+            })
+            .collect(),
+    ));
+    out.push(']');
+
+    out.push_str(",\"spans\":[");
+    let mut span_objs = Vec::new();
+    for (i, source) in sources.iter().enumerate() {
+        for row in &source.spans {
+            let mut obj = JsonObject::new()
+                .u64("file", i as u64)
+                .str("path", &row.path)
+                .u64("count", row.count)
+                .f64("total_ms", row.total_ms)
+                .f64("max_ms", row.max_ms);
+            if let Some((p50, p90, p99)) = row.percentiles {
+                obj = obj.f64("p50_ms", p50).f64("p90_ms", p90).f64("p99_ms", p99);
+            }
+            span_objs.push(obj.finish());
+        }
+    }
+    out.push_str(&join(span_objs));
+    out.push(']');
+
+    out.push_str(",\"events\":[");
+    let mut event_objs = Vec::new();
+    for (i, source) in sources.iter().enumerate() {
+        for group in &source.groups {
+            let e = &group.events;
+            if e.batches + e.assigned + e.completed + e.failed == 0 {
+                continue;
+            }
+            event_objs.push(
+                JsonObject::new()
+                    .u64("file", i as u64)
+                    .str("policy", &group.policy)
+                    .u64("batches", e.batches)
+                    .u64("requests", e.requests)
+                    .u64("stalled", e.stalled)
+                    .u64("assigned", e.assigned)
+                    .u64("completed", e.completed)
+                    .u64("failed", e.failed)
+                    .finish(),
+            );
+        }
+    }
+    out.push_str(&join(event_objs));
+    out.push(']');
+
+    out.push_str(",\"telemetry\":[");
+    let mut ts_objs = Vec::new();
+    for (i, source) in sources.iter().enumerate() {
+        for group in &source.groups {
+            for t in &group.series {
+                ts_objs.push(
+                    JsonObject::new()
+                        .u64("file", i as u64)
+                        .str("policy", &group.policy)
+                        .str("series", &t.series)
+                        .u64("pushed", t.pushed)
+                        .f64("peak", t.peak)
+                        .f64("peak_t", t.peak_t)
+                        .f64("mean", t.mean)
+                        .f64("last_t", t.last_t)
+                        .f64("last_v", t.last_v)
+                        .pairs("samples", &t.samples)
+                        .finish(),
+                );
+            }
+        }
+    }
+    out.push_str(&join(ts_objs));
+    out.push(']');
+
+    out.push_str(",\"latencies\":[");
+    let mut hist_objs = Vec::new();
+    for (i, source) in sources.iter().enumerate() {
+        let hist_obj = |policy: &str, h: &HistRecord| {
+            JsonObject::new()
+                .u64("file", i as u64)
+                .str("policy", policy)
+                .str("name", &h.name)
+                .u64("count", h.count)
+                .f64("mean", h.mean)
+                .u64("p50", h.p50)
+                .u64("p90", h.p90)
+                .u64("p99", h.p99)
+                .u64("max", h.max)
+                .finish()
+        };
+        for group in &source.groups {
+            for h in &group.hists {
+                hist_objs.push(hist_obj(&group.policy, h));
+            }
+        }
+        for h in &source.registry_hists {
+            hist_objs.push(hist_obj("-", h));
+        }
+    }
+    out.push_str(&join(hist_objs));
+    out.push(']');
+
+    if let Some(c) = comparison {
+        out.push_str(",\"comparison\":[");
+        out.push_str(&join(
+            c.rows
+                .iter()
+                .map(|row| {
+                    let mut obj = JsonObject::new()
+                        .str("metric", row.metric)
+                        .f64("a", row.a)
+                        .f64("b", row.b);
+                    if row.b != 0.0 {
+                        obj = obj.f64("ratio", row.a / row.b);
+                    }
+                    obj = obj.str("a_policy", &c.a_name).str("b_policy", &c.b_name);
+                    obj.finish()
+                })
+                .collect(),
+        ));
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_text() -> String {
+        [
+            r#"{"type":"meta","v":2,"command":"simulate","detail":"workload=w seed=1"}"#,
+            r#"{"type":"meta","v":2,"command":"trace","detail":"policy=prio seed=1"}"#,
+            r#"{"type":"batch_arrived","v":2,"time":0,"size":2,"assigned":2,"stalled":false}"#,
+            r#"{"type":"job_assigned","v":2,"time":0,"job":0,"completes_at":1}"#,
+            r#"{"type":"job_completed","v":2,"time":1,"job":0}"#,
+            r#"{"type":"ts","v":2,"policy":"prio","series":"eligible_pool","pushed":2,"peak":3,"peak_t":0,"mean":2.5,"last_t":1,"last_v":2,"samples":[[0,3],[1,2]]}"#,
+            r#"{"type":"ts","v":2,"policy":"prio","series":"utilization","pushed":2,"peak":1,"peak_t":1,"mean":0.75,"last_t":1,"last_v":1,"samples":[[0,0.5],[1,1]]}"#,
+            r#"{"type":"hist","v":2,"policy":"prio","name":"job_wait_milli","count":2,"mean":250,"p50":0,"p90":500,"p99":500,"max":500}"#,
+            r#"{"type":"meta","v":2,"command":"trace","detail":"policy=fifo seed=1"}"#,
+            r#"{"type":"job_failed","v":2,"time":0.5,"job":1}"#,
+            r#"{"type":"ts","v":2,"policy":"fifo","series":"eligible_pool","pushed":2,"peak":2,"peak_t":0,"mean":2,"last_t":2,"last_v":2,"samples":[[0,2],[2,2]]}"#,
+            r#"{"type":"ts","v":2,"policy":"fifo","series":"utilization","pushed":2,"peak":0.5,"peak_t":2,"mean":0.5,"last_t":2,"last_v":0.5,"samples":[[0,0.5],[2,0.5]]}"#,
+            r#"{"type":"hist","v":2,"policy":"fifo","name":"job_wait_milli","count":2,"mean":750,"p50":500,"p90":1000,"p99":1000,"max":1000}"#,
+            r#"{"type":"span","v":2,"path":"prio/decompose","count":1,"total_ms":1.5,"max_ms":1.5,"p50_ms":1.5,"p90_ms":1.5,"p99_ms":1.5}"#,
+            r#"{"type":"counter","v":2,"name":"sim.runs","value":1}"#,
+            r#"{"type":"hist","v":2,"name":"pipeline.ns","count":1,"mean":10,"p50":10,"p90":10,"p99":10,"max":10}"#,
+        ]
+        .join("\n")
+    }
+
+    fn load(text: &str) -> Source {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "prio_report_test_{}_{:p}.jsonl",
+            std::process::id(),
+            text
+        ));
+        std::fs::write(&path, text).unwrap();
+        let source = Source::load(path.to_str().unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        source
+    }
+
+    #[test]
+    fn parses_policies_events_and_telemetry() {
+        let source = load(&trace_text());
+        assert_eq!(source.spans.len(), 1);
+        assert_eq!(source.counters, 1);
+        assert_eq!(source.registry_hists.len(), 1);
+        assert_eq!(source.groups.len(), 2);
+        let prio = &source.groups[0];
+        assert_eq!(prio.policy, "prio");
+        assert_eq!(prio.events.batches, 1);
+        assert_eq!(prio.events.assigned, 1);
+        assert_eq!(prio.events.completed, 1);
+        assert_eq!(prio.digest("eligible_pool").unwrap().peak, 3.0);
+        let fifo = &source.groups[1];
+        assert_eq!(fifo.events.failed, 1, "events attribute to the open policy");
+        assert_eq!(fifo.hist("job_wait_milli").unwrap().max, 1000);
+    }
+
+    #[test]
+    fn text_report_carries_percentiles_digests_and_comparison() {
+        let source = load(&trace_text());
+        let sources = vec![source];
+        let c = comparison(&sources);
+        let text = render_text(&sources, &c);
+        assert!(text.contains("p99_ms"), "{text}");
+        assert!(text.contains("prio/decompose"), "{text}");
+        assert!(text.contains("eligible_pool"), "{text}");
+        assert!(text.contains("prio vs fifo"), "{text}");
+        assert!(text.contains("makespan"), "{text}");
+    }
+
+    #[test]
+    fn json_report_is_valid_and_complete() {
+        let source = load(&trace_text());
+        let sources = vec![source];
+        let c = comparison(&sources);
+        let doc = parse(&render_json(&sources, &c)).unwrap();
+        assert_eq!(doc.get("type").and_then(JsonValue::as_str), Some("report"));
+        assert_eq!(
+            doc.get("v").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        match doc.get("telemetry") {
+            Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 4),
+            other => panic!("expected telemetry array, got {other:?}"),
+        }
+        match doc.get("comparison") {
+            Some(JsonValue::Arr(items)) => {
+                assert_eq!(items.len(), 7);
+                let makespan = &items[0];
+                assert_eq!(
+                    makespan.get("metric").and_then(JsonValue::as_str),
+                    Some("makespan")
+                );
+                assert_eq!(makespan.get("ratio").and_then(JsonValue::as_f64), Some(0.5));
+            }
+            other => panic!("expected comparison array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_schema_versions_are_rejected() {
+        let line = format!(
+            "{{\"type\":\"ts\",\"v\":{},\"policy\":\"prio\",\"series\":\"x\"}}",
+            SCHEMA_VERSION + 1
+        );
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("prio_report_future_{}.jsonl", std::process::id()));
+        std::fs::write(&path, line).unwrap();
+        let err = Source::load(path.to_str().unwrap()).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn comparison_needs_exactly_two_policies() {
+        let one = r#"{"type":"ts","v":2,"policy":"prio","series":"eligible_pool","pushed":1,"peak":1,"peak_t":0,"mean":1,"last_t":1,"last_v":1,"samples":[[0,1]]}"#;
+        let sources = vec![load(one)];
+        assert!(comparison(&sources).is_none());
+    }
+
+    #[test]
+    fn sparkline_is_deterministic_and_bounded() {
+        let samples: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, (i % 10) as f64)).collect();
+        let line = sparkline(&samples, 24);
+        assert_eq!(line.chars().count(), 24);
+        assert_eq!(line, sparkline(&samples, 24));
+        assert_eq!(sparkline(&[], 24), "");
+        assert_eq!(sparkline(&[(0.0, 5.0)], 24).chars().count(), 1);
+    }
+}

@@ -71,32 +71,37 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         );
     }
 
-    // Structured trace: one fully traced run per policy, then the span and
-    // counter snapshots, all as JSONL.
+    // Structured trace: one fully traced run per policy (events plus the
+    // per-run simulator telemetry — time series and latency histograms),
+    // then the span and metric snapshots, all as JSONL. The telemetry is
+    // a pure function of the seed, so serial and `--threads` invocations
+    // write identical `ts`/`hist` records.
     if let Some(out) = args.get("trace-out") {
-        let sink = JsonlSink::to_file(Path::new(out))
-            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+        let io_err = |e: std::io::Error| CliError::input(format!("{out}: {e}"));
+        let sink = JsonlSink::to_file(Path::new(out)).map_err(io_err)?;
         sink.write_meta(
             "simulate",
             &format!("workload={name} mu_bit={mu_bit} mu_bs={mu_bs} seed={seed}"),
         )
-        .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+        .map_err(io_err)?;
         for (policy_name, policy) in [("prio", &prio), ("fifo", &PolicySpec::Fifo)] {
             sink.write_meta("trace", &format!("policy={policy_name} seed={seed}"))
-                .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+                .map_err(io_err)?;
             let traced = simulate_traced(&dag, policy, &model, seed);
             let trace = traced
                 .trace
                 .ok_or_else(|| CliError::internal("traced run recorded no trace"))?;
-            prio_sim::trace_json::write_trace(&sink, &trace)
-                .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+            let telemetry = traced
+                .telemetry
+                .ok_or_else(|| CliError::internal("traced run recorded no telemetry"))?;
+            prio_sim::trace_json::write_trace(&sink, &trace).map_err(io_err)?;
+            prio_sim::trace_json::write_telemetry(&sink, policy_name, &telemetry)
+                .map_err(io_err)?;
         }
-        sink.write_span_snapshot()
-            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
-        sink.write_metrics_snapshot()
-            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
-        sink.flush()
-            .map_err(|e| CliError::input(format!("{out}: {e}")))?;
+        sink.write_span_snapshot().map_err(io_err)?;
+        sink.write_metrics_snapshot().map_err(io_err)?;
+        sink.write_histograms_snapshot().map_err(io_err)?;
+        sink.flush().map_err(io_err)?;
         eprintln!("prio: wrote event trace to {out}");
     }
     Ok(())

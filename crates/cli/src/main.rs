@@ -9,6 +9,7 @@
 //! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
 //! prio simulate   (<file.dag> | --workload NAME [--scale F]) [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S]
 //!                 [--trace-out <file>] [--timings]
+//! prio report     <trace.jsonl>... [--json]
 //! prio stats      <file.dag | --workload NAME>
 //! ```
 //!
@@ -85,6 +86,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "compare" => commands::compare::run(rest),
         "generate" => commands::generate::run(rest),
         "simulate" => commands::simulate::run(rest),
+        "report" => commands::report::run(rest),
         "stats" => commands::stats::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -112,6 +114,7 @@ USAGE:
     prio simulate   (<file.dag> | --workload NAME [--scale F])
                     [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S] [--threads T]
                     [--trace-out <file>] [--timings]
+    prio report     <trace.jsonl>... [--json]
     prio stats      (<file.dag> | --workload NAME [--scale F])
     prio help
 
@@ -130,6 +133,8 @@ SUBCOMMANDS:
     compare     print E_PRIO(t) - E_FIFO(t) per step (the paper's Fig. 4)
     generate    emit a synthetic scientific dag as a DAGMan file
     simulate    compare PRIO vs FIFO under the stochastic grid model
+    report      summarize --trace-out JSONL files: span percentiles,
+                simulator time-series digests, PRIO-vs-FIFO side by side
     stats       print pipeline statistics (components, families, shortcuts)
 
 EXIT CODES:

@@ -1,0 +1,183 @@
+//! Golden-output test for `prio report`: a fixed-seed `prio simulate
+//! --trace-out` run must produce byte-stable simulator telemetry, pinned
+//! by `tests/golden/report_telemetry.json`.
+//!
+//! Only the deterministic sections are pinned — `events`, `telemetry`,
+//! and `latencies` are pure functions of the dag, the grid model, and the
+//! seed. Span timings are wall-clock and excluded. A companion test
+//! asserts that serial and `--threads` invocations write identical
+//! telemetry records (the traced run never depends on the replication
+//! thread pool).
+
+use prio_obs::json::{parse, JsonValue};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn prio(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prio"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prio-report-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Twelve jobs: a fan-out over two diamonds re-joining in a single sink,
+/// enough structure for PRIO and FIFO to schedule differently.
+const DAG: &str = "\
+JOB j0 j0.submit
+JOB j1 j1.submit
+JOB j2 j2.submit
+JOB j3 j3.submit
+JOB j4 j4.submit
+JOB j5 j5.submit
+JOB j6 j6.submit
+JOB j7 j7.submit
+JOB j8 j8.submit
+JOB j9 j9.submit
+JOB j10 j10.submit
+JOB j11 j11.submit
+PARENT j0 CHILD j1 j2 j3 j4
+PARENT j1 CHILD j5
+PARENT j2 CHILD j5
+PARENT j3 CHILD j6
+PARENT j4 CHILD j6
+PARENT j5 CHILD j7 j8
+PARENT j6 CHILD j9 j10
+PARENT j7 CHILD j11
+PARENT j8 CHILD j11
+PARENT j9 CHILD j11
+PARENT j10 CHILD j11
+";
+
+/// Runs `prio simulate` on the fixed dag with the fixed seed, writing a
+/// trace to `out_name`; returns the trace path.
+fn simulate(dir: &Path, extra: &[&str], out_name: &str) -> PathBuf {
+    std::fs::write(dir.join("fixed.dag"), DAG).unwrap();
+    let mut args = vec![
+        "simulate",
+        "fixed.dag",
+        "--mu-bit",
+        "0.7",
+        "--mu-bs",
+        "3",
+        "--p",
+        "2",
+        "--q",
+        "2",
+        "--seed",
+        "7",
+        "--trace-out",
+        out_name,
+    ];
+    args.extend_from_slice(extra);
+    let out = prio(&args, dir);
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir.join(out_name)
+}
+
+#[test]
+fn report_json_telemetry_matches_golden() {
+    let dir = tempdir("golden");
+    simulate(&dir, &[], "trace.jsonl");
+    let out = prio(&["report", "trace.jsonl", "--json"], &dir);
+    assert!(
+        out.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc = parse(stdout.trim()).expect("report --json emits valid JSON");
+    let golden = parse(include_str!("golden/report_telemetry.json")).expect("golden parses");
+    for key in ["events", "telemetry", "latencies"] {
+        assert_eq!(
+            doc.get(key),
+            golden.get(key),
+            "deterministic section {key:?} diverged from tests/golden/report_telemetry.json \
+             — if the schema or simulator changed intentionally, regenerate the golden file \
+             from this test's `prio report --json` output"
+        );
+    }
+}
+
+#[test]
+fn text_report_shows_percentiles_and_telemetry_digest() {
+    let dir = tempdir("text");
+    simulate(&dir, &[], "trace.jsonl");
+    let out = prio(&["report", "trace.jsonl"], &dir);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "p50_ms",
+        "p99_ms",
+        "eligible_pool",
+        "utilization",
+        "job_wait_milli",
+        "prio vs fifo",
+        "makespan",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn serial_and_threaded_runs_emit_identical_telemetry() {
+    let dir = tempdir("threads");
+    let serial = simulate(&dir, &[], "serial.jsonl");
+    let threaded = simulate(&dir, &["--threads", "2"], "threaded.jsonl");
+    let telemetry_lines = |path: &Path| -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|l| {
+                let t = parse(l).unwrap();
+                matches!(
+                    t.get("type").and_then(JsonValue::as_str),
+                    Some("ts" | "hist")
+                )
+            })
+            .map(str::to_owned)
+            .collect()
+    };
+    let a = telemetry_lines(&serial);
+    let b = telemetry_lines(&threaded);
+    assert!(!a.is_empty(), "trace carries telemetry records");
+    assert_eq!(a, b, "telemetry must not depend on the thread count");
+}
+
+#[test]
+fn report_rejects_missing_and_garbage_input() {
+    let dir = tempdir("errors");
+    let out = prio(&["report", "nope.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(1), "missing file is an input error");
+    std::fs::write(dir.join("bad.jsonl"), "not json\n").unwrap();
+    let out = prio(&["report", "bad.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    let out = prio(&["report"], &dir);
+    assert_eq!(out.status.code(), Some(2), "no files is a usage error");
+}
+
+#[test]
+fn two_trace_files_compare_side_by_side() {
+    let dir = tempdir("twofiles");
+    simulate(&dir, &[], "a.jsonl");
+    // Keep only the prio policy from each file by reporting both files:
+    // each carries two policies, so four groups exist and no pairwise
+    // comparison is emitted — but both files' digests must render.
+    simulate(&dir, &[], "b.jsonl");
+    let out = prio(&["report", "a.jsonl", "b.jsonl"], &dir);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("2 trace files"), "{text}");
+    assert!(text.contains("source 1"), "{text}");
+}

@@ -9,6 +9,19 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Version of the JSONL record schema. Every object built with
+/// [`JsonObject::typed`] carries it as a `v` field. History:
+///
+/// * **1** (implicit, no `v` field) — `meta`/`span`/`counter`/`gauge`
+///   lines plus the four simulator trace events.
+/// * **2** — adds the explicit `v` tag, span percentile fields
+///   (`p50_ms`/`p90_ms`/`p99_ms`), and the simulator telemetry records
+///   `ts` (time series) and `hist` (latency histograms).
+///
+/// Readers accept records without a `v` field (v1) and any `v` up to this
+/// value; larger versions should be rejected.
+pub const SCHEMA_VERSION: u64 = 2;
+
 /// Appends the JSON string literal for `s` (including the quotes) to
 /// `out`.
 pub fn write_escaped(s: &str, out: &mut String) {
@@ -58,14 +71,16 @@ pub struct JsonObject {
 }
 
 impl JsonObject {
-    /// Starts an object with a `type` discriminator field — every JSONL
-    /// line the sink emits carries one.
+    /// Starts an object with a `type` discriminator field and the current
+    /// [`SCHEMA_VERSION`] as `v` — every JSONL line the sink (and the
+    /// simulator's trace writer) emits carries both.
     pub fn typed(kind: &str) -> Self {
         JsonObject {
             buf: String::from("{"),
             empty: true,
         }
         .str("type", kind)
+        .u64("v", SCHEMA_VERSION)
     }
 
     /// Starts an empty object.
@@ -111,6 +126,25 @@ impl JsonObject {
     pub fn bool(self, key: &str, value: bool) -> Self {
         let mut obj = self.key(key);
         obj.buf.push_str(if value { "true" } else { "false" });
+        obj
+    }
+
+    /// Appends an array of `[time, value]` pairs (each float per
+    /// [`write_f64`]'s rules: non-finite values become `null`).
+    pub fn pairs(self, key: &str, pairs: &[(f64, f64)]) -> Self {
+        let mut obj = self.key(key);
+        obj.buf.push('[');
+        for (i, &(t, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                obj.buf.push(',');
+            }
+            obj.buf.push('[');
+            write_f64(t, &mut obj.buf);
+            obj.buf.push(',');
+            write_f64(v, &mut obj.buf);
+            obj.buf.push(']');
+        }
+        obj.buf.push(']');
         obj
     }
 
@@ -436,7 +470,7 @@ mod tests {
     }
 
     #[test]
-    fn typed_objects_carry_the_discriminator() {
+    fn typed_objects_carry_the_discriminator_and_version() {
         let line = JsonObject::typed("span")
             .str("name", "reduce")
             .u64("count", 3)
@@ -445,6 +479,37 @@ mod tests {
         assert!(v.is_object());
         assert_eq!(v.get("type").and_then(JsonValue::as_str), Some("span"));
         assert_eq!(v.get("count").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(
+            v.get("v").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION),
+            "every typed record is version-tagged: {line}"
+        );
+    }
+
+    #[test]
+    fn pairs_serialize_as_nested_arrays() {
+        let line = JsonObject::typed("ts")
+            .pairs("samples", &[(0.0, 3.0), (1.5, 7.0)])
+            .finish();
+        let v = parse(&line).unwrap();
+        match v.get("samples") {
+            Some(JsonValue::Arr(items)) => {
+                assert_eq!(items.len(), 2);
+                match &items[1] {
+                    JsonValue::Arr(pair) => {
+                        assert_eq!(pair[0].as_f64(), Some(1.5));
+                        assert_eq!(pair[1].as_f64(), Some(7.0));
+                    }
+                    other => panic!("expected pair, got {other:?}"),
+                }
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        let empty = JsonObject::new().pairs("samples", &[]).finish();
+        assert_eq!(
+            parse(&empty).unwrap().get("samples"),
+            Some(&JsonValue::Arr(vec![]))
+        );
     }
 
     #[test]

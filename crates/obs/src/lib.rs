@@ -11,14 +11,23 @@
 //!   paths (`decompose` inside `prio` records as `prio/decompose`), and
 //!   every completed span feeds a thread-safe registry of per-path
 //!   count / total / max statistics.
-//! * **[`metrics`]** — named atomic [`metrics::Counter`]s and
-//!   high-water-mark [`metrics::Gauge`]s recording hot-path facts
-//!   (shortcut arcs removed, profile-interner hit ratio, simulator events
-//!   processed, completion-heap high-water mark, …).
-//! * **[`sink`]** — a structured JSONL event sink serializing span and
-//!   counter snapshots (and, via `prio-sim`, the simulator's trace
-//!   events) to a file or stderr; [`json`] holds the writer and a minimal
-//!   parser used to validate and replay the output.
+//! * **[`metrics`]** — named atomic [`metrics::Counter`]s,
+//!   high-water-mark [`metrics::Gauge`]s, and log-bucketed
+//!   [`hist::Histogram`]s recording hot-path facts (shortcut arcs
+//!   removed, profile-interner hit ratio, simulator events processed,
+//!   per-job latencies, …).
+//! * **[`sink`]** — a structured JSONL event sink serializing span,
+//!   counter, and histogram snapshots (and, via `prio-sim`, the
+//!   simulator's trace and telemetry events) to a file or stderr;
+//!   [`json`] holds the writer and a minimal parser used to validate and
+//!   replay the output, and defines the versioned record schema
+//!   ([`json::SCHEMA_VERSION`]).
+//!
+//! Two further primitives back the simulator's time-series telemetry:
+//! [`hist::Histogram`] (lock-free atomic log-linear buckets with
+//! p50/p90/p99/max summaries) and [`timeseries::TimeSeries`] (a bounded,
+//! self-downsampling ring of `(time, value)` samples with an exact
+//! digest).
 //!
 //! Verbosity is gated by [`config`]: the CLI's `-v`/`--verbose` flag and
 //! the `PRIO_LOG` environment variable. [`report`] renders the
@@ -32,17 +41,21 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
 pub mod stage;
+pub mod timeseries;
 
 pub use config::{init_from_env, set_verbosity, verbosity, Level};
-pub use metrics::{counter, gauge, Counter, Gauge};
+pub use hist::{Histogram, HistogramSnapshot, HistogramSummary};
+pub use metrics::{counter, gauge, histogram, Counter, Gauge};
 pub use sink::JsonlSink;
 pub use span::{span, SpanGuard};
+pub use timeseries::{TimeSeries, TimeSeriesDigest};
 
 /// Clears all recorded spans and zeroes all counters and gauges, so a
 /// fresh measured section starts from nothing. Registered metric names

@@ -1,10 +1,12 @@
-//! A registry of named atomic counters and high-water-mark gauges.
+//! A registry of named atomic counters, high-water-mark gauges, and
+//! log-bucketed histograms.
 //!
 //! Names are `&'static str` dot-paths (`sim.events_processed`,
 //! `core.priority_cache_hits`); the first use of a name allocates the
 //! metric, later uses return the same `&'static` handle, so hot paths can
 //! look a metric up once and then touch only an atomic.
 
+use crate::hist::{Histogram, HistogramSummary};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -58,6 +60,17 @@ impl Gauge {
 enum Metric {
     Counter(&'static Counter),
     Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
 }
 
 fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
@@ -71,26 +84,38 @@ fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> 
 }
 
 /// The counter named `name`, allocated on first use. Panics if `name` is
-/// already registered as a gauge.
+/// already registered as another kind.
 pub fn counter(name: &'static str) -> &'static Counter {
     match registry()
         .entry(name)
         .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::default()))))
     {
         Metric::Counter(c) => c,
-        Metric::Gauge(_) => panic!("metric {name:?} is a gauge, not a counter"),
+        other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
     }
 }
 
 /// The gauge named `name`, allocated on first use. Panics if `name` is
-/// already registered as a counter.
+/// already registered as another kind.
 pub fn gauge(name: &'static str) -> &'static Gauge {
     match registry()
         .entry(name)
         .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::default()))))
     {
         Metric::Gauge(g) => g,
-        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a gauge"),
+        other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
+    }
+}
+
+/// The histogram named `name`, allocated on first use. Panics if `name`
+/// is already registered as another kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    match registry()
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+    {
+        Metric::Histogram(h) => h,
+        other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
     }
 }
 
@@ -105,31 +130,58 @@ pub struct MetricRecord {
     pub is_gauge: bool,
 }
 
-/// A snapshot of every registered metric, sorted by name.
+/// A snapshot of every registered counter and gauge, sorted by name
+/// (histograms have their own shape; see [`histograms_snapshot`]).
 pub fn metrics_snapshot() -> Vec<MetricRecord> {
     registry()
         .iter()
-        .map(|(&name, metric)| match metric {
-            Metric::Counter(c) => MetricRecord {
+        .filter_map(|(&name, metric)| match metric {
+            Metric::Counter(c) => Some(MetricRecord {
                 name,
                 value: c.get(),
                 is_gauge: false,
-            },
-            Metric::Gauge(g) => MetricRecord {
+            }),
+            Metric::Gauge(g) => Some(MetricRecord {
                 name,
                 value: g.get(),
                 is_gauge: true,
-            },
+            }),
+            Metric::Histogram(_) => None,
         })
         .collect()
 }
 
-/// Zeroes every registered counter and gauge (names stay registered).
+/// One row of a [`histograms_snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramRecord {
+    /// The metric name.
+    pub name: &'static str,
+    /// Its current five-number summary.
+    pub summary: HistogramSummary,
+}
+
+/// A snapshot of every registered histogram's summary, sorted by name.
+pub fn histograms_snapshot() -> Vec<HistogramRecord> {
+    registry()
+        .iter()
+        .filter_map(|(&name, metric)| match metric {
+            Metric::Histogram(h) => Some(HistogramRecord {
+                name,
+                summary: h.summary(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Zeroes every registered counter, gauge, and histogram (names stay
+/// registered).
 pub fn reset_metrics() {
     for metric in registry().values() {
         match metric {
             Metric::Counter(c) => c.reset(),
             Metric::Gauge(g) => g.reset(),
+            Metric::Histogram(h) => h.reset(),
         }
     }
 }
@@ -218,5 +270,68 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.metrics.kind");
         gauge("test.metrics.kind");
+    }
+
+    #[test]
+    #[should_panic(expected = "is a histogram, not a counter")]
+    fn histogram_kind_mismatch_panics() {
+        histogram("test.metrics.histkind");
+        counter("test.metrics.histkind");
+    }
+
+    #[test]
+    fn histogram_handle_is_stable_and_summarizes() {
+        let a = histogram("test.metrics.hist");
+        let b = histogram("test.metrics.hist");
+        assert!(std::ptr::eq(a, b));
+        for v in [1u64, 2, 3, 1_000] {
+            a.record(v);
+        }
+        let snap = histograms_snapshot();
+        let row = snap.iter().find(|h| h.name == "test.metrics.hist").unwrap();
+        assert!(row.summary.count >= 4);
+        assert!(row.summary.max >= 1_000);
+        // Histograms are excluded from the scalar snapshot.
+        assert!(metrics_snapshot()
+            .iter()
+            .all(|m| m.name != "test.metrics.hist"));
+    }
+
+    #[test]
+    fn concurrent_mixed_hammer_loses_nothing() {
+        // The registry contract under concurrent writers of every metric
+        // kind: N threads hammering one counter, one gauge, and one
+        // histogram through registry lookups (not cached handles) must
+        // lose no increment, no high-water mark, and no sample.
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 5_000;
+        let c0 = counter("test.metrics.hammer_counter").get();
+        let h0 = histogram("test.metrics.hammer_hist").count();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        counter("test.metrics.hammer_counter").inc();
+                        gauge("test.metrics.hammer_gauge").record_max(t * PER_THREAD + i);
+                        histogram("test.metrics.hammer_hist").record(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            counter("test.metrics.hammer_counter").get() - c0,
+            THREADS * PER_THREAD,
+            "lost counter increments"
+        );
+        assert_eq!(
+            gauge("test.metrics.hammer_gauge").get(),
+            THREADS * PER_THREAD - 1,
+            "lost gauge high-water mark"
+        );
+        assert_eq!(
+            histogram("test.metrics.hammer_hist").count() - h0,
+            THREADS * PER_THREAD,
+            "lost histogram samples"
+        );
     }
 }

@@ -82,22 +82,28 @@ impl JsonlSink {
         )
     }
 
-    /// Writes one `span` line per recorded span path.
+    /// Writes one `span` line per recorded span path, including the
+    /// latency percentiles of the per-span duration histogram (schema
+    /// v2).
     pub fn write_span_snapshot(&self) -> io::Result<()> {
         for record in span::snapshot() {
+            let ns_to_ms = |ns: u64| ns as f64 / 1e6;
             self.write_line(
                 &JsonObject::typed("span")
                     .str("path", &record.path)
                     .u64("count", record.stat.count)
                     .f64("total_ms", record.stat.total.as_secs_f64() * 1e3)
                     .f64("max_ms", record.stat.max.as_secs_f64() * 1e3)
+                    .f64("p50_ms", ns_to_ms(record.latency_ns.p50))
+                    .f64("p90_ms", ns_to_ms(record.latency_ns.p90))
+                    .f64("p99_ms", ns_to_ms(record.latency_ns.p99))
                     .finish(),
             )?;
         }
         Ok(())
     }
 
-    /// Writes one `counter`/`gauge` line per registered metric.
+    /// Writes one `counter`/`gauge` line per registered scalar metric.
     pub fn write_metrics_snapshot(&self) -> io::Result<()> {
         for record in metrics::metrics_snapshot() {
             let kind = if record.is_gauge { "gauge" } else { "counter" };
@@ -105,6 +111,25 @@ impl JsonlSink {
                 &JsonObject::typed(kind)
                     .str("name", record.name)
                     .u64("value", record.value)
+                    .finish(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Writes one `hist` line per registered histogram: the five-number
+    /// summary under the metric's own unit (the name conveys it).
+    pub fn write_histograms_snapshot(&self) -> io::Result<()> {
+        for record in metrics::histograms_snapshot() {
+            self.write_line(
+                &JsonObject::typed("hist")
+                    .str("name", record.name)
+                    .u64("count", record.summary.count)
+                    .f64("mean", record.summary.mean)
+                    .u64("p50", record.summary.p50)
+                    .u64("p90", record.summary.p90)
+                    .u64("p99", record.summary.p99)
+                    .u64("max", record.summary.max)
                     .finish(),
             )?;
         }
@@ -188,6 +213,47 @@ mod tests {
             v.get("type").and_then(JsonValue::as_str) == Some("gauge")
                 && v.get("name").and_then(JsonValue::as_str) == Some("test.sink.gauge")
         }));
+    }
+
+    #[test]
+    fn v2_records_carry_version_percentiles_and_histograms() {
+        let (sink, buf) = capture();
+        crate::span::time("test_sink_v2_span", || ());
+        crate::metrics::histogram("test.sink.hist").record(42);
+        sink.write_span_snapshot().unwrap();
+        sink.write_histograms_snapshot().unwrap();
+        sink.flush().unwrap();
+
+        let lines = lines(&buf);
+        for line in &lines {
+            let v = parse(line).unwrap();
+            assert_eq!(
+                v.get("v").and_then(JsonValue::as_u64),
+                Some(crate::json::SCHEMA_VERSION),
+                "{line:?}"
+            );
+        }
+        let span_line = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .find(|v| v.get("path").and_then(JsonValue::as_str) == Some("test_sink_v2_span"))
+            .expect("span line");
+        for key in ["p50_ms", "p90_ms", "p99_ms"] {
+            assert!(
+                span_line.get(key).and_then(JsonValue::as_f64).is_some(),
+                "span line missing {key}"
+            );
+        }
+        let hist_line = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .find(|v| {
+                v.get("type").and_then(JsonValue::as_str) == Some("hist")
+                    && v.get("name").and_then(JsonValue::as_str) == Some("test.sink.hist")
+            })
+            .expect("hist line");
+        assert!(hist_line.get("count").and_then(JsonValue::as_u64) >= Some(1));
+        assert!(hist_line.get("max").and_then(JsonValue::as_u64) >= Some(42));
     }
 
     #[test]

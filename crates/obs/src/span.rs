@@ -8,6 +8,7 @@
 //! serialization) are instrumented at their implementation sites, so whoever
 //! runs the pipeline — CLI, bench harness, tests — reads the same clock.
 
+use crate::hist::{Histogram, HistogramSummary};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
@@ -24,17 +25,29 @@ pub struct SpanStat {
     pub max: Duration,
 }
 
-/// One row of a [`snapshot`]: a span path with its statistics.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One row of a [`snapshot`]: a span path with its statistics and the
+/// latency distribution of its individual spans.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     /// The `/`-joined nesting path, e.g. `prio/decompose`.
     pub path: String,
     /// Aggregate statistics for the path.
     pub stat: SpanStat,
+    /// Five-number summary (count/mean/p50/p90/p99/max) of the per-span
+    /// durations, in nanoseconds.
+    pub latency_ns: HistogramSummary,
 }
 
-fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, SpanStat>> {
-    static REGISTRY: OnceLock<Mutex<BTreeMap<String, SpanStat>>> = OnceLock::new();
+/// Per-path registry entry: running aggregates plus a log-bucketed
+/// histogram of individual span durations (nanoseconds).
+#[derive(Debug, Default)]
+struct SpanEntry {
+    stat: SpanStat,
+    hist: Histogram,
+}
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, SpanEntry>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, SpanEntry>>> = OnceLock::new();
     // Guards drop during unwinding; recover from poisoning so a panic in
     // a spanned scope never turns into a double panic (abort).
     match REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new())).lock() {
@@ -93,10 +106,13 @@ impl Drop for SpanGuard {
             path
         });
         let mut registry = registry();
-        let stat = registry.entry(path).or_default();
-        stat.count += 1;
-        stat.total += elapsed;
-        stat.max = stat.max.max(elapsed);
+        let entry = registry.entry(path).or_default();
+        entry.stat.count += 1;
+        entry.stat.total += elapsed;
+        entry.stat.max = entry.stat.max.max(elapsed);
+        entry
+            .hist
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
     }
 }
 
@@ -104,16 +120,17 @@ impl Drop for SpanGuard {
 pub fn snapshot() -> Vec<SpanRecord> {
     registry()
         .iter()
-        .map(|(path, &stat)| SpanRecord {
+        .map(|(path, entry)| SpanRecord {
             path: path.clone(),
-            stat,
+            stat: entry.stat,
+            latency_ns: entry.hist.summary(),
         })
         .collect()
 }
 
 /// The aggregate statistics of one path, if recorded.
 pub fn stat_of(path: &str) -> Option<SpanStat> {
-    registry().get(path).copied()
+    registry().get(path).map(|e| e.stat)
 }
 
 /// Clears every recorded span.
@@ -204,5 +221,25 @@ mod tests {
         let v = time("test_time_helper", || 41 + 1);
         assert_eq!(v, 42);
         assert_eq!(stat_of("test_time_helper").unwrap().count, 1);
+    }
+
+    #[test]
+    fn snapshot_carries_latency_percentiles() {
+        for _ in 0..10 {
+            time("test_span_latency", || {
+                std::thread::sleep(Duration::from_micros(200));
+            });
+        }
+        let record = snapshot()
+            .into_iter()
+            .find(|r| r.path == "test_span_latency")
+            .expect("recorded");
+        let lat = record.latency_ns;
+        assert_eq!(lat.count, 10);
+        // Every span slept ≥ 200µs; percentiles are monotone and bounded
+        // by the exact max, which matches the aggregate max.
+        assert!(lat.p50 >= 200_000, "p50 {} < sleep floor", lat.p50);
+        assert!(lat.p50 <= lat.p90 && lat.p90 <= lat.p99 && lat.p99 <= lat.max);
+        assert_eq!(lat.max, record.stat.max.as_nanos() as u64);
     }
 }

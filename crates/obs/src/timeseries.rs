@@ -1,0 +1,243 @@
+//! A bounded time series: a ring of `(time, value)` samples that
+//! downsamples itself as it fills, plus exact running aggregates.
+//!
+//! The simulator pushes one point per processed event; a long run would
+//! accumulate millions. Instead the series keeps at most `capacity`
+//! stored samples: when full it drops every second stored sample and
+//! doubles its minimum sample spacing, so the stored curve always spans
+//! the whole run at a resolution that degrades gracefully (classic
+//! largest-first decimation). The *aggregates* — peak, mean, last — are
+//! computed over every pushed point, never the decimated subset, so the
+//! digest is independent of `capacity`.
+//!
+//! Everything is deterministic: the stored curve and digest are a pure
+//! function of the pushed sequence.
+
+/// A bounded, self-downsampling series of `(time, value)` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    samples: Vec<(f64, f64)>,
+    capacity: usize,
+    /// Minimum spacing between stored samples; doubles at each
+    /// compaction. 0 until the first compaction (store everything).
+    min_interval: f64,
+    // Exact aggregates over all pushed points.
+    pushed: u64,
+    sum: f64,
+    peak: f64,
+    peak_t: f64,
+    last_t: f64,
+    last_v: f64,
+}
+
+/// The exact digest of a [`TimeSeries`] (aggregates over every pushed
+/// point, independent of downsampling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeSeriesDigest {
+    /// Points pushed over the series' lifetime.
+    pub pushed: u64,
+    /// The largest value pushed.
+    pub peak: f64,
+    /// The time of the first occurrence of the peak.
+    pub peak_t: f64,
+    /// Event-weighted mean of all pushed values.
+    pub mean: f64,
+    /// Time of the last pushed point.
+    pub last_t: f64,
+    /// Value of the last pushed point.
+    pub last_v: f64,
+}
+
+impl TimeSeries {
+    /// A series storing at most `capacity` samples (`capacity >= 8`;
+    /// smaller values are raised to 8 so compaction always makes
+    /// progress).
+    pub fn new(capacity: usize) -> TimeSeries {
+        Self::with_interval(capacity, 0.0)
+    }
+
+    /// Like [`TimeSeries::new`] but starting with a minimum sample
+    /// spacing (configurable downsampling from the start): points closer
+    /// than `min_interval` to the previously stored one are aggregated
+    /// but not stored.
+    pub fn with_interval(capacity: usize, min_interval: f64) -> TimeSeries {
+        TimeSeries {
+            samples: Vec::new(),
+            capacity: capacity.max(8),
+            min_interval: min_interval.max(0.0),
+            pushed: 0,
+            sum: 0.0,
+            peak: f64::NEG_INFINITY,
+            peak_t: 0.0,
+            last_t: 0.0,
+            last_v: 0.0,
+        }
+    }
+
+    /// Appends a point. Times should be non-decreasing (the simulator's
+    /// event clock is); out-of-order times are accepted but may be
+    /// decimated immediately.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.pushed += 1;
+        self.sum += v;
+        if v > self.peak {
+            self.peak = v;
+            self.peak_t = t;
+        }
+        self.last_t = t;
+        self.last_v = v;
+
+        if let Some(&(prev_t, _)) = self.samples.last() {
+            if t - prev_t < self.min_interval {
+                return;
+            }
+        }
+        self.samples.push((t, v));
+        if self.samples.len() >= self.capacity {
+            self.compact();
+        }
+    }
+
+    /// Halves the stored resolution: keeps every second sample (the
+    /// first and every even index, so the curve's start survives) and
+    /// doubles the minimum spacing.
+    fn compact(&mut self) {
+        let mut keep = 0usize;
+        self.samples.retain(|_| {
+            let kept = keep.is_multiple_of(2);
+            keep += 1;
+            kept
+        });
+        let span = match (self.samples.first(), self.samples.last()) {
+            (Some(&(first, _)), Some(&(last, _))) => last - first,
+            _ => 0.0,
+        };
+        self.min_interval = if self.min_interval > 0.0 {
+            self.min_interval * 2.0
+        } else {
+            // First compaction: aim for capacity/2 samples over the span
+            // seen so far.
+            (span / self.capacity as f64).max(f64::MIN_POSITIVE)
+        };
+    }
+
+    /// The stored (possibly downsampled) samples, oldest first.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Points pushed over the series' lifetime (≥ stored samples).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The exact digest over every pushed point.
+    pub fn digest(&self) -> TimeSeriesDigest {
+        TimeSeriesDigest {
+            pushed: self.pushed,
+            peak: if self.pushed == 0 { 0.0 } else { self.peak },
+            peak_t: self.peak_t,
+            mean: if self.pushed == 0 {
+                0.0
+            } else {
+                self.sum / self.pushed as f64
+            },
+            last_t: self.last_t,
+            last_v: self.last_v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_everything_until_capacity() {
+        let mut ts = TimeSeries::new(16);
+        for i in 0..10 {
+            ts.push(i as f64, (i * i) as f64);
+        }
+        assert_eq!(ts.samples().len(), 10);
+        let d = ts.digest();
+        assert_eq!(d.pushed, 10);
+        assert_eq!(d.peak, 81.0);
+        assert_eq!(d.peak_t, 9.0);
+        assert_eq!(d.last_v, 81.0);
+    }
+
+    #[test]
+    fn compaction_bounds_memory_and_keeps_span() {
+        let mut ts = TimeSeries::new(16);
+        for i in 0..10_000 {
+            ts.push(i as f64 * 0.25, (i % 100) as f64);
+        }
+        assert!(
+            ts.samples().len() < 16,
+            "stored {} ≥ cap",
+            ts.samples().len()
+        );
+        // The stored curve still starts at the beginning and the digest
+        // covers all points exactly.
+        assert_eq!(ts.samples()[0].0, 0.0);
+        let d = ts.digest();
+        assert_eq!(d.pushed, 10_000);
+        assert_eq!(d.peak, 99.0);
+        assert_eq!(d.last_t, 9_999.0 * 0.25);
+        let exact_mean = (0..10_000).map(|i| (i % 100) as f64).sum::<f64>() / 10_000.0;
+        assert!((d.mean - exact_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn digest_is_independent_of_capacity() {
+        let push_all = |cap: usize| {
+            let mut ts = TimeSeries::new(cap);
+            for i in 0..5_000 {
+                ts.push(i as f64, ((i * 7919) % 1000) as f64);
+            }
+            ts.digest()
+        };
+        assert_eq!(push_all(8), push_all(4096));
+    }
+
+    #[test]
+    fn initial_interval_downsamples_from_the_start() {
+        let mut ts = TimeSeries::with_interval(1024, 1.0);
+        for i in 0..100 {
+            ts.push(i as f64 * 0.1, i as f64);
+        }
+        // Points 0.1 apart, spacing 1.0: about one in ten is stored.
+        assert!(ts.samples().len() <= 11, "{}", ts.samples().len());
+        assert_eq!(ts.digest().pushed, 100);
+    }
+
+    #[test]
+    fn peak_keeps_first_occurrence_time() {
+        let mut ts = TimeSeries::new(8);
+        ts.push(1.0, 5.0);
+        ts.push(2.0, 9.0);
+        ts.push(3.0, 9.0);
+        ts.push(4.0, 2.0);
+        let d = ts.digest();
+        assert_eq!(d.peak, 9.0);
+        assert_eq!(d.peak_t, 2.0);
+    }
+
+    #[test]
+    fn empty_series_digest_is_zero() {
+        let ts = TimeSeries::new(8);
+        assert_eq!(ts.digest(), TimeSeriesDigest::default());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_push_sequence() {
+        let run = || {
+            let mut ts = TimeSeries::new(32);
+            for i in 0..2_000 {
+                ts.push(i as f64 * 0.5, ((i * 31) % 64) as f64);
+            }
+            (ts.samples().to_vec(), ts.digest())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -12,6 +12,7 @@
 use crate::metrics::RunMetrics;
 use crate::model::{GridModel, UnfilledRequests};
 use crate::policy::PolicySpec;
+use crate::telemetry::SimTelemetry;
 use crate::trace::{Trace, TraceEvent};
 use prio_graph::{Dag, NodeId};
 use prio_stats::seeded_rng;
@@ -52,6 +53,8 @@ pub struct SimOutcome {
     pub num_jobs: usize,
     /// Event trace, when requested.
     pub trace: Option<Trace>,
+    /// Time-series and latency telemetry, when requested (traced runs).
+    pub telemetry: Option<SimTelemetry>,
 }
 
 impl SimOutcome {
@@ -73,13 +76,47 @@ impl SimOutcome {
     }
 }
 
+/// Bookkeeping for telemetry collection during a traced run: the
+/// telemetry itself plus per-job timestamps used to derive wait and
+/// service latencies, and the running assignment count feeding the
+/// utilization series.
+struct TelemetryState {
+    telemetry: SimTelemetry,
+    eligible_at: Vec<f64>,
+    assigned_at: Vec<f64>,
+    assigned_total: u64,
+}
+
+impl TelemetryState {
+    /// Records a job assignment at time `t`: its eligible → assigned wait
+    /// and the timestamp its eventual service time is measured from.
+    fn record_assignment(&mut self, t: f64, job: NodeId) {
+        self.telemetry
+            .record_wait(t - self.eligible_at[job.index()]);
+        self.assigned_at[job.index()] = t;
+        self.assigned_total += 1;
+    }
+
+    /// Samples all four series at time `t`. Utilization is the running
+    /// assigned / requested ratio (0 until the first request arrives).
+    fn record_step(&mut self, t: f64, eligible: usize, ready: usize, idle: u64, requests: u64) {
+        let util = if requests == 0 {
+            0.0
+        } else {
+            self.assigned_total as f64 / requests as f64
+        };
+        self.telemetry.record_step(t, eligible, ready, idle, util);
+    }
+}
+
 /// Simulates one execution of `dag` under `policy` and `model` with the
 /// given `seed`.
 pub fn simulate(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
     run(dag, policy, model, seed, false)
 }
 
-/// Like [`simulate`] but records a full event trace (slower; for tests).
+/// Like [`simulate`] but records a full event trace and per-step
+/// telemetry ([`SimTelemetry`]) — slower; for `--trace-out` and tests.
 pub fn simulate_traced(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
     run(dag, policy, model, seed, true)
 }
@@ -99,6 +136,16 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
 
     let mut completions: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
     let mut trace: Option<Trace> = if traced { Some(Vec::new()) } else { None };
+    // Telemetry rides along only on traced runs so the plain `simulate`
+    // hot path allocates nothing extra. `eligible_at` starts at 0.0
+    // (sources are eligible from the start) and is overwritten whenever a
+    // job (re-)enters the ready queue.
+    let mut telem: Option<TelemetryState> = traced.then(|| TelemetryState {
+        telemetry: SimTelemetry::new(),
+        eligible_at: vec![0.0; n],
+        assigned_at: vec![0.0; n],
+        assigned_total: 0,
+    });
 
     let mut in_flight = 0usize;
     let mut completed = 0usize;
@@ -141,12 +188,18 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                 // The worker quit or returned garbage: the job becomes
                 // eligible again (its parents are still complete).
                 queue.push(job);
+                if let Some(ts) = telem.as_mut() {
+                    ts.eligible_at[job.index()] = t;
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.push(TraceEvent::JobFailed { time: t, job });
                 }
             } else {
                 completed += 1;
                 makespan = makespan.max(t);
+                if let Some(ts) = telem.as_mut() {
+                    ts.telemetry.record_service(t - ts.assigned_at[job.index()]);
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.push(TraceEvent::JobCompleted { time: t, job });
                 }
@@ -155,6 +208,9 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                     *m -= 1;
                     if *m == 0 {
                         queue.push(child);
+                        if let Some(ts) = telem.as_mut() {
+                            ts.eligible_at[child.index()] = t;
+                        }
                     }
                 }
             }
@@ -166,6 +222,9 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                 let completes_at = t + runtime.sample(&mut rng);
                 completions.push(Reverse((Time(completes_at), job)));
                 in_flight += 1;
+                if let Some(ts) = telem.as_mut() {
+                    ts.record_assignment(t, job);
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.push(TraceEvent::JobAssigned {
                         time: t,
@@ -173,6 +232,15 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                         completes_at,
                     });
                 }
+            }
+            if let Some(ts) = telem.as_mut() {
+                ts.record_step(
+                    t,
+                    queue.len() + in_flight,
+                    queue.len(),
+                    idle_workers,
+                    total_requests,
+                );
             }
         } else {
             // Batch arrival. A batch is *observed* (counts toward the
@@ -196,6 +264,9 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                     let completes_at = t + runtime.sample(&mut rng);
                     completions.push(Reverse((Time(completes_at), job)));
                     in_flight += 1;
+                    if let Some(ts) = telem.as_mut() {
+                        ts.record_assignment(t, job);
+                    }
                     if let Some(tr) = trace.as_mut() {
                         tr.push(TraceEvent::JobAssigned {
                             time: t,
@@ -218,6 +289,15 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
             } else if wait_mode {
                 idle_workers += size;
             }
+            if let Some(ts) = telem.as_mut() {
+                ts.record_step(
+                    t,
+                    queue.len() + in_flight,
+                    queue.len(),
+                    idle_workers,
+                    total_requests,
+                );
+            }
             next_batch = t + interarrival.sample(&mut rng);
         }
     }
@@ -234,6 +314,7 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
         total_requests,
         num_jobs: n,
         trace,
+        telemetry: telem.map(|ts| ts.telemetry),
     }
 }
 
@@ -490,6 +571,54 @@ mod tests {
         let m = out.metrics();
         assert_eq!(m.stall_probability, 0.0);
         assert_eq!(m.utilization, 0.0);
+    }
+
+    #[test]
+    fn traced_runs_collect_consistent_telemetry() {
+        let dag = Dag::from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+        let model = GridModel::paper(0.3, 2.0);
+        let out = simulate_traced(&dag, &oblivious(&dag), &model, 3);
+        let telem = out.telemetry.as_ref().expect("traced runs carry telemetry");
+        // One wait sample per assignment, one service sample per
+        // completion (reliable model: both equal the job count).
+        assert_eq!(telem.job_wait.count(), 6);
+        assert_eq!(telem.job_service.count(), 6);
+        // Every processed event sampled each series.
+        let d = telem.eligible_pool.digest();
+        assert!(d.pushed > 0);
+        assert!(d.peak >= 1.0, "some job was eligible at some point");
+        assert!(d.peak <= 6.0, "pool cannot exceed the dag");
+        // The run ends with everything completed: empty pool and queue.
+        assert_eq!(d.last_v, 0.0);
+        assert_eq!(telem.ready_queue.digest().last_v, 0.0);
+        // Utilization stays a ratio in [0, 1] under reliable workers.
+        let u = telem.utilization.digest();
+        assert!(u.peak <= 1.0 && u.mean >= 0.0, "{u:?}");
+        // Discard model never parks workers.
+        assert_eq!(telem.idle_workers.digest().peak, 0.0);
+        // Untraced runs carry none.
+        assert!(simulate(&dag, &oblivious(&dag), &model, 3)
+            .telemetry
+            .is_none());
+    }
+
+    #[test]
+    fn telemetry_is_deterministic_per_seed() {
+        let dag = chain(15);
+        let model = GridModel::paper(0.5, 4.0).with_failures(0.2);
+        let a = simulate_traced(&dag, &fifo(), &model, 17);
+        let b = simulate_traced(&dag, &fifo(), &model, 17);
+        assert_eq!(a, b, "telemetry must be a pure function of the seed");
+        // With failures, waits outnumber services by the retry count.
+        let telem = a.telemetry.unwrap();
+        let failures = a
+            .trace
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobFailed { .. }))
+            .count() as u64;
+        assert_eq!(telem.job_wait.count(), 15 + failures);
+        assert_eq!(telem.job_service.count(), 15);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod model;
 pub mod policy;
 pub mod replicate;
 pub mod sweep;
+pub mod telemetry;
 pub mod trace;
 pub mod trace_json;
 
@@ -38,3 +39,4 @@ pub use experiment::{compare_policies, ComparisonResult};
 pub use metrics::RunMetrics;
 pub use model::{BatchSizeModel, GridModel};
 pub use policy::PolicySpec;
+pub use telemetry::SimTelemetry;

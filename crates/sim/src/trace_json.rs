@@ -1,16 +1,24 @@
-//! JSONL serialization of [`TraceEvent`]s.
+//! JSONL serialization of [`TraceEvent`]s and [`SimTelemetry`].
 //!
 //! Each event becomes one JSON object with a `type` field
-//! (`batch_arrived`, `job_assigned`, `job_completed`, `job_failed`), so a
-//! trace file interleaves cleanly with the `span`/`counter`/`meta` lines
-//! the observability sink emits. Deserialization skips lines of other
-//! types, which makes a full `--trace-out` file replayable: reading it
-//! back yields exactly the in-memory [`Trace`] (floats round-trip through
-//! Rust's shortest-representation `Display`).
+//! (`batch_arrived`, `job_assigned`, `job_completed`, `job_failed`) and
+//! the schema version tag `v` ([`SCHEMA_VERSION`]), so a trace file
+//! interleaves cleanly with the `span`/`counter`/`gauge`/`meta` lines the
+//! observability sink emits. Telemetry adds two more record types, both
+//! carrying a `policy` field: `ts` (one per time series, with the exact
+//! digest and the stored — possibly downsampled — samples) and `hist`
+//! (one per latency histogram, summary only).
+//!
+//! Deserialization skips lines of other types, which makes a full
+//! `--trace-out` file replayable: reading it back yields exactly the
+//! in-memory [`Trace`] (floats round-trip through Rust's
+//! shortest-representation `Display`). Records without a `v` field are
+//! accepted as v1; records from a *newer* schema are errors.
 
+use crate::telemetry::SimTelemetry;
 use crate::trace::{Trace, TraceEvent};
 use prio_graph::NodeId;
-use prio_obs::json::{parse, JsonObject, JsonValue};
+use prio_obs::json::{parse, JsonObject, JsonValue, SCHEMA_VERSION};
 use prio_obs::JsonlSink;
 
 /// Serializes one event as a single-line JSON object.
@@ -60,6 +68,15 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
         .get("type")
         .and_then(JsonValue::as_str)
         .ok_or_else(|| format!("missing type field: {line:?}"))?;
+    // v1 records carry no version tag; anything newer than we write is
+    // from a future build and must not be silently misread.
+    if let Some(version) = v.get("v").and_then(JsonValue::as_u64) {
+        if version > SCHEMA_VERSION {
+            return Err(format!(
+                "record schema v{version} is newer than supported v{SCHEMA_VERSION}: {line:?}"
+            ));
+        }
+    }
     let time = |v: &JsonValue| {
         v.get("time")
             .and_then(JsonValue::as_f64)
@@ -113,6 +130,58 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
 pub fn write_trace(sink: &JsonlSink, trace: &Trace) -> std::io::Result<()> {
     for event in trace {
         sink.write_line(&event_to_json(event))?;
+    }
+    Ok(())
+}
+
+/// Serializes one run's telemetry as JSONL lines tagged with the policy
+/// that produced it: one `ts` line per time series (exact digest plus the
+/// stored samples) and one `hist` line per latency histogram (summary in
+/// milli-timeunits).
+pub fn telemetry_to_json(policy: &str, telemetry: &SimTelemetry) -> Vec<String> {
+    let mut lines = Vec::with_capacity(6);
+    for (series, ts) in telemetry.series() {
+        let d = ts.digest();
+        lines.push(
+            JsonObject::typed("ts")
+                .str("policy", policy)
+                .str("series", series)
+                .u64("pushed", d.pushed)
+                .f64("peak", d.peak)
+                .f64("peak_t", d.peak_t)
+                .f64("mean", d.mean)
+                .f64("last_t", d.last_t)
+                .f64("last_v", d.last_v)
+                .pairs("samples", ts.samples())
+                .finish(),
+        );
+    }
+    for (name, hist) in telemetry.histograms() {
+        let s = hist.summary();
+        lines.push(
+            JsonObject::typed("hist")
+                .str("policy", policy)
+                .str("name", name)
+                .u64("count", s.count)
+                .f64("mean", s.mean)
+                .u64("p50", s.p50)
+                .u64("p90", s.p90)
+                .u64("p99", s.p99)
+                .u64("max", s.max)
+                .finish(),
+        );
+    }
+    lines
+}
+
+/// Writes one run's telemetry to `sink` via [`telemetry_to_json`].
+pub fn write_telemetry(
+    sink: &JsonlSink,
+    policy: &str,
+    telemetry: &SimTelemetry,
+) -> std::io::Result<()> {
+    for line in telemetry_to_json(policy, telemetry) {
+        sink.write_line(&line)?;
     }
     Ok(())
 }
@@ -196,5 +265,81 @@ mod tests {
         assert!(read_trace("{\"type\":\"job_completed\",\"time\":1.0}").is_err());
         assert!(read_trace("not json").is_err());
         assert!(read_trace("[1,2]").is_err());
+    }
+
+    #[test]
+    fn every_event_record_is_version_tagged() {
+        for event in sample_trace() {
+            let line = event_to_json(&event);
+            let v = parse(&line).unwrap();
+            assert_eq!(
+                v.get("v").and_then(JsonValue::as_u64),
+                Some(SCHEMA_VERSION),
+                "untagged record: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_records_are_accepted_and_future_versions_rejected() {
+        // A v1 line (no `v` field) still parses.
+        let v1 = "{\"type\":\"job_completed\",\"time\":1.5,\"job\":3}";
+        assert_eq!(
+            event_from_json(v1).unwrap(),
+            Some(TraceEvent::JobCompleted {
+                time: 1.5,
+                job: NodeId(3),
+            })
+        );
+        // A line claiming a newer schema is an error, not a skip.
+        let future = format!(
+            "{{\"type\":\"job_completed\",\"v\":{},\"time\":1.5,\"job\":3}}",
+            SCHEMA_VERSION + 1
+        );
+        let err = event_from_json(&future).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn telemetry_serializes_and_interleaves_with_events() {
+        let mut telemetry = SimTelemetry::new();
+        telemetry.record_step(0.0, 3, 2, 0, 0.0);
+        telemetry.record_step(1.5, 4, 1, 0, 0.75);
+        telemetry.record_wait(0.5);
+        telemetry.record_service(1.0);
+
+        let lines = telemetry_to_json("prio", &telemetry);
+        assert_eq!(lines.len(), 6, "4 series + 2 histograms");
+        for line in &lines {
+            let v = parse(line).unwrap_or_else(|e| panic!("invalid {line:?}: {e}"));
+            assert_eq!(v.get("v").and_then(JsonValue::as_u64), Some(SCHEMA_VERSION));
+            assert_eq!(v.get("policy").and_then(JsonValue::as_str), Some("prio"));
+        }
+        let eligible = parse(&lines[0]).unwrap();
+        assert_eq!(
+            eligible.get("series").and_then(JsonValue::as_str),
+            Some("eligible_pool")
+        );
+        assert_eq!(eligible.get("peak").and_then(JsonValue::as_f64), Some(4.0));
+        assert_eq!(eligible.get("pushed").and_then(JsonValue::as_u64), Some(2));
+        let wait = parse(&lines[4]).unwrap();
+        assert_eq!(
+            wait.get("name").and_then(JsonValue::as_str),
+            Some("job_wait_milli")
+        );
+        assert_eq!(wait.get("max").and_then(JsonValue::as_u64), Some(500));
+
+        // Telemetry lines interleaved with events are skipped by the
+        // event reader, exactly like span/counter lines.
+        let mut text = String::new();
+        for event in sample_trace() {
+            text.push_str(&event_to_json(&event));
+            text.push('\n');
+        }
+        for line in &lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        assert_eq!(read_trace(&text).unwrap(), sample_trace());
     }
 }

@@ -1,15 +1,27 @@
 //! Regression: a trace serialized to JSONL and replayed from the file must
-//! match the in-memory [`Trace`] event for event — including `JobFailed`
-//! events from the unreliable-worker extension, and with span/counter/meta
-//! lines interleaved in the file (readers must skip them).
+//! match the in-memory [`Trace`] event for event — exercising **every**
+//! event variant (`BatchArrived`, `JobAssigned`, `JobCompleted`,
+//! `JobFailed`), with span/counter/meta/telemetry lines interleaved in the
+//! file (readers must skip them) and every record tagged with the schema
+//! version.
 
 use prio_graph::Dag;
-use prio_obs::json::{parse, JsonValue};
+use prio_obs::json::{parse, JsonValue, SCHEMA_VERSION};
 use prio_obs::JsonlSink;
 use prio_sim::engine::simulate_traced;
 use prio_sim::trace::TraceEvent;
-use prio_sim::trace_json::{read_trace, write_trace};
+use prio_sim::trace_json::{read_trace, write_telemetry, write_trace};
 use prio_sim::{GridModel, PolicySpec};
+
+/// The `TraceEvent` variant discriminants a full round-trip must cover.
+fn variant_name(event: &TraceEvent) -> &'static str {
+    match event {
+        TraceEvent::BatchArrived { .. } => "batch_arrived",
+        TraceEvent::JobAssigned { .. } => "job_assigned",
+        TraceEvent::JobCompleted { .. } => "job_completed",
+        TraceEvent::JobFailed { .. } => "job_failed",
+    }
+}
 
 fn diamond_chain() -> Dag {
     // Two diamonds in series: enough structure for assignments, stalls,
@@ -36,18 +48,19 @@ fn jsonl_trace_replays_event_for_event() {
     // A high failure probability so JobFailed events actually occur.
     let model = GridModel::paper(0.8, 2.0).with_failures(0.4);
 
-    // Find a seed whose run contains at least one failure (deterministic:
-    // the first qualifying seed never changes).
-    let (seed, trace) = (0..100)
+    // Find a seed whose run contains every event variant (deterministic:
+    // the first qualifying seed never changes). Arrivals, assignments,
+    // and completions occur in any finished run; failures need p > 0.
+    let (seed, outcome) = (0..100)
         .find_map(|seed| {
             let out = simulate_traced(&dag, &PolicySpec::Fifo, &model, seed);
-            let trace = out.trace.expect("traced run records a trace");
-            trace
-                .iter()
-                .any(|e| matches!(e, TraceEvent::JobFailed { .. }))
-                .then_some((seed, trace))
+            let trace = out.trace.as_ref().expect("traced run records a trace");
+            let covered: std::collections::BTreeSet<_> = trace.iter().map(variant_name).collect();
+            (covered.len() == 4).then_some((seed, out))
         })
-        .expect("some seed under p=0.4 must produce a failure");
+        .expect("some seed under p=0.4 must cover all four event variants");
+    let trace = outcome.trace.expect("traced run records a trace");
+    let telemetry = outcome.telemetry.expect("traced run records telemetry");
 
     // Serialize through the sink with non-event lines interleaved, exactly
     // as `prio simulate --trace-out` writes them.
@@ -61,6 +74,7 @@ fn jsonl_trace_replays_event_for_event() {
         sink.write_meta("simulate", &format!("seed={seed}"))
             .unwrap();
         write_trace(&sink, &trace).unwrap();
+        write_telemetry(&sink, "fifo", &telemetry).unwrap();
         sink.write_span_snapshot().unwrap();
         sink.write_metrics_snapshot().unwrap();
         sink.flush().unwrap();
@@ -69,26 +83,43 @@ fn jsonl_trace_replays_event_for_event() {
     let text = std::fs::read_to_string(&path).unwrap();
     let _ = std::fs::remove_file(&path);
 
-    // Every line of the file is a JSON object carrying a `type` field.
+    // Every line of the file is a JSON object carrying a `type` field and
+    // a schema version we can read.
     for line in text.lines() {
         let v = parse(line).unwrap_or_else(|e| panic!("invalid JSONL {line:?}: {e}"));
         assert!(
             v.get("type").and_then(JsonValue::as_str).is_some(),
             "{line:?}"
         );
+        let version = v.get("v").and_then(JsonValue::as_u64);
+        assert_eq!(version, Some(SCHEMA_VERSION), "untagged record {line:?}");
     }
 
     // The replayed trace equals the in-memory one, event for event.
     let replayed = read_trace(&text).unwrap();
     assert_eq!(replayed, trace);
 
-    // And the failure made it through as a typed line.
-    assert!(
-        text.lines().any(|l| {
-            parse(l).unwrap().get("type").and_then(JsonValue::as_str) == Some("job_failed")
-        }),
-        "JobFailed must appear in the JSONL output"
-    );
+    // And every variant made it through as a typed line.
+    let typed: std::collections::BTreeSet<_> = text
+        .lines()
+        .filter_map(|l| {
+            parse(l)
+                .unwrap()
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+        })
+        .collect();
+    for kind in [
+        "batch_arrived",
+        "job_assigned",
+        "job_completed",
+        "job_failed",
+        "ts",
+        "hist",
+    ] {
+        assert!(typed.contains(kind), "{kind} must appear in the JSONL file");
+    }
 }
 
 #[test]

@@ -25,7 +25,17 @@ run_cargo test --workspace -q
 # The CLI's exit-code contract (0/1/2/70) is enforced by its integration
 # tests; run them by name so a workspace filter can't silently skip them.
 run_cargo test -p prio-cli --test cli -q
+# Golden-output gate for `prio report`: a fixed-seed trace must summarize
+# to byte-stable simulator telemetry (tests/golden/report_telemetry.json).
+run_cargo test -p prio-cli --test report_golden -q
 run_cargo bench --no-run
+# Compile gate for the bench-regression guard; the timing comparison
+# itself is opt-in (PRIO_BENCH_CHECK=1) because shared CI machines are too
+# noisy to gate merges on wall time by default.
+run_cargo build --release -p prio-bench --bin bench_check
+if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
+  ./target/release/bench_check --threshold "${PRIO_BENCH_THRESHOLD:-2.0}"
+fi
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all checks passed"
