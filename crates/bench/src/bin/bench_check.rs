@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! bench_check [--baseline FILE] [--fresh FILE] [--threshold F]
+//!             [--scaling-baseline FILE] [--scaling-fresh FILE]
 //! ```
 //!
 //! * `--baseline FILE` — committed baseline (default `BENCH_pipeline.json`)
@@ -12,18 +13,28 @@
 //! * `--threshold F`   — allowed slowdown factor, fresh/baseline
 //!   (default 2.0: best-of-N on shared CI machines is noisy, so the guard
 //!   catches order-of-magnitude regressions, not percent-level drift)
+//! * `--scaling-fresh FILE` — additionally check a `bench_scaling` run
+//!   against the committed scaling baseline; rows are matched by
+//!   `(workload, jobs)`, so a `--max-jobs`-limited smoke run checks only
+//!   the tiers it measured
+//! * `--scaling-baseline FILE` — the scaling baseline
+//!   (default `BENCH_scaling.json`; only read with `--scaling-fresh`)
 //!
 //! Exit codes: 0 within threshold, 1 regression, 2 usage/IO error.
 
 use prio_bench::pipeline::{self, PipelineBench};
+use prio_bench::scaling::{self, ScalingBench};
 use std::process::ExitCode;
 
 const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
+const DEFAULT_SCALING_BASELINE: &str = "BENCH_scaling.json";
 const DEFAULT_THRESHOLD: f64 = 2.0;
 
 struct Options {
     baseline: String,
     fresh: Option<String>,
+    scaling_baseline: String,
+    scaling_fresh: Option<String>,
     threshold: f64,
 }
 
@@ -31,6 +42,8 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         baseline: DEFAULT_BASELINE.into(),
         fresh: None,
+        scaling_baseline: DEFAULT_SCALING_BASELINE.into(),
+        scaling_fresh: None,
         threshold: DEFAULT_THRESHOLD,
     };
     let mut i = 0;
@@ -47,6 +60,14 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
             "--fresh" => {
                 opts.fresh = Some(value(i)?);
+                i += 2;
+            }
+            "--scaling-baseline" => {
+                opts.scaling_baseline = value(i)?;
+                i += 2;
+            }
+            "--scaling-fresh" => {
+                opts.scaling_fresh = Some(value(i)?);
                 i += 2;
             }
             "--threshold" => {
@@ -81,7 +102,10 @@ fn main() -> ExitCode {
             if !msg.is_empty() {
                 eprintln!("bench_check: error: {msg}");
             }
-            eprintln!("usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F]");
+            eprintln!(
+                "usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F] \
+                 [--scaling-baseline FILE] [--scaling-fresh FILE]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -124,14 +148,49 @@ fn main() -> ExitCode {
         );
         failed |= check.regressed;
     }
+    if let Some(path) = &opts.scaling_fresh {
+        let loaded = load_scaling(&opts.scaling_baseline).and_then(|baseline| {
+            let fresh = load_scaling(path)?;
+            Ok((baseline, fresh))
+        });
+        let (baseline, fresh) = match loaded {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("bench_check: error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let checks = scaling::compare_scaling(&baseline, &fresh, opts.threshold);
+        if checks.is_empty() {
+            eprintln!(
+                "bench_check: warning: no scaling rows in {path} match the baseline \
+                 — nothing checked"
+            );
+        }
+        for (label, check) in checks {
+            let verdict = if check.regressed { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "bench_check: {label:<16} {:<12} baseline {:>13} ns, fresh {:>13} ns, ratio {:.2} (threshold {:.2}) {verdict}",
+                check.name, check.baseline_ns, check.fresh_ns, check.ratio, opts.threshold
+            );
+            failed |= check.regressed;
+        }
+    }
+
     if failed {
         eprintln!(
             "bench_check: FAIL — a metric slowed by more than {:.2}x; if intentional, \
-             regenerate the baseline with `cargo run --release -p prio-bench --bin bench_pipeline`",
+             regenerate the baseline with `cargo run --release -p prio-bench --bin bench_pipeline` \
+             (and `--bin bench_scaling` for scaling rows)",
             opts.threshold
         );
         return ExitCode::from(1);
     }
     eprintln!("bench_check: all metrics within threshold");
     ExitCode::SUCCESS
+}
+
+fn load_scaling(path: &str) -> Result<ScalingBench, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ScalingBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }

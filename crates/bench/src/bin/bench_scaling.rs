@@ -1,0 +1,68 @@
+//! Measures pipeline + simulator wall time and peak allocator bytes at
+//! the 10³/10⁴/10⁵/10⁶-job tiers and writes `BENCH_scaling.json`.
+//!
+//! ```text
+//! bench_scaling [--max-jobs N] [--out FILE]
+//! ```
+//!
+//! * `--max-jobs N` — skip tiers above `N` jobs (CI smoke runs pass
+//!   `10000` to cover only the two cheap tiers)
+//! * `--out FILE`   — output path (default `BENCH_scaling.json`)
+//!
+//! Compare a run against a committed baseline with
+//! `bench_check --scaling-fresh FILE`.
+
+use prio_bench::mem::CountingAllocator;
+use prio_bench::scaling;
+use std::process::ExitCode;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+const DEFAULT_OUT: &str = "BENCH_scaling.json";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_jobs: Option<usize> = None;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("flag {} requires a value", argv[i]))
+        };
+        let result = match argv[i].as_str() {
+            "--max-jobs" => value(i).and_then(|v| {
+                v.parse()
+                    .map(|n| max_jobs = Some(n))
+                    .map_err(|_| format!("--max-jobs: cannot parse {v:?}"))
+            }),
+            "--out" => value(i).map(|v| out = v),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(msg) = result {
+            eprintln!("bench_scaling: error: {msg}");
+            eprintln!("usage: bench_scaling [--max-jobs N] [--out FILE]");
+            return ExitCode::from(2);
+        }
+        i += 2;
+    }
+
+    let bench = scaling::measure(max_jobs, |label| {
+        eprintln!("bench_scaling: measuring {label}");
+    });
+    for row in &bench.rows {
+        eprintln!(
+            "bench_scaling: {:<8} {:>8} jobs  pipeline {:>13} ns  sim {:>13} ns  peak {:>12} B",
+            row.workload, row.jobs, row.pipeline_ns, row.sim_ns, row.peak_bytes
+        );
+    }
+    let json = bench.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_scaling: error: {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("bench_scaling: wrote {out}");
+    ExitCode::SUCCESS
+}

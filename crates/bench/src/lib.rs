@@ -21,3 +21,4 @@
 pub mod mem;
 pub mod pipeline;
 pub mod report;
+pub mod scaling;

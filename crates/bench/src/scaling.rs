@@ -1,0 +1,368 @@
+//! Scaling measurement: pipeline and simulator wall time plus peak
+//! allocator bytes at 10³/10⁴/10⁵/10⁶ jobs, behind the `bench_scaling`
+//! binary and the `bench_check --scaling-fresh` regression guard.
+//!
+//! Two dag families per tier: a Montage-like dag (the paper's structure,
+//! scaled to the tier's job count) and a layered random dag (fixed layer
+//! width, ~4 children per job) whose single giant component stresses the
+//! CSR adjacency directly rather than the decomposition. Rows serialize
+//! to `BENCH_scaling.json` with a fixed key order, and rows from two
+//! files are compared by their `(workload, jobs)` identity, so a smoke
+//! run covering only the small tiers can still be checked against a
+//! committed full run.
+
+use crate::mem;
+use crate::pipeline::MetricCheck;
+use prio_core::prio::Prioritizer;
+use prio_graph::Dag;
+use prio_obs::json::{parse, JsonValue};
+use prio_sim::engine::simulate;
+use prio_sim::model::GridModel;
+use prio_sim::PolicySpec;
+use prio_workloads::montage::{montage, MontageParams};
+use prio_workloads::random_dag::{layered, LayeredParams};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// The job-count tiers, smallest first.
+pub const TIERS: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Montage jobs at the paper's default parameters; tier targets scale
+/// against this.
+const MONTAGE_PAPER_JOBS: f64 = 7_881.0;
+
+/// Layer width of the random layered family. ~4 children per job keeps
+/// the arc count at roughly 4× the job count at every tier.
+const LAYER_WIDTH: usize = 100;
+
+/// Fixed seeds so every run measures the same dag and the same batch
+/// arrival process.
+const DAG_SEED: u64 = 0x5CA1_AB1E;
+const SIM_SEED: u64 = 42;
+
+/// One `(workload, tier)` measurement row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Dag family: `"montage"` or `"layered"`.
+    pub workload: String,
+    /// Jobs in the generated dag (close to, not exactly, the tier).
+    pub jobs: u64,
+    /// Arcs in the generated dag.
+    pub arcs: u64,
+    /// Timed iterations behind the best-of-N metrics.
+    pub iters: u64,
+    /// Best-of-N wall time of one full PRIO pipeline run.
+    pub pipeline_ns: u64,
+    /// Best-of-N wall time of one simulated execution under the PRIO
+    /// schedule.
+    pub sim_ns: u64,
+    /// Peak bytes allocated above the pre-run baseline across one
+    /// pipeline + simulation run (needs the binary to install
+    /// [`mem::CountingAllocator`]; 0 when it is not installed).
+    pub peak_bytes: u64,
+}
+
+/// A full measurement: the metric name and one row per workload × tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingBench {
+    /// Metric name (`"best_of_n_wall_ns"`).
+    pub metric: String,
+    /// Rows, in measurement order (tier-major, montage before layered).
+    pub rows: Vec<ScalingRow>,
+}
+
+/// Fewer timed iterations at the larger tiers: the 10⁶-job pipeline runs
+/// near a second, and best-of-2 is stable enough there.
+fn iters_for(jobs: usize) -> usize {
+    match jobs {
+        0..=10_000 => 20,
+        10_001..=100_000 => 6,
+        _ => 2,
+    }
+}
+
+/// A Montage-like dag with roughly `target` jobs.
+pub fn montage_tier(target: usize) -> Dag {
+    montage(MontageParams::scaled(target as f64 / MONTAGE_PAPER_JOBS))
+}
+
+/// A seeded layered random dag with roughly `target` jobs.
+pub fn layered_tier(target: usize) -> Dag {
+    let p = LayeredParams {
+        layers: (target / LAYER_WIDTH).max(2),
+        width: LAYER_WIDTH,
+        arc_prob: 4.0 / LAYER_WIDTH as f64,
+    };
+    layered(p, &mut SmallRng::seed_from_u64(DAG_SEED))
+}
+
+fn best_ns(iters: usize, f: &mut dyn FnMut()) -> u64 {
+    f(); // warm-up
+    let mut best = u128::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best as u64
+}
+
+/// Measures one dag: pipeline wall time, simulated-execution wall time
+/// under the resulting schedule, and the allocator peak of one combined
+/// run.
+pub fn measure_dag(workload: &str, dag: &Dag) -> ScalingRow {
+    let iters = iters_for(dag.num_nodes());
+    let prio = Prioritizer::new();
+    let model = GridModel::paper(1.0, 64.0);
+
+    let pipeline_ns = best_ns(iters, &mut || {
+        std::hint::black_box(prio.prioritize(dag).unwrap());
+    });
+
+    let schedule = prio.prioritize(dag).unwrap().schedule;
+    let policy = PolicySpec::Oblivious(schedule);
+    let sim_ns = best_ns(iters, &mut || {
+        std::hint::black_box(simulate(dag, &policy, &model, SIM_SEED));
+    });
+
+    let baseline = mem::reset_peak();
+    let r = prio.prioritize(dag).unwrap();
+    let out = simulate(dag, &PolicySpec::Oblivious(r.schedule), &model, SIM_SEED);
+    std::hint::black_box(&out);
+    let peak_bytes = mem::peak_since(baseline) as u64;
+
+    ScalingRow {
+        workload: workload.into(),
+        jobs: dag.num_nodes() as u64,
+        arcs: dag.num_arcs() as u64,
+        iters: iters as u64,
+        pipeline_ns,
+        sim_ns,
+        peak_bytes,
+    }
+}
+
+/// Runs the whole grid, skipping tiers above `max_jobs` (for CI smoke
+/// runs). `progress` is called before each row with a human-readable
+/// label.
+pub fn measure(max_jobs: Option<usize>, mut progress: impl FnMut(&str)) -> ScalingBench {
+    let mut rows = Vec::new();
+    for &tier in &TIERS {
+        if max_jobs.is_some_and(|cap| tier > cap) {
+            continue;
+        }
+        for (name, dag) in [
+            ("montage", montage_tier(tier)),
+            ("layered", layered_tier(tier)),
+        ] {
+            progress(&format!(
+                "{name} tier {tier}: {} jobs, {} arcs",
+                dag.num_nodes(),
+                dag.num_arcs()
+            ));
+            rows.push(measure_dag(name, &dag));
+        }
+    }
+    ScalingBench {
+        metric: "best_of_n_wall_ns".into(),
+        rows,
+    }
+}
+
+impl ScalingRow {
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"workload\": \"{}\", \"jobs\": {}, \"arcs\": {}, \"iters\": {}, \"pipeline_ns\": {}, \"sim_ns\": {}, \"peak_bytes\": {}}}",
+            self.workload, self.jobs, self.arcs, self.iters, self.pipeline_ns, self.sim_ns, self.peak_bytes,
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Result<ScalingRow, String> {
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("row missing integer field {key:?}"))
+        };
+        Ok(ScalingRow {
+            workload: v
+                .get("workload")
+                .and_then(JsonValue::as_str)
+                .ok_or("row missing string field \"workload\"")?
+                .to_owned(),
+            jobs: u("jobs")?,
+            arcs: u("arcs")?,
+            iters: u("iters")?,
+            pipeline_ns: u("pipeline_ns")?,
+            sim_ns: u("sim_ns")?,
+            peak_bytes: u("peak_bytes")?,
+        })
+    }
+}
+
+impl ScalingBench {
+    /// Serializes in the committed `BENCH_scaling.json` format: fixed key
+    /// order, one row per line — byte-deterministic for identical
+    /// measurements.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.rows.iter().map(ScalingRow::to_json).collect();
+        format!(
+            "{{\n  \"metric\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+            self.metric,
+            rows.join(",\n")
+        )
+    }
+
+    /// Parses the `BENCH_scaling.json` format (any key order).
+    pub fn from_json(text: &str) -> Result<ScalingBench, String> {
+        let v = parse(text)?;
+        let metric = v
+            .get("metric")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing string field \"metric\"")?
+            .to_owned();
+        let rows = match v.get("rows") {
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(ScalingRow::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing array field \"rows\"".into()),
+        };
+        Ok(ScalingBench { metric, rows })
+    }
+
+    /// The row for a `(workload, jobs)` identity, if present.
+    pub fn row(&self, workload: &str, jobs: u64) -> Option<&ScalingRow> {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.jobs == jobs)
+    }
+}
+
+/// Compares every fresh row that has a baseline row with the same
+/// `(workload, jobs)` identity — rows only one side measured (e.g. the
+/// big tiers during a CI smoke run) are skipped. Each matched row yields
+/// two [`MetricCheck`]s (pipeline and sim wall time); peak bytes are
+/// reported by the caller but not thresholded, since allocator peaks are
+/// exact and assertable in tests instead.
+pub fn compare_scaling(
+    baseline: &ScalingBench,
+    fresh: &ScalingBench,
+    threshold: f64,
+) -> Vec<(String, MetricCheck)> {
+    let mut checks = Vec::new();
+    for f in &fresh.rows {
+        let Some(b) = baseline.row(&f.workload, f.jobs) else {
+            continue;
+        };
+        let label = format!("{}/{}", f.workload, f.jobs);
+        for (name, baseline_ns, fresh_ns) in [
+            ("pipeline_ns", b.pipeline_ns, f.pipeline_ns),
+            ("sim_ns", b.sim_ns, f.sim_ns),
+        ] {
+            let ratio = fresh_ns as f64 / baseline_ns.max(1) as f64;
+            checks.push((
+                label.clone(),
+                MetricCheck {
+                    name,
+                    baseline_ns,
+                    fresh_ns,
+                    ratio,
+                    regressed: ratio > threshold,
+                },
+            ));
+        }
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScalingBench {
+        ScalingBench {
+            metric: "best_of_n_wall_ns".into(),
+            rows: vec![
+                ScalingRow {
+                    workload: "montage".into(),
+                    jobs: 1033,
+                    arcs: 2044,
+                    iters: 20,
+                    pipeline_ns: 500_000,
+                    sim_ns: 250_000,
+                    peak_bytes: 1_000_000,
+                },
+                ScalingRow {
+                    workload: "layered".into(),
+                    jobs: 1000,
+                    arcs: 4000,
+                    iters: 20,
+                    pipeline_ns: 700_000,
+                    sim_ns: 300_000,
+                    peak_bytes: 2_000_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let b = sample();
+        let back = ScalingBench::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+        // Byte-deterministic.
+        assert_eq!(b.to_json(), back.to_json());
+    }
+
+    #[test]
+    fn missing_fields_are_errors() {
+        assert!(ScalingBench::from_json("{}").is_err());
+        assert!(ScalingBench::from_json("{\"metric\": \"m\"}").is_err());
+        assert!(ScalingBench::from_json("{\"metric\": \"m\", \"rows\": [{}]}").is_err());
+        assert!(ScalingBench::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn compare_matches_rows_by_identity_and_skips_unmatched() {
+        let baseline = sample();
+        let mut fresh = sample();
+        fresh.rows[0].pipeline_ns *= 3; // montage pipeline 3× slower
+        fresh.rows[1].workload = "other".into(); // no baseline row
+        let checks = compare_scaling(&baseline, &fresh, 2.0);
+        assert_eq!(checks.len(), 2, "one matched row × two metrics");
+        assert!(checks.iter().all(|(label, _)| label == "montage/1033"));
+        assert!(checks[0].1.regressed, "3× exceeds 2×");
+        assert!(!checks[1].1.regressed);
+    }
+
+    #[test]
+    fn tier_generators_hit_their_targets() {
+        for &tier in &TIERS[..2] {
+            for (name, dag) in [
+                ("montage", montage_tier(tier)),
+                ("layered", layered_tier(tier)),
+            ] {
+                let jobs = dag.num_nodes() as f64;
+                let lo = tier as f64 * 0.8;
+                let hi = tier as f64 * 1.25;
+                assert!(
+                    (lo..=hi).contains(&jobs),
+                    "{name} tier {tier} produced {jobs} jobs"
+                );
+            }
+        }
+        // Seeded: the layered dag is identical across calls.
+        assert_eq!(layered_tier(1_000), layered_tier(1_000));
+    }
+
+    #[test]
+    fn measure_dag_smoke() {
+        let dag = montage_tier(150);
+        let row = measure_dag("montage", &dag);
+        assert_eq!(row.jobs, dag.num_nodes() as u64);
+        assert!(row.pipeline_ns > 0 && row.sim_ns > 0);
+        // No counting allocator installed in the test harness.
+        assert!(row.iters > 0);
+    }
+}

@@ -42,8 +42,22 @@ pub struct PrioOptions {
     /// schedules independent components across up to `n` scoped threads.
     /// Results are placed by component index, so every thread count
     /// produces bit-identical schedules and statistics.
+    ///
+    /// Requesting threads is adaptive, not unconditional: small dags fall
+    /// back to the serial path below [`PARALLEL_WORK_THRESHOLD`].
     pub threads: usize,
 }
+
+/// Minimum Step 3 work (Σ over components of local nodes + arcs) before a
+/// `threads > 1` request actually spawns the scoped thread pool.
+///
+/// Measured on Montage-like dags from ~170 to ~31k jobs (best of 9, 4
+/// threads vs serial): the pool's spawn/channel overhead makes parallel
+/// scheduling 1.2–2.3× *slower* below ~14k work, break-even lands between
+/// ~14k and ~24k (the paper-scale 7,881-job Montage, work ≈ 23.6k, is the
+/// first instance that no longer loses), and gains stay modest beyond.
+/// 20,000 puts everything clearly below break-even on the serial path.
+pub const PARALLEL_WORK_THRESHOLD: usize = 20_000;
 
 /// Statistics collected along the pipeline (reported by the CLI and used by
 /// the overhead experiments).
@@ -194,7 +208,25 @@ impl Prioritizer {
     ) -> Vec<Component> {
         let _span = prio_obs::span(prio_obs::stage::SCHEDULE);
         let limit = self.opts.optimal_search_limit;
-        let workers = self.opts.threads.min(parts.len());
+        let mut workers = self.opts.threads.min(parts.len());
+        if workers > 1 {
+            // Adaptive fallback: below the measured crossover the scoped
+            // thread pool costs more than it saves, so run the serial path
+            // (which is bit-identical) and record the decision.
+            let work: usize = parts
+                .iter()
+                .map(|p| p.local.num_nodes() + p.local.num_arcs())
+                .sum();
+            if work < PARALLEL_WORK_THRESHOLD {
+                workers = 1;
+                prio_obs::counter("core.schedule_serial_fallback_dags").add(1);
+                prio_obs::counter("core.schedule_serial_fallback_components")
+                    .add(parts.len() as u64);
+            } else {
+                prio_obs::counter("core.schedule_parallel_dags").add(1);
+                prio_obs::counter("core.schedule_parallel_components").add(parts.len() as u64);
+            }
+        }
         let results: Vec<ScheduledPart> = if workers > 1 {
             schedule_parts_parallel(reduced, &parts, limit, workers)
         } else {
@@ -525,9 +557,26 @@ mod tests {
         }
     }
 
+    /// Enough diamond components that Σ (nodes + arcs) clears
+    /// [`PARALLEL_WORK_THRESHOLD`], so `threads > 1` really runs the pool.
+    fn above_threshold_dag() -> Dag {
+        let diamonds = PARALLEL_WORK_THRESHOLD / 8 + 1;
+        let mut arcs = Vec::with_capacity(diamonds * 4);
+        for d in 0..diamonds as u32 {
+            let b = 4 * d;
+            arcs.extend_from_slice(&[(b, b + 1), (b, b + 2), (b + 1, b + 3), (b + 2, b + 3)]);
+        }
+        Dag::from_arcs(4 * diamonds, &arcs).unwrap()
+    }
+
     #[test]
     fn threaded_scheduling_is_bit_identical_to_serial() {
-        for dag in sample_dags() {
+        // The small sample dags all take the adaptive serial fallback; the
+        // diamond swarm is above the work threshold and exercises the
+        // scoped thread pool itself.
+        let mut dags = sample_dags();
+        dags.push(above_threshold_dag());
+        for dag in dags {
             let serial = Prioritizer::with_options(PrioOptions {
                 threads: 1,
                 ..PrioOptions::default()
@@ -546,6 +595,40 @@ mod tests {
                 assert_eq!(parallel.component_order, serial.component_order);
             }
         }
+    }
+
+    #[test]
+    fn adaptive_threshold_counters_record_the_decision() {
+        let p = Prioritizer::with_options(PrioOptions {
+            threads: 4,
+            ..PrioOptions::default()
+        });
+        // Counters are process-global and other tests may also bump them,
+        // so assert on deltas with `>=`.
+        let fallback = prio_obs::counter("core.schedule_serial_fallback_dags").get();
+        let small = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        p.prioritize(&small).unwrap();
+        assert!(
+            prio_obs::counter("core.schedule_serial_fallback_dags").get() > fallback,
+            "a 4-node dag must fall back to serial scheduling"
+        );
+
+        let parallel = prio_obs::counter("core.schedule_parallel_dags").get();
+        let components = prio_obs::counter("core.schedule_parallel_components").get();
+        p.prioritize(&above_threshold_dag()).unwrap();
+        assert!(
+            prio_obs::counter("core.schedule_parallel_dags").get() > parallel,
+            "an above-threshold dag must schedule on the pool"
+        );
+        assert!(prio_obs::counter("core.schedule_parallel_components").get() > components);
+
+        // Serial requests are not a fallback and must not be counted.
+        let fallback = prio_obs::counter("core.schedule_serial_fallback_dags").get();
+        Prioritizer::new().prioritize(&small).unwrap();
+        assert_eq!(
+            prio_obs::counter("core.schedule_serial_fallback_dags").get(),
+            fallback
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Observational equivalence of the CSR `Dag` against a reference
+//! nested-`Vec` adjacency model.
+//!
+//! The CSR layout (flat neighbour arrays + offset tables) is a pure
+//! representation change; these tests pin that down by rebuilding the
+//! adjacency the obvious way — one `Vec` per node — from the same arc list
+//! and demanding identical observable behaviour: children/parents slices,
+//! `has_arc`, topological order, the shortcut-arc set, and the final PRIO
+//! priorities. Generators cover the paper's four workflow families
+//! (AIRSN, Inspiral, Montage, SDSS) plus seeded random dags, and every
+//! dag is also rebuilt from a shuffled arc list to prove insertion order
+//! cannot leak into the layout.
+
+use prio_core::prio::Prioritizer;
+use prio_graph::reduction::shortcut_arcs;
+use prio_graph::topo::topo_order;
+use prio_graph::{Dag, DagBuilder, NodeId};
+use prio_workloads::airsn::airsn;
+use prio_workloads::inspiral::{inspiral, InspiralParams};
+use prio_workloads::montage::{montage, MontageParams};
+use prio_workloads::random_dag::{forward_pairs, layered, LayeredParams};
+use prio_workloads::sdss::{sdss, SdssParams};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fisher–Yates, since the rand shim has no `seq` module.
+fn shuffle<T>(items: &mut [T], rng: &mut SmallRng) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+/// The reference model: per-node child and parent lists, built naively.
+struct NestedVecModel {
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+}
+
+impl NestedVecModel {
+    fn from_arcs(n: usize, arcs: &[(NodeId, NodeId)]) -> Self {
+        let mut children = vec![Vec::new(); n];
+        let mut parents = vec![Vec::new(); n];
+        for &(u, v) in arcs {
+            children[u.index()].push(v);
+            parents[v.index()].push(u);
+        }
+        for list in children.iter_mut().chain(parents.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        NestedVecModel { children, parents }
+    }
+}
+
+/// Rebuilds `dag` through `DagBuilder` with its arcs fed in `order`.
+fn rebuild_with_arc_order(dag: &Dag, order: &[(NodeId, NodeId)]) -> Dag {
+    let mut b = DagBuilder::with_capacity(dag.num_nodes(), order.len());
+    let ids: Vec<NodeId> = dag.node_ids().map(|u| b.add_node(dag.label(u))).collect();
+    for &(u, v) in order {
+        b.add_arc(ids[u.index()], ids[v.index()]).expect("same arc");
+    }
+    b.build().expect("same dag is acyclic")
+}
+
+/// The full observational check of one dag against the reference model
+/// and against a shuffled-insertion-order rebuild of itself.
+fn assert_csr_matches_reference(dag: &Dag, seed: u64) {
+    let arcs: Vec<(NodeId, NodeId)> = dag.arcs().collect();
+    let model = NestedVecModel::from_arcs(dag.num_nodes(), &arcs);
+
+    // Adjacency slices match the nested-Vec model node by node.
+    for u in dag.node_ids() {
+        assert_eq!(
+            dag.children(u),
+            &model.children[u.index()][..],
+            "children of {u:?}"
+        );
+        assert_eq!(
+            dag.parents(u),
+            &model.parents[u.index()][..],
+            "parents of {u:?}"
+        );
+        assert_eq!(dag.out_degree(u), model.children[u.index()].len());
+        assert_eq!(dag.in_degree(u), model.parents[u.index()].len());
+    }
+
+    // has_arc agrees with the model on every arc and on a band of
+    // near-diagonal non-arcs (full n² would swamp the larger workloads).
+    for &(u, v) in &arcs {
+        assert!(dag.has_arc(u, v));
+    }
+    for u in dag.node_ids() {
+        for off in 1..=4u32 {
+            let v = NodeId(u.0.wrapping_add(off));
+            if (v.index()) < dag.num_nodes() {
+                assert_eq!(
+                    dag.has_arc(u, v),
+                    model.children[u.index()].contains(&v),
+                    "has_arc({u:?}, {v:?})"
+                );
+            }
+        }
+    }
+
+    // Insertion order cannot leak into the layout: a rebuild from a
+    // shuffled arc list is equal in every observable way.
+    let mut shuffled = arcs.clone();
+    shuffle(&mut shuffled, &mut SmallRng::seed_from_u64(seed));
+    let rebuilt = rebuild_with_arc_order(dag, &shuffled);
+    assert_eq!(&rebuilt, dag, "shuffled-insertion rebuild differs");
+
+    // Derived observations: topo order, shortcut set, final priorities.
+    assert_eq!(topo_order(&rebuilt), topo_order(dag));
+    assert_eq!(shortcut_arcs(&rebuilt), shortcut_arcs(dag));
+    let p = Prioritizer::new();
+    let a = p.prioritize(dag).expect("prioritizes");
+    let b = p.prioritize(&rebuilt).expect("prioritizes");
+    assert_eq!(a.schedule, b.schedule, "final priorities differ");
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn workload_families_match_reference_model() {
+    // Scaled-down instances of each family: same shapes (ring, fan-in,
+    // diff overlap, target chains), a debug-build-friendly node count —
+    // the paper-sized SDSS alone costs minutes per prioritize here.
+    let dags = [
+        ("airsn", airsn(6)),
+        (
+            "inspiral",
+            inspiral(InspiralParams {
+                pre_width: 40,
+                ring_k: 33,
+                post_width: 52,
+            }),
+        ),
+        (
+            "montage",
+            montage(MontageParams {
+                images: 24,
+                tiles: 3,
+            }),
+        ),
+        (
+            "sdss",
+            sdss(SdssParams {
+                fields: 40,
+                targets: 270,
+                extra_chain: 2,
+            }),
+        ),
+    ];
+    for (i, (name, dag)) in dags.into_iter().enumerate() {
+        assert!(dag.num_nodes() > 0, "{name} generated an empty dag");
+        assert_csr_matches_reference(&dag, 0xC5E0 + i as u64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_layered_dags_match_reference_model(
+        seed in any::<u64>(),
+        layers in 1usize..6,
+        width in 1usize..8,
+        arc_prob_pct in 5u32..90,
+    ) {
+        let p = LayeredParams { layers, width, arc_prob: f64::from(arc_prob_pct) / 100.0 };
+        let dag = layered(p, &mut SmallRng::seed_from_u64(seed));
+        assert_csr_matches_reference(&dag, seed ^ 0xABCD);
+    }
+
+    #[test]
+    fn random_forward_pair_dags_match_reference_model(
+        seed in any::<u64>(),
+        n in 1usize..24,
+        arc_prob_pct in 0u32..70,
+    ) {
+        let dag = forward_pairs(n, f64::from(arc_prob_pct) / 100.0, &mut SmallRng::seed_from_u64(seed));
+        assert_csr_matches_reference(&dag, seed ^ 0x1234);
+    }
+}

@@ -11,6 +11,14 @@ use prio_graph::{Dag, DagBuilder, NodeId};
 use std::collections::HashMap;
 use std::fmt;
 
+/// An interned job name.
+///
+/// Job names repeat across `JOB`, `PARENT … CHILD`, `VARS` and `PRIORITY`
+/// statements — on large .dag files almost every token is a name already
+/// seen — so statements share one reference-counted allocation per
+/// distinct name instead of a fresh `String` per token.
+pub type JobName = std::sync::Arc<str>;
+
 /// One statement (line) of a DAGMan input file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Statement {
@@ -22,7 +30,7 @@ pub enum Statement {
     /// describing it.
     Job {
         /// The job name.
-        name: String,
+        name: JobName,
         /// Path of the job-submit description file.
         submit_file: String,
         /// Trailing options (e.g. `DIR x`, `DONE`), verbatim tokens.
@@ -31,14 +39,14 @@ pub enum Statement {
     /// `PARENT <p…> CHILD <c…>` — every parent precedes every child.
     ParentChild {
         /// Parent job names.
-        parents: Vec<String>,
+        parents: Vec<JobName>,
         /// Child job names.
-        children: Vec<String>,
+        children: Vec<JobName>,
     },
     /// `VARS <job> key="value" …` — macros passed to the job's JSDF.
     Vars {
         /// The job the macros apply to.
-        job: String,
+        job: JobName,
         /// `(key, value)` pairs in file order.
         pairs: Vec<(String, String)>,
     },
@@ -46,7 +54,7 @@ pub enum Statement {
     /// node; scheduled like a job (DAGMan treats it as one).
     Subdag {
         /// The node name.
-        name: String,
+        name: JobName,
         /// Path of the nested DAGMan input file.
         dag_file: String,
     },
@@ -54,7 +62,7 @@ pub enum Statement {
     /// (an alternative to the `VARS`+JSDF mechanism).
     Priority {
         /// The job.
-        job: String,
+        job: JobName,
         /// The priority value (larger = earlier).
         value: i64,
     },
@@ -116,8 +124,8 @@ impl DagmanFile {
         self.statements
             .iter()
             .filter_map(|s| match s {
-                Statement::Job { name, .. } => Some(name.as_str()),
-                Statement::Subdag { name, .. } => Some(name.as_str()),
+                Statement::Job { name, .. } => Some(&**name),
+                Statement::Subdag { name, .. } => Some(&**name),
                 _ => None,
             })
             .collect()
@@ -137,9 +145,15 @@ impl DagmanFile {
         submit_file_for: impl Fn(&str) -> String,
     ) -> DagmanFile {
         let mut statements = Vec::with_capacity(dag.num_nodes() * 2);
+        // One interned name per node, shared between the JOB statement and
+        // every PARENT/CHILD occurrence.
+        let names: Vec<JobName> = dag
+            .node_ids()
+            .map(|u| JobName::from(dag.label(u)))
+            .collect();
         for u in dag.node_ids() {
             statements.push(Statement::Job {
-                name: dag.label(u).to_string(),
+                name: names[u.index()].clone(),
                 submit_file: submit_file_for(dag.label(u)),
                 options: vec![],
             });
@@ -148,8 +162,8 @@ impl DagmanFile {
             let children = dag.children(u);
             if !children.is_empty() {
                 statements.push(Statement::ParentChild {
-                    parents: vec![dag.label(u).to_string()],
-                    children: children.iter().map(|&c| dag.label(c).to_string()).collect(),
+                    parents: vec![names[u.index()].clone()],
+                    children: children.iter().map(|&c| names[c.index()].clone()).collect(),
                 });
             }
         }
@@ -161,7 +175,7 @@ impl DagmanFile {
         self.statements.iter().find_map(|s| match s {
             Statement::Job {
                 name, submit_file, ..
-            } if name == job => Some(submit_file.as_str()),
+            } if &**name == job => Some(submit_file.as_str()),
             _ => None,
         })
     }
@@ -180,35 +194,35 @@ impl DagmanFile {
                 Statement::Subdag { name, .. } => name,
                 _ => continue,
             };
-            if ids.contains_key(name.as_str()) {
+            if ids.contains_key(&**name) {
                 return Err(DagmanError::DuplicateJob {
                     line: 0,
-                    job: name.clone(),
+                    job: name.to_string(),
                 });
             }
-            ids.insert(name, b.add_node(name.clone()));
+            ids.insert(&**name, b.add_node(&**name));
         }
         for s in &self.statements {
             if let Statement::ParentChild { parents, children } = s {
                 for p in parents {
                     for c in children {
-                        let (&pu, &cu) = match (ids.get(p.as_str()), ids.get(c.as_str())) {
+                        let (&pu, &cu) = match (ids.get(&**p), ids.get(&**c)) {
                             (Some(pu), Some(cu)) => (pu, cu),
                             (None, _) => {
                                 return Err(DagmanError::UnknownJob {
                                     line: 0,
-                                    job: p.clone(),
+                                    job: p.to_string(),
                                 })
                             }
                             (_, None) => {
                                 return Err(DagmanError::UnknownJob {
                                     line: 0,
-                                    job: c.clone(),
+                                    job: c.to_string(),
                                 })
                             }
                         };
                         b.add_arc(pu, cu)
-                            .map_err(|_| DagmanError::Cyclic { job: p.clone() })?;
+                            .map_err(|_| DagmanError::Cyclic { job: p.to_string() })?;
                     }
                 }
             }
@@ -231,7 +245,7 @@ impl DagmanFile {
     /// Looks up the value of a `VARS` macro for a job, if defined.
     pub fn vars_value(&self, job: &str, key: &str) -> Option<&str> {
         self.statements.iter().rev().find_map(|s| match s {
-            Statement::Vars { job: j, pairs } if j == job => pairs
+            Statement::Vars { job: j, pairs } if &**j == job => pairs
                 .iter()
                 .rev()
                 .find(|(k, _)| k == key)

@@ -6,7 +6,7 @@
 //! the bold lines of Fig. 3. Each job's JSDF is separately instrumented
 //! with `priority = $(jobpriority)` (see [`crate::jsdf`]).
 
-use crate::ast::{DagmanFile, Statement};
+use crate::ast::{DagmanFile, JobName, Statement};
 use crate::error::DagmanError;
 use std::collections::BTreeMap;
 
@@ -72,12 +72,13 @@ pub fn instrument_dagman_with(
             });
         }
     }
-    // Update existing definitions in place.
-    let mut updated: std::collections::HashSet<String> = std::collections::HashSet::new();
+    // Update existing definitions in place. Cloning an interned JobName is
+    // a refcount bump, so the updated-set costs no string allocations.
+    let mut updated: std::collections::HashSet<JobName> = std::collections::HashSet::new();
     for s in file.statements.iter_mut() {
         match s {
             Statement::Vars { job, pairs } if mode == InstrumentMode::VarsMacro => {
-                if let Some(p) = priorities.get(job.as_str()) {
+                if let Some(p) = priorities.get(&**job) {
                     for (k, v) in pairs.iter_mut() {
                         if k == JOBPRIORITY {
                             *v = p.to_string();
@@ -87,7 +88,7 @@ pub fn instrument_dagman_with(
                 }
             }
             Statement::Priority { job, value } => {
-                if let Some(&p) = priorities.get(job.as_str()) {
+                if let Some(&p) = priorities.get(&**job) {
                     *value = p as i64;
                     updated.insert(job.clone());
                 }
@@ -105,7 +106,7 @@ pub fn instrument_dagman_with(
         };
         if let Some((name, is_subdag)) = node {
             if !updated.contains(&name) {
-                let p = priorities[&name];
+                let p = priorities[&*name];
                 let stmt = if mode == InstrumentMode::PriorityStatement || is_subdag {
                     Statement::Priority {
                         job: name,

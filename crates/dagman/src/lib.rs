@@ -28,7 +28,7 @@ pub mod jsdf;
 pub mod parse;
 pub mod write;
 
-pub use ast::{DagmanFile, Statement};
+pub use ast::{DagmanFile, JobName, Statement};
 pub use error::DagmanError;
 pub use instrument::{
     instrument_dagman, instrument_dagman_with, priorities_by_job, InstrumentMode,

@@ -4,21 +4,95 @@
 //! case-sensitive tokens. `VARS` values are double-quoted strings with
 //! backslash escapes for `"` and `\`.
 
-use crate::ast::{DagmanFile, Statement};
+use crate::ast::{DagmanFile, JobName, Statement};
 use crate::error::DagmanError;
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplicative hash over 8-byte chunks, chosen over the default SipHash
+/// because name tokens are short and .dag files are trusted local input (no
+/// hash-flooding concern) — the keyed SipHash setup cost alone outweighs
+/// hashing a ~15-byte name, and byte-serial hashes (FNV) pay a dependent
+/// multiply per byte.
+struct NameHasher(u64);
+
+const CHUNK_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for NameHasher {
+    fn finish(&self) -> u64 {
+        // The multiply pushes entropy toward the high bits but the table
+        // indexes buckets by the low bits — sequential names like `job17`,
+        // `job18` would cluster into long probe chains without a final
+        // avalanche (splitmix64-style).
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ v).wrapping_mul(CHUNK_SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        h = (h.rotate_left(5) ^ tail).wrapping_mul(CHUNK_SEED);
+        self.0 = h;
+    }
+}
+
+#[derive(Default, Clone)]
+struct NameHashBuild;
+
+impl BuildHasher for NameHashBuild {
+    type Hasher = NameHasher;
+
+    fn build_hasher(&self) -> NameHasher {
+        NameHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// Deduplicates job-name allocations across statements: each distinct name
+/// is allocated once and every later occurrence clones the shared
+/// [`JobName`]. On large .dag files nearly every name token is a repeat
+/// (its `JOB` line plus one or more `PARENT … CHILD` mentions), so this
+/// removes the majority of parse-time allocations.
+#[derive(Default)]
+struct NameInterner(HashSet<JobName, NameHashBuild>);
+
+impl NameInterner {
+    fn intern(&mut self, token: &str) -> JobName {
+        if let Some(existing) = self.0.get(token) {
+            existing.clone()
+        } else {
+            let name = JobName::from(token);
+            self.0.insert(name.clone());
+            name
+        }
+    }
+}
 
 /// Parses the text of a DAGMan input file.
 pub fn parse_dagman(text: &str) -> Result<DagmanFile, DagmanError> {
     let _span = prio_obs::span(prio_obs::stage::PARSE);
-    let mut statements = Vec::new();
+    // One O(bytes) scan to pre-size the statement vector beats letting a
+    // multi-megabyte Vec regrow-and-copy its way up.
+    let mut statements = Vec::with_capacity(text.lines().count());
+    let mut names = NameInterner::default();
     for (i, raw) in text.lines().enumerate() {
         let line = i + 1;
-        statements.push(parse_line(raw, line)?);
+        statements.push(parse_line(raw, line, &mut names)?);
     }
     Ok(DagmanFile { statements })
 }
 
-fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
+fn parse_line(raw: &str, line: usize, names: &mut NameInterner) -> Result<Statement, DagmanError> {
     let trimmed = raw.trim();
     if trimmed.is_empty() {
         return Ok(Statement::Blank);
@@ -28,12 +102,24 @@ fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
     }
     let mut tokens = trimmed.split_whitespace();
     let keyword = tokens.next().expect("non-empty line has a first token");
-    match keyword.to_ascii_uppercase().as_str() {
+    // Keywords are short ASCII, so case-fold into a stack buffer — the old
+    // `to_ascii_uppercase()` allocated a String on every single line.
+    let mut kwbuf = [0u8; 8];
+    let keyword = if keyword.len() <= kwbuf.len() {
+        let buf = &mut kwbuf[..keyword.len()];
+        buf.copy_from_slice(keyword.as_bytes());
+        buf.make_ascii_uppercase();
+        std::str::from_utf8(buf).unwrap_or("")
+    } else {
+        "" // longer than any keyword: passes through as Other
+    };
+    match keyword {
         "JOB" => {
-            let name = tokens
-                .next()
-                .ok_or_else(|| malformed(line, "JOB requires a name"))?
-                .to_string();
+            let name = names.intern(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed(line, "JOB requires a name"))?,
+            );
             let submit_file = tokens
                 .next()
                 .ok_or_else(|| malformed(line, "JOB requires a submit description file"))?
@@ -56,9 +142,9 @@ fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
                     }
                     in_children = true;
                 } else if in_children {
-                    children.push(t.to_string());
+                    children.push(names.intern(t));
                 } else {
-                    parents.push(t.to_string());
+                    parents.push(names.intern(t));
                 }
             }
             if parents.is_empty() || children.is_empty() {
@@ -67,10 +153,11 @@ fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
             Ok(Statement::ParentChild { parents, children })
         }
         "VARS" => {
-            let job = tokens
-                .next()
-                .ok_or_else(|| malformed(line, "VARS requires a job name"))?
-                .to_string();
+            let job = names.intern(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed(line, "VARS requires a job name"))?,
+            );
             // Re-scan the remainder of the raw line to honor quoting.
             let rest_start = find_after_token(trimmed, 2);
             let pairs = parse_vars_pairs(&trimmed[rest_start..], line)?;
@@ -86,10 +173,11 @@ fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
             if !external.eq_ignore_ascii_case("EXTERNAL") {
                 return Err(malformed(line, "only SUBDAG EXTERNAL is supported"));
             }
-            let name = tokens
-                .next()
-                .ok_or_else(|| malformed(line, "SUBDAG EXTERNAL requires a name"))?
-                .to_string();
+            let name = names.intern(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed(line, "SUBDAG EXTERNAL requires a name"))?,
+            );
             let dag_file = tokens
                 .next()
                 .ok_or_else(|| malformed(line, "SUBDAG EXTERNAL requires a dag file"))?
@@ -97,10 +185,11 @@ fn parse_line(raw: &str, line: usize) -> Result<Statement, DagmanError> {
             Ok(Statement::Subdag { name, dag_file })
         }
         "PRIORITY" => {
-            let job = tokens
-                .next()
-                .ok_or_else(|| malformed(line, "PRIORITY requires a job name"))?
-                .to_string();
+            let job = names.intern(
+                tokens
+                    .next()
+                    .ok_or_else(|| malformed(line, "PRIORITY requires a job name"))?,
+            );
             let value = tokens
                 .next()
                 .ok_or_else(|| malformed(line, "PRIORITY requires a value"))?
@@ -281,7 +370,7 @@ PARENT c CHILD d e
         let f = parse_dagman("JOB a a.sub\nPRIORITY a 42\n").unwrap();
         assert!(matches!(
             f.statements[1],
-            Statement::Priority { ref job, value: 42 } if job == "a"
+            Statement::Priority { ref job, value: 42 } if &**job == "a"
         ));
         assert!(parse_dagman("PRIORITY a notanumber").is_err());
         assert!(parse_dagman("PRIORITY a").is_err());

@@ -3,6 +3,15 @@
 //! In the paper's model each node is a *job* and each arc `u -> v` is an
 //! inter-job dependency: `v` cannot start before `u` has completed and
 //! returned its results. `u` is a *parent* of `v`, and `v` a *child* of `u`.
+//!
+//! Adjacency is stored in compressed-sparse-row (CSR) form: one flat
+//! neighbour array per direction, indexed by an `n + 1`-entry offset table,
+//! so the neighbours of node `u` are the contiguous slice
+//! `adj[off[u] .. off[u + 1]]`. Compared to a `Vec<Vec<NodeId>>` this costs
+//! zero per-node heap allocations, keeps all neighbour lists of a traversal
+//! in a single cache-friendly array, and makes `children`/`parents` a pair
+//! of index loads. Offsets are `u32` (arc counts are bounded by
+//! `u32::MAX`), halving the offset tables' footprint on 64-bit targets.
 
 use crate::error::GraphError;
 use std::collections::HashMap;
@@ -36,17 +45,63 @@ impl fmt::Display for NodeId {
 
 /// An immutable directed acyclic graph with labelled nodes.
 ///
-/// Both forward (`children`) and backward (`parents`) adjacency lists are
-/// stored, each sorted by node index, so all traversals are deterministic.
+/// Both forward (`children`) and backward (`parents`) adjacency are stored
+/// in CSR form, each neighbour list sorted by node index, so all traversals
+/// are deterministic.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Dag {
     labels: Vec<String>,
-    children: Vec<Vec<NodeId>>,
-    parents: Vec<Vec<NodeId>>,
-    num_arcs: usize,
+    /// `n + 1` offsets into `child_adj`; children of `u` are
+    /// `child_adj[child_off[u] .. child_off[u + 1]]`.
+    child_off: Box<[u32]>,
+    child_adj: Box<[NodeId]>,
+    /// `n + 1` offsets into `parent_adj`, same layout as `child_off`.
+    parent_off: Box<[u32]>,
+    parent_adj: Box<[NodeId]>,
 }
 
 impl Dag {
+    /// Builds the CSR representation from a lexicographically sorted,
+    /// deduplicated arc list whose endpoints are all `< labels.len()`.
+    ///
+    /// Two counting passes produce both directions without ever allocating
+    /// a per-node list: the sorted arc targets *are* the child array, and
+    /// filling the transpose in lexicographic arc order keeps every parent
+    /// list sorted by source index. Acyclicity is **not** checked here.
+    fn from_sorted_unique_arcs(labels: Vec<String>, arcs: &[(NodeId, NodeId)]) -> Dag {
+        let n = labels.len();
+        assert!(
+            arcs.len() <= u32::MAX as usize,
+            "arc count {} exceeds the u32 offset range",
+            arcs.len()
+        );
+        let mut child_off = vec![0u32; n + 1];
+        let mut parent_off = vec![0u32; n + 1];
+        for &(u, v) in arcs {
+            child_off[u.index() + 1] += 1;
+            parent_off[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+            parent_off[i + 1] += parent_off[i];
+        }
+        let child_adj: Box<[NodeId]> = arcs.iter().map(|&(_, v)| v).collect();
+        let mut parent_adj: Vec<NodeId> = vec![NodeId(0); arcs.len()];
+        let mut cursor: Vec<u32> = parent_off[..n].to_vec();
+        for &(u, v) in arcs {
+            let slot = &mut cursor[v.index()];
+            parent_adj[*slot as usize] = u;
+            *slot += 1;
+        }
+        Dag {
+            labels,
+            child_off: child_off.into_boxed_slice(),
+            child_adj,
+            parent_off: parent_off.into_boxed_slice(),
+            parent_adj: parent_adj.into_boxed_slice(),
+        }
+    }
+
     /// Number of nodes (jobs).
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -56,7 +111,7 @@ impl Dag {
     /// Number of arcs (dependencies).
     #[inline]
     pub fn num_arcs(&self) -> usize {
-        self.num_arcs
+        self.child_adj.len()
     }
 
     /// Whether the DAG has no nodes.
@@ -72,37 +127,41 @@ impl Dag {
     /// The children of `u` (sorted by index).
     #[inline]
     pub fn children(&self, u: NodeId) -> &[NodeId] {
-        &self.children[u.index()]
+        let i = u.index();
+        &self.child_adj[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// The parents of `u` (sorted by index).
     #[inline]
     pub fn parents(&self, u: NodeId) -> &[NodeId] {
-        &self.parents[u.index()]
+        let i = u.index();
+        &self.parent_adj[self.parent_off[i] as usize..self.parent_off[i + 1] as usize]
     }
 
     /// Out-degree of `u`.
     #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.children[u.index()].len()
+        let i = u.index();
+        (self.child_off[i + 1] - self.child_off[i]) as usize
     }
 
     /// In-degree of `u`.
     #[inline]
     pub fn in_degree(&self, u: NodeId) -> usize {
-        self.parents[u.index()].len()
+        let i = u.index();
+        (self.parent_off[i + 1] - self.parent_off[i]) as usize
     }
 
     /// Whether `u` has no parents.
     #[inline]
     pub fn is_source(&self, u: NodeId) -> bool {
-        self.parents[u.index()].is_empty()
+        self.in_degree(u) == 0
     }
 
     /// Whether `u` has no children.
     #[inline]
     pub fn is_sink(&self, u: NodeId) -> bool {
-        self.children[u.index()].is_empty()
+        self.out_degree(u) == 0
     }
 
     /// All sources (nodes with no parents), in index order.
@@ -132,7 +191,7 @@ impl Dag {
 
     /// Whether the arc `u -> v` is present.
     pub fn has_arc(&self, u: NodeId, v: NodeId) -> bool {
-        self.children[u.index()].binary_search(&v).is_ok()
+        self.children(u).binary_search(&v).is_ok()
     }
 
     /// Iterates over all arcs `(u, v)` in lexicographic order.
@@ -159,46 +218,48 @@ impl Dag {
                 to_super.push(u);
             }
         }
-        let n = to_super.len();
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut num_arcs = 0;
+        let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
         for (si, &u) in to_super.iter().enumerate() {
             for &v in self.children(u) {
                 if let Some(&sv) = to_sub.get(&v) {
-                    children[si].push(sv);
-                    parents[sv.index()].push(NodeId(si as u32));
-                    num_arcs += 1;
+                    arcs.push((NodeId(si as u32), sv));
                 }
             }
         }
-        for list in children.iter_mut().chain(parents.iter_mut()) {
-            list.sort_unstable();
-        }
+        // Sub ids are not monotone in super ids, so the pair list needs one
+        // sort before the CSR build (it is already duplicate-free).
+        arcs.sort_unstable();
         let labels = to_super
             .iter()
             .map(|&u| self.labels[u.index()].clone())
             .collect();
         (
-            Dag {
-                labels,
-                children,
-                parents,
-                num_arcs,
-            },
+            Dag::from_sorted_unique_arcs(labels, &arcs),
             SubgraphMap { to_sub, to_super },
         )
     }
 
+    /// Returns a copy of this dag keeping exactly the arcs for which `keep`
+    /// returns `true` (node set unchanged).
+    ///
+    /// Removing arcs from a DAG cannot create a cycle, so no re-validation
+    /// happens — this is the cheap path behind shortcut removal.
+    pub fn filter_arcs(&self, mut keep: impl FnMut(NodeId, NodeId) -> bool) -> Dag {
+        let arcs: Vec<(NodeId, NodeId)> = self.arcs().filter(|&(u, v)| keep(u, v)).collect();
+        Dag::from_sorted_unique_arcs(self.labels.clone(), &arcs)
+    }
+
     /// Returns the arc-reversed DAG (every `u -> v` becomes `v -> u`).
     ///
-    /// This is how the theory derives M-dags from W-dags ("duals").
+    /// This is how the theory derives M-dags from W-dags ("duals"). With
+    /// both CSR directions stored, this is a plain swap of the two arrays.
     pub fn reversed(&self) -> Dag {
         Dag {
             labels: self.labels.clone(),
-            children: self.parents.clone(),
-            parents: self.children.clone(),
-            num_arcs: self.num_arcs,
+            child_off: self.parent_off.clone(),
+            child_adj: self.parent_adj.clone(),
+            parent_off: self.child_off.clone(),
+            parent_adj: self.child_adj.clone(),
         }
     }
 
@@ -219,7 +280,12 @@ impl Dag {
 
 impl fmt::Debug for Dag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Dag({} nodes, {} arcs)", self.num_nodes(), self.num_arcs)?;
+        writeln!(
+            f,
+            "Dag({} nodes, {} arcs)",
+            self.num_nodes(),
+            self.num_arcs()
+        )?;
         for u in self.node_ids() {
             if !self.children(u).is_empty() {
                 writeln!(f, "  {:?} -> {:?}", u, self.children(u))?;
@@ -344,22 +410,13 @@ impl DagBuilder {
     /// Finalizes the graph, verifying acyclicity.
     pub fn build(self) -> Result<Dag, GraphError> {
         let n = self.labels.len();
-        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut arcs = self.arcs;
         arcs.sort_unstable();
         arcs.dedup();
-        let num_arcs = arcs.len();
-        for (u, v) in arcs {
-            children[u.index()].push(v);
-            parents[v.index()].push(u);
-        }
-        for list in parents.iter_mut() {
-            list.sort_unstable();
-        }
+        let dag = Dag::from_sorted_unique_arcs(self.labels, &arcs);
         // Kahn's algorithm purely to detect cycles; the sort itself lives in
         // `topo`.
-        let mut indeg: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut indeg: Vec<u32> = dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
         let mut stack: Vec<NodeId> = (0..n as u32)
             .map(NodeId)
             .filter(|u| indeg[u.index()] == 0)
@@ -367,7 +424,7 @@ impl DagBuilder {
         let mut seen = 0usize;
         while let Some(u) = stack.pop() {
             seen += 1;
-            for &v in &children[u.index()] {
+            for &v in dag.children(u) {
                 indeg[v.index()] -= 1;
                 if indeg[v.index()] == 0 {
                     stack.push(v);
@@ -378,12 +435,7 @@ impl DagBuilder {
             let on_cycle = indeg.iter().position(|&d| d > 0).expect("cycle node") as u32;
             return Err(GraphError::Cycle { on_cycle });
         }
-        Ok(Dag {
-            labels: self.labels,
-            children,
-            parents,
-            num_arcs,
-        })
+        Ok(dag)
     }
 }
 
@@ -491,6 +543,38 @@ mod tests {
         let (sub, _) = d.induced_subgraph(&[NodeId(1), NodeId(1), NodeId(2)]);
         assert_eq!(sub.num_nodes(), 2);
         assert_eq!(sub.num_arcs(), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_renumbering_keeps_sorted_adjacency() {
+        // Pick nodes in an order that reverses their relative ids: the
+        // subgraph's neighbour slices must still come out sorted.
+        let d = Dag::from_arcs(5, &[(0, 2), (0, 3), (1, 2), (1, 4), (3, 4)]).unwrap();
+        let (sub, map) = d.induced_subgraph(&[NodeId(4), NodeId(3), NodeId(1), NodeId(0)]);
+        assert_eq!(sub.num_nodes(), 4);
+        // Surviving arcs: 0->3, 1->4, 3->4 under renumbering 4→0, 3→1, 1→2, 0→3.
+        assert_eq!(sub.num_arcs(), 3);
+        for u in sub.node_ids() {
+            assert!(sub.children(u).windows(2).all(|w| w[0] < w[1]));
+            assert!(sub.parents(u).windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(sub.has_arc(
+            map.to_sub(NodeId(3)).unwrap(),
+            map.to_sub(NodeId(4)).unwrap()
+        ));
+    }
+
+    #[test]
+    fn filter_arcs_keeps_nodes_and_drops_arcs() {
+        let d = diamond();
+        let f = d.filter_arcs(|u, _| u != NodeId(0));
+        assert_eq!(f.num_nodes(), 4);
+        assert_eq!(f.num_arcs(), 2);
+        assert!(!f.has_arc(NodeId(0), NodeId(1)));
+        assert!(f.has_arc(NodeId(1), NodeId(3)));
+        assert_eq!(f.label(NodeId(0)), "j0");
+        // Keeping everything is an identity copy.
+        assert_eq!(d.filter_arcs(|_, _| true), d);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   transitive closure; quadratic memory, used to cross-check the fast
 //!   implementation in tests.
 
-use crate::dag::{Dag, DagBuilder, NodeId};
+use crate::dag::{Dag, NodeId};
 use crate::reach::transitive_closure;
 use crate::scratch::GraphScratch;
 use crate::topo::topo_ranks_into;
@@ -120,20 +120,14 @@ pub fn transitive_reduction(dag: &Dag) -> Dag {
     remove_arcs(dag, &shortcuts)
 }
 
-/// Rebuilds `dag` without the given arcs (which must be sorted or at least
-/// deduplicated; arcs not present are ignored).
+/// Rebuilds `dag` without the given arcs (arcs not present are ignored).
+///
+/// Goes through [`Dag::filter_arcs`]: arc removal cannot create a cycle, so
+/// the copy skips the builder's label map and acyclicity re-check entirely.
 pub fn remove_arcs(dag: &Dag, remove: &[(NodeId, NodeId)]) -> Dag {
-    let mut b = DagBuilder::with_capacity(dag.num_nodes(), dag.num_arcs());
-    for u in dag.node_ids() {
-        b.add_node(dag.label(u));
-    }
-    let removed: std::collections::HashSet<(NodeId, NodeId)> = remove.iter().copied().collect();
-    for (u, v) in dag.arcs() {
-        if !removed.contains(&(u, v)) {
-            b.add_arc(u, v).expect("arc endpoints exist");
-        }
-    }
-    b.build().expect("removing arcs cannot create a cycle")
+    let mut removed: Vec<(NodeId, NodeId)> = remove.to_vec();
+    removed.sort_unstable();
+    dag.filter_arcs(|u, v| removed.binary_search(&(u, v)).is_err())
 }
 
 /// Whether `dag` contains no shortcut arcs.

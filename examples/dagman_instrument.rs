@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example dagman_instrument`
 
-use dagprio::dagman::ast::{DagmanFile, Statement};
+use dagprio::dagman::ast::{DagmanFile, JobName, Statement};
 use dagprio::dagman::parse::parse_dagman;
 use dagprio::dagman::write::write_dagman;
 use dagprio::prioritize_dagman_text;
@@ -22,7 +22,7 @@ fn main() {
     ));
     for u in dag.node_ids() {
         statements.push(Statement::Job {
-            name: dag.label(u).to_string(),
+            name: JobName::from(dag.label(u)),
             submit_file: "montage.submit".into(),
             options: vec![],
         });
@@ -30,11 +30,11 @@ fn main() {
     for u in dag.node_ids() {
         if dag.out_degree(u) > 0 {
             statements.push(Statement::ParentChild {
-                parents: vec![dag.label(u).to_string()],
+                parents: vec![JobName::from(dag.label(u))],
                 children: dag
                     .children(u)
                     .iter()
-                    .map(|&c| dag.label(c).to_string())
+                    .map(|&c| JobName::from(dag.label(c)))
                     .collect(),
             });
         }

@@ -33,8 +33,14 @@ run_cargo bench --no-run
 # itself is opt-in (PRIO_BENCH_CHECK=1) because shared CI machines are too
 # noisy to gate merges on wall time by default.
 run_cargo build --release -p prio-bench --bin bench_check
+# Compile the scaling benchmark and smoke-run its two cheap tiers
+# (10^3/10^4 jobs); the full sweep (through 10^6) is run manually when
+# regenerating BENCH_scaling.json.
+run_cargo build --release -p prio-bench --bin bench_scaling
+./target/release/bench_scaling --max-jobs 10000 --out target/BENCH_scaling_smoke.json
 if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
-  ./target/release/bench_check --threshold "${PRIO_BENCH_THRESHOLD:-2.0}"
+  ./target/release/bench_check --threshold "${PRIO_BENCH_THRESHOLD:-2.0}" \
+    --scaling-fresh target/BENCH_scaling_smoke.json
 fi
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings
