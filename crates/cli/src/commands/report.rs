@@ -65,7 +65,9 @@ struct HistRecord {
     max: u64,
 }
 
-/// Simulator event counts for one policy segment.
+/// Simulator event counts for one policy segment. The fault-layer
+/// counts (`retried`, `worker_down`) stay zero on reliable traces and
+/// their columns are only rendered when some segment recorded them.
 #[derive(Debug, Default)]
 struct EventCounts {
     batches: u64,
@@ -74,6 +76,8 @@ struct EventCounts {
     assigned: u64,
     completed: u64,
     failed: u64,
+    retried: u64,
+    worker_down: u64,
 }
 
 /// Everything recorded under one `policy=` tag.
@@ -223,6 +227,8 @@ impl Source {
             "job_assigned" => self.group_mut(current_policy).events.assigned += 1,
             "job_completed" => self.group_mut(current_policy).events.completed += 1,
             "job_failed" => self.group_mut(current_policy).events.failed += 1,
+            "job_retried" => self.group_mut(current_policy).events.retried += 1,
+            "worker_down" => self.group_mut(current_policy).events.worker_down += 1,
             "ts" => {
                 let samples = match v.get("samples") {
                     Some(JsonValue::Arr(items)) => items
@@ -317,7 +323,7 @@ fn comparison(sources: &[Source]) -> Option<Comparison> {
         }
     };
     type Metric = (&'static str, fn(&PolicyGroup) -> f64);
-    let metrics: [Metric; 7] = [
+    let mut metrics: Vec<Metric> = vec![
         ("makespan", |g| ts_metric(g, "eligible_pool", |t| t.last_t)),
         ("eligible_pool_mean", |g| {
             ts_metric(g, "eligible_pool", |t| t.mean)
@@ -338,6 +344,16 @@ fn comparison(sources: &[Source]) -> Option<Comparison> {
             hist_metric(g, "job_service_milli", |h| h.mean)
         }),
     ];
+    // Fault metrics join only when some side recorded wasted work, so the
+    // reliable report keeps its original seven rows.
+    if a.hist("wasted_work_milli").is_some() || b.hist("wasted_work_milli").is_some() {
+        metrics.push(("job_attempts_total", |g| {
+            hist_metric(g, "job_attempts", |h| h.count as f64)
+        }));
+        metrics.push(("wasted_work_mean_milli", |g| {
+            hist_metric(g, "wasted_work_milli", |h| h.mean)
+        }));
+    }
     Some(Comparison {
         a_name: label(*ai, a),
         b_name: label(*bi, b),
@@ -438,7 +454,13 @@ fn render_text(sources: &[Source], comparison: &Option<Comparison>) -> String {
         out.push_str(&spans.render());
     }
 
-    let mut events = Table::new(&[
+    // The retried/churn columns appear only when a fault-bearing trace
+    // recorded them, keeping reliable reports identical to earlier builds.
+    let have_faults = sources
+        .iter()
+        .flat_map(|s| &s.groups)
+        .any(|g| g.events.retried + g.events.worker_down > 0);
+    let mut event_headers = vec![
         "source",
         "policy",
         "batches",
@@ -447,7 +469,12 @@ fn render_text(sources: &[Source], comparison: &Option<Comparison>) -> String {
         "assigned",
         "completed",
         "failed",
-    ]);
+    ];
+    if have_faults {
+        event_headers.push("retried");
+        event_headers.push("churn");
+    }
+    let mut events = Table::new(&event_headers);
     let mut have_events = false;
     let mut telemetry = Table::new(&[
         "source", "policy", "series", "pushed", "peak", "peak@t", "mean", "last", "curve",
@@ -470,7 +497,7 @@ fn render_text(sources: &[Source], comparison: &Option<Comparison>) -> String {
             let e = &group.events;
             if e.batches + e.assigned + e.completed + e.failed > 0 {
                 have_events = true;
-                events.row(vec![
+                let mut row = vec![
                     i.to_string(),
                     group.policy.clone(),
                     e.batches.to_string(),
@@ -479,7 +506,12 @@ fn render_text(sources: &[Source], comparison: &Option<Comparison>) -> String {
                     e.assigned.to_string(),
                     e.completed.to_string(),
                     e.failed.to_string(),
-                ]);
+                ];
+                if have_faults {
+                    row.push(e.retried.to_string());
+                    row.push(e.worker_down.to_string());
+                }
+                events.row(row);
             }
             for t in &group.series {
                 have_telemetry = true;
@@ -602,18 +634,23 @@ fn render_json(sources: &[Source], comparison: &Option<Comparison>) -> String {
             if e.batches + e.assigned + e.completed + e.failed == 0 {
                 continue;
             }
-            event_objs.push(
-                JsonObject::new()
-                    .u64("file", i as u64)
-                    .str("policy", &group.policy)
-                    .u64("batches", e.batches)
-                    .u64("requests", e.requests)
-                    .u64("stalled", e.stalled)
-                    .u64("assigned", e.assigned)
-                    .u64("completed", e.completed)
-                    .u64("failed", e.failed)
-                    .finish(),
-            );
+            let mut obj = JsonObject::new()
+                .u64("file", i as u64)
+                .str("policy", &group.policy)
+                .u64("batches", e.batches)
+                .u64("requests", e.requests)
+                .u64("stalled", e.stalled)
+                .u64("assigned", e.assigned)
+                .u64("completed", e.completed)
+                .u64("failed", e.failed);
+            // Fault-layer counts appear only when recorded, keeping
+            // reliable reports identical to earlier builds.
+            if e.retried + e.worker_down > 0 {
+                obj = obj
+                    .u64("retried", e.retried)
+                    .u64("worker_down", e.worker_down);
+            }
+            event_objs.push(obj.finish());
         }
     }
     out.push_str(&join(event_objs));
@@ -793,6 +830,60 @@ mod tests {
             }
             other => panic!("expected comparison array, got {other:?}"),
         }
+    }
+
+    fn faulty_trace_text() -> String {
+        [
+            r#"{"type":"meta","v":2,"command":"trace","detail":"policy=prio seed=1"}"#,
+            r#"{"type":"job_assigned","v":2,"time":0,"job":0,"completes_at":1}"#,
+            r#"{"type":"job_failed","v":2,"time":0.5,"job":0}"#,
+            r#"{"type":"job_retried","v":2,"time":0.5,"job":0,"attempt":2,"delay":0}"#,
+            r#"{"type":"worker_down","v":2,"time":0.7,"lost":1}"#,
+            r#"{"type":"worker_up","v":2,"time":0.9}"#,
+            r#"{"type":"job_completed","v":2,"time":1.5,"job":0}"#,
+            r#"{"type":"ts","v":2,"policy":"prio","series":"eligible_pool","pushed":2,"peak":1,"peak_t":0,"mean":1,"last_t":1.5,"last_v":0,"samples":[[0,1],[1.5,0]]}"#,
+            r#"{"type":"hist","v":2,"policy":"prio","name":"job_attempts","count":2,"mean":2,"p50":2,"p90":2,"p99":2,"max":2}"#,
+            r#"{"type":"hist","v":2,"policy":"prio","name":"wasted_work_milli","count":1,"mean":500,"p50":500,"p90":500,"p99":500,"max":500}"#,
+            r#"{"type":"meta","v":2,"command":"trace","detail":"policy=fifo seed=1"}"#,
+            r#"{"type":"job_assigned","v":2,"time":0,"job":0,"completes_at":1}"#,
+            r#"{"type":"job_completed","v":2,"time":1,"job":0}"#,
+            r#"{"type":"ts","v":2,"policy":"fifo","series":"eligible_pool","pushed":2,"peak":1,"peak_t":0,"mean":1,"last_t":1,"last_v":0,"samples":[[0,1],[1,0]]}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn fault_records_extend_events_and_comparison() {
+        let source = load(&faulty_trace_text());
+        let prio = &source.groups[0];
+        assert_eq!(prio.events.retried, 1);
+        assert_eq!(prio.events.worker_down, 1);
+        assert_eq!(prio.events.failed, 1);
+        let sources = vec![source];
+        let c = comparison(&sources).expect("two policies present");
+        assert_eq!(c.rows.len(), 9, "fault metrics join the comparison");
+        let wasted = c
+            .rows
+            .iter()
+            .find(|r| r.metric == "wasted_work_mean_milli")
+            .expect("wasted-work row");
+        assert_eq!(wasted.a, 500.0);
+        assert_eq!(wasted.b, 0.0);
+        let text = render_text(&sources, &comparison(&sources));
+        assert!(text.contains("retried"), "{text}");
+        assert!(text.contains("churn"), "{text}");
+        assert!(text.contains("job_attempts_total"), "{text}");
+    }
+
+    #[test]
+    fn reliable_traces_render_without_fault_columns() {
+        let source = load(&trace_text());
+        let sources = vec![source];
+        let text = render_text(&sources, &comparison(&sources));
+        assert!(!text.contains("retried"), "{text}");
+        assert!(!text.contains("wasted_work"), "{text}");
+        let json = render_json(&sources, &comparison(&sources));
+        assert!(!json.contains("retried"), "{json}");
     }
 
     #[test]

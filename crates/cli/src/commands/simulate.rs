@@ -5,10 +5,58 @@ use crate::commands::load_dag;
 use crate::error::CliError;
 use prio_core::prio::prioritize;
 use prio_obs::JsonlSink;
-use prio_sim::engine::simulate_traced;
+use prio_sim::engine::{simulate_faulty_traced, simulate_traced};
+use prio_sim::experiment::compare_policies_with;
 use prio_sim::replicate::ReplicationPlan;
-use prio_sim::{compare_policies, GridModel, PolicySpec};
+use prio_sim::{Backoff, FaultConfig, FaultModel, GridModel, PolicySpec, RetryPolicy};
 use std::path::Path;
+
+/// Parses the fault flags into a config; `None` when no fault flag asks
+/// for an active layer (the reliable §4 grid).
+fn fault_config(args: &Args) -> Result<Option<FaultConfig>, CliError> {
+    let fault_rate: f64 = args.get_parsed("fault-rate", 0.0)?;
+    let permanent: f64 = args.get_parsed("permanent-frac", 0.0)?;
+    let retries: u32 = args.get_parsed("retries", 3)?;
+    let backoff = match args.get("backoff") {
+        None => Backoff::None,
+        Some(spec) => Backoff::parse(spec).map_err(CliError::usage)?,
+    };
+    let mttf: f64 = args.get_parsed("worker-mttf", 0.0)?;
+    let mttr: f64 = args.get_parsed("worker-mttr", 0.0)?;
+    if !(0.0..1.0).contains(&fault_rate) {
+        return Err(CliError::usage("--fault-rate must be in [0, 1)"));
+    }
+    if !(0.0..=1.0).contains(&permanent) {
+        return Err(CliError::usage("--permanent-frac must be in [0, 1]"));
+    }
+    if mttf < 0.0 || mttr < 0.0 {
+        return Err(CliError::usage("--worker-mttf/--worker-mttr must be >= 0"));
+    }
+    if mttr > 0.0 && mttf == 0.0 {
+        return Err(CliError::usage("--worker-mttr requires --worker-mttf"));
+    }
+    let mut model = FaultModel::none();
+    if fault_rate > 0.0 {
+        model = FaultModel::with_rate(fault_rate);
+    }
+    if permanent > 0.0 {
+        model = model.with_permanent(permanent);
+    }
+    if mttf > 0.0 {
+        // Default repair time: a quarter of the uptime.
+        model = model.with_churn(mttf, if mttr > 0.0 { mttr } else { mttf / 4.0 });
+    }
+    if !model.is_active() {
+        return Ok(None);
+    }
+    Ok(Some(FaultConfig {
+        model,
+        retry: RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            backoff,
+        },
+    }))
+}
 
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
@@ -22,8 +70,19 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     if mu_bit <= 0.0 || mu_bs < 1.0 {
         return Err(CliError::usage("--mu-bit must be > 0 and --mu-bs >= 1"));
     }
+    let faults = fault_config(&args)?;
 
     eprintln!("prio: simulating {name} at mu_bit={mu_bit}, mu_bs={mu_bs} (p={p}, q={q})");
+    if let Some(f) = &faults {
+        eprintln!(
+            "prio: fault layer on: rate={} permanent={} max_attempts={} backoff={:?} churn={:?}",
+            f.model.failure_probability,
+            f.model.permanent_probability,
+            f.retry.max_attempts,
+            f.retry.backoff,
+            f.model.worker_mttf,
+        );
+    }
     let prio = PolicySpec::Oblivious(prioritize(&dag)?.schedule);
     let model = GridModel::paper(mu_bit, mu_bs);
     let plan = ReplicationPlan {
@@ -32,10 +91,17 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         seed,
         threads,
     };
-    let r = compare_policies(&dag, &prio, &PolicySpec::Fifo, &model, &plan);
+    let r = compare_policies_with(
+        &dag,
+        &prio,
+        &PolicySpec::Fifo,
+        &model,
+        faults.as_ref(),
+        &plan,
+    );
 
     println!("metric\tPRIO_mean\tFIFO_mean\tratio_median\tratio_lo\tratio_hi");
-    let rows = [
+    let mut rows = vec![
         (
             "execution_time",
             &r.a.execution_time,
@@ -55,6 +121,22 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             &r.utilization_ratio,
         ),
     ];
+    // Fault metrics only appear when the layer is on, keeping reliable
+    // output byte-identical to earlier builds.
+    if faults.is_some() {
+        rows.push((
+            "failed_attempts",
+            &r.a.failed_attempts,
+            &r.b.failed_attempts,
+            &None,
+        ));
+        rows.push((
+            "wasted_work",
+            &r.a.wasted_work,
+            &r.b.wasted_work,
+            &r.wasted_work_ratio,
+        ));
+    }
     for (name, a, b, ci) in rows {
         let (median, lo, hi) = match ci {
             Some(ci) => (
@@ -79,15 +161,28 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     if let Some(out) = args.get("trace-out") {
         let io_err = |e: std::io::Error| CliError::input(format!("{out}: {e}"));
         let sink = JsonlSink::to_file(Path::new(out)).map_err(io_err)?;
+        // The fault parameters join the meta line only when the layer is
+        // on, so reliable trace files stay identical to earlier builds.
+        let fault_meta = match &faults {
+            Some(f) => format!(
+                " fault_rate={} retries={}",
+                f.model.failure_probability,
+                f.retry.max_attempts.saturating_sub(1)
+            ),
+            None => String::new(),
+        };
         sink.write_meta(
             "simulate",
-            &format!("workload={name} mu_bit={mu_bit} mu_bs={mu_bs} seed={seed}"),
+            &format!("workload={name} mu_bit={mu_bit} mu_bs={mu_bs} seed={seed}{fault_meta}"),
         )
         .map_err(io_err)?;
         for (policy_name, policy) in [("prio", &prio), ("fifo", &PolicySpec::Fifo)] {
             sink.write_meta("trace", &format!("policy={policy_name} seed={seed}"))
                 .map_err(io_err)?;
-            let traced = simulate_traced(&dag, policy, &model, seed);
+            let traced = match &faults {
+                Some(f) => simulate_faulty_traced(&dag, policy, &model, f, seed),
+                None => simulate_traced(&dag, policy, &model, seed),
+            };
             let trace = traced
                 .trace
                 .ok_or_else(|| CliError::internal("traced run recorded no trace"))?;

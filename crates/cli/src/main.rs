@@ -85,7 +85,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "schedule" => commands::schedule::run(rest),
         "compare" => commands::compare::run(rest),
         "generate" => commands::generate::run(rest),
-        "simulate" => commands::simulate::run(rest),
+        "simulate" | "sim" => commands::simulate::run(rest),
         "report" => commands::report::run(rest),
         "stats" => commands::stats::run(rest),
         "help" | "--help" | "-h" => {
@@ -113,7 +113,10 @@ USAGE:
     prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
     prio simulate   (<file.dag> | --workload NAME [--scale F])
                     [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S] [--threads T]
-                    [--trace-out <file>] [--timings]
+                    [--fault-rate P] [--permanent-frac F] [--retries N]
+                    [--backoff none|D|fixed:D|exp:B[:F[:C]]]
+                    [--worker-mttf X] [--worker-mttr Y]
+                    [--trace-out <file>] [--timings]          (alias: sim)
     prio report     <trace.jsonl>... [--json]
     prio stats      (<file.dag> | --workload NAME [--scale F])
     prio help
@@ -132,7 +135,9 @@ SUBCOMMANDS:
     schedule    print the schedule, one job name per line
     compare     print E_PRIO(t) - E_FIFO(t) per step (the paper's Fig. 4)
     generate    emit a synthetic scientific dag as a DAGMan file
-    simulate    compare PRIO vs FIFO under the stochastic grid model
+    simulate    compare PRIO vs FIFO under the stochastic grid model;
+                --fault-rate/--retries/--backoff/--worker-mttf inject
+                seeded job faults, DAGMan-style retries, and pool churn
     report      summarize --trace-out JSONL files: span percentiles,
                 simulator time-series digests, PRIO-vs-FIFO side by side
     stats       print pipeline statistics (components, families, shortcuts)

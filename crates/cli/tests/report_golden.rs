@@ -130,6 +130,101 @@ fn text_report_shows_percentiles_and_telemetry_digest() {
     }
 }
 
+/// The fault flags used by the fault-bearing golden run: an aggressive
+/// per-attempt failure rate with two DAGMan retries, enough for the fixed
+/// seed to record failures, retries, and wasted work in the trace.
+const FAULT_FLAGS: &[&str] = &["--fault-rate", "0.3", "--retries", "2"];
+
+#[test]
+fn report_json_fault_sections_match_golden() {
+    let dir = tempdir("golden-fault");
+    simulate(&dir, FAULT_FLAGS, "fault.jsonl");
+    let out = prio(&["report", "fault.jsonl", "--json"], &dir);
+    assert!(
+        out.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let doc = parse(stdout.trim()).expect("report --json emits valid JSON");
+    let golden = parse(include_str!("golden/report_fault.json")).expect("golden parses");
+    // The comparison is pinned too: it is a pure function of the pinned
+    // telemetry, and it is where the retry-count and wasted-work columns
+    // surface.
+    for key in ["events", "telemetry", "latencies", "comparison"] {
+        assert_eq!(
+            doc.get(key),
+            golden.get(key),
+            "deterministic section {key:?} diverged from tests/golden/report_fault.json \
+             — if the schema or fault layer changed intentionally, regenerate the golden \
+             file from this test's `prio report --json` output"
+        );
+    }
+    // The pinned run must actually exercise the fault layer.
+    for needle in ["retried", "job_attempts", "wasted_work"] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn text_report_shows_fault_columns_on_faulty_traces() {
+    let dir = tempdir("text-fault");
+    simulate(&dir, FAULT_FLAGS, "fault.jsonl");
+    let out = prio(&["report", "fault.jsonl"], &dir);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "retried",
+        "churn",
+        "job_attempts",
+        "wasted_work_milli",
+        "job_attempts_total",
+        "wasted_work_mean_milli",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn faulty_trace_replays_identically_across_thread_counts() {
+    // Same seed + same fault model ⇒ byte-identical deterministic records,
+    // regardless of the replication thread count. Only wall-clock records
+    // (spans, scalar counters, registry histograms) may differ.
+    let dir = tempdir("fault-threads");
+    let mut one = vec!["--threads", "1"];
+    one.extend_from_slice(FAULT_FLAGS);
+    one.extend_from_slice(&["--worker-mttf", "40", "--backoff", "fixed:0.5"]);
+    let mut four = vec!["--threads", "4"];
+    four.extend_from_slice(FAULT_FLAGS);
+    four.extend_from_slice(&["--worker-mttf", "40", "--backoff", "fixed:0.5"]);
+    let a = simulate(&dir, &one, "one.jsonl");
+    let b = simulate(&dir, &four, "four.jsonl");
+    let deterministic_lines = |path: &Path| -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|l| {
+                let t = parse(l).unwrap();
+                match t.get("type").and_then(JsonValue::as_str) {
+                    Some("span" | "counter" | "gauge") => false,
+                    // Registry histograms are wall-clock; policy-tagged
+                    // ones are simulator telemetry and deterministic.
+                    Some("hist") => t.get("policy").is_some(),
+                    _ => true,
+                }
+            })
+            .map(str::to_owned)
+            .collect()
+    };
+    let lines_a = deterministic_lines(&a);
+    let lines_b = deterministic_lines(&b);
+    assert!(
+        lines_a.iter().any(|l| l.contains("job_retried")),
+        "fault run must record retries"
+    );
+    assert_eq!(lines_a, lines_b, "replay must not depend on thread count");
+}
+
 #[test]
 fn serial_and_threaded_runs_emit_identical_telemetry() {
     let dir = tempdir("threads");

@@ -1,26 +1,41 @@
-//! The event-driven grid simulator (§4.1).
+//! The event-driven grid simulator (§4.1), with optional fault injection.
 //!
-//! Two event kinds drive the clock: *batch arrivals* (workers requesting
-//! jobs; unfilled requests are discarded) and *job completions* (results
-//! returned, possibly rendering children eligible). The run ends when all
-//! jobs have completed; the makespan is the last completion time.
+//! Under the paper's reliable model two event kinds drive the clock:
+//! *batch arrivals* (workers requesting jobs; unfilled requests are
+//! discarded) and *job completions* (results returned, possibly rendering
+//! children eligible). The run ends when all jobs have completed; the
+//! makespan is the last completion time.
 //!
-//! Determinism: all randomness comes from the seeded RNG, and events are
-//! processed in time order with completions winning ties, so a run is a
-//! pure function of `(dag, policy, model, seed)`.
+//! With a [`FaultConfig`] ([`simulate_faulty`]) two more event kinds
+//! appear: *releases* (a transiently failed job re-entering the eligible
+//! queue after its retry backoff) and *pool churn* (the worker pool going
+//! down — killing every in-flight job — and coming back up). Jobs whose
+//! retries exhaust, or whose fault is permanent, abort DAGMan-style: they
+//! resolve as failed-permanent and every descendant resolves as
+//! unreachable. The run then ends when every job is *resolved*
+//! (completed, failed-permanent, or unreachable).
+//!
+//! Determinism: all randomness comes from seeded streams (the main stream
+//! plus dedicated fault/churn streams that the reliable path never
+//! touches), and events are processed in time order with completions
+//! winning ties, so a run is a pure function of
+//! `(dag, policy, model, faults, seed)`. An inactive fault config takes
+//! exactly the reliable code path: same events, same RNG draws,
+//! bit-identical outcome.
 
+use crate::fault::{FaultConfig, RetryPolicy};
 use crate::metrics::RunMetrics;
 use crate::model::{GridModel, UnfilledRequests};
 use crate::policy::PolicySpec;
 use crate::telemetry::SimTelemetry;
 use crate::trace::{Trace, TraceEvent};
 use prio_graph::{Dag, NodeId};
-use prio_stats::seeded_rng;
+use prio_stats::{seeded_rng, Exponential};
 use rand::Rng as _;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Totally ordered f64 for the completion-event heap.
+/// Totally ordered f64 for the event heap.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Time(f64);
 
@@ -36,10 +51,38 @@ impl Ord for Time {
     }
 }
 
+/// A heap event. The derived order breaks equal-time ties: completions
+/// first (by job id, as the reliable engine always did), then releases,
+/// then churn transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A worker returns job results; the generation tag invalidates
+    /// completions of assignments killed by pool churn.
+    Completion(NodeId, u32),
+    /// A transiently failed job re-enters the eligible queue.
+    Release(NodeId),
+    /// The worker pool goes down.
+    PoolDown,
+    /// The worker pool comes back up.
+    PoolUp,
+}
+
+/// How one job ended, when the fault layer is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The job completed successfully.
+    Completed,
+    /// The job aborted: a permanent fault, or retries exhausted.
+    FailedPermanent,
+    /// An ancestor aborted, so the job could never run.
+    Unreachable,
+}
+
 /// The raw counters of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
-    /// Time at which the last job completed (0 for an empty dag).
+    /// Time at which the last job resolved (0 for an empty dag). Without
+    /// faults every job completes and this is the last completion time.
     pub makespan: f64,
     /// Batches that arrived up to and including the batch that assigned
     /// the last job.
@@ -51,6 +94,21 @@ pub struct SimOutcome {
     pub total_requests: u64,
     /// Number of jobs in the dag.
     pub num_jobs: usize,
+    /// Jobs that completed successfully (equals `num_jobs` without
+    /// faults).
+    pub completed: usize,
+    /// Jobs that aborted permanently (fault layer only).
+    pub failed_permanent: usize,
+    /// Jobs unreachable because an ancestor aborted (fault layer only).
+    pub unreachable: usize,
+    /// Failed attempts across all jobs (legacy worker failures plus
+    /// injected faults).
+    pub failed_attempts: u64,
+    /// Simulated time spent on attempts that failed ("wasted work");
+    /// tracked whenever failures are possible.
+    pub wasted_time: f64,
+    /// Per-job resolution, when the fault layer was active.
+    pub outcomes: Option<Vec<JobOutcome>>,
     /// Event trace, when requested.
     pub trace: Option<Trace>,
     /// Time-series and latency telemetry, when requested (traced runs).
@@ -109,24 +167,124 @@ impl TelemetryState {
     }
 }
 
+/// Mutable fault-layer state for one run. Allocated only when the
+/// [`FaultConfig`] is active, so the reliable hot path pays nothing.
+struct FaultState {
+    fault_seed: u64,
+    churn_rng: Option<prio_stats::rng::SimRng>,
+    mttf: Exponential,
+    mttr: Exponential,
+    retry: RetryPolicy,
+    /// Attempts started per job (1-based once assigned).
+    attempts: Vec<u32>,
+    /// Assignment generation per job; completions of older generations
+    /// (assignments killed by churn) are stale and skipped.
+    generation: Vec<u32>,
+    /// Whether the job is currently on a worker.
+    running: Vec<bool>,
+    /// Assignment timestamps for wasted-work accounting.
+    assigned_at: Vec<f64>,
+    /// Per-job resolution; `None` while undecided.
+    outcomes: Vec<Option<JobOutcome>>,
+    pool_up: bool,
+}
+
 /// Simulates one execution of `dag` under `policy` and `model` with the
-/// given `seed`.
+/// given `seed` (the paper's reliable grid).
 pub fn simulate(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
-    run(dag, policy, model, seed, false)
+    run(dag, policy, model, None, seed, false)
 }
 
 /// Like [`simulate`] but records a full event trace and per-step
 /// telemetry ([`SimTelemetry`]) — slower; for `--trace-out` and tests.
 pub fn simulate_traced(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
-    run(dag, policy, model, seed, true)
+    run(dag, policy, model, None, seed, true)
 }
 
-fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: bool) -> SimOutcome {
+/// Simulates one execution with fault injection and recovery. An
+/// inactive `faults` config is bit-identical to [`simulate`].
+pub fn simulate_faulty(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    faults: &FaultConfig,
+    seed: u64,
+) -> SimOutcome {
+    run(dag, policy, model, Some(faults), seed, false)
+}
+
+/// Like [`simulate_faulty`] but records the full event trace and
+/// telemetry.
+pub fn simulate_faulty_traced(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    faults: &FaultConfig,
+    seed: u64,
+) -> SimOutcome {
+    run(dag, policy, model, Some(faults), seed, true)
+}
+
+/// Marks every unresolved descendant of `job` unreachable (none of them
+/// can ever have run: their aborted ancestor never completed). Returns
+/// how many jobs were marked.
+fn mark_descendants_unreachable(
+    dag: &Dag,
+    job: NodeId,
+    outcomes: &mut [Option<JobOutcome>],
+) -> usize {
+    let mut marked = 0;
+    let mut stack: Vec<NodeId> = dag.children(job).to_vec();
+    while let Some(v) = stack.pop() {
+        if outcomes[v.index()].is_some() {
+            continue;
+        }
+        outcomes[v.index()] = Some(JobOutcome::Unreachable);
+        marked += 1;
+        stack.extend_from_slice(dag.children(v));
+    }
+    marked
+}
+
+fn run(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    faults: Option<&FaultConfig>,
+    seed: u64,
+    traced: bool,
+) -> SimOutcome {
     let n = dag.num_nodes();
     let mut rng = seeded_rng(seed);
     let interarrival = model.interarrival();
     let runtime = model.runtime();
     let failures = model.failure_probability;
+
+    // Fault layer: allocated only when active so the reliable hot path
+    // (and its RNG stream) is exactly the pre-fault engine.
+    let faults = faults.filter(|f| f.is_active());
+    let mut fs: Option<FaultState> = faults.map(|f| {
+        let churn_rng = f.model.worker_mttf.map(|_| {
+            let mut churn = seeded_rng(crate::fault::churn_seed(seed));
+            // Burn one draw so the first uptime is independent of the
+            // stream head shared with other salts.
+            let _: u64 = churn.gen();
+            churn
+        });
+        FaultState {
+            fault_seed: crate::fault::fault_seed(seed),
+            churn_rng,
+            mttf: Exponential::new(f.model.worker_mttf.unwrap_or(1.0)),
+            mttr: Exponential::new(f.model.worker_mttr.max(f64::MIN_POSITIVE)),
+            retry: f.retry,
+            attempts: vec![0; n],
+            generation: vec![0; n],
+            running: vec![false; n],
+            assigned_at: vec![0.0; n],
+            outcomes: vec![None; n],
+            pool_up: true,
+        }
+    });
 
     let mut queue = policy.make_queue(n);
     let mut missing_parents: Vec<u32> = dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
@@ -134,7 +292,13 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
         queue.push(u);
     }
 
-    let mut completions: BinaryHeap<Reverse<(Time, NodeId)>> = BinaryHeap::new();
+    let mut events: BinaryHeap<Reverse<(Time, Ev)>> = BinaryHeap::new();
+    if let Some(fs) = fs.as_mut() {
+        if let Some(churn) = fs.churn_rng.as_mut() {
+            let first_down = fs.mttf.sample(churn);
+            events.push(Reverse((Time(first_down), Ev::PoolDown)));
+        }
+    }
     let mut trace: Option<Trace> = if traced { Some(Vec::new()) } else { None };
     // Telemetry rides along only on traced runs so the plain `simulate`
     // hot path allocates nothing extra. `eligible_at` starts at 0.0
@@ -149,6 +313,11 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
 
     let mut in_flight = 0usize;
     let mut completed = 0usize;
+    let mut resolved = 0usize;
+    let mut failed_permanent = 0usize;
+    let mut unreachable = 0usize;
+    let mut failed_attempts = 0u64;
+    let mut wasted_time = 0.0f64;
     let mut makespan = 0.0f64;
     let mut batches_observed = 0u64;
     let mut stalled_batches = 0u64;
@@ -165,53 +334,186 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
     let mut events_processed = 0u64;
     let mut heap_high_water = 0usize;
 
-    while completed < n {
+    while resolved < n {
         events_processed += 1;
-        heap_high_water = heap_high_water.max(completions.len());
-        // Jobs neither completed nor currently on a worker — with reliable
+        heap_high_water = heap_high_water.max(events.len());
+        // Jobs neither resolved nor currently on a worker — with reliable
         // workers this is "unexecuted and unassigned"; with failures a job
-        // can re-enter this state.
-        let unassigned = n - completed - in_flight;
-        let next_completion = completions.peek().map(|Reverse((t, _))| t.0);
+        // can re-enter this state (and jobs in retry backoff stay in it).
+        let unassigned = n - resolved - in_flight;
+        let next_event = events.peek().map(|Reverse((t, _))| t.0);
         // Completions win ties so a batch arriving at the same instant sees
         // the freed dependencies. With reliable workers, batches after the
         // last assignment cannot matter and are skipped entirely (keeping
         // the RNG stream identical to the paper's model).
-        let take_completion = match next_completion {
-            Some(tc) => (unassigned == 0 && failures == 0.0) || tc <= next_batch,
+        let take_event = match next_event {
+            Some(tc) => (unassigned == 0 && failures == 0.0 && fs.is_none()) || tc <= next_batch,
             None => false,
         };
-        if take_completion {
-            let Reverse((Time(t), job)) = completions.pop().expect("peeked");
-            in_flight -= 1;
-            if failures > 0.0 && rng.gen_bool(failures) {
-                // The worker quit or returned garbage: the job becomes
-                // eligible again (its parents are still complete).
-                queue.push(job);
-                if let Some(ts) = telem.as_mut() {
-                    ts.eligible_at[job.index()] = t;
-                }
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(TraceEvent::JobFailed { time: t, job });
-                }
-            } else {
-                completed += 1;
-                makespan = makespan.max(t);
-                if let Some(ts) = telem.as_mut() {
-                    ts.telemetry.record_service(t - ts.assigned_at[job.index()]);
-                }
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(TraceEvent::JobCompleted { time: t, job });
-                }
-                for &child in dag.children(job) {
-                    let m = &mut missing_parents[child.index()];
-                    *m -= 1;
-                    if *m == 0 {
-                        queue.push(child);
-                        if let Some(ts) = telem.as_mut() {
-                            ts.eligible_at[child.index()] = t;
+        if take_event {
+            let Reverse((Time(t), ev)) = events.pop().expect("peeked");
+            match ev {
+                Ev::Completion(job, generation) => {
+                    // Stale completion: this assignment was killed by pool
+                    // churn; its failure was already processed then.
+                    if let Some(fs) = fs.as_ref() {
+                        if fs.generation[job.index()] != generation {
+                            continue;
                         }
                     }
+                    in_flight -= 1;
+                    if let Some(fs) = fs.as_mut() {
+                        fs.running[job.index()] = false;
+                    }
+                    if failures > 0.0 && rng.gen_bool(failures) {
+                        // Legacy unreliable-worker model: the job becomes
+                        // eligible again immediately, with no retry cap.
+                        failed_attempts += 1;
+                        queue.push(job);
+                        if let Some(ts) = telem.as_mut() {
+                            wasted_time += t - ts.assigned_at[job.index()];
+                            ts.telemetry.record_waste(t - ts.assigned_at[job.index()]);
+                            ts.eligible_at[job.index()] = t;
+                        } else if let Some(fs) = fs.as_ref() {
+                            wasted_time += t - fs.assigned_at[job.index()];
+                        }
+                        if let Some(tr) = trace.as_mut() {
+                            tr.push(TraceEvent::JobFailed { time: t, job });
+                        }
+                    } else if fs.as_ref().is_some_and(|fs| {
+                        faults
+                            .expect("fault state implies config")
+                            .model
+                            .attempt_fails(fs.fault_seed, job, fs.attempts[job.index()])
+                    }) {
+                        process_fault(
+                            FaultSite {
+                                dag,
+                                model: &faults.expect("fault state implies config").model,
+                                t,
+                                job,
+                                from_churn: false,
+                            },
+                            fs.as_mut().expect("checked"),
+                            &mut queue,
+                            &mut events,
+                            &mut trace,
+                            &mut telem,
+                            &mut Totals {
+                                resolved: &mut resolved,
+                                failed_permanent: &mut failed_permanent,
+                                unreachable: &mut unreachable,
+                                failed_attempts: &mut failed_attempts,
+                                wasted_time: &mut wasted_time,
+                                makespan: &mut makespan,
+                            },
+                        );
+                    } else {
+                        completed += 1;
+                        resolved += 1;
+                        makespan = makespan.max(t);
+                        if let Some(fs) = fs.as_mut() {
+                            fs.outcomes[job.index()] = Some(JobOutcome::Completed);
+                        }
+                        if let Some(ts) = telem.as_mut() {
+                            ts.telemetry.record_service(t - ts.assigned_at[job.index()]);
+                            if let Some(fs) = fs.as_ref() {
+                                ts.telemetry.record_attempts(fs.attempts[job.index()]);
+                            }
+                        }
+                        if let Some(tr) = trace.as_mut() {
+                            tr.push(TraceEvent::JobCompleted { time: t, job });
+                        }
+                        for &child in dag.children(job) {
+                            let m = &mut missing_parents[child.index()];
+                            *m -= 1;
+                            // A child already marked unreachable (another
+                            // ancestor aborted) must never become eligible.
+                            let dead = fs
+                                .as_ref()
+                                .is_some_and(|fs| fs.outcomes[child.index()].is_some());
+                            if *m == 0 && !dead {
+                                queue.push(child);
+                                if let Some(ts) = telem.as_mut() {
+                                    ts.eligible_at[child.index()] = t;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ev::Release(job) => {
+                    let fs = fs.as_mut().expect("releases only exist with faults");
+                    queue.push(job);
+                    if let Some(ts) = telem.as_mut() {
+                        ts.eligible_at[job.index()] = t;
+                    }
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(TraceEvent::JobRetried {
+                            time: t,
+                            job,
+                            attempt: fs.attempts[job.index()] + 1,
+                            delay: fs.retry.backoff.delay(fs.attempts[job.index()]),
+                        });
+                    }
+                }
+                Ev::PoolDown => {
+                    let fsm = fs.as_mut().expect("churn only exists with faults");
+                    fsm.pool_up = false;
+                    // Parked workers are lost with the pool.
+                    idle_workers = 0;
+                    // Kill every in-flight job: each suffers a transient
+                    // fault at the outage instant. Their queued completion
+                    // events go stale via the generation bump.
+                    let victims: Vec<NodeId> =
+                        dag.node_ids().filter(|u| fsm.running[u.index()]).collect();
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(TraceEvent::WorkerDown {
+                            time: t,
+                            lost: victims.len() as u64,
+                        });
+                    }
+                    for job in victims {
+                        let fsm = fs.as_mut().expect("checked");
+                        fsm.running[job.index()] = false;
+                        fsm.generation[job.index()] += 1;
+                        in_flight -= 1;
+                        process_fault(
+                            FaultSite {
+                                dag,
+                                model: &faults.expect("fault state implies config").model,
+                                t,
+                                job,
+                                from_churn: true,
+                            },
+                            fsm,
+                            &mut queue,
+                            &mut events,
+                            &mut trace,
+                            &mut telem,
+                            &mut Totals {
+                                resolved: &mut resolved,
+                                failed_permanent: &mut failed_permanent,
+                                unreachable: &mut unreachable,
+                                failed_attempts: &mut failed_attempts,
+                                wasted_time: &mut wasted_time,
+                                makespan: &mut makespan,
+                            },
+                        );
+                    }
+                    let fsm = fs.as_mut().expect("checked");
+                    let churn = fsm.churn_rng.as_mut().expect("churn event needs rng");
+                    let up_at = t + fsm.mttr.sample(churn);
+                    events.push(Reverse((Time(up_at), Ev::PoolUp)));
+                }
+                Ev::PoolUp => {
+                    let fsm = fs.as_mut().expect("churn only exists with faults");
+                    fsm.pool_up = true;
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(TraceEvent::WorkerUp { time: t });
+                    }
+                    let churn = fsm.churn_rng.as_mut().expect("churn event needs rng");
+                    let down_at = t + fsm.mttf.sample(churn);
+                    events.push(Reverse((Time(down_at), Ev::PoolDown)));
                 }
             }
             // Rollover ablation: parked workers grab newly eligible jobs
@@ -220,7 +522,16 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                 let job = queue.pop().expect("non-empty");
                 idle_workers -= 1;
                 let completes_at = t + runtime.sample(&mut rng);
-                completions.push(Reverse((Time(completes_at), job)));
+                let generation = fs.as_mut().map_or(0, |fs| {
+                    fs.attempts[job.index()] += 1;
+                    fs.running[job.index()] = true;
+                    fs.assigned_at[job.index()] = t;
+                    fs.generation[job.index()]
+                });
+                events.push(Reverse((
+                    Time(completes_at),
+                    Ev::Completion(job, generation),
+                )));
                 in_flight += 1;
                 if let Some(ts) = telem.as_mut() {
                     ts.record_assignment(t, job);
@@ -247,9 +558,12 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
             // stalling and utilization denominators) iff pending
             // unassigned work exists, which under reliable workers is
             // exactly "until the batch when the last job was assigned".
+            // While the pool is down, arriving workers never reach the
+            // server: the batch is neither observed nor parked.
             let t = next_batch;
             let size = model.sample_batch_size(&mut rng);
-            if unassigned > 0 {
+            let pool_up = fs.as_ref().is_none_or(|fs| fs.pool_up);
+            if unassigned > 0 && pool_up {
                 batches_observed += 1;
                 total_requests += size;
                 let available = queue.len();
@@ -262,7 +576,16 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                 for _ in 0..to_assign {
                     let job = queue.pop().expect("available > 0");
                     let completes_at = t + runtime.sample(&mut rng);
-                    completions.push(Reverse((Time(completes_at), job)));
+                    let generation = fs.as_mut().map_or(0, |fs| {
+                        fs.attempts[job.index()] += 1;
+                        fs.running[job.index()] = true;
+                        fs.assigned_at[job.index()] = t;
+                        fs.generation[job.index()]
+                    });
+                    events.push(Reverse((
+                        Time(completes_at),
+                        Ev::Completion(job, generation),
+                    )));
                     in_flight += 1;
                     if let Some(ts) = telem.as_mut() {
                         ts.record_assignment(t, job);
@@ -286,7 +609,7 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
                         stalled,
                     });
                 }
-            } else if wait_mode {
+            } else if wait_mode && pool_up {
                 idle_workers += size;
             }
             if let Some(ts) = telem.as_mut() {
@@ -305,6 +628,12 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
     prio_obs::counter("sim.runs").inc();
     prio_obs::counter("sim.events_processed").add(events_processed);
     prio_obs::counter("sim.stalled_batches").add(stalled_batches);
+    if failed_attempts > 0 {
+        prio_obs::counter("sim.failed_attempts").add(failed_attempts);
+    }
+    if failed_permanent + unreachable > 0 {
+        prio_obs::counter("sim.jobs_aborted").add((failed_permanent + unreachable) as u64);
+    }
     prio_obs::gauge("sim.completion_heap_high_water").record_max(heap_high_water as u64);
 
     SimOutcome {
@@ -313,14 +642,109 @@ fn run(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64, traced: boo
         stalled_batches,
         total_requests,
         num_jobs: n,
+        completed,
+        failed_permanent,
+        unreachable,
+        failed_attempts,
+        wasted_time,
+        outcomes: fs.map(|fs| {
+            fs.outcomes
+                .into_iter()
+                .map(|o| o.expect("every job resolves before the run ends"))
+                .collect()
+        }),
         trace,
         telemetry: telem.map(|ts| ts.telemetry),
+    }
+}
+
+/// Immutable context of one fault: where and when it struck.
+struct FaultSite<'a> {
+    dag: &'a Dag,
+    model: &'a crate::fault::FaultModel,
+    t: f64,
+    job: NodeId,
+    from_churn: bool,
+}
+
+/// Mutable run totals threaded into [`process_fault`].
+struct Totals<'a> {
+    resolved: &'a mut usize,
+    failed_permanent: &'a mut usize,
+    unreachable: &'a mut usize,
+    failed_attempts: &'a mut u64,
+    wasted_time: &'a mut f64,
+    makespan: &'a mut f64,
+}
+
+/// Handles one failed attempt of `site.job` at time `site.t`: records the
+/// waste, emits `JobFailed`, then either aborts the job (permanent fault
+/// or retries exhausted — marking descendants unreachable) or schedules
+/// its retry (immediately or after the backoff delay).
+fn process_fault(
+    site: FaultSite<'_>,
+    fs: &mut FaultState,
+    queue: &mut crate::policy::PolicyQueue,
+    events: &mut BinaryHeap<Reverse<(Time, Ev)>>,
+    trace: &mut Option<Trace>,
+    telem: &mut Option<TelemetryState>,
+    totals: &mut Totals<'_>,
+) {
+    let FaultSite {
+        dag,
+        model,
+        t,
+        job,
+        from_churn,
+    } = site;
+    let attempt = fs.attempts[job.index()];
+    *totals.failed_attempts += 1;
+    let waste = t - fs.assigned_at[job.index()];
+    *totals.wasted_time += waste;
+    if let Some(ts) = telem.as_mut() {
+        ts.telemetry.record_waste(waste);
+    }
+    if let Some(tr) = trace.as_mut() {
+        tr.push(TraceEvent::JobFailed { time: t, job });
+    }
+    let permanent = !from_churn && model.fault_is_permanent(fs.fault_seed, job, attempt);
+    let exhausted = attempt >= fs.retry.max_attempts;
+    if permanent || exhausted {
+        fs.outcomes[job.index()] = Some(JobOutcome::FailedPermanent);
+        *totals.resolved += 1;
+        *totals.failed_permanent += 1;
+        *totals.makespan = totals.makespan.max(t);
+        if let Some(ts) = telem.as_mut() {
+            ts.telemetry.record_attempts(attempt);
+        }
+        let marked = mark_descendants_unreachable(dag, job, &mut fs.outcomes);
+        *totals.resolved += marked;
+        *totals.unreachable += marked;
+    } else {
+        let delay = fs.retry.backoff.delay(attempt);
+        if delay > 0.0 {
+            events.push(Reverse((Time(t + delay), Ev::Release(job))));
+        } else {
+            queue.push(job);
+            if let Some(ts) = telem.as_mut() {
+                ts.eligible_at[job.index()] = t;
+            }
+            if let Some(tr) = trace.as_mut() {
+                tr.push(TraceEvent::JobRetried {
+                    time: t,
+                    job,
+                    attempt: attempt + 1,
+                    delay: 0.0,
+                });
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Backoff, FaultModel};
     use prio_core::fifo::fifo_schedule;
     use prio_core::Schedule;
     use prio_graph::topo::critical_path_len;
@@ -399,6 +823,9 @@ mod tests {
             .count();
         assert_eq!(assigned, 6);
         assert_eq!(completed, 6);
+        assert_eq!(out.completed, 6);
+        assert_eq!(out.failed_permanent, 0);
+        assert_eq!(out.unreachable, 0);
         // Requests ≥ jobs, so utilization ≤ 1; probabilities in range.
         let m = out.metrics();
         assert!(out.total_requests >= 6);
@@ -519,6 +946,8 @@ mod tests {
             failures > 0,
             "with p=0.4 over many assignments some failure occurs"
         );
+        assert_eq!(out.failed_attempts, failures as u64);
+        assert!(out.wasted_time > 0.0, "traced legacy runs track waste");
         // Dependencies still respected: completion order is the chain.
         let order: Vec<NodeId> = trace
             .iter()
@@ -563,6 +992,177 @@ mod tests {
     }
 
     #[test]
+    fn inactive_fault_config_is_bit_identical_to_simulate() {
+        let dag = chain(10);
+        let model = GridModel::paper(0.7, 3.0);
+        let plain = simulate(&dag, &fifo(), &model, 5);
+        let faulty = simulate_faulty(&dag, &fifo(), &model, &FaultConfig::none(), 5);
+        assert_eq!(plain, faulty);
+        let traced_plain = simulate_traced(&dag, &fifo(), &model, 5);
+        let traced_faulty = simulate_faulty_traced(&dag, &fifo(), &model, &FaultConfig::none(), 5);
+        assert_eq!(traced_plain, traced_faulty);
+    }
+
+    #[test]
+    fn injected_faults_retry_and_complete() {
+        let dag = chain(12);
+        let model = GridModel::paper(0.5, 4.0);
+        let faults = FaultConfig {
+            model: FaultModel::with_rate(0.4),
+            retry: RetryPolicy::dagman(30),
+        };
+        let out = simulate_faulty_traced(&dag, &fifo(), &model, &faults, 21);
+        assert_eq!(out.completed, 12);
+        assert_eq!(out.failed_permanent, 0, "30 retries is plenty at p=0.4");
+        let trace = out.trace.as_ref().unwrap();
+        let failed = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobFailed { .. }))
+            .count() as u64;
+        let retried = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobRetried { .. }))
+            .count() as u64;
+        assert_eq!(out.failed_attempts, failed);
+        assert_eq!(failed, retried, "every transient fault re-enters");
+        assert!(out.wasted_time > 0.0);
+        let outcomes = out.outcomes.as_ref().unwrap();
+        assert!(outcomes.iter().all(|o| *o == JobOutcome::Completed));
+    }
+
+    #[test]
+    fn deterministic_schedule_aborts_and_strands_descendants() {
+        // Job 1 always fails; RETRY 1 (two attempts) exhausts, so jobs 2..5
+        // become unreachable while the independent job 5 (no ancestor)
+        // still completes.
+        let dag = Dag::from_arcs(6, &[(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let model = GridModel::paper(0.5, 4.0);
+        let faults = FaultConfig {
+            model: FaultModel::none().failing_first(NodeId(1), u32::MAX),
+            retry: RetryPolicy::dagman(1),
+        };
+        let out = simulate_faulty_traced(&dag, &fifo(), &model, &faults, 9);
+        assert_eq!(out.completed, 2, "jobs 0 and 5 complete");
+        assert_eq!(out.failed_permanent, 1);
+        assert_eq!(out.unreachable, 3);
+        assert_eq!(
+            out.completed + out.failed_permanent + out.unreachable,
+            out.num_jobs
+        );
+        let outcomes = out.outcomes.as_ref().unwrap();
+        assert_eq!(outcomes[1], JobOutcome::FailedPermanent);
+        for dead in [2, 3, 4] {
+            assert_eq!(outcomes[dead], JobOutcome::Unreachable);
+        }
+        // The stranded jobs were never assigned.
+        let trace = out.trace.as_ref().unwrap();
+        for e in trace {
+            if let TraceEvent::JobAssigned { job, .. } = e {
+                assert!(job.index() < 2 || job.index() == 5, "dead job assigned");
+            }
+        }
+        // Exactly two attempts of job 1: both failed, one retry between.
+        let fails = trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::JobFailed { job, .. } if job.index() == 1))
+            .count();
+        assert_eq!(fails, 2);
+    }
+
+    #[test]
+    fn backoff_delays_reentry() {
+        let dag = chain(2);
+        let model = GridModel::paper(0.5, 4.0);
+        let faults = FaultConfig {
+            model: FaultModel::none().failing_first(NodeId(0), 1),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff: Backoff::Fixed(5.0),
+            },
+        };
+        let out = simulate_faulty_traced(&dag, &fifo(), &model, &faults, 3);
+        let trace = out.trace.as_ref().unwrap();
+        let fail_t = trace
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::JobFailed { time, .. } => Some(*time),
+                _ => None,
+            })
+            .expect("scheduled fault fires");
+        let retry = trace
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::JobRetried {
+                    time,
+                    attempt,
+                    delay,
+                    ..
+                } => Some((*time, *attempt, *delay)),
+                _ => None,
+            })
+            .expect("job retries");
+        assert!(
+            (retry.0 - (fail_t + 5.0)).abs() < 1e-9,
+            "re-entry at fail + backoff: {} vs {}",
+            retry.0,
+            fail_t + 5.0
+        );
+        assert_eq!(retry.1, 2, "second attempt");
+        assert_eq!(retry.2, 5.0);
+        assert_eq!(out.completed, 2);
+    }
+
+    #[test]
+    fn pool_churn_emits_updown_pairs_and_recovers() {
+        let dag = chain(12);
+        let model = GridModel::paper(0.5, 4.0);
+        let faults = FaultConfig {
+            model: FaultModel::none().with_churn(8.0, 2.0),
+            retry: RetryPolicy::dagman(50),
+        };
+        let out = simulate_faulty_traced(&dag, &fifo(), &model, &faults, 17);
+        assert_eq!(out.completed, 12, "churn with generous retries recovers");
+        let trace = out.trace.as_ref().unwrap();
+        let downs: Vec<f64> = trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::WorkerDown { time, .. } => Some(*time),
+                _ => None,
+            })
+            .collect();
+        let ups: Vec<f64> = trace
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::WorkerUp { time } => Some(*time),
+                _ => None,
+            })
+            .collect();
+        // Downs and ups alternate starting with a down; the final down may
+        // be unmatched if the run ends during an outage.
+        assert!(ups.len() <= downs.len());
+        assert!(downs.len() >= ups.len());
+        for (d, u) in downs.iter().zip(&ups) {
+            assert!(d < u, "down {d} precedes its up {u}");
+        }
+        // Assignments never happen while the pool is down.
+        let mut up = true;
+        let mut down_since = 0.0;
+        for e in trace {
+            match e {
+                TraceEvent::WorkerDown { time, .. } => {
+                    up = false;
+                    down_since = *time;
+                }
+                TraceEvent::WorkerUp { .. } => up = true,
+                TraceEvent::JobAssigned { time, .. } => {
+                    assert!(up, "assignment at {time} during outage since {down_since}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
     fn empty_dag_is_trivial() {
         let dag = prio_graph::DagBuilder::new().build().unwrap();
         let out = simulate(&dag, &fifo(), &GridModel::paper(1.0, 1.0), 1);
@@ -596,6 +1196,9 @@ mod tests {
         assert!(u.peak <= 1.0 && u.mean >= 0.0, "{u:?}");
         // Discard model never parks workers.
         assert_eq!(telem.idle_workers.digest().peak, 0.0);
+        // Reliable runs record no fault telemetry.
+        assert_eq!(telem.job_attempts.count(), 0);
+        assert_eq!(telem.wasted_work.count(), 0);
         // Untraced runs carry none.
         assert!(simulate(&dag, &oblivious(&dag), &model, 3)
             .telemetry
@@ -619,6 +1222,26 @@ mod tests {
             .count() as u64;
         assert_eq!(telem.job_wait.count(), 15 + failures);
         assert_eq!(telem.job_service.count(), 15);
+        assert_eq!(telem.wasted_work.count(), failures);
+    }
+
+    #[test]
+    fn faulty_telemetry_records_attempts_and_waste() {
+        let dag = chain(8);
+        let model = GridModel::paper(0.5, 4.0);
+        let faults = FaultConfig {
+            model: FaultModel::with_rate(0.35),
+            retry: RetryPolicy::dagman(20),
+        };
+        let out = simulate_faulty_traced(&dag, &fifo(), &model, &faults, 11);
+        let telem = out.telemetry.as_ref().unwrap();
+        assert_eq!(
+            telem.job_attempts.count(),
+            8,
+            "one attempts sample per resolved job"
+        );
+        assert_eq!(telem.wasted_work.count(), out.failed_attempts);
+        assert!(telem.job_attempts.summary().max >= 1);
     }
 
     #[test]

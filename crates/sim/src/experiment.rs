@@ -7,9 +7,10 @@
 //! B = FIFO, a ratio below 1 for execution time or stalling — or above 1
 //! for utilization — means PRIO wins.
 
+use crate::fault::FaultConfig;
 use crate::model::GridModel;
 use crate::policy::PolicySpec;
-use crate::replicate::{sampling_distributions, MetricDistributions, ReplicationPlan};
+use crate::replicate::{sampling_distributions_with, MetricDistributions, ReplicationPlan};
 use prio_core::{PrioError, Prioritizer};
 use prio_graph::Dag;
 use prio_stats::ConfidenceInterval;
@@ -28,9 +29,12 @@ pub struct ComparisonResult {
     pub stalling_ratio: Option<ConfidenceInterval>,
     /// 95% CI of the utilization ratio A/B.
     pub utilization_ratio: Option<ConfidenceInterval>,
+    /// 95% CI of the wasted-work ratio A/B (`None` on failure-free
+    /// runs, where every B sample is zero).
+    pub wasted_work_ratio: Option<ConfidenceInterval>,
 }
 
-/// Runs both policies on the same model cell and computes the three ratio
+/// Runs both policies on the same model cell and computes the ratio
 /// confidence intervals. The two policies use *independent* randomness
 /// (distinct derived seed streams), matching the paper's independent
 /// sampling distributions.
@@ -41,6 +45,20 @@ pub fn compare_policies(
     model: &GridModel,
     plan: &ReplicationPlan,
 ) -> ComparisonResult {
+    compare_policies_with(dag, a, b, model, None, plan)
+}
+
+/// Like [`compare_policies`], but both policies run under the given
+/// fault configuration — the §4-under-faults experiment. `None` (or an
+/// inactive config) reproduces the reliable comparison exactly.
+pub fn compare_policies_with(
+    dag: &Dag,
+    a: &PolicySpec,
+    b: &PolicySpec,
+    model: &GridModel,
+    faults: Option<&FaultConfig>,
+    plan: &ReplicationPlan,
+) -> ComparisonResult {
     let plan_a = ReplicationPlan {
         seed: plan.seed ^ 0xA11CE,
         ..*plan
@@ -49,17 +67,19 @@ pub fn compare_policies(
         seed: plan.seed ^ 0xB0B,
         ..*plan
     };
-    let da = sampling_distributions(dag, a, model, &plan_a);
-    let db = sampling_distributions(dag, b, model, &plan_b);
+    let da = sampling_distributions_with(dag, a, model, faults, &plan_a);
+    let db = sampling_distributions_with(dag, b, model, faults, &plan_b);
     let execution_time_ratio = da.execution_time.ratio_ci(&db.execution_time);
     let stalling_ratio = da.stalling.ratio_ci(&db.stalling);
     let utilization_ratio = da.utilization.ratio_ci(&db.utilization);
+    let wasted_work_ratio = da.wasted_work.ratio_ci(&db.wasted_work);
     ComparisonResult {
         a: da,
         b: db,
         execution_time_ratio,
         stalling_ratio,
         utilization_ratio,
+        wasted_work_ratio,
     }
 }
 
@@ -73,6 +93,17 @@ pub fn compare_prio_fifo_many(
     model: &GridModel,
     plan: &ReplicationPlan,
 ) -> Vec<Result<ComparisonResult, PrioError>> {
+    compare_prio_fifo_many_with(dags, model, None, plan)
+}
+
+/// Fault-aware batch variant: every PRIO-vs-FIFO comparison runs under
+/// the given fault configuration.
+pub fn compare_prio_fifo_many_with(
+    dags: &[Dag],
+    model: &GridModel,
+    faults: Option<&FaultConfig>,
+    plan: &ReplicationPlan,
+) -> Vec<Result<ComparisonResult, PrioError>> {
     Prioritizer::new()
         .prioritize_many(dags)
         .into_iter()
@@ -80,7 +111,7 @@ pub fn compare_prio_fifo_many(
         .map(|(res, dag)| {
             res.map(|r| {
                 let prio = PolicySpec::Oblivious(r.schedule);
-                compare_policies(dag, &prio, &PolicySpec::Fifo, model, plan)
+                compare_policies_with(dag, &prio, &PolicySpec::Fifo, model, faults, plan)
             })
         })
         .collect()

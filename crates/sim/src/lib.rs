@@ -25,6 +25,7 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod model;
 pub mod policy;
@@ -34,8 +35,9 @@ pub mod telemetry;
 pub mod trace;
 pub mod trace_json;
 
-pub use engine::{simulate, SimOutcome};
+pub use engine::{simulate, simulate_faulty, JobOutcome, SimOutcome};
 pub use experiment::{compare_policies, ComparisonResult};
+pub use fault::{Backoff, FaultConfig, FaultModel, RetryPolicy};
 pub use metrics::RunMetrics;
 pub use model::{BatchSizeModel, GridModel};
 pub use policy::PolicySpec;

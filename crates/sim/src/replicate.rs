@@ -8,7 +8,8 @@
 //! deterministically from the plan's master seed and the run index, so the
 //! result is bit-identical regardless of thread count.
 
-use crate::engine::simulate;
+use crate::engine::{simulate, simulate_faulty};
+use crate::fault::FaultConfig;
 use crate::model::GridModel;
 use crate::policy::PolicySpec;
 use prio_graph::Dag;
@@ -69,6 +70,13 @@ pub struct MetricDistributions {
     pub stalling: SamplingDistribution,
     /// Sampling distribution of the mean utilization.
     pub utilization: SamplingDistribution,
+    /// Sampling distribution of the mean failed-attempt count per run
+    /// (all-zero without faults).
+    pub failed_attempts: SamplingDistribution,
+    /// Sampling distribution of the mean wasted work per run — simulated
+    /// time spent on attempts that later failed (all-zero without
+    /// faults).
+    pub wasted_work: SamplingDistribution,
 }
 
 /// Runs `p × q` simulations of `dag` under `policy`/`model` and aggregates
@@ -79,17 +87,30 @@ pub fn sampling_distributions(
     model: &GridModel,
     plan: &ReplicationPlan,
 ) -> MetricDistributions {
+    sampling_distributions_with(dag, policy, model, None, plan)
+}
+
+/// Like [`sampling_distributions`], but each run executes under the
+/// given fault configuration. `None` (or an inactive config) is the
+/// reliable grid, with identical seeds and measurements.
+pub fn sampling_distributions_with(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    faults: Option<&FaultConfig>,
+    plan: &ReplicationPlan,
+) -> MetricDistributions {
     assert!(
         plan.p > 0 && plan.q > 0,
         "plan must run at least one simulation"
     );
     let total = plan.p * plan.q;
-    let mut measurements: Vec<[f64; 3]> = vec![[0.0; 3]; total];
+    let mut measurements: Vec<[f64; 5]> = vec![[0.0; 5]; total];
 
     let threads = plan.effective_threads().min(total);
     if threads <= 1 {
         for (i, slot) in measurements.iter_mut().enumerate() {
-            *slot = run_one(dag, policy, model, plan.seed, i);
+            *slot = run_one(dag, policy, model, faults, plan.seed, i);
         }
     } else {
         let (tx, rx) = crossbeam::channel::unbounded::<usize>();
@@ -97,7 +118,7 @@ pub fn sampling_distributions(
             tx.send(i).expect("queue open");
         }
         drop(tx);
-        let chunks = std::sync::Mutex::new(Vec::<(usize, [f64; 3])>::with_capacity(total));
+        let chunks = std::sync::Mutex::new(Vec::<(usize, [f64; 5])>::with_capacity(total));
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 let rx = rx.clone();
@@ -105,7 +126,7 @@ pub fn sampling_distributions(
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     while let Ok(i) = rx.recv() {
-                        local.push((i, run_one(dag, policy, model, plan.seed, i)));
+                        local.push((i, run_one(dag, policy, model, faults, plan.seed, i)));
                     }
                     chunks.lock().expect("collector lock").extend(local);
                 });
@@ -121,6 +142,8 @@ pub fn sampling_distributions(
         execution_time: SamplingDistribution::from_measurements(&column(0), plan.p, plan.q),
         stalling: SamplingDistribution::from_measurements(&column(1), plan.p, plan.q),
         utilization: SamplingDistribution::from_measurements(&column(2), plan.p, plan.q),
+        failed_attempts: SamplingDistribution::from_measurements(&column(3), plan.p, plan.q),
+        wasted_work: SamplingDistribution::from_measurements(&column(4), plan.p, plan.q),
     }
 }
 
@@ -128,11 +151,17 @@ fn run_one(
     dag: &Dag,
     policy: &PolicySpec,
     model: &GridModel,
+    faults: Option<&FaultConfig>,
     master: u64,
     index: usize,
-) -> [f64; 3] {
+) -> [f64; 5] {
     let seed = derive_seed(master, index as u64);
-    simulate(dag, policy, model, seed).metrics().as_array()
+    let out = match faults {
+        Some(f) if f.is_active() => simulate_faulty(dag, policy, model, f, seed),
+        _ => simulate(dag, policy, model, seed),
+    };
+    let [t, s, u] = out.metrics().as_array();
+    [t, s, u, out.failed_attempts as f64, out.wasted_time]
 }
 
 #[cfg(test)]
@@ -213,6 +242,63 @@ mod tests {
             prio_obs::gauge("sim.completion_heap_high_water").get() >= 1,
             "some run must have had a job in flight"
         );
+    }
+
+    #[test]
+    fn faulty_replication_is_thread_count_invariant() {
+        use crate::fault::{FaultConfig, FaultModel, RetryPolicy};
+        let dag = small_dag();
+        let model = GridModel::paper(0.7, 3.0);
+        let faults = FaultConfig {
+            model: FaultModel::with_rate(0.3),
+            retry: RetryPolicy::dagman(5),
+        };
+        let serial = ReplicationPlan {
+            p: 6,
+            q: 4,
+            seed: 9,
+            threads: 1,
+        };
+        let parallel = ReplicationPlan {
+            threads: 4,
+            ..serial
+        };
+        let a =
+            sampling_distributions_with(&dag, &PolicySpec::Fifo, &model, Some(&faults), &serial);
+        let b =
+            sampling_distributions_with(&dag, &PolicySpec::Fifo, &model, Some(&faults), &parallel);
+        assert_eq!(a.execution_time.samples(), b.execution_time.samples());
+        assert_eq!(a.failed_attempts.samples(), b.failed_attempts.samples());
+        assert_eq!(a.wasted_work.samples(), b.wasted_work.samples());
+        // At rate 0.3 some run in 24 must have failed an attempt.
+        assert!(a.failed_attempts.samples().iter().any(|&f| f > 0.0));
+        assert!(a.wasted_work.samples().iter().any(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn inactive_faults_reproduce_reliable_distributions() {
+        let dag = small_dag();
+        let model = GridModel::paper(0.7, 3.0);
+        let plan = ReplicationPlan {
+            p: 4,
+            q: 3,
+            seed: 2,
+            threads: 1,
+        };
+        let plain = sampling_distributions(&dag, &PolicySpec::Fifo, &model, &plan);
+        let gated = sampling_distributions_with(
+            &dag,
+            &PolicySpec::Fifo,
+            &model,
+            Some(&crate::fault::FaultConfig::none()),
+            &plan,
+        );
+        assert_eq!(
+            plain.execution_time.samples(),
+            gated.execution_time.samples()
+        );
+        assert!(plain.failed_attempts.samples().iter().all(|&f| f == 0.0));
+        assert!(plain.wasted_work.samples().iter().all(|&w| w == 0.0));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! sections of each plot) and `μ_BS` over the powers of two from 2⁰ to 2¹⁶
 //! (seventeen points per section).
 
-use crate::experiment::{compare_policies, ComparisonResult};
+use crate::experiment::{compare_policies, compare_policies_with, ComparisonResult};
+use crate::fault::{FaultConfig, FaultModel, RetryPolicy};
 use crate::model::GridModel;
 use crate::policy::PolicySpec;
 use crate::replicate::ReplicationPlan;
@@ -67,6 +68,48 @@ pub fn sweep(
         }
     }
     cells
+}
+
+/// One fault-intensity cell's outcome: the PRIO-vs-FIFO comparison at a
+/// given per-attempt failure rate.
+#[derive(Debug, Clone)]
+pub struct FaultSweepCell {
+    /// Per-attempt failure probability of this cell.
+    pub fault_rate: f64,
+    /// The policy comparison at this cell.
+    pub result: ComparisonResult,
+}
+
+/// Sweeps fault intensity at a fixed model cell: compares policy `a`
+/// against `b` at each per-attempt failure rate in `rates` under the
+/// given retry policy. Per-cell seeds are derived from the rate index so
+/// the sweep is deterministic and each cell independent. A rate of 0
+/// runs the reliable engine (the §4 baseline).
+pub fn sweep_fault_rates(
+    dag: &Dag,
+    a: &PolicySpec,
+    b: &PolicySpec,
+    model: &GridModel,
+    rates: &[f64],
+    retry: RetryPolicy,
+    plan: &ReplicationPlan,
+) -> Vec<FaultSweepCell> {
+    rates
+        .iter()
+        .enumerate()
+        .map(|(i, &fault_rate)| {
+            let cell_plan = ReplicationPlan {
+                seed: plan.seed.wrapping_add((i as u64) << 16),
+                ..*plan
+            };
+            let faults = (fault_rate > 0.0).then(|| FaultConfig {
+                model: FaultModel::with_rate(fault_rate),
+                retry,
+            });
+            let result = compare_policies_with(dag, a, b, model, faults.as_ref(), &cell_plan);
+            FaultSweepCell { fault_rate, result }
+        })
+        .collect()
 }
 
 /// Batch variant: prioritizes every dag through one shared pipeline
@@ -132,6 +175,53 @@ mod tests {
         for c in &cells {
             assert!(c.result.execution_time_ratio.is_some());
         }
+    }
+
+    #[test]
+    fn fault_sweep_covers_every_rate_and_reports_wasted_work() {
+        let dag = prio_workloads::airsn::airsn(6);
+        let prio = PolicySpec::Oblivious(prioritize(&dag).unwrap().schedule);
+        let plan = ReplicationPlan {
+            p: 4,
+            q: 3,
+            seed: 7,
+            threads: 0,
+        };
+        let cells = sweep_fault_rates(
+            &dag,
+            &prio,
+            &PolicySpec::Fifo,
+            &GridModel::paper(1.0, 4.0),
+            &[0.0, 0.1, 0.3],
+            RetryPolicy::dagman(8),
+            &plan,
+        );
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0].fault_rate, 0.0);
+        // The baseline cell is failure-free: no wasted-work ratio exists.
+        assert!(cells[0].result.wasted_work_ratio.is_none());
+        assert!(cells[0]
+            .result
+            .a
+            .failed_attempts
+            .samples()
+            .iter()
+            .all(|&f| f == 0.0));
+        // Faulty cells report makespans and (at rate 0.3) wasted work.
+        for c in &cells {
+            assert!(
+                c.result.execution_time_ratio.is_some(),
+                "rate {}",
+                c.fault_rate
+            );
+        }
+        assert!(cells[2]
+            .result
+            .b
+            .wasted_work
+            .samples()
+            .iter()
+            .any(|&w| w > 0.0));
     }
 
     #[test]

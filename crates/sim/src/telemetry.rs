@@ -40,6 +40,12 @@ pub struct SimTelemetry {
     pub job_wait: Histogram,
     /// Assigned → completed latency per completion, milli-timeunits.
     pub job_service: Histogram,
+    /// Attempts per resolved job (fault-injected runs only; empty under
+    /// the reliable model).
+    pub job_attempts: Histogram,
+    /// Simulated time lost per failed attempt, milli-timeunits (empty on
+    /// failure-free runs).
+    pub wasted_work: Histogram,
 }
 
 impl Default for SimTelemetry {
@@ -58,6 +64,8 @@ impl SimTelemetry {
             utilization: TimeSeries::new(SERIES_CAPACITY),
             job_wait: Histogram::new(),
             job_service: Histogram::new(),
+            job_attempts: Histogram::new(),
+            wasted_work: Histogram::new(),
         }
     }
 
@@ -79,6 +87,17 @@ impl SimTelemetry {
         self.job_service.record(scale_time(service));
     }
 
+    /// Records how many attempts a job needed before it resolved
+    /// (fault-injected runs only).
+    pub fn record_attempts(&self, attempts: u32) {
+        self.job_attempts.record(attempts as u64);
+    }
+
+    /// Records the simulated time lost to one failed attempt.
+    pub fn record_waste(&self, waste: f64) {
+        self.wasted_work.record(scale_time(waste));
+    }
+
     /// The four series with their canonical record names, in emission
     /// order.
     pub fn series(&self) -> [(&'static str, &TimeSeries); 4] {
@@ -90,13 +109,16 @@ impl SimTelemetry {
         ]
     }
 
-    /// The two histograms with their canonical record names (the
-    /// `_milli` suffix records the [`TIME_SCALE`] unit), in emission
-    /// order.
-    pub fn histograms(&self) -> [(&'static str, &Histogram); 2] {
+    /// All histograms with their canonical record names (the `_milli`
+    /// suffix records the [`TIME_SCALE`] unit), in emission order. The
+    /// fault histograms stay empty on failure-free runs; serialization
+    /// skips empty histograms so reliable-run artifacts are unchanged.
+    pub fn histograms(&self) -> [(&'static str, &Histogram); 4] {
         [
             ("job_wait_milli", &self.job_wait),
             ("job_service_milli", &self.job_service),
+            ("job_attempts", &self.job_attempts),
+            ("wasted_work_milli", &self.wasted_work),
         ]
     }
 }

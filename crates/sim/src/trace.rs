@@ -41,6 +41,32 @@ pub enum TraceEvent {
         /// The job.
         job: NodeId,
     },
+    /// A transiently failed job re-entered the eligible queue after its
+    /// retry backoff (fault-injection layer only).
+    JobRetried {
+        /// Re-entry time.
+        time: f64,
+        /// The job.
+        job: NodeId,
+        /// The attempt number about to run (1-based; attempt 2 is the
+        /// first retry).
+        attempt: u32,
+        /// Backoff delay applied before this re-entry, in sim timeunits.
+        delay: f64,
+    },
+    /// The worker pool went down; every in-flight job failed
+    /// transiently (fault-injection layer only).
+    WorkerDown {
+        /// Outage time.
+        time: f64,
+        /// In-flight jobs killed by the outage.
+        lost: u64,
+    },
+    /// The worker pool came back up (fault-injection layer only).
+    WorkerUp {
+        /// Recovery time.
+        time: f64,
+    },
 }
 
 /// A recorded event sequence.

@@ -1,13 +1,18 @@
 //! JSONL serialization of [`TraceEvent`]s and [`SimTelemetry`].
 //!
 //! Each event becomes one JSON object with a `type` field
-//! (`batch_arrived`, `job_assigned`, `job_completed`, `job_failed`) and
-//! the schema version tag `v` ([`SCHEMA_VERSION`]), so a trace file
-//! interleaves cleanly with the `span`/`counter`/`gauge`/`meta` lines the
-//! observability sink emits. Telemetry adds two more record types, both
-//! carrying a `policy` field: `ts` (one per time series, with the exact
-//! digest and the stored — possibly downsampled — samples) and `hist`
-//! (one per latency histogram, summary only).
+//! (`batch_arrived`, `job_assigned`, `job_completed`, `job_failed`,
+//! `job_retried`, `worker_down`, `worker_up`) and the schema version tag
+//! `v` ([`SCHEMA_VERSION`]), so a trace file interleaves cleanly with the
+//! `span`/`counter`/`gauge`/`meta` lines the observability sink emits.
+//! The fault events are additive within schema v2: readers of any v2
+//! build skip unknown record types, so fault-bearing traces degrade
+//! gracefully rather than erroring. Telemetry adds two more record
+//! types, both carrying a `policy` field: `ts` (one per time series,
+//! with the exact digest and the stored — possibly downsampled —
+//! samples) and `hist` (one per non-empty histogram, summary only;
+//! empty histograms — the fault ones on reliable runs — are skipped so
+//! failure-free artifacts are byte-identical to pre-fault builds).
 //!
 //! Deserialization skips lines of other types, which makes a full
 //! `--trace-out` file replayable: reading it back yields exactly the
@@ -52,6 +57,22 @@ pub fn event_to_json(event: &TraceEvent) -> String {
             .f64("time", time)
             .u64("job", u64::from(job.0))
             .finish(),
+        TraceEvent::JobRetried {
+            time,
+            job,
+            attempt,
+            delay,
+        } => JsonObject::typed("job_retried")
+            .f64("time", time)
+            .u64("job", u64::from(job.0))
+            .u64("attempt", u64::from(attempt))
+            .f64("delay", delay)
+            .finish(),
+        TraceEvent::WorkerDown { time, lost } => JsonObject::typed("worker_down")
+            .f64("time", time)
+            .u64("lost", lost)
+            .finish(),
+        TraceEvent::WorkerUp { time } => JsonObject::typed("worker_up").f64("time", time).finish(),
     }
 }
 
@@ -121,6 +142,27 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
             time: time(&v)?,
             job: job(&v)?,
         },
+        "job_retried" => TraceEvent::JobRetried {
+            time: time(&v)?,
+            job: job(&v)?,
+            attempt: v
+                .get("attempt")
+                .and_then(JsonValue::as_u64)
+                .and_then(|a| u32::try_from(a).ok())
+                .ok_or("missing attempt")?,
+            delay: v
+                .get("delay")
+                .and_then(JsonValue::as_f64)
+                .ok_or("missing delay")?,
+        },
+        "worker_down" => TraceEvent::WorkerDown {
+            time: time(&v)?,
+            lost: v
+                .get("lost")
+                .and_then(JsonValue::as_u64)
+                .ok_or("missing lost")?,
+        },
+        "worker_up" => TraceEvent::WorkerUp { time: time(&v)? },
         _ => return Ok(None),
     };
     Ok(Some(event))
@@ -158,6 +200,11 @@ pub fn telemetry_to_json(policy: &str, telemetry: &SimTelemetry) -> Vec<String> 
     }
     for (name, hist) in telemetry.histograms() {
         let s = hist.summary();
+        // Empty histograms (the fault ones on failure-free runs) are
+        // skipped so reliable-run artifacts match pre-fault builds.
+        if s.count == 0 {
+            continue;
+        }
         lines.push(
             JsonObject::typed("hist")
                 .str("policy", policy)
@@ -227,6 +274,14 @@ mod tests {
                 time: 0.97,
                 job: NodeId(4),
             },
+            TraceEvent::JobRetried {
+                time: 1.47,
+                job: NodeId(4),
+                attempt: 2,
+                delay: 0.5,
+            },
+            TraceEvent::WorkerDown { time: 1.5, lost: 2 },
+            TraceEvent::WorkerUp { time: 2.25 },
             TraceEvent::JobCompleted {
                 time: 1.0625,
                 job: NodeId(0),

@@ -1,17 +1,22 @@
 //! Regression: a trace serialized to JSONL and replayed from the file must
 //! match the in-memory [`Trace`] event for event — exercising **every**
 //! event variant (`BatchArrived`, `JobAssigned`, `JobCompleted`,
-//! `JobFailed`), with span/counter/meta/telemetry lines interleaved in the
-//! file (readers must skip them) and every record tagged with the schema
-//! version.
+//! `JobFailed`, `JobRetried`, `WorkerDown`, `WorkerUp`), with
+//! span/counter/meta/telemetry lines interleaved in the file (readers
+//! must skip them) and every record tagged with the schema version.
+//! A property suite generates arbitrary events and checks the JSON
+//! round-trip plus the v1/v2 version-acceptance rules.
 
-use prio_graph::Dag;
+use prio_graph::{Dag, NodeId};
 use prio_obs::json::{parse, JsonValue, SCHEMA_VERSION};
 use prio_obs::JsonlSink;
-use prio_sim::engine::simulate_traced;
+use prio_sim::engine::{simulate_faulty_traced, simulate_traced};
 use prio_sim::trace::TraceEvent;
-use prio_sim::trace_json::{read_trace, write_telemetry, write_trace};
-use prio_sim::{GridModel, PolicySpec};
+use prio_sim::trace_json::{
+    event_from_json, event_to_json, read_trace, write_telemetry, write_trace,
+};
+use prio_sim::{FaultConfig, FaultModel, GridModel, PolicySpec, RetryPolicy};
+use proptest::prelude::*;
 
 /// The `TraceEvent` variant discriminants a full round-trip must cover.
 fn variant_name(event: &TraceEvent) -> &'static str {
@@ -20,6 +25,9 @@ fn variant_name(event: &TraceEvent) -> &'static str {
         TraceEvent::JobAssigned { .. } => "job_assigned",
         TraceEvent::JobCompleted { .. } => "job_completed",
         TraceEvent::JobFailed { .. } => "job_failed",
+        TraceEvent::JobRetried { .. } => "job_retried",
+        TraceEvent::WorkerDown { .. } => "worker_down",
+        TraceEvent::WorkerUp { .. } => "worker_up",
     }
 }
 
@@ -119,6 +127,165 @@ fn jsonl_trace_replays_event_for_event() {
         "hist",
     ] {
         assert!(typed.contains(kind), "{kind} must appear in the JSONL file");
+    }
+}
+
+#[test]
+fn faulty_runs_round_trip_with_all_fault_event_kinds() {
+    let dag = diamond_chain();
+    let model = GridModel::paper(0.8, 2.0);
+    // Transient faults with backoff plus pool churn: the trace must
+    // contain JobFailed, JobRetried, WorkerDown, and WorkerUp events.
+    let faults = FaultConfig {
+        model: FaultModel::with_rate(0.3).with_churn(15.0, 3.0),
+        retry: RetryPolicy {
+            max_attempts: 50,
+            backoff: prio_sim::Backoff::Fixed(0.25),
+        },
+    };
+    let (seed, outcome) = (0..200)
+        .find_map(|seed| {
+            let out = simulate_faulty_traced(&dag, &PolicySpec::Fifo, &model, &faults, seed);
+            let trace = out.trace.as_ref().expect("traced");
+            let covered: std::collections::BTreeSet<_> = trace.iter().map(variant_name).collect();
+            (covered.len() == 7).then_some((seed, out))
+        })
+        .expect("some seed must cover all seven event variants");
+    let trace = outcome.trace.expect("traced");
+    let telemetry = outcome.telemetry.expect("traced");
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!(
+        "prio_sim_fault_roundtrip_{}_{seed}.jsonl",
+        std::process::id()
+    ));
+    {
+        let sink = JsonlSink::to_file(&path).unwrap();
+        sink.write_meta("simulate", &format!("seed={seed}"))
+            .unwrap();
+        write_trace(&sink, &trace).unwrap();
+        write_telemetry(&sink, "fifo", &telemetry).unwrap();
+        sink.flush().unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    for line in text.lines() {
+        let v = parse(line).unwrap_or_else(|e| panic!("invalid JSONL {line:?}: {e}"));
+        assert_eq!(
+            v.get("v").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION),
+            "untagged record {line:?}"
+        );
+    }
+    assert_eq!(read_trace(&text).unwrap(), trace);
+
+    // Fault histograms are non-empty on this run, so their hist records
+    // appear alongside the latency ones.
+    let hist_names: std::collections::BTreeSet<_> = text
+        .lines()
+        .filter_map(|l| {
+            let v = parse(l).ok()?;
+            if v.get("type").and_then(JsonValue::as_str) == Some("hist") {
+                v.get("name").and_then(JsonValue::as_str).map(str::to_owned)
+            } else {
+                None
+            }
+        })
+        .collect();
+    for name in [
+        "job_wait_milli",
+        "job_service_milli",
+        "job_attempts",
+        "wasted_work_milli",
+    ] {
+        assert!(hist_names.contains(name), "{name} missing from telemetry");
+    }
+}
+
+/// A plausible finite simulated time: non-negative, round-trips exactly
+/// through `Display` (any finite f64 does; this keeps values readable).
+fn arb_time() -> impl Strategy<Value = f64> {
+    (0u64..100_000_000).prop_map(|t| t as f64 / 64.0)
+}
+
+fn arb_job() -> impl Strategy<Value = NodeId> {
+    (0u32..1_000_000).prop_map(NodeId)
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (arb_time(), 0u64..100_000, 0usize..10_000, any::<bool>()).prop_map(
+            |(time, size, assigned, stalled)| TraceEvent::BatchArrived {
+                time,
+                size,
+                assigned,
+                stalled,
+            }
+        ),
+        (arb_time(), arb_job(), arb_time()).prop_map(|(time, job, completes_at)| {
+            TraceEvent::JobAssigned {
+                time,
+                job,
+                completes_at,
+            }
+        }),
+        (arb_time(), arb_job()).prop_map(|(time, job)| TraceEvent::JobCompleted { time, job }),
+        (arb_time(), arb_job()).prop_map(|(time, job)| TraceEvent::JobFailed { time, job }),
+        (arb_time(), arb_job(), 1u32..10_000, arb_time()).prop_map(
+            |(time, job, attempt, delay)| TraceEvent::JobRetried {
+                time,
+                job,
+                attempt,
+                delay,
+            }
+        ),
+        (arb_time(), 0u64..100_000).prop_map(|(time, lost)| TraceEvent::WorkerDown { time, lost }),
+        arb_time().prop_map(|time| TraceEvent::WorkerUp { time }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every generated event — fault kinds included — survives the JSON
+    /// round-trip exactly and carries the schema version tag.
+    #[test]
+    fn arbitrary_events_round_trip(event in arb_event()) {
+        let line = event_to_json(&event);
+        let v = parse(&line).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(v.get("v").and_then(JsonValue::as_u64), Some(SCHEMA_VERSION));
+        let back = event_from_json(&line).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, Some(event));
+    }
+
+    /// Version-acceptance rules: records tagged with any version up to
+    /// the current schema (or untagged, i.e. v1) parse; records claiming
+    /// a newer schema are rejected as errors, not skipped.
+    #[test]
+    fn version_acceptance_rules_hold(event in arb_event(), bump in 1u64..5) {
+        let line = event_to_json(&event);
+        // Accepted: tags 1..=SCHEMA_VERSION.
+        for version in 1..=SCHEMA_VERSION {
+            let retagged = line.replace(
+                &format!("\"v\":{SCHEMA_VERSION}"),
+                &format!("\"v\":{version}"),
+            );
+            let back = event_from_json(&retagged).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(back, Some(event.clone()));
+        }
+        // Accepted: no tag at all (v1 writers).
+        let untagged = line.replace(&format!("\"v\":{SCHEMA_VERSION},"), "");
+        let back = event_from_json(&untagged).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, Some(event.clone()));
+        // Rejected: any strictly newer version.
+        let future = line.replace(
+            &format!("\"v\":{SCHEMA_VERSION}"),
+            &format!("\"v\":{}", SCHEMA_VERSION + bump),
+        );
+        let err = event_from_json(&future);
+        prop_assert!(err.is_err(), "future schema must be an error: {:?}", err);
+        prop_assert!(err.unwrap_err().contains("newer"));
     }
 }
 

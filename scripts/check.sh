@@ -44,4 +44,7 @@ if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
 fi
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings
+# Per-crate line coverage (cargo-llvm-cov). Optional: prints coverage
+# where the tool is installed, skips with a note where it is not.
+bash scripts/coverage.sh
 echo "check.sh: all checks passed"
