@@ -5,6 +5,7 @@
 //! ```text
 //! bench_check [--baseline FILE] [--fresh FILE] [--threshold F]
 //!             [--scaling-baseline FILE] [--scaling-fresh FILE]
+//!             [--trace FILE]
 //! ```
 //!
 //! * `--baseline FILE` — committed baseline (default `BENCH_pipeline.json`)
@@ -19,6 +20,10 @@
 //!   the tiers it measured
 //! * `--scaling-baseline FILE` — the scaling baseline
 //!   (default `BENCH_scaling.json`; only read with `--scaling-fresh`)
+//! * `--trace FILE` — additionally stream a `--trace-out` JSONL file
+//!   through the lifecycle analysis (the `prio trace` ingestion path),
+//!   reporting event count and throughput; a malformed trace fails the
+//!   check, so CI catches schema drift between writer and reader
 //!
 //! Exit codes: 0 within threshold, 1 regression, 2 usage/IO error.
 
@@ -35,6 +40,7 @@ struct Options {
     fresh: Option<String>,
     scaling_baseline: String,
     scaling_fresh: Option<String>,
+    trace: Option<String>,
     threshold: f64,
 }
 
@@ -44,6 +50,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         fresh: None,
         scaling_baseline: DEFAULT_SCALING_BASELINE.into(),
         scaling_fresh: None,
+        trace: None,
         threshold: DEFAULT_THRESHOLD,
     };
     let mut i = 0;
@@ -68,6 +75,10 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
             "--scaling-fresh" => {
                 opts.scaling_fresh = Some(value(i)?);
+                i += 2;
+            }
+            "--trace" => {
+                opts.trace = Some(value(i)?);
                 i += 2;
             }
             "--threshold" => {
@@ -104,7 +115,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F] \
-                 [--scaling-baseline FILE] [--scaling-fresh FILE]"
+                 [--scaling-baseline FILE] [--scaling-fresh FILE] [--trace FILE]"
             );
             return ExitCode::from(2);
         }
@@ -177,6 +188,31 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &opts.trace {
+        match analyze_trace(path) {
+            Ok(stats) => {
+                let secs = stats.elapsed.as_secs_f64().max(1e-9);
+                eprintln!(
+                    "bench_check: trace {path}: {} records ({} lifecycle events, {} jobs) \
+                     streamed in {:.1} ms ({:.0} records/s)",
+                    stats.records,
+                    stats.events,
+                    stats.jobs,
+                    secs * 1e3,
+                    stats.records as f64 / secs
+                );
+                if stats.events == 0 {
+                    eprintln!("bench_check: error: {path}: no lifecycle events in trace");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench_check: error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     if failed {
         eprintln!(
             "bench_check: FAIL — a metric slowed by more than {:.2}x; if intentional, \
@@ -193,4 +229,52 @@ fn main() -> ExitCode {
 fn load_scaling(path: &str) -> Result<ScalingBench, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     ScalingBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+struct TraceStats {
+    records: u64,
+    events: u64,
+    jobs: usize,
+    elapsed: std::time::Duration,
+}
+
+/// Streams a `--trace-out` JSONL file through the same reader and event
+/// decoder `prio trace` uses, counting records and distinct jobs. Any
+/// parse or schema error fails the check — the committed trace format and
+/// the reader must never drift apart.
+fn analyze_trace(path: &str) -> Result<TraceStats, String> {
+    use prio_sim::trace::TraceEvent;
+    let reader = prio_obs::stream::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let start = std::time::Instant::now();
+    let mut stats = TraceStats {
+        records: 0,
+        events: 0,
+        jobs: 0,
+        elapsed: std::time::Duration::ZERO,
+    };
+    for record in reader {
+        let record = record.map_err(|e| format!("{path}: {e}"))?;
+        stats.records += 1;
+        let event = prio_sim::trace_json::event_from_value(&record.value)
+            .map_err(|e| format!("{path}: line {}: {e}", record.line_no))?;
+        if let Some(event) = event {
+            stats.events += 1;
+            let job = match event {
+                TraceEvent::JobSubmitted { job, .. }
+                | TraceEvent::JobEligible { job, .. }
+                | TraceEvent::JobAssigned { job, .. }
+                | TraceEvent::JobCompleted { job, .. }
+                | TraceEvent::JobFailed { job, .. }
+                | TraceEvent::JobRetried { job, .. } => Some(job.index()),
+                TraceEvent::BatchArrived { .. }
+                | TraceEvent::WorkerDown { .. }
+                | TraceEvent::WorkerUp { .. } => None,
+            };
+            if let Some(j) = job {
+                stats.jobs = stats.jobs.max(j + 1);
+            }
+        }
+    }
+    stats.elapsed = start.elapsed();
+    Ok(stats)
 }

@@ -1,63 +1,8 @@
 //! A byte-counting global allocator for the §3.6 memory column.
 //!
-//! The paper reports the prio tool's peak memory on each scientific dag.
-//! Binaries that want the measurement install [`CountingAllocator`] as
-//! their `#[global_allocator]` and read the live/peak counters around the
-//! pipeline invocation.
+//! The allocator itself now lives in `prio-obs` (behind its
+//! `alloc-profile` feature) so the CLI can attach per-span allocation
+//! deltas with the same counters; this module re-exports it for the
+//! bench binaries that predate the move.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Currently allocated bytes (process-wide, via the counting allocator).
-pub static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
-/// High-water mark of [`LIVE_BYTES`].
-pub static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
-
-/// A `System`-backed allocator that tracks live and peak bytes.
-pub struct CountingAllocator;
-
-// SAFETY: delegates all allocation to `System` and only adds relaxed
-// atomic bookkeeping; size/layout pairs are forwarded unchanged.
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = unsafe { System.alloc(layout) };
-        if !p.is_null() {
-            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) };
-        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = unsafe { System.realloc(ptr, layout, new_size) };
-        if !p.is_null() {
-            let old = layout.size();
-            if new_size >= old {
-                let live =
-                    LIVE_BYTES.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old);
-                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-            } else {
-                LIVE_BYTES.fetch_sub(old - new_size, Ordering::Relaxed);
-            }
-        }
-        p
-    }
-}
-
-/// Resets the peak to the current live count and returns a guard-style
-/// baseline; call [`peak_since`] with the returned baseline afterwards.
-pub fn reset_peak() -> usize {
-    let live = LIVE_BYTES.load(Ordering::Relaxed);
-    PEAK_BYTES.store(live, Ordering::Relaxed);
-    live
-}
-
-/// Peak bytes allocated above the given baseline since [`reset_peak`].
-pub fn peak_since(baseline: usize) -> usize {
-    PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(baseline)
-}
+pub use prio_obs::mem::{peak_since, reset_peak, CountingAllocator, LIVE_BYTES, PEAK_BYTES};

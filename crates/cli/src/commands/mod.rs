@@ -11,6 +11,7 @@ pub mod report;
 pub mod schedule;
 pub mod simulate;
 pub mod stats;
+pub mod trace;
 
 use crate::args::Args;
 use crate::error::CliError;

@@ -1,13 +1,17 @@
 //! `prio report` — summarize one or more `--trace-out` JSONL files.
 //!
-//! Reads the v2 record stream (`meta`, `span`, `counter`/`gauge`, the four
-//! simulator trace events, and the telemetry records `ts`/`hist`) and
-//! renders a run summary: a span-timing table with latency percentiles, a
-//! per-policy simulator time-series digest (peak/mean eligible pool,
-//! utilization curve), per-job latency histograms, and — when exactly two
-//! policies are present (one file with both, or two files) — a PRIO-vs-FIFO
+//! Reads the record stream (`meta`, `span`, `counter`/`gauge`, the
+//! simulator trace events, and the telemetry records `ts`/`hist`)
+//! through the bounded-memory [`prio_obs::stream`] reader — one line at a
+//! time, so 10^6-job traces never get slurped — and renders a run
+//! summary: a span-timing table with latency percentiles, a per-policy
+//! simulator time-series digest (peak/mean eligible pool, utilization
+//! curve), per-job latency histograms, and — when exactly two policies
+//! are present (one file with both, or two files) — a PRIO-vs-FIFO
 //! side-by-side comparison. `--json` emits the same summary as a single
-//! JSON document on stdout.
+//! JSON document on stdout. A path of `-` reads stdin; an input mixing
+//! records of different explicit schema versions is rejected whole
+//! rather than half-parsed.
 //!
 //! Everything derived from the simulator telemetry is deterministic per
 //! seed, which is what the golden-output test pins; span timings are
@@ -16,14 +20,16 @@
 use crate::args::Args;
 use crate::error::CliError;
 use prio_bench::report::Table;
-use prio_obs::json::{parse, JsonObject, JsonValue, SCHEMA_VERSION};
+use prio_obs::json::{JsonObject, JsonValue, SCHEMA_VERSION};
+use prio_obs::stream::{self, JsonlReader, Record};
+use std::io::BufRead;
 
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let json = args.has("json");
     if args.positional.is_empty() {
         return Err(CliError::usage(
-            "expected one or more trace files: prio report <trace.jsonl>... [--json]",
+            "expected one or more trace files: prio report <trace.jsonl | -> ... [--json]",
         ));
     }
     let sources = args
@@ -126,8 +132,15 @@ struct Source {
 
 impl Source {
     fn load(path: &str) -> Result<Source, CliError> {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        let reader = stream::open(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        Source::from_reader(path, reader)
+    }
+
+    /// Streams records into a `Source`: the reader holds one line at a
+    /// time, so memory stays bounded by the digest being built, not the
+    /// trace size. Version violations (future or mixed schemas) surface
+    /// as structured input errors.
+    fn from_reader<R: BufRead>(path: &str, reader: JsonlReader<R>) -> Result<Source, CliError> {
         let mut source = Source {
             path: path.to_string(),
             metas: Vec::new(),
@@ -137,13 +150,11 @@ impl Source {
             counters: 0,
         };
         let mut current = String::from("-");
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
+        for record in reader {
+            let record = record.map_err(|e| CliError::input(format!("{path}: {e}")))?;
             source
-                .ingest(line, &mut current)
-                .map_err(|e| CliError::input(format!("{path}: line {}: {e}", i + 1)))?;
+                .ingest(&record, &mut current)
+                .map_err(|e| CliError::input(format!("{path}: line {}: {e}", record.line_no)))?;
         }
         Ok(source)
     }
@@ -159,22 +170,9 @@ impl Source {
         self.groups.last_mut().expect("just pushed")
     }
 
-    fn ingest(&mut self, line: &str, current_policy: &mut String) -> Result<(), String> {
-        let v = parse(line)?;
-        if !v.is_object() {
-            return Err(format!("not a JSON object: {line:?}"));
-        }
-        let kind = v
-            .get("type")
-            .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("missing type field: {line:?}"))?;
-        if let Some(version) = v.get("v").and_then(JsonValue::as_u64) {
-            if version > SCHEMA_VERSION {
-                return Err(format!(
-                    "record schema v{version} is newer than supported v{SCHEMA_VERSION}"
-                ));
-            }
-        }
+    fn ingest(&mut self, record: &Record, current_policy: &mut String) -> Result<(), String> {
+        let v = &record.value;
+        let kind = record.kind.as_str();
         let f = |key: &str| v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
         let u = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
         let s = |key: &str| {
@@ -736,6 +734,7 @@ fn render_json(sources: &[Source], comparison: &Option<Comparison>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prio_obs::json::parse;
 
     fn trace_text() -> String {
         [
@@ -898,6 +897,21 @@ mod tests {
         let err = Source::load(path.to_str().unwrap()).unwrap_err();
         let _ = std::fs::remove_file(&path);
         assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn mixed_schema_versions_are_rejected_not_half_parsed() {
+        let text = concat!(
+            "{\"type\":\"ts\",\"v\":2,\"policy\":\"prio\",\"series\":\"x\"}\n",
+            "{\"type\":\"ts\",\"v\":3,\"policy\":\"prio\",\"series\":\"y\"}\n",
+        );
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("prio_report_mixed_{}.jsonl", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let err = Source::load(path.to_str().unwrap()).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(err.to_string().contains("mixed"), "{err}");
+        assert_eq!(err.exit_code(), 1, "input error, not usage");
     }
 
     #[test]

@@ -9,14 +9,17 @@
 //! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
 //! prio simulate   (<file.dag> | --workload NAME [--scale F]) [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S]
 //!                 [--trace-out <file>] [--timings]
-//! prio report     <trace.jsonl>... [--json]
+//! prio report     <trace.jsonl | ->... [--json]
+//! prio trace      <timeline|critical-path|curve|diff> ...
 //! prio stats      <file.dag | --workload NAME>
 //! ```
 //!
 //! Every subcommand accepts the global `-v`/`--verbose` flag (or the
 //! `PRIO_LOG` environment variable) to print a phase-timing footer, and
 //! `simulate`/`instrument` additionally take `--trace-out <file>` to dump
-//! structured JSONL events plus span/counter snapshots.
+//! structured JSONL events plus span/counter snapshots. The global
+//! `--profile-alloc` flag attaches allocation-count/byte/peak deltas to
+//! every span (in the `--timings` footer and `--trace-out` records).
 //!
 //! `instrument` reproduces the paper's tool exactly: parse the DAGMan
 //! input file, run the scheduling heuristic, define the `jobpriority`
@@ -30,11 +33,20 @@ mod error;
 use error::CliError;
 use std::process::ExitCode;
 
+/// Counts every allocation so `--profile-alloc` can attach per-span
+/// deltas. Two relaxed atomic ops per alloc; spans only read the
+/// counters when profiling is switched on, so default output is
+/// byte-identical with or without this allocator.
+#[global_allocator]
+static ALLOC: prio_obs::mem::CountingAllocator = prio_obs::mem::CountingAllocator;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    // PRIO_LOG sets the baseline; explicit -v/-vv flags win.
+    // PRIO_LOG sets the baseline; explicit -v/-vv flags win. Global
+    // flags are stripped before dispatch so they work in any position.
     prio_obs::init_from_env();
     let argv = strip_verbosity(argv);
+    let argv = strip_profile_alloc(argv);
     let timings = argv.iter().any(|a| a == "--timings");
     match run(&argv) {
         Ok(()) => {
@@ -73,6 +85,28 @@ fn strip_verbosity(argv: Vec<String>) -> Vec<String> {
     argv
 }
 
+/// Removes the global `--profile-alloc` flag (valid anywhere on the
+/// command line), switching on per-span allocation deltas before any
+/// span opens.
+fn strip_profile_alloc(argv: Vec<String>) -> Vec<String> {
+    let mut enabled = false;
+    let argv = argv
+        .into_iter()
+        .filter(|a| {
+            if a == "--profile-alloc" {
+                enabled = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    if enabled {
+        prio_obs::mem::set_span_profiling(true);
+    }
+    argv
+}
+
 fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         print_usage();
@@ -87,6 +121,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "generate" => commands::generate::run(rest),
         "simulate" | "sim" => commands::simulate::run(rest),
         "report" => commands::report::run(rest),
+        "trace" => commands::trace::run(rest),
         "stats" => commands::stats::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -117,7 +152,11 @@ USAGE:
                     [--backoff none|D|fixed:D|exp:B[:F[:C]]]
                     [--worker-mttf X] [--worker-mttr Y]
                     [--trace-out <file>] [--timings]          (alias: sim)
-    prio report     <trace.jsonl>... [--json]
+    prio report     <trace.jsonl | ->... [--json]
+    prio trace      timeline      <trace.jsonl | -> [--json]
+    prio trace      critical-path <trace.jsonl | -> [--json]
+    prio trace      curve         <trace.jsonl | -> --out <file.tsv>
+    prio trace      diff          <a.jsonl> <b.jsonl> [--policy-a P] [--policy-b P] [--json]
     prio stats      (<file.dag> | --workload NAME [--scale F])
     prio help
 
@@ -126,6 +165,7 @@ GLOBAL FLAGS:
                     the PRIO_LOG env var (off|info|debug) sets the same levels
     --timings       print the phase-timing footer regardless of verbosity
     --trace-out F   write structured JSONL events/spans/counters to F
+    --profile-alloc attach allocation count/bytes/peak deltas to every span
 
 SUBCOMMANDS:
     instrument  parse a DAGMan file, compute the PRIO schedule, write back
@@ -140,6 +180,8 @@ SUBCOMMANDS:
                 seeded job faults, DAGMan-style retries, and pool churn
     report      summarize --trace-out JSONL files: span percentiles,
                 simulator time-series digests, PRIO-vs-FIFO side by side
+    trace       analyze job-lifecycle traces: per-job timeline, realized
+                critical path, eligibility curve (fig4 TSV), run diff
     stats       print pipeline statistics (components, families, shortcuts)
 
 EXIT CODES:

@@ -1,0 +1,220 @@
+//! Golden-output tests for `prio trace`: a fixed-seed `prio simulate
+//! --trace-out` run must produce byte-stable `timeline --json` and
+//! `diff --json` documents, pinned by `tests/golden/trace_timeline.json`
+//! and `tests/golden/trace_diff.json`. The lifecycle analysis reads only
+//! deterministic event records, so the whole document is pinned (unlike
+//! `prio report`, which mixes in wall-clock spans), and a companion test
+//! asserts the output is invariant under the replication thread count.
+
+use prio_obs::json::parse;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn prio(args: &[&str], dir: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_prio"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("prio-trace-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The same twelve-job double-diamond dag the report goldens use.
+const DAG: &str = "\
+JOB j0 j0.submit
+JOB j1 j1.submit
+JOB j2 j2.submit
+JOB j3 j3.submit
+JOB j4 j4.submit
+JOB j5 j5.submit
+JOB j6 j6.submit
+JOB j7 j7.submit
+JOB j8 j8.submit
+JOB j9 j9.submit
+JOB j10 j10.submit
+JOB j11 j11.submit
+PARENT j0 CHILD j1 j2 j3 j4
+PARENT j1 CHILD j5
+PARENT j2 CHILD j5
+PARENT j3 CHILD j6
+PARENT j4 CHILD j6
+PARENT j5 CHILD j7 j8
+PARENT j6 CHILD j9 j10
+PARENT j7 CHILD j11
+PARENT j8 CHILD j11
+PARENT j9 CHILD j11
+PARENT j10 CHILD j11
+";
+
+fn simulate(dir: &Path, extra: &[&str], out_name: &str) -> PathBuf {
+    std::fs::write(dir.join("fixed.dag"), DAG).unwrap();
+    let mut args = vec![
+        "simulate",
+        "fixed.dag",
+        "--mu-bit",
+        "0.7",
+        "--mu-bs",
+        "3",
+        "--p",
+        "2",
+        "--q",
+        "2",
+        "--seed",
+        "7",
+        "--trace-out",
+        out_name,
+    ];
+    args.extend_from_slice(extra);
+    let out = prio(&args, dir);
+    assert!(
+        out.status.success(),
+        "simulate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir.join(out_name)
+}
+
+fn stdout_of(out: Output, what: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{what} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn timeline_json_matches_golden() {
+    let dir = tempdir("timeline");
+    simulate(&dir, &[], "trace.jsonl");
+    let stdout = stdout_of(
+        prio(&["trace", "timeline", "trace.jsonl", "--json"], &dir),
+        "timeline",
+    );
+    let doc = parse(stdout.trim()).expect("timeline --json emits valid JSON");
+    let golden = parse(include_str!("golden/trace_timeline.json")).expect("golden parses");
+    assert_eq!(
+        doc.get("segments"),
+        golden.get("segments"),
+        "timeline diverged from tests/golden/trace_timeline.json — if the simulator or \
+         schema changed intentionally, regenerate the golden file from this test's \
+         `prio trace timeline --json` output"
+    );
+}
+
+#[test]
+fn diff_json_matches_golden() {
+    let dir = tempdir("diff");
+    simulate(&dir, &[], "trace.jsonl");
+    // Diff the prio segment against the fifo segment of the same run.
+    let stdout = stdout_of(
+        prio(
+            &[
+                "trace",
+                "diff",
+                "trace.jsonl",
+                "trace.jsonl",
+                "--policy-a",
+                "prio",
+                "--policy-b",
+                "fifo",
+                "--json",
+            ],
+            &dir,
+        ),
+        "diff",
+    );
+    let doc = parse(stdout.trim()).expect("diff --json emits valid JSON");
+    let golden = parse(include_str!("golden/trace_diff.json")).expect("golden parses");
+    for key in ["attribution", "jobs"] {
+        assert_eq!(
+            doc.get(key),
+            golden.get(key),
+            "diff section {key:?} diverged from tests/golden/trace_diff.json — if the \
+             simulator or schema changed intentionally, regenerate the golden file from \
+             this test's `prio trace diff --json` output"
+        );
+    }
+}
+
+#[test]
+fn trace_analyses_are_invariant_under_thread_count() {
+    let dir = tempdir("threads");
+    simulate(&dir, &["--threads", "1"], "one.jsonl");
+    simulate(&dir, &["--threads", "4"], "four.jsonl");
+    for sub in [&["timeline"][..], &["critical-path"][..]] {
+        let mut args_a = vec!["trace"];
+        args_a.extend_from_slice(sub);
+        args_a.extend_from_slice(&["one.jsonl", "--json"]);
+        let mut args_b = vec!["trace"];
+        args_b.extend_from_slice(sub);
+        args_b.extend_from_slice(&["four.jsonl", "--json"]);
+        let a = stdout_of(prio(&args_a, &dir), sub[0]);
+        let b = stdout_of(prio(&args_b, &dir), sub[0]);
+        // Only the path name differs between the two documents.
+        assert_eq!(
+            a.replace("one.jsonl", "X"),
+            b.replace("four.jsonl", "X"),
+            "{} must not depend on the replication thread count",
+            sub[0]
+        );
+    }
+}
+
+#[test]
+fn curve_tsv_matches_compare_format_and_verifies() {
+    let dir = tempdir("curve");
+    simulate(&dir, &[], "trace.jsonl");
+    let out = prio(
+        &["trace", "curve", "trace.jsonl", "--out", "curve.tsv"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "curve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("verified against"),
+        "curve must verify the reconstruction against recorded samples: {stderr}"
+    );
+    let tsv = std::fs::read_to_string(dir.join("curve.tsv")).unwrap();
+    let mut lines = tsv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("t\tt_normalized\tdiff\tdiff_normalized"),
+        "header must match the fig4 TSV format"
+    );
+    let first = lines.next().expect("at least one data row");
+    assert_eq!(first.split('\t').count(), 4);
+}
+
+#[test]
+fn trace_rejects_missing_garbage_and_eventless_input() {
+    let dir = tempdir("errors");
+    let out = prio(&["trace", "timeline", "nope.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(1), "missing file is an input error");
+    std::fs::write(dir.join("bad.jsonl"), "not json\n").unwrap();
+    let out = prio(&["trace", "timeline", "bad.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::write(dir.join("empty.jsonl"), "{\"type\":\"meta\",\"v\":3}\n").unwrap();
+    let out = prio(&["trace", "timeline", "empty.jsonl"], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "eventless trace is an input error"
+    );
+    let out = prio(&["trace", "frobnicate"], &dir);
+    assert_eq!(out.status.code(), Some(2), "unknown subcommand is usage");
+    let out = prio(&["trace"], &dir);
+    assert_eq!(out.status.code(), Some(2), "missing subcommand is usage");
+    let out = prio(&["trace", "curve", "bad.jsonl"], &dir);
+    assert_eq!(out.status.code(), Some(2), "curve without --out is usage");
+}

@@ -192,9 +192,9 @@ fn combine_class_heap<P: AsRef<[usize]>>(superdag: &Dag, profiles: &[P]) -> Vec<
         }
     }
     debug_assert_eq!(order.len(), n, "superdag is acyclic");
-    prio_obs::counter("core.profile_classes").add(interner.num_classes() as u64);
-    prio_obs::counter("core.priority_cache_hits").add(cache.hits as u64);
-    prio_obs::counter("core.priority_cache_misses").add(cache.misses as u64);
+    prio_obs::counter("core.combine.profile_classes").add(interner.num_classes() as u64);
+    prio_obs::counter("core.combine.priority_cache_hits").add(cache.hits as u64);
+    prio_obs::counter("core.combine.priority_cache_misses").add(cache.misses as u64);
     order
 }
 

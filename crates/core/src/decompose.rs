@@ -271,8 +271,9 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
     }
     let superdag = sb.build().expect("detach order is a topological witness");
 
-    prio_obs::counter("core.components_detached").add(parts.len() as u64);
-    prio_obs::counter("core.general_search_iterations").add(general_search_iterations as u64);
+    prio_obs::counter("core.decompose.components_detached").add(parts.len() as u64);
+    prio_obs::counter("core.decompose.general_search_iterations")
+        .add(general_search_iterations as u64);
     Decomposition {
         parts,
         superdag,

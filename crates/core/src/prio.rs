@@ -129,7 +129,7 @@ impl Prioritizer {
         // the reduced dag are schedules on the original. When there is
         // nothing to remove, the input dag is used as-is (no clone).
         shortcut_arcs_into(dag, &mut ctx.graph, &mut ctx.shortcuts);
-        prio_obs::counter("graph.shortcut_arcs_removed").add(ctx.shortcuts.len() as u64);
+        prio_obs::counter("graph.reduce.shortcut_arcs_removed").add(ctx.shortcuts.len() as u64);
         let reduced_storage;
         let reduced: &Dag = if ctx.shortcuts.is_empty() {
             dag
@@ -219,12 +219,12 @@ impl Prioritizer {
                 .sum();
             if work < PARALLEL_WORK_THRESHOLD {
                 workers = 1;
-                prio_obs::counter("core.schedule_serial_fallback_dags").add(1);
-                prio_obs::counter("core.schedule_serial_fallback_components")
+                prio_obs::counter("core.schedule.serial_fallback_dags").add(1);
+                prio_obs::counter("core.schedule.serial_fallback_components")
                     .add(parts.len() as u64);
             } else {
-                prio_obs::counter("core.schedule_parallel_dags").add(1);
-                prio_obs::counter("core.schedule_parallel_components").add(parts.len() as u64);
+                prio_obs::counter("core.schedule.parallel_dags").add(1);
+                prio_obs::counter("core.schedule.parallel_components").add(parts.len() as u64);
             }
         }
         let results: Vec<ScheduledPart> = if workers > 1 {
@@ -605,28 +605,28 @@ mod tests {
         });
         // Counters are process-global and other tests may also bump them,
         // so assert on deltas with `>=`.
-        let fallback = prio_obs::counter("core.schedule_serial_fallback_dags").get();
+        let fallback = prio_obs::counter("core.schedule.serial_fallback_dags").get();
         let small = Dag::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
         p.prioritize(&small).unwrap();
         assert!(
-            prio_obs::counter("core.schedule_serial_fallback_dags").get() > fallback,
+            prio_obs::counter("core.schedule.serial_fallback_dags").get() > fallback,
             "a 4-node dag must fall back to serial scheduling"
         );
 
-        let parallel = prio_obs::counter("core.schedule_parallel_dags").get();
-        let components = prio_obs::counter("core.schedule_parallel_components").get();
+        let parallel = prio_obs::counter("core.schedule.parallel_dags").get();
+        let components = prio_obs::counter("core.schedule.parallel_components").get();
         p.prioritize(&above_threshold_dag()).unwrap();
         assert!(
-            prio_obs::counter("core.schedule_parallel_dags").get() > parallel,
+            prio_obs::counter("core.schedule.parallel_dags").get() > parallel,
             "an above-threshold dag must schedule on the pool"
         );
-        assert!(prio_obs::counter("core.schedule_parallel_components").get() > components);
+        assert!(prio_obs::counter("core.schedule.parallel_components").get() > components);
 
         // Serial requests are not a fallback and must not be counted.
-        let fallback = prio_obs::counter("core.schedule_serial_fallback_dags").get();
+        let fallback = prio_obs::counter("core.schedule.serial_fallback_dags").get();
         Prioritizer::new().prioritize(&small).unwrap();
         assert_eq!(
-            prio_obs::counter("core.schedule_serial_fallback_dags").get(),
+            prio_obs::counter("core.schedule.serial_fallback_dags").get(),
             fallback
         );
     }

@@ -96,7 +96,9 @@ pub fn instrument_dagman_with(
             _ => {}
         }
     }
+    prio_obs::counter("dagman.instrument.statements_updated").add(updated.len() as u64);
     // Insert after each node statement lacking one.
+    let mut inserted = 0u64;
     let mut i = 0;
     while i < file.statements.len() {
         let node = match &file.statements[i] {
@@ -119,11 +121,13 @@ pub fn instrument_dagman_with(
                     }
                 };
                 file.statements.insert(i + 1, stmt);
+                inserted += 1;
                 i += 1; // skip the inserted statement
             }
         }
         i += 1;
     }
+    prio_obs::counter("dagman.instrument.statements_inserted").add(inserted);
     Ok(())
 }
 

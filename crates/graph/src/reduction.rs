@@ -116,7 +116,7 @@ pub fn shortcut_arcs_via_closure(dag: &Dag) -> Vec<(NodeId, NodeId)> {
 /// at least one other incident arc by definition).
 pub fn transitive_reduction(dag: &Dag) -> Dag {
     let shortcuts = shortcut_arcs(dag);
-    prio_obs::counter("graph.shortcut_arcs_removed").add(shortcuts.len() as u64);
+    prio_obs::counter("graph.reduce.shortcut_arcs_removed").add(shortcuts.len() as u64);
     remove_arcs(dag, &shortcuts)
 }
 

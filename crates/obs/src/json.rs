@@ -17,10 +17,16 @@ use std::fmt::Write as _;
 /// * **2** — adds the explicit `v` tag, span percentile fields
 ///   (`p50_ms`/`p90_ms`/`p99_ms`), and the simulator telemetry records
 ///   `ts` (time series) and `hist` (latency histograms).
+/// * **3** — adds the job-lifecycle events `job_submitted`/`job_eligible`
+///   and the `worker` field on `job_assigned`, completing the causal
+///   `submitted → eligible → started → [retried/failed] → completed`
+///   record set per job. Optional `alloc_count`/`alloc_bytes`/
+///   `peak_bytes` fields on `span` records when allocation profiling is
+///   enabled.
 ///
 /// Readers accept records without a `v` field (v1) and any `v` up to this
 /// value; larger versions should be rejected.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Appends the JSON string literal for `s` (including the quotes) to
 /// `out`.

@@ -21,7 +21,13 @@
 //!   simulator's trace and telemetry events) to a file or stderr;
 //!   [`json`] holds the writer and a minimal parser used to validate and
 //!   replay the output, and defines the versioned record schema
-//!   ([`json::SCHEMA_VERSION`]).
+//!   ([`json::SCHEMA_VERSION`]). [`stream`] reads such files back as a
+//!   bounded-memory record iterator (the `prio report` / `prio trace`
+//!   ingestion path).
+//!
+//! With the `alloc-profile` feature, [`mem`] provides a counting global
+//! allocator and spans optionally carry per-stage allocation deltas
+//! (count/bytes/peak) — see [`mem::set_span_profiling`].
 //!
 //! Two further primitives back the simulator's time-series telemetry:
 //! [`hist::Histogram`] (lock-free atomic log-linear buckets with
@@ -37,17 +43,24 @@
 //! handles; [`reset`] clears it between measured sections (the overhead
 //! harness does this per workload).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the feature-gated counting allocator
+// (`mem`) must implement `GlobalAlloc`, which is unsafe by nature; it
+// scopes its own `allow` with a SAFETY argument. Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod hist;
 pub mod json;
+#[cfg(feature = "alloc-profile")]
+pub mod mem;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 pub mod span;
 pub mod stage;
+pub mod stream;
 pub mod timeseries;
 
 pub use config::{init_from_env, set_verbosity, verbosity, Level};

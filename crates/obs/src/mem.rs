@@ -1,0 +1,94 @@
+//! A counting global allocator for per-stage resource profiling
+//! (`alloc-profile` feature).
+//!
+//! Binaries that want allocation telemetry install [`CountingAllocator`]
+//! as their `#[global_allocator]`. It tracks live and peak bytes (the
+//! §3.6 memory column) plus cumulative allocation count and bytes, which
+//! [`crate::span`] reads to attach per-span deltas when
+//! [`set_span_profiling`] is on. Profiling is off by default so span
+//! records — and every JSONL artifact — are byte-identical to builds
+//! without the feature until a caller opts in (the CLI's
+//! `--profile-alloc` flag).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Currently allocated bytes (process-wide, via the counting allocator).
+pub static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`LIVE_BYTES`].
+pub static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+/// Cumulative number of allocations (calls to `alloc`, plus growing
+/// `realloc`s).
+pub static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+/// Cumulative bytes ever allocated (monotone; never decremented).
+pub static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+static SPAN_PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Turns per-span allocation deltas on or off (default off). Only
+/// meaningful when [`CountingAllocator`] is installed; without it the
+/// counters stay zero and spans record zero deltas.
+pub fn set_span_profiling(on: bool) {
+    SPAN_PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans currently attach allocation deltas.
+pub fn span_profiling() -> bool {
+    SPAN_PROFILING.load(Ordering::Relaxed)
+}
+
+/// A `System`-backed allocator that tracks live/peak bytes and
+/// cumulative allocation count/bytes.
+pub struct CountingAllocator;
+
+// SAFETY: delegates all allocation to `System` and only adds relaxed
+// atomic bookkeeping; size/layout pairs are forwarded unchanged.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            let live = LIVE_BYTES.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE_BYTES.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            let old = layout.size();
+            if new_size >= old {
+                let grown = new_size - old;
+                let live = LIVE_BYTES.fetch_add(grown, Ordering::Relaxed) + grown;
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+                ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+                ALLOC_BYTES.fetch_add(grown as u64, Ordering::Relaxed);
+            } else {
+                LIVE_BYTES.fetch_sub(old - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Resets the peak to the current live count and returns a guard-style
+/// baseline; call [`peak_since`] with the returned baseline afterwards.
+pub fn reset_peak() -> usize {
+    let live = LIVE_BYTES.load(Ordering::Relaxed);
+    PEAK_BYTES.store(live, Ordering::Relaxed);
+    live
+}
+
+/// Peak bytes allocated above the given baseline since [`reset_peak`].
+pub fn peak_since(baseline: usize) -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed).saturating_sub(baseline)
+}

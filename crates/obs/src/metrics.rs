@@ -1,10 +1,13 @@
 //! A registry of named atomic counters, high-water-mark gauges, and
 //! log-bucketed histograms.
 //!
-//! Names are `&'static str` dot-paths (`sim.events_processed`,
-//! `core.priority_cache_hits`); the first use of a name allocates the
-//! metric, later uses return the same `&'static` handle, so hot paths can
-//! look a metric up once and then touch only an atomic.
+//! Names are `&'static str` dot-paths of exactly three segments,
+//! `crate.subsystem.metric` (`sim.engine.events_processed`,
+//! `core.combine.priority_cache_hits`); each segment is lowercase
+//! `[a-z0-9_]+`. [`name_follows_convention`] checks the convention and a
+//! unit test enforces it over the registry. The first use of a name
+//! allocates the metric, later uses return the same `&'static` handle,
+//! so hot paths can look a metric up once and then touch only an atomic.
 
 use crate::hist::{Histogram, HistogramSummary};
 use std::collections::BTreeMap;
@@ -174,6 +177,31 @@ pub fn histograms_snapshot() -> Vec<HistogramRecord> {
         .collect()
 }
 
+/// Whether `name` follows the metric-naming convention: exactly three
+/// dot-separated segments (`crate.subsystem.metric`), each a non-empty
+/// run of lowercase `[a-z0-9_]`.
+pub fn name_follows_convention(name: &str) -> bool {
+    let mut segments = 0;
+    for seg in name.split('.') {
+        segments += 1;
+        if seg.is_empty()
+            || !seg
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        {
+            return false;
+        }
+    }
+    segments == 3
+}
+
+/// Every registered metric name (counters, gauges, and histograms),
+/// sorted. Used by the naming-convention test and `prio report`'s
+/// diagnostics.
+pub fn registered_names() -> Vec<&'static str> {
+    registry().keys().copied().collect()
+}
+
 /// Zeroes every registered counter, gauge, and histogram (names stay
 /// registered).
 pub fn reset_metrics() {
@@ -295,6 +323,44 @@ mod tests {
         assert!(metrics_snapshot()
             .iter()
             .all(|m| m.name != "test.metrics.hist"));
+    }
+
+    #[test]
+    fn naming_convention_accepts_three_lowercase_segments() {
+        for good in [
+            "sim.engine.events_processed",
+            "core.combine.priority_cache_hits",
+            "graph.reduce.shortcut_arcs_removed",
+            "test.metrics.x9_y",
+        ] {
+            assert!(name_follows_convention(good), "{good} should pass");
+        }
+        for bad in [
+            "sim.runs",                   // two segments
+            "core.a.b.c",                 // four segments
+            "Sim.engine.runs",            // uppercase
+            "sim.engine.",                // empty segment
+            "sim..runs",                  // empty segment
+            "sim.engine.runs-per-second", // hyphen
+            "sim engine runs",            // no dots
+        ] {
+            assert!(!name_follows_convention(bad), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn every_registered_metric_follows_the_convention() {
+        // The registry is process-global, so by the time this runs it
+        // holds whatever names other tests in this process registered —
+        // the point: *all* of them must follow `crate.subsystem.metric`.
+        let offenders: Vec<_> = registered_names()
+            .into_iter()
+            .filter(|n| !name_follows_convention(n))
+            .collect();
+        assert!(
+            offenders.is_empty(),
+            "metric names must be crate.subsystem.metric: {offenders:?}"
+        );
     }
 
     #[test]

@@ -18,6 +18,18 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
 /// Renders the phase-timing footer from the current span registry:
 /// one line per span path, indented by nesting depth, with count, total,
 /// and max. Returns an empty string when nothing was recorded.
@@ -42,6 +54,17 @@ pub fn phase_timing_footer() -> String {
                 "  (n={}, max {})",
                 record.stat.count,
                 fmt_duration(record.stat.max)
+            );
+        }
+        // Allocation deltas appear only when profiling recorded them
+        // (`--profile-alloc`), so default output is unchanged.
+        if let Some(mem) = record.mem {
+            let _ = write!(
+                out,
+                "  [allocs {} / {}, peak {}]",
+                mem.alloc_count,
+                fmt_bytes(mem.alloc_bytes),
+                fmt_bytes(mem.peak_bytes)
             );
         }
         out.push('\n');

@@ -88,17 +88,23 @@ impl JsonlSink {
     pub fn write_span_snapshot(&self) -> io::Result<()> {
         for record in span::snapshot() {
             let ns_to_ms = |ns: u64| ns as f64 / 1e6;
-            self.write_line(
-                &JsonObject::typed("span")
-                    .str("path", &record.path)
-                    .u64("count", record.stat.count)
-                    .f64("total_ms", record.stat.total.as_secs_f64() * 1e3)
-                    .f64("max_ms", record.stat.max.as_secs_f64() * 1e3)
-                    .f64("p50_ms", ns_to_ms(record.latency_ns.p50))
-                    .f64("p90_ms", ns_to_ms(record.latency_ns.p90))
-                    .f64("p99_ms", ns_to_ms(record.latency_ns.p99))
-                    .finish(),
-            )?;
+            let mut obj = JsonObject::typed("span")
+                .str("path", &record.path)
+                .u64("count", record.stat.count)
+                .f64("total_ms", record.stat.total.as_secs_f64() * 1e3)
+                .f64("max_ms", record.stat.max.as_secs_f64() * 1e3)
+                .f64("p50_ms", ns_to_ms(record.latency_ns.p50))
+                .f64("p90_ms", ns_to_ms(record.latency_ns.p90))
+                .f64("p99_ms", ns_to_ms(record.latency_ns.p99));
+            // Allocation deltas only when profiling recorded them, so
+            // profiling-off output stays byte-identical (schema v3).
+            if let Some(mem) = record.mem {
+                obj = obj
+                    .u64("alloc_count", mem.alloc_count)
+                    .u64("alloc_bytes", mem.alloc_bytes)
+                    .u64("peak_bytes", mem.peak_bytes);
+            }
+            self.write_line(&obj.finish())?;
         }
         Ok(())
     }

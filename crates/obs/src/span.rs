@@ -25,6 +25,19 @@ pub struct SpanStat {
     pub max: Duration,
 }
 
+/// Per-path allocation aggregates, recorded only when the
+/// `alloc-profile` feature is compiled in *and*
+/// [`crate::mem::set_span_profiling`] is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStat {
+    /// Allocations performed while spans of this path were open.
+    pub alloc_count: u64,
+    /// Bytes allocated while spans of this path were open.
+    pub alloc_bytes: u64,
+    /// Largest single-span peak above the bytes live at span open.
+    pub peak_bytes: u64,
+}
+
 /// One row of a [`snapshot`]: a span path with its statistics and the
 /// latency distribution of its individual spans.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +49,10 @@ pub struct SpanRecord {
     /// Five-number summary (count/mean/p50/p90/p99/max) of the per-span
     /// durations, in nanoseconds.
     pub latency_ns: HistogramSummary,
+    /// Allocation deltas, when profiling was on for any span of this
+    /// path. `None` keeps serialized span records byte-identical to
+    /// profiling-off builds.
+    pub mem: Option<MemStat>,
 }
 
 /// Per-path registry entry: running aggregates plus a log-bucketed
@@ -44,6 +61,7 @@ pub struct SpanRecord {
 struct SpanEntry {
     stat: SpanStat,
     hist: Histogram,
+    mem: Option<MemStat>,
 }
 
 fn registry() -> std::sync::MutexGuard<'static, BTreeMap<String, SpanEntry>> {
@@ -60,6 +78,18 @@ thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Allocation-counter baselines captured at span open (profiling on).
+#[cfg(feature = "alloc-profile")]
+#[derive(Debug, Clone, Copy)]
+struct MemBaseline {
+    alloc_count: u64,
+    alloc_bytes: u64,
+    live: usize,
+    /// The global peak before this span reset it to `live`; restored at
+    /// close so an enclosing span's peak survives.
+    prev_peak: usize,
+}
+
 /// An open span; records its elapsed time into the registry on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
@@ -67,6 +97,8 @@ pub struct SpanGuard {
     /// Stack depth *after* pushing this span's name; drop truncates back
     /// to `depth - 1` so a non-LIFO drop cannot corrupt deeper paths.
     depth: usize,
+    #[cfg(feature = "alloc-profile")]
+    mem: Option<MemBaseline>,
 }
 
 /// Opens a span named `name` nested under the calling thread's current
@@ -77,9 +109,22 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.push(name);
         stack.len()
     });
+    #[cfg(feature = "alloc-profile")]
+    let mem = crate::mem::span_profiling().then(|| {
+        use std::sync::atomic::Ordering;
+        let live = crate::mem::LIVE_BYTES.load(Ordering::Relaxed);
+        MemBaseline {
+            alloc_count: crate::mem::ALLOC_COUNT.load(Ordering::Relaxed),
+            alloc_bytes: crate::mem::ALLOC_BYTES.load(Ordering::Relaxed),
+            live,
+            prev_peak: crate::mem::PEAK_BYTES.swap(live, Ordering::Relaxed),
+        }
+    });
     SpanGuard {
         start: Instant::now(),
         depth,
+        #[cfg(feature = "alloc-profile")]
+        mem,
     }
 }
 
@@ -99,6 +144,22 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
+        #[cfg(feature = "alloc-profile")]
+        let mem_delta = self.mem.map(|base| {
+            use std::sync::atomic::Ordering;
+            let peak = crate::mem::PEAK_BYTES.load(Ordering::Relaxed);
+            // Restore the enclosing span's peak tracking.
+            crate::mem::PEAK_BYTES.fetch_max(base.prev_peak, Ordering::Relaxed);
+            MemStat {
+                alloc_count: crate::mem::ALLOC_COUNT
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(base.alloc_count),
+                alloc_bytes: crate::mem::ALLOC_BYTES
+                    .load(Ordering::Relaxed)
+                    .saturating_sub(base.alloc_bytes),
+                peak_bytes: peak.saturating_sub(base.live) as u64,
+            }
+        });
         let path = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = stack[..self.depth].join("/");
@@ -113,6 +174,13 @@ impl Drop for SpanGuard {
         entry
             .hist
             .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        #[cfg(feature = "alloc-profile")]
+        if let Some(delta) = mem_delta {
+            let agg = entry.mem.get_or_insert_with(MemStat::default);
+            agg.alloc_count += delta.alloc_count;
+            agg.alloc_bytes += delta.alloc_bytes;
+            agg.peak_bytes = agg.peak_bytes.max(delta.peak_bytes);
+        }
     }
 }
 
@@ -124,6 +192,7 @@ pub fn snapshot() -> Vec<SpanRecord> {
             path: path.clone(),
             stat: entry.stat,
             latency_ns: entry.hist.summary(),
+            mem: entry.mem,
         })
         .collect()
 }

@@ -1,0 +1,275 @@
+//! A streaming JSONL record reader: an iterator over typed records with
+//! bounded memory, so multi-gigabyte trace files (10^6-job runs and
+//! beyond) are analyzable line by line without slurping them.
+//!
+//! Each yielded [`Record`] is one parsed JSON object with its `type`
+//! discriminator, optional schema version tag, and 1-based line number.
+//! The reader enforces the schema contract as it goes:
+//!
+//! * blank lines are skipped;
+//! * a line that is not a JSON object, or lacks a `type` field, is a
+//!   [`StreamError::Parse`];
+//! * a record tagged with a version newer than [`SCHEMA_VERSION`] is a
+//!   [`StreamError::FutureVersion`];
+//! * two records with *different* explicit version tags in one stream
+//!   are a [`StreamError::MixedVersions`] — concatenated outputs of
+//!   different builds must be rejected, not silently half-parsed.
+//!   Untagged (v1) records carry no tag to conflict on and are accepted
+//!   alongside any tagged version.
+//!
+//! [`open`] builds a reader over a file path, with `-` meaning stdin —
+//! the ingestion contract of `prio report` and `prio trace`.
+
+use crate::json::{parse, JsonValue, SCHEMA_VERSION};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+
+/// One parsed JSONL record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// 1-based line number in the input.
+    pub line_no: usize,
+    /// The record's `type` discriminator.
+    pub kind: String,
+    /// The record's explicit `v` tag, if present (absent on v1 records).
+    pub version: Option<u64>,
+    /// The full parsed object.
+    pub value: JsonValue,
+}
+
+/// A streaming-read failure: I/O, malformed line, or a schema-version
+/// violation.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Reading the underlying input failed.
+    Io(io::Error),
+    /// A non-blank line was not a typed JSON object.
+    Parse {
+        /// 1-based line number.
+        line_no: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A record claimed a schema newer than this build supports.
+    FutureVersion {
+        /// 1-based line number.
+        line_no: usize,
+        /// The claimed version.
+        version: u64,
+    },
+    /// Two records carried different explicit schema versions.
+    MixedVersions {
+        /// 1-based line number of the conflicting record.
+        line_no: usize,
+        /// The stream's first explicit version.
+        first: u64,
+        /// The conflicting version.
+        found: u64,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "read error: {e}"),
+            StreamError::Parse { line_no, message } => {
+                write!(f, "line {line_no}: {message}")
+            }
+            StreamError::FutureVersion { line_no, version } => write!(
+                f,
+                "line {line_no}: record schema v{version} is newer than supported \
+                 v{SCHEMA_VERSION}"
+            ),
+            StreamError::MixedVersions {
+                line_no,
+                first,
+                found,
+            } => write!(
+                f,
+                "line {line_no}: mixed schema versions in one input \
+                 (v{found} after v{first}); refusing a partial parse"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<io::Error> for StreamError {
+    fn from(e: io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+/// A bounded-memory iterator over the records of a JSONL stream. Holds
+/// one line at a time regardless of input size.
+#[derive(Debug)]
+pub struct JsonlReader<R: BufRead> {
+    input: R,
+    line_no: usize,
+    first_version: Option<u64>,
+    buf: String,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wraps any buffered reader.
+    pub fn new(input: R) -> JsonlReader<R> {
+        JsonlReader {
+            input,
+            line_no: 0,
+            first_version: None,
+            buf: String::new(),
+        }
+    }
+
+    /// The first explicit schema version seen so far, if any.
+    pub fn version(&self) -> Option<u64> {
+        self.first_version
+    }
+
+    fn next_record(&mut self) -> Result<Option<Record>, StreamError> {
+        loop {
+            self.buf.clear();
+            if self.input.read_line(&mut self.buf)? == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let line_no = self.line_no;
+            let value = parse(line).map_err(|message| StreamError::Parse { line_no, message })?;
+            if !value.is_object() {
+                return Err(StreamError::Parse {
+                    line_no,
+                    message: "not a JSON object".into(),
+                });
+            }
+            let kind = value
+                .get("type")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| StreamError::Parse {
+                    line_no,
+                    message: "missing type field".into(),
+                })?
+                .to_owned();
+            let version = value.get("v").and_then(JsonValue::as_u64);
+            if let Some(v) = version {
+                if v > SCHEMA_VERSION {
+                    return Err(StreamError::FutureVersion {
+                        line_no,
+                        version: v,
+                    });
+                }
+                match self.first_version {
+                    None => self.first_version = Some(v),
+                    Some(first) if first != v => {
+                        return Err(StreamError::MixedVersions {
+                            line_no,
+                            first,
+                            found: v,
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+            return Ok(Some(Record {
+                line_no,
+                kind,
+                version,
+                value,
+            }));
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for JsonlReader<R> {
+    type Item = Result<Record, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_record().transpose()
+    }
+}
+
+/// Opens a streaming reader over `path`, with `-` meaning stdin.
+pub fn open(path: &str) -> io::Result<JsonlReader<Box<dyn BufRead>>> {
+    let input: Box<dyn BufRead> = if path == "-" {
+        Box::new(BufReader::new(io::stdin()))
+    } else {
+        Box::new(BufReader::new(File::open(Path::new(path))?))
+    };
+    Ok(JsonlReader::new(input))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonObject;
+    use std::io::Cursor;
+
+    fn reader(text: &str) -> JsonlReader<Cursor<&[u8]>> {
+        JsonlReader::new(Cursor::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn yields_typed_records_with_line_numbers() {
+        let text = "{\"type\":\"meta\",\"command\":\"x\"}\n\n{\"type\":\"ts\",\"v\":2}\n";
+        let records: Vec<Record> = reader(text).collect::<Result<_, _>>().unwrap();
+        assert_eq!(records.len(), 2, "blank line skipped");
+        assert_eq!(records[0].kind, "meta");
+        assert_eq!(records[0].line_no, 1);
+        assert_eq!(records[0].version, None);
+        assert_eq!(records[1].kind, "ts");
+        assert_eq!(records[1].line_no, 3);
+        assert_eq!(records[1].version, Some(2));
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        for bad in ["not json\n", "[1,2]\n", "{\"no\":\"type\"}\n"] {
+            let result: Result<Vec<Record>, StreamError> = reader(bad).collect();
+            assert!(result.is_err(), "{bad:?} must error");
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let text = format!("{{\"type\":\"ts\",\"v\":{}}}\n", SCHEMA_VERSION + 1);
+        let err = reader(&text).next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn mixed_explicit_versions_are_rejected() {
+        let text = "{\"type\":\"ts\",\"v\":2}\n{\"type\":\"ts\",\"v\":3}\n";
+        let mut r = reader(text);
+        assert!(r.next().unwrap().is_ok());
+        let err = r.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("mixed"), "{err}");
+        assert_eq!(r.version(), Some(2));
+    }
+
+    #[test]
+    fn untagged_v1_records_mix_with_any_tagged_version() {
+        let text = "{\"type\":\"meta\"}\n{\"type\":\"ts\",\"v\":3}\n{\"type\":\"meta\"}\n";
+        let records: Vec<Record> = reader(text).collect::<Result<_, _>>().unwrap();
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn current_writer_output_streams_clean() {
+        let mut text = String::new();
+        for i in 0..100u64 {
+            text.push_str(&JsonObject::typed("job_completed").u64("job", i).finish());
+            text.push('\n');
+        }
+        let records: Vec<Record> = reader(&text).collect::<Result<_, _>>().unwrap();
+        assert_eq!(records.len(), 100);
+        assert!(records
+            .iter()
+            .all(|r| r.version == Some(SCHEMA_VERSION) && r.kind == "job_completed"));
+    }
+}

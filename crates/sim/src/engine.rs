@@ -300,6 +300,20 @@ fn run(
         }
     }
     let mut trace: Option<Trace> = if traced { Some(Vec::new()) } else { None };
+    // Lifecycle prologue (schema v3): every job is submitted at run
+    // start, and the sources are immediately eligible. Emitted in
+    // node-id order so traces stay deterministic per seed.
+    if let Some(tr) = trace.as_mut() {
+        for u in dag.node_ids() {
+            tr.push(TraceEvent::JobSubmitted { time: 0.0, job: u });
+        }
+        for u in dag.sources() {
+            tr.push(TraceEvent::JobEligible { time: 0.0, job: u });
+        }
+    }
+    // Serving-worker ids for trace assignment events: sequential over
+    // granted requests, bumped only on traced runs.
+    let mut next_worker = 0u64;
     // Telemetry rides along only on traced runs so the plain `simulate`
     // hot path allocates nothing extra. `eligible_at` starts at 0.0
     // (sources are eligible from the start) and is overwritten whenever a
@@ -379,6 +393,8 @@ fn run(
                         }
                         if let Some(tr) = trace.as_mut() {
                             tr.push(TraceEvent::JobFailed { time: t, job });
+                            // The legacy model re-queues immediately.
+                            tr.push(TraceEvent::JobEligible { time: t, job });
                         }
                     } else if fs.as_ref().is_some_and(|fs| {
                         faults
@@ -436,6 +452,12 @@ fn run(
                                 queue.push(child);
                                 if let Some(ts) = telem.as_mut() {
                                     ts.eligible_at[child.index()] = t;
+                                }
+                                if let Some(tr) = trace.as_mut() {
+                                    tr.push(TraceEvent::JobEligible {
+                                        time: t,
+                                        job: child,
+                                    });
                                 }
                             }
                         }
@@ -537,10 +559,12 @@ fn run(
                     ts.record_assignment(t, job);
                 }
                 if let Some(tr) = trace.as_mut() {
+                    next_worker += 1;
                     tr.push(TraceEvent::JobAssigned {
                         time: t,
                         job,
                         completes_at,
+                        worker: next_worker,
                     });
                 }
             }
@@ -591,10 +615,12 @@ fn run(
                         ts.record_assignment(t, job);
                     }
                     if let Some(tr) = trace.as_mut() {
+                        next_worker += 1;
                         tr.push(TraceEvent::JobAssigned {
                             time: t,
                             job,
                             completes_at,
+                            worker: next_worker,
                         });
                     }
                 }
@@ -625,16 +651,16 @@ fn run(
         }
     }
 
-    prio_obs::counter("sim.runs").inc();
-    prio_obs::counter("sim.events_processed").add(events_processed);
-    prio_obs::counter("sim.stalled_batches").add(stalled_batches);
+    prio_obs::counter("sim.engine.runs").inc();
+    prio_obs::counter("sim.engine.events_processed").add(events_processed);
+    prio_obs::counter("sim.engine.stalled_batches").add(stalled_batches);
     if failed_attempts > 0 {
-        prio_obs::counter("sim.failed_attempts").add(failed_attempts);
+        prio_obs::counter("sim.engine.failed_attempts").add(failed_attempts);
     }
     if failed_permanent + unreachable > 0 {
-        prio_obs::counter("sim.jobs_aborted").add((failed_permanent + unreachable) as u64);
+        prio_obs::counter("sim.engine.jobs_aborted").add((failed_permanent + unreachable) as u64);
     }
-    prio_obs::gauge("sim.completion_heap_high_water").record_max(heap_high_water as u64);
+    prio_obs::gauge("sim.engine.completion_heap_high_water").record_max(heap_high_water as u64);
 
     SimOutcome {
         makespan,

@@ -16,6 +16,24 @@ pub enum TraceEvent {
         /// Whether the batch found pending work but nothing assignable.
         stalled: bool,
     },
+    /// A job entered the run (schema v3): one per DAG node at run start,
+    /// in node-id order, before any scheduling happens.
+    JobSubmitted {
+        /// Submission time (always the run's start, `0.0`).
+        time: f64,
+        /// The job.
+        job: NodeId,
+    },
+    /// A job became eligible to run — all parents done (schema v3).
+    /// Sources are eligible at time `0.0`; other jobs when their last
+    /// parent completes; failed jobs re-enter eligibility via this event
+    /// (legacy failure model) or `JobRetried` (fault-injection layer).
+    JobEligible {
+        /// Eligibility time.
+        time: f64,
+        /// The job.
+        job: NodeId,
+    },
     /// A job was handed to a worker.
     JobAssigned {
         /// Assignment time.
@@ -24,6 +42,9 @@ pub enum TraceEvent {
         job: NodeId,
         /// Scheduled completion time.
         completes_at: f64,
+        /// Serving worker id (schema v3): sequential per run over
+        /// granted requests. v1/v2 traces default it to 0 on read.
+        worker: u64,
     },
     /// A worker returned a job's results.
     JobCompleted {

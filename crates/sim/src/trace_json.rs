@@ -1,13 +1,17 @@
 //! JSONL serialization of [`TraceEvent`]s and [`SimTelemetry`].
 //!
 //! Each event becomes one JSON object with a `type` field
-//! (`batch_arrived`, `job_assigned`, `job_completed`, `job_failed`,
-//! `job_retried`, `worker_down`, `worker_up`) and the schema version tag
-//! `v` ([`SCHEMA_VERSION`]), so a trace file interleaves cleanly with the
+//! (`batch_arrived`, `job_submitted`, `job_eligible`, `job_assigned`,
+//! `job_completed`, `job_failed`, `job_retried`, `worker_down`,
+//! `worker_up`) and the schema version tag `v` ([`SCHEMA_VERSION`]), so a
+//! trace file interleaves cleanly with the
 //! `span`/`counter`/`gauge`/`meta` lines the observability sink emits.
-//! The fault events are additive within schema v2: readers of any v2
-//! build skip unknown record types, so fault-bearing traces degrade
-//! gracefully rather than erroring. Telemetry adds two more record
+//! The fault events are additive within schema v2, and the lifecycle
+//! events (`job_submitted`/`job_eligible`, plus the `worker` field on
+//! `job_assigned`) within schema v3: readers of any older build skip
+//! unknown record types, so newer traces degrade gracefully rather than
+//! erroring, and v3 readers default a missing `worker` field to 0 when
+//! replaying v1/v2 traces. Telemetry adds two more record
 //! types, both carrying a `policy` field: `ts` (one per time series,
 //! with the exact digest and the stored — possibly downsampled —
 //! samples) and `hist` (one per non-empty histogram, summary only;
@@ -40,14 +44,24 @@ pub fn event_to_json(event: &TraceEvent) -> String {
             .u64("assigned", assigned as u64)
             .bool("stalled", stalled)
             .finish(),
+        TraceEvent::JobSubmitted { time, job } => JsonObject::typed("job_submitted")
+            .f64("time", time)
+            .u64("job", u64::from(job.0))
+            .finish(),
+        TraceEvent::JobEligible { time, job } => JsonObject::typed("job_eligible")
+            .f64("time", time)
+            .u64("job", u64::from(job.0))
+            .finish(),
         TraceEvent::JobAssigned {
             time,
             job,
             completes_at,
+            worker,
         } => JsonObject::typed("job_assigned")
             .f64("time", time)
             .u64("job", u64::from(job.0))
             .f64("completes_at", completes_at)
+            .u64("worker", worker)
             .finish(),
         TraceEvent::JobCompleted { time, job } => JsonObject::typed("job_completed")
             .f64("time", time)
@@ -98,6 +112,18 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
             ));
         }
     }
+    event_from_value(&v).map_err(|e| format!("{kind}: {e}"))
+}
+
+/// Converts an already parsed JSON object into an event, if the object's
+/// `type` names one. Version checking is the caller's job (the streaming
+/// reader in `prio-obs` enforces it per file); this only dispatches on
+/// the record type and field shape.
+pub fn event_from_value(v: &JsonValue) -> Result<Option<TraceEvent>, String> {
+    let kind = match v.get("type").and_then(JsonValue::as_str) {
+        Some(kind) => kind,
+        None => return Err("missing type field".to_string()),
+    };
     let time = |v: &JsonValue| {
         v.get("time")
             .and_then(JsonValue::as_f64)
@@ -112,7 +138,7 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
     };
     let event = match kind {
         "batch_arrived" => TraceEvent::BatchArrived {
-            time: time(&v)?,
+            time: time(v)?,
             size: v
                 .get("size")
                 .and_then(JsonValue::as_u64)
@@ -126,25 +152,35 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
                 .and_then(JsonValue::as_bool)
                 .ok_or("missing stalled")?,
         },
+        "job_submitted" => TraceEvent::JobSubmitted {
+            time: time(v)?,
+            job: job(v)?,
+        },
+        "job_eligible" => TraceEvent::JobEligible {
+            time: time(v)?,
+            job: job(v)?,
+        },
         "job_assigned" => TraceEvent::JobAssigned {
-            time: time(&v)?,
-            job: job(&v)?,
+            time: time(v)?,
+            job: job(v)?,
             completes_at: v
                 .get("completes_at")
                 .and_then(JsonValue::as_f64)
                 .ok_or("missing completes_at")?,
+            // Absent in v1/v2 traces (the field is new in v3).
+            worker: v.get("worker").and_then(JsonValue::as_u64).unwrap_or(0),
         },
         "job_completed" => TraceEvent::JobCompleted {
-            time: time(&v)?,
-            job: job(&v)?,
+            time: time(v)?,
+            job: job(v)?,
         },
         "job_failed" => TraceEvent::JobFailed {
-            time: time(&v)?,
-            job: job(&v)?,
+            time: time(v)?,
+            job: job(v)?,
         },
         "job_retried" => TraceEvent::JobRetried {
-            time: time(&v)?,
-            job: job(&v)?,
+            time: time(v)?,
+            job: job(v)?,
             attempt: v
                 .get("attempt")
                 .and_then(JsonValue::as_u64)
@@ -156,13 +192,13 @@ pub fn event_from_json(line: &str) -> Result<Option<TraceEvent>, String> {
                 .ok_or("missing delay")?,
         },
         "worker_down" => TraceEvent::WorkerDown {
-            time: time(&v)?,
+            time: time(v)?,
             lost: v
                 .get("lost")
                 .and_then(JsonValue::as_u64)
                 .ok_or("missing lost")?,
         },
-        "worker_up" => TraceEvent::WorkerUp { time: time(&v)? },
+        "worker_up" => TraceEvent::WorkerUp { time: time(v)? },
         _ => return Ok(None),
     };
     Ok(Some(event))
@@ -254,6 +290,14 @@ mod tests {
 
     fn sample_trace() -> Trace {
         vec![
+            TraceEvent::JobSubmitted {
+                time: 0.0,
+                job: NodeId(0),
+            },
+            TraceEvent::JobEligible {
+                time: 0.0,
+                job: NodeId(0),
+            },
             TraceEvent::BatchArrived {
                 time: 0.0,
                 size: 3,
@@ -264,11 +308,13 @@ mod tests {
                 time: 0.0,
                 job: NodeId(0),
                 completes_at: 1.0625,
+                worker: 1,
             },
             TraceEvent::JobAssigned {
                 time: 0.0,
                 job: NodeId(4),
                 completes_at: 0.97,
+                worker: 2,
             },
             TraceEvent::JobFailed {
                 time: 0.97,
@@ -311,7 +357,7 @@ mod tests {
             text.push_str(&event_to_json(&event));
             text.push('\n');
         }
-        text.push_str("{\"type\":\"counter\",\"name\":\"sim.runs\",\"value\":1}\n");
+        text.push_str("{\"type\":\"counter\",\"name\":\"sim.engine.runs\",\"value\":1}\n");
         assert_eq!(read_trace(&text).unwrap(), sample_trace());
     }
 
@@ -353,6 +399,21 @@ mod tests {
         );
         let err = event_from_json(&future).unwrap_err();
         assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn v2_assignments_without_worker_default_to_zero() {
+        // Pre-v3 writers never emitted the worker field.
+        let v2 = "{\"type\":\"job_assigned\",\"v\":2,\"time\":0.5,\"job\":7,\"completes_at\":1.5}";
+        assert_eq!(
+            event_from_json(v2).unwrap(),
+            Some(TraceEvent::JobAssigned {
+                time: 0.5,
+                job: NodeId(7),
+                completes_at: 1.5,
+                worker: 0,
+            })
+        );
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! Regression: a trace serialized to JSONL and replayed from the file must
 //! match the in-memory [`Trace`] event for event — exercising **every**
-//! event variant (`BatchArrived`, `JobAssigned`, `JobCompleted`,
-//! `JobFailed`, `JobRetried`, `WorkerDown`, `WorkerUp`), with
+//! event variant (`BatchArrived`, `JobSubmitted`, `JobEligible`,
+//! `JobAssigned`, `JobCompleted`, `JobFailed`, `JobRetried`,
+//! `WorkerDown`, `WorkerUp`), with
 //! span/counter/meta/telemetry lines interleaved in the file (readers
 //! must skip them) and every record tagged with the schema version.
 //! A property suite generates arbitrary events and checks the JSON
-//! round-trip plus the v1/v2 version-acceptance rules.
+//! round-trip plus the v1/v2/v3 version-acceptance rules.
 
 use prio_graph::{Dag, NodeId};
 use prio_obs::json::{parse, JsonValue, SCHEMA_VERSION};
@@ -22,6 +23,8 @@ use proptest::prelude::*;
 fn variant_name(event: &TraceEvent) -> &'static str {
     match event {
         TraceEvent::BatchArrived { .. } => "batch_arrived",
+        TraceEvent::JobSubmitted { .. } => "job_submitted",
+        TraceEvent::JobEligible { .. } => "job_eligible",
         TraceEvent::JobAssigned { .. } => "job_assigned",
         TraceEvent::JobCompleted { .. } => "job_completed",
         TraceEvent::JobFailed { .. } => "job_failed",
@@ -64,9 +67,9 @@ fn jsonl_trace_replays_event_for_event() {
             let out = simulate_traced(&dag, &PolicySpec::Fifo, &model, seed);
             let trace = out.trace.as_ref().expect("traced run records a trace");
             let covered: std::collections::BTreeSet<_> = trace.iter().map(variant_name).collect();
-            (covered.len() == 4).then_some((seed, out))
+            (covered.len() == 6).then_some((seed, out))
         })
-        .expect("some seed under p=0.4 must cover all four event variants");
+        .expect("some seed under p=0.4 must cover all six reliable-path event variants");
     let trace = outcome.trace.expect("traced run records a trace");
     let telemetry = outcome.telemetry.expect("traced run records telemetry");
 
@@ -120,6 +123,8 @@ fn jsonl_trace_replays_event_for_event() {
         .collect();
     for kind in [
         "batch_arrived",
+        "job_submitted",
+        "job_eligible",
         "job_assigned",
         "job_completed",
         "job_failed",
@@ -148,9 +153,9 @@ fn faulty_runs_round_trip_with_all_fault_event_kinds() {
             let out = simulate_faulty_traced(&dag, &PolicySpec::Fifo, &model, &faults, seed);
             let trace = out.trace.as_ref().expect("traced");
             let covered: std::collections::BTreeSet<_> = trace.iter().map(variant_name).collect();
-            (covered.len() == 7).then_some((seed, out))
+            (covered.len() == 9).then_some((seed, out))
         })
-        .expect("some seed must cover all seven event variants");
+        .expect("some seed must cover all nine event variants");
     let trace = outcome.trace.expect("traced");
     let telemetry = outcome.telemetry.expect("traced");
 
@@ -223,13 +228,16 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                 stalled,
             }
         ),
-        (arb_time(), arb_job(), arb_time()).prop_map(|(time, job, completes_at)| {
-            TraceEvent::JobAssigned {
+        (arb_time(), arb_job()).prop_map(|(time, job)| TraceEvent::JobSubmitted { time, job }),
+        (arb_time(), arb_job()).prop_map(|(time, job)| TraceEvent::JobEligible { time, job }),
+        (arb_time(), arb_job(), arb_time(), 0u64..100_000).prop_map(
+            |(time, job, completes_at, worker)| TraceEvent::JobAssigned {
                 time,
                 job,
                 completes_at,
+                worker,
             }
-        }),
+        ),
         (arb_time(), arb_job()).prop_map(|(time, job)| TraceEvent::JobCompleted { time, job }),
         (arb_time(), arb_job()).prop_map(|(time, job)| TraceEvent::JobFailed { time, job }),
         (arb_time(), arb_job(), 1u32..10_000, arb_time()).prop_map(

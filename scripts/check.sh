@@ -28,6 +28,27 @@ run_cargo test -p prio-cli --test cli -q
 # Golden-output gate for `prio report`: a fixed-seed trace must summarize
 # to byte-stable simulator telemetry (tests/golden/report_telemetry.json).
 run_cargo test -p prio-cli --test report_golden -q
+# Golden-output gate for `prio trace`: the fixed-seed lifecycle analyses
+# (timeline/diff JSON) are pinned and thread-count invariant.
+run_cargo test -p prio-cli --test trace_golden -q
+# End-to-end trace smoke: simulate a fixed-seed run, then drive every
+# `prio trace` analysis over it. The artifacts land in target/trace-smoke
+# (uploaded by CI) so a failing analysis can be reproduced offline.
+run_cargo build --release -p prio-cli
+mkdir -p target/trace-smoke
+./target/release/prio simulate --workload airsn --mu-bit 0.7 --mu-bs 3 \
+  --p 4 --q 4 --seed 7 --trace-out target/trace-smoke/airsn.jsonl \
+  --profile-alloc > /dev/null
+./target/release/prio trace timeline target/trace-smoke/airsn.jsonl --json \
+  > target/trace-smoke/timeline.json
+./target/release/prio trace critical-path target/trace-smoke/airsn.jsonl --json \
+  > target/trace-smoke/critical_path.json
+./target/release/prio trace curve target/trace-smoke/airsn.jsonl \
+  --out target/trace-smoke/curve.tsv
+./target/release/prio trace diff target/trace-smoke/airsn.jsonl \
+  target/trace-smoke/airsn.jsonl --policy-a prio --policy-b fifo --json \
+  > target/trace-smoke/diff.json
+./target/release/prio report target/trace-smoke/airsn.jsonl > /dev/null
 run_cargo bench --no-run
 # Compile gate for the bench-regression guard; the timing comparison
 # itself is opt-in (PRIO_BENCH_CHECK=1) because shared CI machines are too
@@ -40,7 +61,8 @@ run_cargo build --release -p prio-bench --bin bench_scaling
 ./target/release/bench_scaling --max-jobs 10000 --out target/BENCH_scaling_smoke.json
 if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
   ./target/release/bench_check --threshold "${PRIO_BENCH_THRESHOLD:-2.0}" \
-    --scaling-fresh target/BENCH_scaling_smoke.json
+    --scaling-fresh target/BENCH_scaling_smoke.json \
+    --trace target/trace-smoke/airsn.jsonl
 fi
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings
