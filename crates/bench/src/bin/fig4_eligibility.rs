@@ -26,10 +26,10 @@ fn main() {
     ]);
     for w in paper_suite() {
         let start = Instant::now();
-        let prio = prioritize(&w.dag).unwrap().schedule;
-        let fifo = fifo_schedule(&w.dag);
-        let diff = profile_difference(&w.dag, &prio, &fifo);
-        let n = w.dag.num_nodes();
+        let prio = prioritize(w.dag()).unwrap().schedule;
+        let fifo = fifo_schedule(w.dag());
+        let diff = profile_difference(w.dag(), &prio, &fifo);
+        let n = w.dag().num_nodes();
         eprintln!(
             "fig4: {} ({} jobs) computed in {:.2}s",
             w.name,

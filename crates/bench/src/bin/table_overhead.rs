@@ -50,7 +50,7 @@ fn main() {
         eprintln!(
             "overhead: prioritizing {} ({} jobs)…",
             w.name,
-            w.dag.num_nodes()
+            w.dag().num_nodes()
         );
         // Each workload is measured from a clean registry so the phase
         // columns belong to this dag alone.
@@ -58,8 +58,8 @@ fn main() {
         let baseline = reset_peak();
         let total = {
             let guard = span::span("prioritize");
-            let result = prioritize(&w.dag).unwrap();
-            assert!(result.schedule.is_valid_for(&w.dag));
+            let result = prioritize(w.dag()).unwrap();
+            assert!(result.schedule.is_valid_for(w.dag()));
             guard.elapsed()
         };
         let peak = peak_since(baseline);
@@ -67,7 +67,7 @@ fn main() {
         assert_eq!(pname, w.name);
         let mut row = vec![
             w.name.to_string(),
-            w.dag.num_nodes().to_string(),
+            w.dag().num_nodes().to_string(),
             fmt_duration(total),
         ];
         row.extend(

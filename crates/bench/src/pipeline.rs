@@ -5,14 +5,17 @@
 //! The measurement times the PRIO pipeline on a Montage-like dag (~1k
 //! jobs) in three configurations — single-shot, context reuse, threaded
 //! Step 3 — interleaved round-robin so background load biases no variant,
-//! reporting best-of-N wall time. [`PipelineBench::to_json`] serializes
-//! with a **fixed key order** ([`KEY_ORDER`]) so the committed
+//! reporting best-of-N wall time. A second tier times each frontend's
+//! parser (DAGMan vs JSON vs edge list) importing the same ~10^5-job
+//! Montage-like workflow. [`PipelineBench::to_json`] serializes with a
+//! **fixed key order** ([`KEY_ORDER`]) so the committed
 //! `BENCH_pipeline.json` diffs cleanly run to run; [`PipelineBench::from_json`]
 //! reads it back (key order independent), and [`compare`] checks a fresh
 //! measurement against a committed baseline under a slowdown threshold.
 
 use prio_core::prio::{PrioOptions, Prioritizer};
 use prio_core::PrioContext;
+use prio_ir::{FormatId, Workflow};
 use prio_obs::json::{parse, JsonValue};
 use prio_workloads::montage::{montage, MontageParams};
 use std::time::Instant;
@@ -21,10 +24,17 @@ use std::time::Instant;
 pub const WARMUP: usize = 3;
 /// Timed rounds; the metric is the minimum over them.
 pub const ITERS: usize = 40;
+/// Target size of the parse-tier workflow (the 10^5 Montage-like dag).
+pub const PARSE_TARGET_JOBS: usize = 100_000;
+/// Warm-up rounds for the parse tier (each round parses ~10^5 jobs three
+/// ways, so fewer rounds than the pipeline tier).
+pub const PARSE_WARMUP: usize = 1;
+/// Timed rounds for the parse tier.
+pub const PARSE_ITERS: usize = 5;
 
 /// The serialized keys, in the exact order [`PipelineBench::to_json`]
 /// emits them.
-pub const KEY_ORDER: [&str; 9] = [
+pub const KEY_ORDER: [&str; 14] = [
     "workload",
     "jobs",
     "arcs",
@@ -34,6 +44,11 @@ pub const KEY_ORDER: [&str; 9] = [
     "context_reuse_ns",
     "threaded_4_ns",
     "reuse_speedup",
+    "parse_jobs",
+    "parse_iters",
+    "parse_dagman_ns",
+    "parse_json_ns",
+    "parse_edges_ns",
 ];
 
 /// One pipeline-throughput measurement (or a parsed committed baseline).
@@ -57,6 +72,16 @@ pub struct PipelineBench {
     pub threaded_4_ns: u64,
     /// `single_shot_ns / context_reuse_ns`.
     pub reuse_speedup: f64,
+    /// Jobs in the parse-tier workflow (~10^5 Montage-like).
+    pub parse_jobs: u64,
+    /// Timed iterations behind the parse-tier best-of-N metrics.
+    pub parse_iters: u64,
+    /// Best-of-N wall time importing the parse-tier workflow as DAGMan.
+    pub parse_dagman_ns: u64,
+    /// Best-of-N wall time importing it as prio-workflow-v1 JSON.
+    pub parse_json_ns: u64,
+    /// Best-of-N wall time importing it as a TSV edge list.
+    pub parse_edges_ns: u64,
 }
 
 /// Best-of-N wall time for each closure, in nanoseconds. One iteration of
@@ -64,13 +89,19 @@ pub struct PipelineBench {
 /// background load hit all variants alike instead of biasing whichever
 /// happened to run first.
 fn best_ns_interleaved(fs: &mut [&mut dyn FnMut()]) -> Vec<u128> {
-    for _ in 0..WARMUP {
+    best_ns_interleaved_n(fs, WARMUP, ITERS)
+}
+
+/// [`best_ns_interleaved`] with caller-chosen round counts, for tiers
+/// whose single iteration is expensive (the 10^5-job parse tier).
+fn best_ns_interleaved_n(fs: &mut [&mut dyn FnMut()], warmup: usize, iters: usize) -> Vec<u128> {
+    for _ in 0..warmup {
         for f in fs.iter_mut() {
             f();
         }
     }
     let mut best = vec![u128::MAX; fs.len()];
-    for _ in 0..ITERS {
+    for _ in 0..iters {
         for (f, best) in fs.iter_mut().zip(&mut best) {
             let t = Instant::now();
             f();
@@ -83,8 +114,15 @@ fn best_ns_interleaved(fs: &mut [&mut dyn FnMut()]) -> Vec<u128> {
     best
 }
 
-/// Runs the measurement on the standard Montage-like dag.
+/// Runs the measurement on the standard Montage-like dag, with the parse
+/// tier at [`PARSE_TARGET_JOBS`].
 pub fn measure() -> PipelineBench {
+    measure_with_parse_target(PARSE_TARGET_JOBS)
+}
+
+/// [`measure`] with a caller-chosen parse-tier size (tests use a small
+/// one; the committed baseline always uses [`PARSE_TARGET_JOBS`]).
+pub fn measure_with_parse_target(parse_target: usize) -> PipelineBench {
     let dag = montage(MontageParams::scaled(0.13));
     let serial = Prioritizer::new();
     let threaded_prio = Prioritizer::with_options(PrioOptions {
@@ -105,6 +143,7 @@ pub fn measure() -> PipelineBench {
     };
     let best = best_ns_interleaved(&mut [&mut run_single, &mut run_reuse, &mut run_threaded]);
     let (single_shot, context_reuse, threaded) = (best[0], best[1], best[2]);
+    let (parse_jobs, parse_best) = measure_parse_tier(parse_target);
 
     PipelineBench {
         workload: "montage".into(),
@@ -116,7 +155,40 @@ pub fn measure() -> PipelineBench {
         context_reuse_ns: context_reuse as u64,
         threaded_4_ns: threaded as u64,
         reuse_speedup: single_shot as f64 / context_reuse.max(1) as f64,
+        parse_jobs,
+        parse_iters: PARSE_ITERS as u64,
+        parse_dagman_ns: parse_best[0] as u64,
+        parse_json_ns: parse_best[1] as u64,
+        parse_edges_ns: parse_best[2] as u64,
     }
+}
+
+/// Times each frontend importing the same ~10^5-job Montage-like workflow
+/// (exported once per format beforehand), interleaved like the pipeline
+/// tier. Returns the job count and best-of-N per format in
+/// dagman/json/edges order.
+fn measure_parse_tier(target: usize) -> (u64, Vec<u128>) {
+    let wf = Workflow::synthetic(crate::scaling::montage_tier(target));
+    let reg = prio_dagman::registry();
+    let texts: Vec<(FormatId, String)> = [FormatId::Dagman, FormatId::Json, FormatId::Edges]
+        .into_iter()
+        .map(|id| {
+            let f = reg.get(id).expect("builtin frontend registered");
+            (id, f.export(&wf, wf.priorities()))
+        })
+        .collect();
+    let mut runs: Vec<Box<dyn FnMut()>> = texts
+        .iter()
+        .map(|(id, text)| {
+            let f = reg.get(*id).expect("builtin frontend registered");
+            Box::new(move || {
+                std::hint::black_box(f.import(text).expect("own export re-imports"));
+            }) as Box<dyn FnMut()>
+        })
+        .collect();
+    let mut fs: Vec<&mut dyn FnMut()> = runs.iter_mut().map(|f| f.as_mut() as _).collect();
+    let best = best_ns_interleaved_n(&mut fs, PARSE_WARMUP, PARSE_ITERS);
+    (wf.num_jobs() as u64, best)
 }
 
 impl PipelineBench {
@@ -125,7 +197,7 @@ impl PipelineBench {
     /// for identical measurements.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"workload\": \"{}\",\n  \"jobs\": {},\n  \"arcs\": {},\n  \"iters\": {},\n  \"metric\": \"{}\",\n  \"single_shot_ns\": {},\n  \"context_reuse_ns\": {},\n  \"threaded_4_ns\": {},\n  \"reuse_speedup\": {:.4}\n}}\n",
+            "{{\n  \"workload\": \"{}\",\n  \"jobs\": {},\n  \"arcs\": {},\n  \"iters\": {},\n  \"metric\": \"{}\",\n  \"single_shot_ns\": {},\n  \"context_reuse_ns\": {},\n  \"threaded_4_ns\": {},\n  \"reuse_speedup\": {:.4},\n  \"parse_jobs\": {},\n  \"parse_iters\": {},\n  \"parse_dagman_ns\": {},\n  \"parse_json_ns\": {},\n  \"parse_edges_ns\": {}\n}}\n",
             self.workload,
             self.jobs,
             self.arcs,
@@ -135,6 +207,11 @@ impl PipelineBench {
             self.context_reuse_ns,
             self.threaded_4_ns,
             self.reuse_speedup,
+            self.parse_jobs,
+            self.parse_iters,
+            self.parse_dagman_ns,
+            self.parse_json_ns,
+            self.parse_edges_ns,
         )
     }
 
@@ -168,15 +245,25 @@ impl PipelineBench {
                 .get("reuse_speedup")
                 .and_then(JsonValue::as_f64)
                 .ok_or("missing number field \"reuse_speedup\"")?,
+            parse_jobs: u("parse_jobs")?,
+            parse_iters: u("parse_iters")?,
+            parse_dagman_ns: u("parse_dagman_ns")?,
+            parse_json_ns: u("parse_json_ns")?,
+            parse_edges_ns: u("parse_edges_ns")?,
         })
     }
 
-    /// The three timed metrics by name, in serialization order.
-    pub fn metrics(&self) -> [(&'static str, u64); 3] {
+    /// The timed metrics by name, in serialization order. `compare` (and
+    /// therefore `bench_check`) guards every entry, so the per-frontend
+    /// parse tier is covered automatically.
+    pub fn metrics(&self) -> [(&'static str, u64); 6] {
         [
             ("single_shot_ns", self.single_shot_ns),
             ("context_reuse_ns", self.context_reuse_ns),
             ("threaded_4_ns", self.threaded_4_ns),
+            ("parse_dagman_ns", self.parse_dagman_ns),
+            ("parse_json_ns", self.parse_json_ns),
+            ("parse_edges_ns", self.parse_edges_ns),
         ]
     }
 }
@@ -236,6 +323,11 @@ mod tests {
             context_reuse_ns: 611_205,
             threaded_4_ns: 729_699,
             reuse_speedup: 1.0183,
+            parse_jobs: 100_003,
+            parse_iters: 5,
+            parse_dagman_ns: 31_000_000,
+            parse_json_ns: 54_000_000,
+            parse_edges_ns: 22_000_000,
         }
     }
 
@@ -267,7 +359,7 @@ mod tests {
     #[test]
     fn committed_baseline_format_parses() {
         // The exact shape committed at the repository root.
-        let committed = "{\n  \"workload\": \"montage\",\n  \"jobs\": 1033,\n  \"arcs\": 2044,\n  \"iters\": 40,\n  \"metric\": \"best_of_n_wall_ns\",\n  \"single_shot_ns\": 622366,\n  \"context_reuse_ns\": 611205,\n  \"threaded_4_ns\": 729699,\n  \"reuse_speedup\": 1.0183\n}\n";
+        let committed = "{\n  \"workload\": \"montage\",\n  \"jobs\": 1033,\n  \"arcs\": 2044,\n  \"iters\": 40,\n  \"metric\": \"best_of_n_wall_ns\",\n  \"single_shot_ns\": 622366,\n  \"context_reuse_ns\": 611205,\n  \"threaded_4_ns\": 729699,\n  \"reuse_speedup\": 1.0183,\n  \"parse_jobs\": 100003,\n  \"parse_iters\": 5,\n  \"parse_dagman_ns\": 31000000,\n  \"parse_json_ns\": 54000000,\n  \"parse_edges_ns\": 22000000\n}\n";
         let b = PipelineBench::from_json(committed).unwrap();
         assert_eq!(b, sample());
         assert_eq!(
@@ -292,23 +384,33 @@ mod tests {
         fresh.context_reuse_ns = baseline.context_reuse_ns; // unchanged
         fresh.threaded_4_ns = baseline.threaded_4_ns / 2; // faster
         let checks = compare(&baseline, &fresh, 2.0);
-        assert_eq!(checks.len(), 3);
+        assert_eq!(checks.len(), 6);
         assert!(checks[0].regressed, "3× exceeds a 2× threshold");
         assert!(!checks[1].regressed);
         assert!(!checks[2].regressed, "speedups never regress");
         assert!((checks[0].ratio - 3.0).abs() < 1e-9);
+        // The parse tier is guarded by the same comparison.
+        let mut fresh = sample();
+        fresh.parse_json_ns = baseline.parse_json_ns * 3;
+        let checks = compare(&baseline, &fresh, 2.0);
+        assert!(checks
+            .iter()
+            .any(|c| c.name == "parse_json_ns" && c.regressed));
     }
 
     #[test]
     fn measurement_smoke_is_consistent() {
         // Not a timing assertion (CI machines vary wildly) — just that the
-        // measurement runs and produces internally consistent fields.
-        let b = measure();
+        // measurement runs and produces internally consistent fields. The
+        // parse tier is shrunk so the debug-mode test stays fast.
+        let b = measure_with_parse_target(2_000);
         assert_eq!(b.workload, "montage");
         assert!(b.jobs > 0 && b.arcs > 0);
         assert!(b.single_shot_ns > 0 && b.context_reuse_ns > 0 && b.threaded_4_ns > 0);
         let expected = b.single_shot_ns as f64 / b.context_reuse_ns.max(1) as f64;
         assert!((b.reuse_speedup - expected).abs() < 1e-9);
+        assert!(b.parse_jobs as usize >= 2_000);
+        assert!(b.parse_dagman_ns > 0 && b.parse_json_ns > 0 && b.parse_edges_ns > 0);
         PipelineBench::from_json(&b.to_json()).unwrap();
     }
 }

@@ -1,10 +1,14 @@
-//! `prio batch` — prioritize every DAGMan file in a directory.
+//! `prio batch` — prioritize every workflow file in a directory.
 //!
-//! Scans `<dir>` for `*.dag` files (sorted by name, skipping previous
-//! `*.prio.dag` outputs), runs the PRIO pipeline over all of them through
-//! one [`prio_core::Prioritizer::prioritize_many`] call — so scratch
-//! buffers are shared across the whole batch — and writes each result next
-//! to its input as `<stem>.prio.dag`.
+//! Scans `<dir>` for workflow files by extension — `*.dag` plus, with
+//! `--format` or by default, every extension a registered frontend claims
+//! (`*.json`, `*.edges`, `*.tsv`) — sorted by name and skipping previous
+//! `*.prio.*` outputs. All dags run through one
+//! [`prio_core::Prioritizer::prioritize_many`] call — so scratch buffers
+//! are shared across the whole batch — and each result is written next to
+//! its input as `<stem>.prio.<ext>`. DAGMan inputs keep the paper's
+//! line-faithful instrumentation; other formats re-export through their
+//! frontend with priorities attached.
 //!
 //! Per-file failures do not abort the batch: every remaining file is still
 //! processed, failures are reported to stderr, and the exit code reflects
@@ -17,28 +21,60 @@ use prio_core::PrioError;
 use prio_dagman::ast::DagmanFile;
 use prio_dagman::instrument::{instrument_dagman, priorities_by_job};
 use prio_dagman::parse::parse_dagman;
+use prio_dagman::registry;
 use prio_dagman::write::write_dagman;
 use prio_graph::Dag;
+use prio_ir::{FormatId, FormatRegistry, Workflow};
 use std::path::{Path, PathBuf};
+
+/// One parsed input, keeping the DAGMan AST when the paper's line-faithful
+/// instrumentation applies.
+enum Parsed {
+    Dagman(Box<DagmanFile>, Dag),
+    Ir(FormatId, Workflow),
+}
+
+impl Parsed {
+    fn dag(&self) -> &Dag {
+        match self {
+            Parsed::Dagman(_, dag) => dag,
+            Parsed::Ir(_, wf) => wf.dag(),
+        }
+    }
+}
 
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let dir = args.one_positional()?.to_string();
     let search: usize = args.get_parsed("search", 0)?;
     let threads: usize = args.get_parsed("threads", 0)?;
+    let reg = registry();
+    let only: Option<FormatId> = match args.get("format") {
+        None => None,
+        Some(name) if name.eq_ignore_ascii_case("auto") => None,
+        Some(name) => Some(
+            reg.by_name(name)
+                .ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown --format {name:?} (auto|dagman|json|edges)"
+                    ))
+                })?
+                .id(),
+        ),
+    };
 
-    let paths = dag_files(&dir)?;
+    let paths = workflow_files(&dir, &reg, only)?;
     if paths.is_empty() {
-        return Err(CliError::input(format!("{dir}: no .dag files found")));
+        return Err(CliError::input(format!("{dir}: no workflow files found")));
     }
 
     // Parse every file up front; parse failures are reported but do not
     // stop the batch.
     let mut failures: Vec<(PathBuf, CliError)> = Vec::new();
-    let mut parsed: Vec<(PathBuf, DagmanFile, Dag)> = Vec::new();
+    let mut parsed: Vec<(PathBuf, Parsed)> = Vec::new();
     for path in paths {
-        match read_one(&path) {
-            Ok((file, dag)) => parsed.push((path, file, dag)),
+        match read_one(&path, &reg, only) {
+            Ok(p) => parsed.push((path, p)),
             Err(e) => failures.push((path, e)),
         }
     }
@@ -49,14 +85,15 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         threads,
         ..PrioOptions::default()
     });
-    let results = prioritizer.prioritize_many(parsed.iter().map(|(_, _, dag)| dag));
+    let results = prioritizer.prioritize_many(parsed.iter().map(|(_, p)| p.dag()));
 
     let mut written = 0usize;
-    for ((path, mut file, dag), result) in parsed.into_iter().zip(results) {
-        match write_one(&path, &mut file, &dag, result) {
+    for ((path, input), result) in parsed.into_iter().zip(results) {
+        let jobs = input.dag().num_nodes();
+        match write_one(&path, input, result, &reg) {
             Ok(out) => {
                 written += 1;
-                eprintln!("prio: wrote {} ({} jobs)", out.display(), dag.num_nodes());
+                eprintln!("prio: wrote {} ({} jobs)", out.display(), jobs);
             }
             Err(e) => failures.push((path, e)),
         }
@@ -84,9 +121,14 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
-/// The `*.dag` files of `dir`, sorted by file name; `*.prio.dag` outputs
-/// from previous runs are skipped so a batch is idempotent.
-fn dag_files(dir: &str) -> Result<Vec<PathBuf>, CliError> {
+/// The workflow files of `dir`, sorted by file name; `*.prio.*` outputs
+/// from previous runs are skipped so a batch is idempotent. With a
+/// `--format` restriction only that frontend's extensions match.
+fn workflow_files(
+    dir: &str,
+    reg: &FormatRegistry,
+    only: Option<FormatId>,
+) -> Result<Vec<PathBuf>, CliError> {
     let entries = std::fs::read_dir(dir).map_err(|e| CliError::input(format!("{dir}: {e}")))?;
     let mut paths: Vec<PathBuf> = Vec::new();
     for entry in entries {
@@ -96,7 +138,11 @@ fn dag_files(dir: &str) -> Result<Vec<PathBuf>, CliError> {
             Some(n) => n,
             None => continue,
         };
-        if name.ends_with(".dag") && !name.ends_with(".prio.dag") {
+        let known = match reg.by_extension(name) {
+            Some(f) => only.is_none_or(|id| f.id() == id),
+            None => false,
+        };
+        if known && !name.contains(".prio.") {
             paths.push(path);
         }
     }
@@ -104,36 +150,67 @@ fn dag_files(dir: &str) -> Result<Vec<PathBuf>, CliError> {
     Ok(paths)
 }
 
-fn read_one(path: &Path) -> Result<(DagmanFile, Dag), CliError> {
+fn read_one(path: &Path, reg: &FormatRegistry, only: Option<FormatId>) -> Result<Parsed, CliError> {
     let shown = path.display();
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{shown}: {e}")))?;
-    let file = parse_dagman(&text)
-        .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
-    let dag = file
-        .to_dag()
-        .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
-    Ok((file, dag))
+    let frontend = match only {
+        Some(id) => reg
+            .get(id)
+            .expect("restricted format came from the registry"),
+        None => path
+            .to_str()
+            .and_then(|p| reg.by_extension(p))
+            .ok_or_else(|| CliError::input(format!("{shown}: unrecognized extension")))?,
+    };
+    if frontend.id() == FormatId::Dagman {
+        let file = parse_dagman(&text)
+            .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
+        let dag = file
+            .to_dag()
+            .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
+        Ok(Parsed::Dagman(Box::new(file), dag))
+    } else {
+        let wf = frontend
+            .import(&text)
+            .map_err(|e| CliError::input(format!("{shown}: {e}")))?;
+        Ok(Parsed::Ir(frontend.id(), wf))
+    }
 }
 
 fn write_one(
     path: &Path,
-    file: &mut DagmanFile,
-    dag: &Dag,
+    input: Parsed,
     result: Result<prio_core::PrioResult, PrioError>,
+    reg: &FormatRegistry,
 ) -> Result<PathBuf, CliError> {
     let result = result?;
-    let names = result.schedule.order().iter().map(|&u| dag.label(u));
-    let priorities = priorities_by_job(names);
-    instrument_dagman(file, &priorities)?;
-    let out = output_path(path);
-    std::fs::write(&out, write_dagman(file))
+    let (rendered, ext) = match input {
+        Parsed::Dagman(mut file, dag) => {
+            let names = result.schedule.order().iter().map(|&u| dag.label(u));
+            let priorities = priorities_by_job(names);
+            instrument_dagman(&mut file, &priorities)?;
+            (write_dagman(&file), "dag".to_string())
+        }
+        Parsed::Ir(id, wf) => {
+            let frontend = reg.get(id).expect("parsed with a registered frontend");
+            let ext = path
+                .extension()
+                .and_then(|s| s.to_str())
+                .unwrap_or(id.extension())
+                .to_string();
+            (frontend.export(&wf, &result.priorities()), ext)
+        }
+    };
+    let out = output_path(path, &ext);
+    std::fs::write(&out, rendered)
         .map_err(|e| CliError::input(format!("{}: {e}", out.display())))?;
     Ok(out)
 }
 
-/// `foo.dag` -> `foo.prio.dag`, next to the input.
-fn output_path(path: &Path) -> PathBuf {
+/// `foo.dag` -> `foo.prio.dag` (and `foo.json` -> `foo.prio.json`), next
+/// to the input.
+fn output_path(path: &Path, ext: &str) -> PathBuf {
     let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
-    path.with_file_name(format!("{stem}.prio.dag"))
+    path.with_file_name(format!("{stem}.prio.{ext}"))
 }

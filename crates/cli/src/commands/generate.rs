@@ -1,9 +1,10 @@
-//! `prio generate` — emit a synthetic scientific dag as a DAGMan file.
+//! `prio generate` — emit a synthetic scientific dag as a workflow file
+//! (DAGMan by default; `--format json|edges` selects another frontend).
 
 use crate::args::Args;
 use crate::error::CliError;
-use prio_dagman::ast::DagmanFile;
-use prio_dagman::write::write_dagman;
+use prio_dagman::registry;
+use prio_ir::Workflow;
 use prio_workloads::{airsn, classic, inspiral, montage, sdss};
 
 pub fn run(argv: &[String]) -> Result<(), CliError> {
@@ -36,7 +37,18 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "fig3" => classic::fig3_dag(),
         other => return Err(CliError::usage(format!("unknown workload {other:?}"))),
     };
-    let text = write_dagman(&DagmanFile::from_dag(&dag));
+    let reg = registry();
+    let frontend = match args.get("format") {
+        None | Some("auto") | Some("dagman") => reg
+            .by_name("dagman")
+            .expect("dagman frontend is registered"),
+        Some(name) => reg.by_name(name).ok_or_else(|| {
+            CliError::usage(format!("unknown --format {name:?} (dagman|json|edges)"))
+        })?,
+    };
+    let workflow = Workflow::synthetic(dag);
+    let text = frontend.export(&workflow, workflow.priorities());
+    let dag = workflow.dag();
     match args.get("output") {
         Some(path) => {
             std::fs::write(path, text).map_err(|e| CliError::input(format!("{path}: {e}")))?;

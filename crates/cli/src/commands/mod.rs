@@ -5,6 +5,7 @@
 
 pub mod batch;
 pub mod compare;
+pub mod convert;
 pub mod generate;
 pub mod instrument;
 pub mod report;
@@ -15,14 +16,41 @@ pub mod trace;
 
 use crate::args::Args;
 use crate::error::CliError;
-use prio_core::PrioError;
-use prio_dagman::parse::parse_dagman;
+use prio_dagman::registry;
 use prio_graph::Dag;
+use prio_ir::{FormatRegistry, Frontend, Workflow};
 use prio_workloads::spec::{paper_workload, scaled_suite};
 
-/// Loads the dag a subcommand operates on: either a DAGMan file path
-/// (positional) or `--workload NAME` with optional `--scale F`.
-pub fn load_dag(args: &Args) -> Result<(String, Dag), CliError> {
+/// Resolves which frontend handles `text`: an explicit `--format` name
+/// wins, otherwise the registry auto-detects by file extension and then
+/// by content sniffing.
+pub fn resolve_frontend<'r>(
+    registry: &'r FormatRegistry,
+    format_flag: Option<&str>,
+    path: Option<&str>,
+    text: &str,
+) -> Result<&'r dyn Frontend, CliError> {
+    match format_flag {
+        Some(name) if !name.eq_ignore_ascii_case("auto") => {
+            registry.by_name(name).ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown --format {name:?} (auto|dagman|json|edges)"
+                ))
+            })
+        }
+        _ => registry.detect(path, text).ok_or_else(|| {
+            let shown = path.unwrap_or("<input>");
+            CliError::input(format!(
+                "{shown}: cannot detect workflow format (use --format dagman|json|edges)"
+            ))
+        }),
+    }
+}
+
+/// Loads the workflow a subcommand operates on: either a workflow file
+/// path (positional, format from `--format` or auto-detected) or
+/// `--workload NAME` with optional `--scale F`.
+pub fn load_workflow(args: &Args) -> Result<(String, Workflow), CliError> {
     if let Some(name) = args.get("workload") {
         let scale: f64 = args.get_parsed("scale", 1.0)?;
         let workload = if (scale - 1.0).abs() < f64::EPSILON {
@@ -35,26 +63,25 @@ pub fn load_dag(args: &Args) -> Result<(String, Dag), CliError> {
                 .ok_or_else(|| CliError::usage(format!("unknown workload {name:?}")))?
         };
         Ok((
-            format!("{} ({} jobs)", workload.name, workload.dag.num_nodes()),
-            workload.dag,
+            format!("{} ({} jobs)", workload.name, workload.dag().num_nodes()),
+            workload.workflow,
         ))
     } else {
         let path = args.one_positional()?;
-        let (_, dag) = load_dagman_file(path)?;
-        Ok((path.to_string(), dag))
+        let text =
+            std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        let reg = registry();
+        let frontend = resolve_frontend(&reg, args.get("format"), Some(path), &text)?;
+        let workflow = frontend
+            .import(&text)
+            .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        Ok((path.to_string(), workflow))
     }
 }
 
-/// Reads and parses one DAGMan file. Read failures and parse/graph errors
-/// are input errors prefixed with the file path; parse errors keep their
-/// pipeline stage name (`parse:`).
-pub fn load_dagman_file(path: &str) -> Result<(prio_dagman::ast::DagmanFile, Dag), CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
-    let file = parse_dagman(&text)
-        .map_err(|e| CliError::input(format!("{path}: {}", PrioError::from(e))))?;
-    let dag = file
-        .to_dag()
-        .map_err(|e| CliError::input(format!("{path}: {}", PrioError::from(e))))?;
-    Ok((file, dag))
+/// Loads the dag a subcommand operates on (see [`load_workflow`]); for
+/// subcommands that never touch priorities or metadata.
+pub fn load_dag(args: &Args) -> Result<(String, Dag), CliError> {
+    let (name, workflow) = load_workflow(args)?;
+    Ok((name, workflow.into_dag()))
 }

@@ -1,13 +1,14 @@
 //! The `prio` command-line tool (§3.2).
 //!
 //! ```text
-//! prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]
-//!                 [--mode vars|priority] [--search N] [--threads T]
-//! prio batch      <dir> [--search N] [--threads T]
-//! prio schedule   <file.dag> [--fifo] [--critical-path]
-//! prio compare    <file.dag | --workload NAME [--scale F]>
-//! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
-//! prio simulate   (<file.dag> | --workload NAME [--scale F]) [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S]
+//! prio instrument <workflow> [--format F] [--output <file>] [--jsdf-dir <dir>] [--in-place]
+//!                 [--mode vars|priority] [--search N] [--threads T]     (alias: run)
+//! prio convert    <in> <out> [--from F] [--to F]
+//! prio batch      <dir> [--format F] [--search N] [--threads T]
+//! prio schedule   <workflow> [--format F] [--fifo] [--critical-path]
+//! prio compare    <workflow | --workload NAME [--scale F]>
+//! prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--format F] [--output <file>]
+//! prio simulate   (<workflow> | --workload NAME [--scale F]) [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S]
 //!                 [--trace-out <file>] [--timings]
 //! prio report     <trace.jsonl | ->... [--json]
 //! prio trace      <timeline|critical-path|curve|diff> ...
@@ -114,7 +115,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
     };
     let rest = &argv[1..];
     match cmd.as_str() {
-        "instrument" => commands::instrument::run(rest),
+        "instrument" | "run" => commands::instrument::run(rest),
+        "convert" => commands::convert::run(rest),
         "batch" => commands::batch::run(rest),
         "schedule" => commands::schedule::run(rest),
         "compare" => commands::compare::run(rest),
@@ -139,14 +141,16 @@ fn print_usage() {
 prio — prioritize DAGMan jobs to keep the number of eligible jobs high
 
 USAGE:
-    prio instrument <file.dag> [--output <file>] [--jsdf-dir <dir>] [--in-place]
-                    [--mode vars|priority] [--search N] [--threads T]
-                    [--trace-out <file>] [--timings]
-    prio batch      <dir> [--search N] [--threads T]
-    prio schedule   <file.dag> [--fifo | --critical-path | --theoretical]
-    prio compare    (<file.dag> | --workload NAME [--scale F])
-    prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F] [--output <file>]
-    prio simulate   (<file.dag> | --workload NAME [--scale F])
+    prio instrument <workflow> [--format F] [--output <file>] [--jsdf-dir <dir>]
+                    [--in-place] [--mode vars|priority] [--search N] [--threads T]
+                    [--trace-out <file>] [--timings]          (alias: run)
+    prio convert    <in> <out> [--from F] [--to F]
+    prio batch      <dir> [--format F] [--search N] [--threads T]
+    prio schedule   <workflow> [--format F] [--fifo | --critical-path | --theoretical]
+    prio compare    (<workflow> | --workload NAME [--scale F])
+    prio generate   <airsn|inspiral|montage|sdss|fig3> [--width W] [--scale F]
+                    [--format F] [--output <file>]
+    prio simulate   (<workflow> | --workload NAME [--scale F])
                     [--mu-bit X] [--mu-bs Y] [--p N] [--q N] [--seed S] [--threads T]
                     [--fault-rate P] [--permanent-frac F] [--retries N]
                     [--backoff none|D|fixed:D|exp:B[:F[:C]]]
@@ -157,8 +161,14 @@ USAGE:
     prio trace      critical-path <trace.jsonl | -> [--json]
     prio trace      curve         <trace.jsonl | -> --out <file.tsv>
     prio trace      diff          <a.jsonl> <b.jsonl> [--policy-a P] [--policy-b P] [--json]
-    prio stats      (<file.dag> | --workload NAME [--scale F])
+    prio stats      (<workflow> | --workload NAME [--scale F])
     prio help
+
+FORMATS (--format / --from / --to):
+    auto     detect by file extension, then by content (default)
+    dagman   DAGMan input files            (*.dag)
+    json     prio-workflow-v1 JSON graphs  (*.json)
+    edges    whitespace/TSV edge lists     (*.edges, *.tsv)
 
 GLOBAL FLAGS:
     -v, --verbose   print a phase-timing footer to stderr (-vv adds counters);
@@ -168,10 +178,14 @@ GLOBAL FLAGS:
     --profile-alloc attach allocation count/bytes/peak deltas to every span
 
 SUBCOMMANDS:
-    instrument  parse a DAGMan file, compute the PRIO schedule, write back
-                jobpriority VARS (and JSDF priority lines when found)
-    batch       prioritize every *.dag file in a directory, writing each
-                result next to its input as <stem>.prio.dag
+    instrument  parse a workflow file, compute the PRIO schedule, write the
+                prioritized file back (DAGMan gets jobpriority VARS plus
+                JSDF priority lines when found; other formats re-export
+                with priorities attached)                      (alias: run)
+    convert     translate a workflow between formats, keeping jobs, arcs,
+                metadata, and priorities
+    batch       prioritize every workflow file in a directory, writing each
+                result next to its input as <stem>.prio.<ext>
     schedule    print the schedule, one job name per line
     compare     print E_PRIO(t) - E_FIFO(t) per step (the paper's Fig. 4)
     generate    emit a synthetic scientific dag as a DAGMan file

@@ -233,7 +233,7 @@ fn batch_of_empty_directory_is_an_input_error() {
     let dir = tempdir("batchempty");
     let out = prio(&["batch", "."], &dir);
     assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("no .dag files"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no workflow files"));
 }
 
 #[test]
@@ -278,4 +278,102 @@ fn cyclic_dagman_file_is_rejected() {
     let out = prio(&["schedule", "cyc.dag"], &dir);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cycle"));
+}
+
+#[test]
+fn convert_between_all_formats_preserves_the_schedule() {
+    let dir = tempdir("convert");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["convert", "IV.dag", "IV.json"], &dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = prio(&["convert", "IV.json", "IV.edges"], &dir);
+    assert!(out.status.success());
+    let reference = prio(&["schedule", "IV.dag"], &dir);
+    for converted in ["IV.json", "IV.edges"] {
+        let out = prio(&["schedule", converted], &dir);
+        assert!(out.status.success(), "schedule {converted} failed");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&reference.stdout),
+            "{converted}: schedule diverged from the DAGMan original"
+        );
+    }
+}
+
+#[test]
+fn convert_to_stdout_requires_to_flag() {
+    let dir = tempdir("convertstdout");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["convert", "IV.dag", "-"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    let out = prio(&["convert", "IV.dag", "-", "--to", "edges"], &dir);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("a\tb"));
+}
+
+#[test]
+fn run_alias_instruments_json_workflows() {
+    let dir = tempdir("runjson");
+    std::fs::write(dir.join("IV.dag"), FIG3).unwrap();
+    let out = prio(&["convert", "IV.dag", "IV.json"], &dir);
+    assert!(out.status.success());
+    let out = prio(&["run", "IV.json"], &dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(dir.join("IV.prio.json")).unwrap();
+    // Same Condor convention as the DAGMan path: c first (priority 5).
+    assert!(text.contains("\"name\": \"c\", \"priority\": 5"), "{text}");
+    // The prioritized JSON file re-parses and schedules identically.
+    let a = prio(&["schedule", "IV.prio.json"], &dir);
+    let b = prio(&["schedule", "IV.dag"], &dir);
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout)
+    );
+}
+
+#[test]
+fn format_flag_overrides_extension_detection() {
+    let dir = tempdir("formatflag");
+    // An edge list hiding under a .txt extension.
+    std::fs::write(dir.join("g.txt"), "a\tb\nb\tc\n").unwrap();
+    let out = prio(&["schedule", "g.txt", "--format", "edges"], &dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.lines().count(), 3);
+    // An unknown --format value is a usage error.
+    let out = prio(&["schedule", "g.txt", "--format", "nope"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn batch_prioritizes_mixed_formats() {
+    let dir = tempdir("batchmixed");
+    std::fs::write(dir.join("one.dag"), FIG3).unwrap();
+    std::fs::write(dir.join("two.edges"), "a\tb\na\tc\n").unwrap();
+    let out = prio(&["batch", "."], &dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("one.prio.dag").exists());
+    let edges = std::fs::read_to_string(dir.join("two.prio.edges")).unwrap();
+    assert!(edges.contains("@priority\ta\t3"), "{edges}");
+    // Re-running skips the .prio.* outputs (idempotent).
+    let out = prio(&["batch", "."], &dir);
+    assert!(out.status.success());
+    assert!(!dir.join("one.prio.prio.dag").exists());
+    assert!(!dir.join("two.prio.prio.edges").exists());
 }

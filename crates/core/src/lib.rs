@@ -76,6 +76,9 @@ pub mod schedule;
 pub mod theoretical;
 
 pub use context::PrioContext;
-pub use error::{PrioError, Stage};
+pub use error::{ImportError, PrioError, Stage};
 pub use prio::{prioritize, PrioOptions, PrioResult, Prioritizer};
+// The workflow IR the pipeline consumes; re-exported so downstream crates
+// can name it through `prio_core` without depending on `prio-ir` directly.
+pub use prio_ir::{FormatId, Priorities, Workflow, WorkflowBuilder};
 pub use schedule::Schedule;

@@ -21,6 +21,7 @@ use crate::schedule::Schedule;
 use prio_graph::reduction::{remove_arcs, shortcut_arcs_into};
 use prio_graph::topo::{linear_extension_violation, ExtensionViolation};
 use prio_graph::{Dag, NodeId};
+use prio_ir::{Priorities, Workflow};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -96,6 +97,15 @@ pub struct PrioResult {
     pub component_order: Vec<usize>,
     /// Pipeline statistics.
     pub stats: PrioStats,
+}
+
+impl PrioResult {
+    /// The schedule as IR priorities (Condor convention: the job executed
+    /// first gets priority `n`, the last gets 1), ready for any
+    /// frontend's `export`.
+    pub fn priorities(&self) -> Priorities {
+        Priorities::from_order(self.schedule.order(), self.schedule.len())
+    }
 }
 
 /// The PRIO scheduler with configurable engineering options.
@@ -193,6 +203,30 @@ impl Prioritizer {
         dags.into_iter()
             .map(|dag| self.prioritize_in(dag, &mut ctx))
             .collect()
+    }
+
+    /// Runs the full pipeline on a workflow IR (any frontend's import).
+    /// Identical to [`Prioritizer::prioritize`] on the workflow's dag.
+    pub fn prioritize_workflow(&self, workflow: &Workflow) -> Result<PrioResult, PrioError> {
+        self.prioritize(workflow.dag())
+    }
+
+    /// [`Prioritizer::prioritize_workflow`] with a reused scratch context.
+    pub fn prioritize_workflow_in(
+        &self,
+        workflow: &Workflow,
+        ctx: &mut PrioContext,
+    ) -> Result<PrioResult, PrioError> {
+        self.prioritize_in(workflow.dag(), ctx)
+    }
+
+    /// Prioritizes a batch of workflows with one shared scratch context
+    /// (the IR-level [`Prioritizer::prioritize_many`]).
+    pub fn prioritize_workflows<'a, I>(&self, workflows: I) -> Vec<Result<PrioResult, PrioError>>
+    where
+        I: IntoIterator<Item = &'a Workflow>,
+    {
+        self.prioritize_many(workflows.into_iter().map(Workflow::dag))
     }
 
     /// Step 3: schedules every component of `reduced` and tallies the

@@ -48,7 +48,7 @@ fn workload_suite_is_thread_invariant() {
     // AIRSN, Inspiral, Montage, SDSS — scaled down so the whole suite
     // stays fast, but large enough for many components per dag.
     for w in spec::scaled_suite(0.05) {
-        assert_thread_invariant(&w.dag, w.name);
+        assert_thread_invariant(w.dag(), w.name);
     }
 }
 

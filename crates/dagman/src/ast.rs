@@ -16,8 +16,9 @@ use std::fmt;
 /// Job names repeat across `JOB`, `PARENT … CHILD`, `VARS` and `PRIORITY`
 /// statements — on large .dag files almost every token is a name already
 /// seen — so statements share one reference-counted allocation per
-/// distinct name instead of a fresh `String` per token.
-pub type JobName = std::sync::Arc<str>;
+/// distinct name instead of a fresh `String` per token. The type (and the
+/// interner producing it) lives in `prio-ir` so every frontend shares it.
+pub type JobName = prio_ir::JobName;
 
 /// One statement (line) of a DAGMan input file.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,5 +1,6 @@
 //! Error types for DAGMan and JSDF parsing.
 
+use prio_ir::{FormatId, ImportError, PrioError};
 use std::fmt;
 
 /// Errors produced while parsing or instrumenting DAGMan/JSDF files.
@@ -53,6 +54,28 @@ impl fmt::Display for DagmanError {
 }
 
 impl std::error::Error for DagmanError {}
+
+impl From<DagmanError> for ImportError {
+    fn from(e: DagmanError) -> ImportError {
+        let (line, message) = match &e {
+            DagmanError::Malformed { line, message } => (*line, message.clone()),
+            DagmanError::UnknownJob { line, job } => (*line, format!("unknown job {job:?}")),
+            DagmanError::DuplicateJob { line, job } => (*line, format!("duplicate job {job:?}")),
+            DagmanError::Cyclic { job } => (0, format!("dependency cycle through job {job:?}")),
+        };
+        ImportError {
+            format: FormatId::Dagman,
+            line,
+            message,
+        }
+    }
+}
+
+impl From<DagmanError> for PrioError {
+    fn from(e: DagmanError) -> PrioError {
+        PrioError::Parse(e.into())
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -14,7 +14,12 @@
 //!   job via `VARS` statements in the DAGMan file, and assigning
 //!   `priority = $(jobpriority)` in each JSDF ([`instrument`], [`jsdf`]).
 //!
-//! The crate depends only on `prio-graph`; composing it with the scheduler
+//! Since the workflow-IR refactor this crate is *one frontend among
+//! several*: [`frontend::DagmanFrontend`] implements
+//! [`prio_ir::Frontend`], importing DAGMan text into a
+//! [`prio_ir::Workflow`] and exporting workflows back to canonical DAGMan
+//! text, and [`frontend::registry()`] assembles the full format registry
+//! (DAGMan + JSON + edge list). Composing frontends with the scheduler
 //! lives in the `dagprio` facade and the `prio` CLI, mirroring how the
 //! paper's tool wraps the heuristic.
 
@@ -23,6 +28,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod frontend;
 pub mod instrument;
 pub mod jsdf;
 pub mod parse;
@@ -30,6 +36,7 @@ pub mod write;
 
 pub use ast::{DagmanFile, JobName, Statement};
 pub use error::DagmanError;
+pub use frontend::{registry, DagmanFrontend};
 pub use instrument::{
     instrument_dagman, instrument_dagman_with, priorities_by_job, InstrumentMode,
 };

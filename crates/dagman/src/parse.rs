@@ -4,79 +4,14 @@
 //! case-sensitive tokens. `VARS` values are double-quoted strings with
 //! backslash escapes for `"` and `\`.
 
-use crate::ast::{DagmanFile, JobName, Statement};
+use crate::ast::{DagmanFile, Statement};
 use crate::error::DagmanError;
-use std::collections::HashSet;
-use std::hash::{BuildHasher, Hasher};
-
-/// Multiplicative hash over 8-byte chunks, chosen over the default SipHash
-/// because name tokens are short and .dag files are trusted local input (no
-/// hash-flooding concern) — the keyed SipHash setup cost alone outweighs
-/// hashing a ~15-byte name, and byte-serial hashes (FNV) pay a dependent
-/// multiply per byte.
-struct NameHasher(u64);
-
-const CHUNK_SEED: u64 = 0x517c_c1b7_2722_0a95;
-
-impl Hasher for NameHasher {
-    fn finish(&self) -> u64 {
-        // The multiply pushes entropy toward the high bits but the table
-        // indexes buckets by the low bits — sequential names like `job17`,
-        // `job18` would cluster into long probe chains without a final
-        // avalanche (splitmix64-style).
-        let mut h = self.0;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        h
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = self.0;
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-            h = (h.rotate_left(5) ^ v).wrapping_mul(CHUNK_SEED);
-        }
-        let mut tail = 0u64;
-        for &b in chunks.remainder() {
-            tail = (tail << 8) | u64::from(b);
-        }
-        h = (h.rotate_left(5) ^ tail).wrapping_mul(CHUNK_SEED);
-        self.0 = h;
-    }
-}
-
-#[derive(Default, Clone)]
-struct NameHashBuild;
-
-impl BuildHasher for NameHashBuild {
-    type Hasher = NameHasher;
-
-    fn build_hasher(&self) -> NameHasher {
-        NameHasher(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-/// Deduplicates job-name allocations across statements: each distinct name
-/// is allocated once and every later occurrence clones the shared
-/// [`JobName`]. On large .dag files nearly every name token is a repeat
-/// (its `JOB` line plus one or more `PARENT … CHILD` mentions), so this
-/// removes the majority of parse-time allocations.
-#[derive(Default)]
-struct NameInterner(HashSet<JobName, NameHashBuild>);
-
-impl NameInterner {
-    fn intern(&mut self, token: &str) -> JobName {
-        if let Some(existing) = self.0.get(token) {
-            existing.clone()
-        } else {
-            let name = JobName::from(token);
-            self.0.insert(name.clone());
-            name
-        }
-    }
-}
+// Shared with every other frontend: each distinct name token is allocated
+// once and every later occurrence clones the shared `JobName`. On large
+// .dag files nearly every name token is a repeat (its `JOB` line plus one
+// or more `PARENT … CHILD` mentions), so this removes the majority of
+// parse-time allocations.
+use prio_ir::NameInterner;
 
 /// Parses the text of a DAGMan input file.
 pub fn parse_dagman(text: &str) -> Result<DagmanFile, DagmanError> {
@@ -136,10 +71,12 @@ fn parse_line(raw: &str, line: usize, names: &mut NameInterner) -> Result<Statem
             let mut children = Vec::new();
             let mut in_children = false;
             for t in tokens {
-                if t.eq_ignore_ascii_case("CHILD") {
-                    if in_children {
-                        return Err(malformed(line, "multiple CHILD keywords"));
-                    }
+                // `CHILD` is the separator keyword only at the boundary:
+                // after at least one parent and before the children begin.
+                // A first token spelled "child" is a job name (so a parent
+                // named `child` parses — the writer puts such a parent
+                // first), and once in children mode every token is a name.
+                if !in_children && !parents.is_empty() && t.eq_ignore_ascii_case("CHILD") {
                     in_children = true;
                 } else if in_children {
                     children.push(names.intern(t));

@@ -9,24 +9,62 @@ pub fn write_dagman(file: &DagmanFile) -> String {
     let _span = prio_obs::span(prio_obs::stage::WRITE);
     let mut out = String::new();
     for s in &file.statements {
-        // Statement's Display escapes VARS values.
-        let _ = writeln!(out, "{}", render(s));
+        render_into(s, &mut out);
     }
     out
 }
 
-fn render(s: &Statement) -> String {
+/// Appends `s` (usually one line; a `PARENT` statement with parents the
+/// parser would mistake for the `CHILD` keyword becomes several).
+fn render_into(s: &Statement, out: &mut String) {
     match s {
         Statement::Vars { job, pairs } => {
-            let mut line = format!("VARS {job}");
+            let _ = write!(out, "VARS {job}");
             for (k, v) in pairs {
                 let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
-                let _ = write!(line, " {k}=\"{escaped}\"");
+                let _ = write!(out, " {k}=\"{escaped}\"");
             }
-            line
+            out.push('\n');
         }
-        other => other.to_string(),
+        Statement::ParentChild { parents, children } if needs_split(parents) => {
+            // A non-first parent spelled `child` (any case) would be read
+            // back as the CHILD separator. Each such parent gets its own
+            // single-parent statement, where the first-token position makes
+            // it unambiguously a name; the remaining parents keep one
+            // shared statement. The arc set is unchanged.
+            let (ambiguous, plain): (Vec<_>, Vec<_>) = parents
+                .iter()
+                .partition(|p| p.eq_ignore_ascii_case("CHILD"));
+            let child_list = children
+                .iter()
+                .map(|c| c.as_ref())
+                .collect::<Vec<_>>()
+                .join(" ");
+            for p in ambiguous {
+                let _ = writeln!(out, "PARENT {p} CHILD {child_list}");
+            }
+            if !plain.is_empty() {
+                let parent_list = plain
+                    .iter()
+                    .map(|p| p.as_ref())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "PARENT {parent_list} CHILD {child_list}");
+            }
+        }
+        other => {
+            let _ = writeln!(out, "{other}");
+        }
     }
+}
+
+/// Whether a parent list cannot be written as one statement: some parent
+/// after the first would be parsed as the `CHILD` keyword.
+fn needs_split(parents: &[crate::ast::JobName]) -> bool {
+    parents
+        .iter()
+        .skip(1)
+        .any(|p| p.eq_ignore_ascii_case("CHILD"))
 }
 
 #[cfg(test)]
@@ -64,6 +102,37 @@ RETRY b 3
     fn empty_file() {
         let f = parse_dagman("").unwrap();
         assert_eq!(write_dagman(&f), "");
+    }
+
+    #[test]
+    fn parents_spelled_child_are_split_into_unambiguous_statements() {
+        use crate::ast::JobName;
+        let name = JobName::from;
+        let f = DagmanFile {
+            statements: vec![Statement::ParentChild {
+                parents: vec![name("a"), name("child"), name("CHILD")],
+                children: vec![name("x"), name("y")],
+            }],
+        };
+        let out = write_dagman(&f);
+        // Ambiguous parents each get the first-token position; the rest
+        // share one statement.
+        assert_eq!(
+            out,
+            "PARENT child CHILD x y\nPARENT CHILD CHILD x y\nPARENT a CHILD x y\n"
+        );
+        // Re-parsing yields the same arc set.
+        let mut arcs = std::collections::BTreeSet::new();
+        for s in &parse_dagman(&out).unwrap().statements {
+            if let Statement::ParentChild { parents, children } = s {
+                for p in parents {
+                    for c in children {
+                        arcs.insert((p.to_string(), c.to_string()));
+                    }
+                }
+            }
+        }
+        assert_eq!(arcs.len(), 6, "3 parents x 2 children:\n{out}");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! The frontend trait and the format registry.
+//!
+//! A *frontend* is one importer/exporter pair for a workflow text format.
+//! The registry holds every available frontend and auto-detects which one
+//! an input belongs to, first by file extension and then by content sniff
+//! (in registration order, so put the most specific sniffers first and
+//! the permissive edge-list last).
+
+use crate::error::PrioError;
+use crate::workflow::{FormatId, Priorities, Workflow};
+
+/// One importer/exporter pair for a workflow text format.
+pub trait Frontend {
+    /// The format this frontend handles.
+    fn id(&self) -> FormatId;
+
+    /// File extensions (lowercase, without the dot) conventionally used
+    /// by the format.
+    fn extensions(&self) -> &'static [&'static str];
+
+    /// Cheap content test: does `text` look like this format? Used by
+    /// [`FormatRegistry::detect`] when the extension is inconclusive.
+    fn sniff(&self, text: &str) -> bool;
+
+    /// Parses `text` into a [`Workflow`]. Errors carry the frontend's
+    /// [`FormatId`] provenance.
+    fn import(&self, text: &str) -> Result<Workflow, PrioError>;
+
+    /// Serializes `workflow` (with the given priorities; unassigned jobs
+    /// get no priority line/field) to the format's canonical text.
+    ///
+    /// Canonical means deterministic: exporting the same workflow and
+    /// priorities twice yields byte-identical text, and re-importing an
+    /// export yields a workflow with the same content
+    /// ([`Workflow::same_content`]).
+    fn export(&self, workflow: &Workflow, priorities: &Priorities) -> String;
+}
+
+/// All available frontends, with extension- and sniff-based detection.
+#[derive(Default)]
+pub struct FormatRegistry {
+    frontends: Vec<Box<dyn Frontend>>,
+}
+
+impl FormatRegistry {
+    /// An empty registry.
+    pub fn new() -> FormatRegistry {
+        FormatRegistry::default()
+    }
+
+    /// The registry of frontends defined by this crate (JSON and
+    /// edge-list). The DAGMan frontend lives in `prio-dagman`; its
+    /// `registry()` helper assembles the full set.
+    pub fn with_builtins() -> FormatRegistry {
+        let mut r = FormatRegistry::new();
+        r.register(Box::new(crate::json::JsonFrontend));
+        r.register(Box::new(crate::edges::EdgesFrontend));
+        r
+    }
+
+    /// Adds a frontend. Detection order follows registration order.
+    pub fn register(&mut self, frontend: Box<dyn Frontend>) {
+        self.frontends.push(frontend);
+    }
+
+    /// Iterates over the registered frontends.
+    pub fn frontends(&self) -> impl Iterator<Item = &dyn Frontend> {
+        self.frontends.iter().map(Box::as_ref)
+    }
+
+    /// The frontend for `format`, if registered.
+    pub fn get(&self, format: FormatId) -> Option<&dyn Frontend> {
+        self.frontends().find(|f| f.id() == format)
+    }
+
+    /// The frontend named by a `--format` value (e.g. `"json"`).
+    pub fn by_name(&self, name: &str) -> Option<&dyn Frontend> {
+        self.get(FormatId::from_name(name)?)
+    }
+
+    /// Auto-detects the frontend for an input: first by the extension of
+    /// `path` (when given), then by content sniff in registration order.
+    pub fn detect(&self, path: Option<&str>, text: &str) -> Option<&dyn Frontend> {
+        if let Some(ext) = path.and_then(extension_of) {
+            let ext = ext.to_ascii_lowercase();
+            if let Some(f) = self
+                .frontends()
+                .find(|f| f.extensions().contains(&ext.as_str()))
+            {
+                return Some(f);
+            }
+        }
+        self.frontends().find(|f| f.sniff(text))
+    }
+
+    /// Detects by extension only (no content available yet, e.g. when
+    /// picking an output format from a destination path).
+    pub fn by_extension(&self, path: &str) -> Option<&dyn Frontend> {
+        let ext = extension_of(path)?.to_ascii_lowercase();
+        self.frontends()
+            .find(|f| f.extensions().contains(&ext.as_str()))
+    }
+}
+
+/// The extension of `path` (text after the final `.` of the final
+/// component), if any.
+fn extension_of(path: &str) -> Option<&str> {
+    let name = path.rsplit(['/', '\\']).next()?;
+    let (stem, ext) = name.rsplit_once('.')?;
+    if stem.is_empty() || ext.is_empty() {
+        None
+    } else {
+        Some(ext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_detects_by_extension_and_sniff() {
+        let r = FormatRegistry::with_builtins();
+        assert_eq!(r.get(FormatId::Json).map(|f| f.id()), Some(FormatId::Json));
+        assert!(r.get(FormatId::Dagman).is_none(), "dagman lives upstream");
+        assert_eq!(r.by_name("edges").map(|f| f.id()), Some(FormatId::Edges));
+        assert!(r.by_name("auto").is_none());
+
+        let json = r#"{"format":"prio-workflow-v1","jobs":[{"name":"a"}],"arcs":[]}"#;
+        assert_eq!(
+            r.detect(Some("wf.json"), json).map(|f| f.id()),
+            Some(FormatId::Json)
+        );
+        // Extension wins over content.
+        assert_eq!(
+            r.detect(Some("wf.edges"), json).map(|f| f.id()),
+            Some(FormatId::Edges)
+        );
+        // No extension: sniff.
+        assert_eq!(r.detect(None, json).map(|f| f.id()), Some(FormatId::Json));
+        assert_eq!(
+            r.detect(None, "a\tb\n").map(|f| f.id()),
+            Some(FormatId::Edges)
+        );
+    }
+
+    #[test]
+    fn extension_parsing_edge_cases() {
+        assert_eq!(extension_of("a/b/wf.json"), Some("json"));
+        assert_eq!(extension_of("wf.prio.dag"), Some("dag"));
+        assert_eq!(extension_of("noext"), None);
+        assert_eq!(extension_of(".hidden"), None);
+        assert_eq!(extension_of("dir.d/noext"), None);
+        assert_eq!(extension_of("trailingdot."), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Job-name interning shared by every frontend.
+//!
+//! Moved here from the DAGMan parser so the JSON and edge-list frontends
+//! (and the [`crate::workflow::WorkflowBuilder`]) can share one
+//! allocation per distinct name token.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hasher};
+
+/// An interned job name.
+///
+/// Job names repeat across statements of every workflow format — on large
+/// inputs almost every name token is a repeat (a declaration plus one or
+/// more dependency mentions) — so statements share one reference-counted
+/// allocation per distinct name instead of a fresh `String` per token.
+pub type JobName = std::sync::Arc<str>;
+
+/// Multiplicative hash over 8-byte chunks, chosen over the default SipHash
+/// because name tokens are short and workflow files are trusted local input
+/// (no hash-flooding concern) — the keyed SipHash setup cost alone outweighs
+/// hashing a ~15-byte name, and byte-serial hashes (FNV) pay a dependent
+/// multiply per byte.
+pub struct NameHasher(u64);
+
+const CHUNK_SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for NameHasher {
+    fn finish(&self) -> u64 {
+        // The multiply pushes entropy toward the high bits but the table
+        // indexes buckets by the low bits — sequential names like `job17`,
+        // `job18` would cluster into long probe chains without a final
+        // avalanche (splitmix64-style).
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            h = (h.rotate_left(5) ^ v).wrapping_mul(CHUNK_SEED);
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        h = (h.rotate_left(5) ^ tail).wrapping_mul(CHUNK_SEED);
+        self.0 = h;
+    }
+}
+
+/// [`BuildHasher`] for [`NameHasher`]; usable as the hasher of any map or
+/// set keyed by job names.
+#[derive(Default, Clone)]
+pub struct NameHashBuild;
+
+impl BuildHasher for NameHashBuild {
+    type Hasher = NameHasher;
+
+    fn build_hasher(&self) -> NameHasher {
+        NameHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// Deduplicates job-name allocations across statements: each distinct name
+/// is allocated once and every later occurrence clones the shared
+/// [`JobName`].
+#[derive(Default)]
+pub struct NameInterner(HashSet<JobName, NameHashBuild>);
+
+impl NameInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the interned name for `token`, allocating only on the first
+    /// occurrence.
+    pub fn intern(&mut self, token: &str) -> JobName {
+        if let Some(existing) = self.0.get(token) {
+            existing.clone()
+        } else {
+            let name = JobName::from(token);
+            self.0.insert(name.clone());
+            name
+        }
+    }
+
+    /// Number of distinct names interned so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no name has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_allocations() {
+        let mut names = NameInterner::new();
+        let a1 = names.intern("job17");
+        let a2 = names.intern("job17");
+        let b = names.intern("job18");
+        assert!(JobName::ptr_eq(&a1, &a2));
+        assert!(!JobName::ptr_eq(&a1, &b));
+        assert_eq!(names.len(), 2);
+    }
+
+    #[test]
+    fn hasher_distinguishes_sequential_names() {
+        use std::hash::BuildHasher;
+        let build = NameHashBuild;
+        let h = |s: &str| {
+            let mut hasher = build.build_hasher();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        };
+        // Low bits must differ for bucket indexing.
+        let mut low = std::collections::HashSet::new();
+        for i in 0..64 {
+            low.insert(h(&format!("job{i}")) & 0xfff);
+        }
+        assert!(low.len() > 48, "low-bit clustering: {}", low.len());
+    }
+}

@@ -1,0 +1,283 @@
+//! The Makeflow/JSON-style graph frontend (`prio-workflow-v1`).
+//!
+//! ```json
+//! {
+//!   "format": "prio-workflow-v1",
+//!   "jobs": [
+//!     {"name": "a", "priority": 5, "submit": "a.submit"},
+//!     {"name": "b"}
+//!   ],
+//!   "arcs": [
+//!     ["a", "b"]
+//!   ]
+//! }
+//! ```
+//!
+//! A job entry is an object with a required `"name"`; an optional integer
+//! `"priority"`; and any further *string-valued* keys, which become the
+//! job's IR metadata (`"submit"`, `"subdag"`, …) so cross-format
+//! conversion is lossless. A bare string is shorthand for `{"name": …}`.
+//! Arcs are `[parent, child]` name pairs over declared jobs. The export
+//! is canonical: jobs in index order (one per line), then arcs in index
+//! order, with metadata keys sorted.
+
+use crate::error::{ImportError, PrioError};
+use crate::frontend::Frontend;
+use crate::workflow::{FormatId, Priorities, Workflow, WorkflowBuilder};
+use prio_obs::json::{escape, parse, JsonValue};
+use std::fmt::Write as _;
+
+/// The value of the `"format"` tag this frontend reads and writes.
+pub const FORMAT_TAG: &str = "prio-workflow-v1";
+
+/// The JSON graph frontend.
+pub struct JsonFrontend;
+
+fn err(message: impl Into<String>) -> PrioError {
+    ImportError::whole_file(FormatId::Json, message).into()
+}
+
+/// The value as an `i64`, if numeric and integral.
+fn as_i64(v: &JsonValue) -> Option<i64> {
+    match v.as_f64() {
+        Some(n) if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&n) => {
+            Some(n as i64)
+        }
+        _ => None,
+    }
+}
+
+impl Frontend for JsonFrontend {
+    fn id(&self) -> FormatId {
+        FormatId::Json
+    }
+
+    fn extensions(&self) -> &'static [&'static str] {
+        &["json"]
+    }
+
+    fn sniff(&self, text: &str) -> bool {
+        let t = text.trim_start();
+        t.starts_with('{') && t.contains("\"jobs\"")
+    }
+
+    fn import(&self, text: &str) -> Result<Workflow, PrioError> {
+        let _span = prio_obs::span(prio_obs::stage::PARSE);
+        let doc = parse(text).map_err(err)?;
+        if !doc.is_object() {
+            return Err(err("top level must be an object"));
+        }
+        if let Some(tag) = doc.get("format") {
+            match tag.as_str() {
+                Some(FORMAT_TAG) => {}
+                Some(other) => return Err(err(format!("unsupported format tag {other:?}"))),
+                None => return Err(err("\"format\" must be a string")),
+            }
+        }
+        let JsonValue::Arr(jobs) = doc.get("jobs").ok_or_else(|| err("missing \"jobs\""))? else {
+            return Err(err("\"jobs\" must be an array"));
+        };
+        let arcs = match doc.get("arcs") {
+            None => &[][..],
+            Some(JsonValue::Arr(arcs)) => arcs.as_slice(),
+            Some(_) => return Err(err("\"arcs\" must be an array")),
+        };
+
+        let mut b = WorkflowBuilder::with_capacity(FormatId::Json, jobs.len(), arcs.len());
+        for (i, entry) in jobs.iter().enumerate() {
+            let (name, obj) = match entry {
+                JsonValue::Str(name) => (name.as_str(), None),
+                JsonValue::Obj(map) => {
+                    let name = map
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| err(format!("jobs[{i}]: missing string \"name\"")))?;
+                    (name, Some(map))
+                }
+                _ => return Err(err(format!("jobs[{i}]: must be an object or a string"))),
+            };
+            if b.get(name).is_some() {
+                return Err(err(format!("jobs[{i}]: duplicate job {name:?}")));
+            }
+            let u = b.job(name);
+            if let Some(map) = obj {
+                for (key, value) in map {
+                    match key.as_str() {
+                        "name" => {}
+                        "priority" => {
+                            let p = as_i64(value).ok_or_else(|| {
+                                err(format!("jobs[{i}]: \"priority\" must be an integer"))
+                            })?;
+                            b.set_priority(u, p);
+                        }
+                        _ => {
+                            let v = value.as_str().ok_or_else(|| {
+                                err(format!("jobs[{i}]: metadata {key:?} must be a string"))
+                            })?;
+                            b.set_meta(u, key.clone(), v);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, entry) in arcs.iter().enumerate() {
+            let JsonValue::Arr(pair) = entry else {
+                return Err(err(format!("arcs[{i}]: must be a [parent, child] pair")));
+            };
+            let [p, c] = pair.as_slice() else {
+                return Err(err(format!("arcs[{i}]: must have exactly two entries")));
+            };
+            let (Some(p), Some(c)) = (p.as_str(), c.as_str()) else {
+                return Err(err(format!("arcs[{i}]: entries must be job names")));
+            };
+            let (Some(pu), Some(cu)) = (b.get(p), b.get(c)) else {
+                let missing = if b.get(p).is_none() { p } else { c };
+                return Err(err(format!("arcs[{i}]: unknown job {missing:?}")));
+            };
+            b.arc(pu, cu).map_err(|e| err(format!("arcs[{i}]: {e}")))?;
+        }
+        let wf = b.build()?;
+        prio_obs::counter("json.parse.files").add(1);
+        prio_obs::counter("json.parse.jobs").add(wf.num_jobs() as u64);
+        prio_obs::counter("json.parse.arcs").add(wf.num_arcs() as u64);
+        Ok(wf)
+    }
+
+    fn export(&self, workflow: &Workflow, priorities: &Priorities) -> String {
+        let _span = prio_obs::span(prio_obs::stage::WRITE);
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"format\": {},", escape(FORMAT_TAG));
+        out.push_str("  \"jobs\": [\n");
+        let n = workflow.num_nodes();
+        for u in workflow.node_ids() {
+            let mut line = format!("    {{\"name\": {}", escape(workflow.job_name(u)));
+            if let Some(p) = priorities.get(u) {
+                let _ = write!(line, ", \"priority\": {p}");
+            }
+            for (k, v) in workflow.meta_of(u) {
+                let _ = write!(line, ", {}: {}", escape(k), escape(v));
+            }
+            line.push('}');
+            if u.index() + 1 < n {
+                line.push(',');
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"arcs\": [\n");
+        let mut first = true;
+        for u in workflow.node_ids() {
+            for &c in workflow.children(u) {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "    [{}, {}]",
+                    escape(workflow.job_name(u)),
+                    escape(workflow.job_name(c))
+                );
+            }
+        }
+        if !first {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prio_graph::NodeId;
+
+    fn sample() -> Workflow {
+        let mut b = WorkflowBuilder::new(FormatId::Json);
+        let a = b.job("a");
+        let c = b.job("b c"); // whitespace in a name is fine in JSON
+        let d = b.job("d\"q"); // and so is a quote
+        b.arc(a, c).unwrap();
+        b.arc(a, d).unwrap();
+        b.set_priority(a, 3);
+        b.set_meta(c, "submit", "bc.submit");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn export_import_round_trips_content() {
+        let wf = sample();
+        let f = JsonFrontend;
+        let text = f.export(&wf, wf.priorities());
+        let back = f.import(&text).unwrap();
+        assert!(wf.same_content(&back), "round-trip changed the workflow");
+        assert_eq!(back.source(), FormatId::Json);
+        // Canonical: a second export is byte-identical.
+        assert_eq!(f.export(&back, back.priorities()), text);
+    }
+
+    #[test]
+    fn import_reads_shorthand_and_priorities() {
+        let text = r#"{
+            "format": "prio-workflow-v1",
+            "jobs": ["a", {"name": "b", "priority": -2}],
+            "arcs": [["a", "b"]]
+        }"#;
+        let wf = JsonFrontend.import(text).unwrap();
+        assert_eq!(wf.num_jobs(), 2);
+        assert_eq!(wf.num_arcs(), 1);
+        assert_eq!(wf.priorities().get(NodeId(1)), Some(-2));
+        assert_eq!(wf.priorities().get(NodeId(0)), None);
+    }
+
+    #[test]
+    fn malformed_inputs_carry_json_provenance() {
+        let cases = [
+            "[]",
+            "{\"jobs\": 3}",
+            "{}",
+            r#"{"format": "other", "jobs": []}"#,
+            r#"{"jobs": [{"priority": 1}]}"#,
+            r#"{"jobs": ["a", "a"]}"#,
+            r#"{"jobs": ["a"], "arcs": [["a"]]}"#,
+            r#"{"jobs": ["a"], "arcs": [["a", "ghost"]]}"#,
+            r#"{"jobs": ["a"], "arcs": [["a", "a"]]}"#,
+            r#"{"jobs": [{"name": "a", "priority": 1.5}]}"#,
+            "{\"jobs\": [",
+        ];
+        for text in cases {
+            let e = JsonFrontend.import(text).unwrap_err();
+            assert!(
+                e.to_string().starts_with("parse: json:"),
+                "bad provenance for {text:?}: {e}"
+            );
+        }
+        // A dependency cycle is a graph error, still at the parse stage.
+        let e = JsonFrontend
+            .import(r#"{"jobs": ["a", "b"], "arcs": [["a", "b"], ["b", "a"]]}"#)
+            .unwrap_err();
+        assert_eq!(e.stage(), crate::error::Stage::Parse);
+    }
+
+    #[test]
+    fn sniff_accepts_workflow_json_only() {
+        assert!(JsonFrontend.sniff(r#"{"jobs": []}"#));
+        assert!(JsonFrontend.sniff("  {\n\"format\": \"x\", \"jobs\": []}"));
+        assert!(!JsonFrontend.sniff("JOB a a.submit"));
+        assert!(!JsonFrontend.sniff("a\tb"));
+        assert!(!JsonFrontend.sniff(r#"{"spans": []}"#));
+    }
+
+    #[test]
+    fn empty_workflow_exports_and_reimports() {
+        let wf = WorkflowBuilder::new(FormatId::Json).build().unwrap();
+        let f = JsonFrontend;
+        let text = f.export(&wf, wf.priorities());
+        let back = f.import(&text).unwrap();
+        assert_eq!(back.num_jobs(), 0);
+        assert_eq!(back.num_arcs(), 0);
+    }
+}

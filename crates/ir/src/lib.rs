@@ -1,0 +1,41 @@
+//! # prio-ir — the format-agnostic workflow IR and frontend registry
+//!
+//! The paper's prioritization algorithm (transitive reduction →
+//! decomposition → component scheduling → combine) is format-agnostic;
+//! only the parse/emit edges are Condor-specific. This crate is the seam:
+//!
+//! * [`Workflow`] — the IR: a CSR dag of interned job names
+//!   ([`intern::NameInterner`]), the priorities the input carried, sparse
+//!   per-job metadata, and the [`FormatId`] it came from. It dereferences
+//!   to [`prio_graph::Dag`], so the whole pipeline consumes `&Workflow`
+//!   without knowing any concrete format;
+//! * [`Frontend`] — one importer/exporter pair per format
+//!   (`import(&str) -> Result<Workflow, PrioError>`,
+//!   `export(&Workflow, &Priorities) -> String`), collected in a
+//!   [`FormatRegistry`] with auto-detection by file extension and content
+//!   sniff;
+//! * two frontends live here: the Makeflow/JSON-style graph format
+//!   ([`json::JsonFrontend`]) and the whitespace/TSV edge list
+//!   ([`edges::EdgesFrontend`]). The DAGMan frontend lives in
+//!   `prio-dagman` (downstream of this crate), whose `registry()` helper
+//!   assembles all three;
+//! * [`PrioError`] / [`Stage`] — the workspace error taxonomy, moved here
+//!   from `prio-core` so the core no longer depends on any frontend.
+//!   Parse failures carry per-frontend provenance ([`ImportError`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edges;
+pub mod error;
+pub mod frontend;
+pub mod intern;
+pub mod json;
+pub mod workflow;
+
+pub use edges::EdgesFrontend;
+pub use error::{ImportError, PrioError, Stage};
+pub use frontend::{FormatRegistry, Frontend};
+pub use intern::{JobName, NameInterner};
+pub use json::JsonFrontend;
+pub use workflow::{FormatId, Priorities, Workflow, WorkflowBuilder};

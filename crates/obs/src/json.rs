@@ -370,15 +370,25 @@ impl Parser<'_> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
-                    let c = rest.chars().next().expect("non-empty");
-                    if (c as u32) < 0x20 {
+                    // Consume a maximal run of unescaped bytes at once —
+                    // validating per scalar would rescan the rest of the
+                    // document for every character (quadratic on MB-sized
+                    // inputs). A run can only end at a quote, backslash,
+                    // or control byte, none of which is a UTF-8
+                    // continuation byte, so it never splits a scalar.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if matches!(b, b'"' | b'\\') || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos == start {
                         return Err(format!("raw control character at byte {}", self.pos));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    out.push_str(run);
                 }
             }
         }

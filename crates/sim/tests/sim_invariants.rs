@@ -330,7 +330,11 @@ fn paper_workflows_match_pre_fault_trace_hashes() {
         ),
         (
             "sdss",
-            prio_workloads::spec::scaled_suite(0.1).pop().unwrap().dag,
+            prio_workloads::spec::scaled_suite(0.1)
+                .pop()
+                .unwrap()
+                .workflow
+                .into_dag(),
             0xD2B2E8F54E0BE7BD,
         ),
     ];

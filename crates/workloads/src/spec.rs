@@ -3,19 +3,29 @@
 
 use crate::{airsn, inspiral, montage, sdss};
 use prio_graph::Dag;
+use prio_ir::Workflow;
 
-/// A named workload dag.
+/// A named workload, carried as IR so every downstream consumer (sim,
+/// bench, CLI) takes the same type a frontend import produces.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// Display name, e.g. `"AIRSN"`.
     pub name: &'static str,
-    /// The dag.
-    pub dag: Dag,
+    /// The workflow, tagged `FormatId::Synthetic`.
+    pub workflow: Workflow,
 }
 
 impl Workload {
     fn new(name: &'static str, dag: Dag) -> Self {
-        Workload { name, dag }
+        Workload {
+            name,
+            workflow: Workflow::synthetic(dag),
+        }
+    }
+
+    /// The underlying dag.
+    pub fn dag(&self) -> &Dag {
+        self.workflow.dag()
     }
 }
 
@@ -61,12 +71,13 @@ pub fn paper_workload(name: &str) -> Option<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prio_ir::FormatId;
 
     #[test]
     fn paper_suite_sizes() {
         let sizes: Vec<(&str, usize)> = paper_suite()
             .iter()
-            .map(|w| (w.name, w.dag.num_nodes()))
+            .map(|w| (w.name, w.dag().num_nodes()))
             .collect();
         assert_eq!(
             sizes,
@@ -80,20 +91,29 @@ mod tests {
     }
 
     #[test]
+    fn workloads_are_synthetic_workflows() {
+        let w = paper_workload("AIRSN").unwrap();
+        assert_eq!(w.workflow.source(), FormatId::Synthetic);
+        assert!(w.workflow.priorities().is_empty());
+        // Deref: Dag methods are reachable through the workflow.
+        assert_eq!(w.workflow.num_nodes(), 773);
+    }
+
+    #[test]
     fn scaled_suite_is_smaller_but_structured() {
         let scaled = scaled_suite(0.1);
         let paper = paper_suite();
         for (s, p) in scaled.iter().zip(&paper) {
             assert_eq!(s.name, p.name);
-            assert!(s.dag.num_nodes() < p.dag.num_nodes());
-            assert!(s.dag.num_nodes() > 10);
+            assert!(s.dag().num_nodes() < p.dag().num_nodes());
+            assert!(s.dag().num_nodes() > 10);
         }
     }
 
     #[test]
     fn lookup_by_name() {
-        assert_eq!(paper_workload("airsn").unwrap().dag.num_nodes(), 773);
-        assert_eq!(paper_workload("SDSS").unwrap().dag.num_nodes(), 48013);
+        assert_eq!(paper_workload("airsn").unwrap().dag().num_nodes(), 773);
+        assert_eq!(paper_workload("SDSS").unwrap().dag().num_nodes(), 48013);
         assert!(paper_workload("nope").is_none());
     }
 }

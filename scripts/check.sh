@@ -49,6 +49,45 @@ mkdir -p target/trace-smoke
   target/trace-smoke/airsn.jsonl --policy-a prio --policy-b fifo --json \
   > target/trace-smoke/diff.json
 ./target/release/prio report target/trace-smoke/airsn.jsonl > /dev/null
+# Format-matrix smoke: generate the Montage example, convert it through
+# every frontend pair, re-prioritize each conversion, and assert every
+# format yields the identical schedule (and therefore identical
+# priorities). Artifacts land in target/format-matrix (uploaded by CI).
+mkdir -p target/format-matrix
+./target/release/prio generate montage --scale 0.13 \
+  --output target/format-matrix/montage.dag
+./target/release/prio schedule target/format-matrix/montage.dag \
+  > target/format-matrix/schedule.reference.tsv
+for src in dagman json edges; do
+  for dst in dagman json edges; do
+    out="target/format-matrix/montage.$src.to.$dst"
+    ./target/release/prio convert target/format-matrix/montage.dag \
+      "target/format-matrix/montage.$src" --to "$src"
+    ./target/release/prio convert "target/format-matrix/montage.$src" \
+      "$out" --from "$src" --to "$dst"
+    ./target/release/prio schedule "$out" --format "$dst" \
+      > "target/format-matrix/schedule.$src.$dst.tsv"
+    cmp target/format-matrix/schedule.reference.tsv \
+      "target/format-matrix/schedule.$src.$dst.tsv" \
+      || { echo "check.sh: format matrix $src->$dst diverged" >&2; exit 1; }
+  done
+done
+# `prio run --format` assigns the same priorities through every frontend:
+# prioritize each single-format copy, convert the result to the edge-list
+# format (whose @priority lines are emitted in node-index order), compare.
+for fmt in dagman json edges; do
+  ./target/release/prio run "target/format-matrix/montage.$fmt" \
+    --format "$fmt" --output "target/format-matrix/montage.$fmt.prio"
+  ./target/release/prio convert "target/format-matrix/montage.$fmt.prio" \
+    "target/format-matrix/priorities.$fmt.edges" --from "$fmt" --to edges
+  grep '^@priority' "target/format-matrix/priorities.$fmt.edges" \
+    > "target/format-matrix/priorities.$fmt.tsv"
+done
+cmp target/format-matrix/priorities.dagman.tsv target/format-matrix/priorities.json.tsv \
+  || { echo "check.sh: dagman/json priorities diverged" >&2; exit 1; }
+cmp target/format-matrix/priorities.dagman.tsv target/format-matrix/priorities.edges.tsv \
+  || { echo "check.sh: dagman/edges priorities diverged" >&2; exit 1; }
+echo "check.sh: format matrix ok (9 conversions, 3 prioritized formats agree)"
 run_cargo bench --no-run
 # Compile gate for the bench-regression guard; the timing comparison
 # itself is opt-in (PRIO_BENCH_CHECK=1) because shared CI machines are too

@@ -13,8 +13,14 @@
 //!   bipartite analysis, DOT export);
 //! * [`core`] — the scheduling heuristic (decomposition, bipartite family
 //!   catalog, `⊵_r` priorities, greedy combine) and the FIFO baseline;
-//! * [`dagman`] — DAGMan input files and job-submit description files,
-//!   parsing and priority instrumentation;
+//! * [`ir`] — the workflow intermediate representation every frontend
+//!   imports into and every consumer (scheduler, simulator, benches)
+//!   reads: [`ir::Workflow`], the [`ir::Frontend`] trait, and the
+//!   [`ir::FormatRegistry`];
+//! * [`dagman`] — the DAGMan frontend: input files and job-submit
+//!   description files, parsing, priority instrumentation, and
+//!   [`dagman::registry()`] assembling all built-in frontends
+//!   (DAGMan, JSON, edge list);
 //! * [`workloads`] — synthetic AIRSN / Inspiral / Montage / SDSS dags;
 //! * [`stats`] — distributions, sampling distributions, ratio confidence
 //!   intervals;
@@ -45,6 +51,7 @@
 pub use prio_core as core;
 pub use prio_dagman as dagman;
 pub use prio_graph as graph;
+pub use prio_ir as ir;
 pub use prio_obs as obs;
 pub use prio_sim as sim;
 pub use prio_stats as stats;
@@ -53,6 +60,7 @@ pub use prio_workloads as workloads;
 use prio_dagman::instrument::{instrument_dagman, priorities_by_job};
 use prio_dagman::parse::parse_dagman;
 use prio_dagman::write::write_dagman;
+use prio_ir::{Frontend, Workflow};
 
 /// The result of running the `prio` pipeline over DAGMan text.
 #[derive(Debug, Clone)]
@@ -93,6 +101,36 @@ pub fn prioritize_dagman_text(text: &str) -> Result<PrioritizedDagman, prio_core
     })
 }
 
+/// One-call convenience over the IR path: import `text` through the
+/// auto-detected (or named) frontend, prioritize, and export the same
+/// format with priorities attached. `path` is an optional file name used
+/// for extension-based detection.
+pub fn prioritize_workflow_text(
+    text: &str,
+    path: Option<&str>,
+    format: Option<&str>,
+) -> Result<(Workflow, String), prio_core::PrioError> {
+    let reg = prio_dagman::registry();
+    let frontend: &dyn Frontend = match format {
+        Some(name) => reg.by_name(name).ok_or_else(|| {
+            prio_ir::ImportError::whole_file(
+                prio_ir::FormatId::Dagman,
+                format!("unknown format {name:?}"),
+            )
+        })?,
+        None => reg.detect(path, text).ok_or_else(|| {
+            prio_ir::ImportError::whole_file(
+                prio_ir::FormatId::Dagman,
+                "cannot detect workflow format".to_string(),
+            )
+        })?,
+    };
+    let workflow = frontend.import(text)?;
+    let result = prio_core::prioritize(&workflow)?;
+    let rendered = frontend.export(&workflow, &result.priorities());
+    Ok((workflow, rendered))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +146,17 @@ mod tests {
         let reparsed = parse_dagman(&out.instrumented).unwrap();
         assert_eq!(reparsed.vars_value("c", "jobpriority"), Some("5"));
         assert_eq!(reparsed.vars_value("e", "jobpriority"), Some("1"));
+    }
+
+    #[test]
+    fn workflow_text_path_handles_all_formats() {
+        let input = "JOB a a.sub\nJOB b b.sub\nPARENT a CHILD b\n";
+        let (wf, rendered) = prioritize_workflow_text(input, Some("x.dag"), None).unwrap();
+        assert_eq!(wf.num_jobs(), 2);
+        assert!(rendered.contains("jobpriority=\"2\""));
+        let (_, edges) = prioritize_workflow_text("a\tb\n", None, Some("edges")).unwrap();
+        assert!(edges.contains("@priority\ta\t2"), "{edges}");
+        assert!(prioritize_workflow_text("a\tb\n", None, Some("nope")).is_err());
     }
 
     #[test]

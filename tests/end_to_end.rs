@@ -18,23 +18,23 @@ use dagprio::workloads::sdss::{sdss, SdssParams};
 #[test]
 fn prio_schedules_are_valid_on_the_scaled_suite() {
     for w in scaled_suite(0.05) {
-        let res = prioritize(&w.dag).unwrap();
+        let res = prioritize(w.dag()).unwrap();
         assert!(
-            res.schedule.is_valid_for(&w.dag),
+            res.schedule.is_valid_for(w.dag()),
             "{}: invalid schedule",
             w.name
         );
-        assert_eq!(res.schedule.len(), w.dag.num_nodes());
+        assert_eq!(res.schedule.len(), w.dag().num_nodes());
     }
 }
 
 #[test]
 fn prio_dominates_fifo_cumulatively_on_the_scaled_suite() {
     for w in scaled_suite(0.05) {
-        let prio = prioritize(&w.dag).unwrap().schedule;
-        let fifo = fifo_schedule(&w.dag);
-        let ep: usize = eligibility_profile(&w.dag, prio.order()).iter().sum();
-        let ef: usize = eligibility_profile(&w.dag, fifo.order()).iter().sum();
+        let prio = prioritize(w.dag()).unwrap().schedule;
+        let fifo = fifo_schedule(w.dag());
+        let ep: usize = eligibility_profile(w.dag(), prio.order()).iter().sum();
+        let ef: usize = eligibility_profile(w.dag(), fifo.order()).iter().sum();
         assert!(
             ep >= ef,
             "{}: PRIO cumulative eligibility {ep} below FIFO {ef}",
