@@ -5,6 +5,7 @@
 //! ```text
 //! bench_check [--baseline FILE] [--fresh FILE] [--threshold F]
 //!             [--scaling-baseline FILE] [--scaling-fresh FILE]
+//!             [--obs-baseline FILE] [--obs-fresh FILE] [--obs-budget F]
 //!             [--trace FILE]
 //! ```
 //!
@@ -20,6 +21,17 @@
 //!   the tiers it measured
 //! * `--scaling-baseline FILE` — the scaling baseline
 //!   (default `BENCH_scaling.json`; only read with `--scaling-fresh`)
+//! * `--obs-fresh FILE` — additionally gate a `bench_obs` run: per row
+//!   the traced (and sampled) wall time must stay within `--obs-budget`
+//!   of the untraced time measured in the *same* run (machine speed
+//!   cancels out of the ratio, so the budget is tight where the wall-time
+//!   threshold cannot be), the default ring must have dropped 0 events,
+//!   and — when rows match the committed baseline by `(workload, jobs)`
+//!   — absolute times are also held to `--threshold`
+//! * `--obs-baseline FILE` — the observability baseline
+//!   (default `BENCH_obs.json`; only read with `--obs-fresh`)
+//! * `--obs-budget F` — allowed traced/untraced overhead ratio
+//!   (default 1.10: tracing must cost under 10%)
 //! * `--trace FILE` — additionally stream a `--trace-out` JSONL file
 //!   through the lifecycle analysis (the `prio trace` ingestion path),
 //!   reporting event count and throughput; a malformed trace fails the
@@ -27,19 +39,25 @@
 //!
 //! Exit codes: 0 within threshold, 1 regression, 2 usage/IO error.
 
+use prio_bench::obs_overhead::{self, ObsBench};
 use prio_bench::pipeline::{self, PipelineBench};
 use prio_bench::scaling::{self, ScalingBench};
 use std::process::ExitCode;
 
 const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
 const DEFAULT_SCALING_BASELINE: &str = "BENCH_scaling.json";
+const DEFAULT_OBS_BASELINE: &str = "BENCH_obs.json";
 const DEFAULT_THRESHOLD: f64 = 2.0;
+const DEFAULT_OBS_BUDGET: f64 = 1.10;
 
 struct Options {
     baseline: String,
     fresh: Option<String>,
     scaling_baseline: String,
     scaling_fresh: Option<String>,
+    obs_baseline: String,
+    obs_fresh: Option<String>,
+    obs_budget: f64,
     trace: Option<String>,
     threshold: f64,
 }
@@ -50,6 +68,9 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         fresh: None,
         scaling_baseline: DEFAULT_SCALING_BASELINE.into(),
         scaling_fresh: None,
+        obs_baseline: DEFAULT_OBS_BASELINE.into(),
+        obs_fresh: None,
+        obs_budget: DEFAULT_OBS_BUDGET,
         trace: None,
         threshold: DEFAULT_THRESHOLD,
     };
@@ -75,6 +96,24 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
             "--scaling-fresh" => {
                 opts.scaling_fresh = Some(value(i)?);
+                i += 2;
+            }
+            "--obs-baseline" => {
+                opts.obs_baseline = value(i)?;
+                i += 2;
+            }
+            "--obs-fresh" => {
+                opts.obs_fresh = Some(value(i)?);
+                i += 2;
+            }
+            "--obs-budget" => {
+                let v = value(i)?;
+                opts.obs_budget = v
+                    .parse()
+                    .map_err(|_| format!("--obs-budget: cannot parse {v:?}"))?;
+                if opts.obs_budget.is_nan() || opts.obs_budget < 1.0 {
+                    return Err(format!("--obs-budget must be >= 1.0, got {v}"));
+                }
                 i += 2;
             }
             "--trace" => {
@@ -115,7 +154,8 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F] \
-                 [--scaling-baseline FILE] [--scaling-fresh FILE] [--trace FILE]"
+                 [--scaling-baseline FILE] [--scaling-fresh FILE] \
+                 [--obs-baseline FILE] [--obs-fresh FILE] [--obs-budget F] [--trace FILE]"
             );
             return ExitCode::from(2);
         }
@@ -188,6 +228,53 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &opts.obs_fresh {
+        let fresh = match load_obs(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_check: error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // The overhead budget gate is self-contained: it compares the
+        // fresh run against its own untraced baseline, so it holds on
+        // any machine, fast or slow.
+        for (label, check) in obs_overhead::check_overhead(&fresh, opts.obs_budget) {
+            let verdict = if check.regressed { "REGRESSED" } else { "ok" };
+            if check.name == "dropped_events" {
+                eprintln!(
+                    "bench_check: {label:<16} {:<16} {} dropped (must be 0) {verdict}",
+                    check.name, check.fresh_ns
+                );
+            } else {
+                eprintln!(
+                    "bench_check: {label:<16} {:<16} untraced {:>13} ns, fresh {:>13} ns, ratio {:.3} (budget {:.2}) {verdict}",
+                    check.name, check.baseline_ns, check.fresh_ns, check.ratio, opts.obs_budget
+                );
+            }
+            failed |= check.regressed;
+        }
+        // Absolute wall times are additionally held to the ordinary
+        // threshold against the committed baseline when it exists.
+        match load_obs(&opts.obs_baseline) {
+            Ok(baseline) => {
+                for (label, check) in obs_overhead::compare_obs(&baseline, &fresh, opts.threshold) {
+                    let verdict = if check.regressed { "REGRESSED" } else { "ok" };
+                    eprintln!(
+                        "bench_check: {label:<16} {:<16} baseline {:>13} ns, fresh {:>13} ns, ratio {:.2} (threshold {:.2}) {verdict}",
+                        check.name, check.baseline_ns, check.fresh_ns, check.ratio, opts.threshold
+                    );
+                    failed |= check.regressed;
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "bench_check: warning: {e} — budget gate ran, cross-run comparison skipped"
+                );
+            }
+        }
+    }
+
     if let Some(path) = &opts.trace {
         match analyze_trace(path) {
             Ok(stats) => {
@@ -215,10 +302,12 @@ fn main() -> ExitCode {
 
     if failed {
         eprintln!(
-            "bench_check: FAIL — a metric slowed by more than {:.2}x; if intentional, \
-             regenerate the baseline with `cargo run --release -p prio-bench --bin bench_pipeline` \
-             (and `--bin bench_scaling` for scaling rows)",
-            opts.threshold
+            "bench_check: FAIL — a metric exceeded its threshold; if an absolute-time drift is \
+             intentional, regenerate the baseline with `cargo run --release -p prio-bench --bin \
+             bench_pipeline` (and `--bin bench_scaling` / `--bin bench_obs` for scaling/overhead \
+             rows); an overhead-budget failure (ratio > {:.2}) means tracing itself got more \
+             expensive and must be fixed, not re-baselined",
+            opts.obs_budget
         );
         return ExitCode::from(1);
     }
@@ -229,6 +318,11 @@ fn main() -> ExitCode {
 fn load_scaling(path: &str) -> Result<ScalingBench, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     ScalingBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_obs(path: &str) -> Result<ObsBench, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ObsBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 struct TraceStats {

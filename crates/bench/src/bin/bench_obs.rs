@@ -1,0 +1,77 @@
+//! Measures traced-vs-untraced pipeline + simulator wall time at the
+//! 10⁵/10⁶-job tiers and writes `BENCH_obs.json`.
+//!
+//! ```text
+//! bench_obs [--max-jobs N] [--out FILE]
+//! ```
+//!
+//! * `--max-jobs N` — skip tiers above `N` jobs (CI smoke runs pass
+//!   `100000` to cover only the cheap tier)
+//! * `--out FILE`   — output path (default `BENCH_obs.json`)
+//!
+//! Gate a run with `bench_check --obs-fresh FILE`: the traced (and
+//! sampled) producer-side wall time must stay within `--obs-budget`
+//! (default 1.10×) of the untraced run and the ring must drop nothing;
+//! the writer's drain time is recorded per row and guarded cross-run
+//! against the committed baseline.
+
+use prio_bench::obs_overhead;
+use std::process::ExitCode;
+
+const DEFAULT_OUT: &str = "BENCH_obs.json";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_jobs: Option<usize> = None;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("flag {} requires a value", argv[i]))
+        };
+        let result = match argv[i].as_str() {
+            "--max-jobs" => value(i).and_then(|v| {
+                v.parse()
+                    .map(|n| max_jobs = Some(n))
+                    .map_err(|_| format!("--max-jobs: cannot parse {v:?}"))
+            }),
+            "--out" => value(i).map(|v| out = v),
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(msg) = result {
+            eprintln!("bench_obs: error: {msg}");
+            eprintln!("usage: bench_obs [--max-jobs N] [--out FILE]");
+            return ExitCode::from(2);
+        }
+        i += 2;
+    }
+
+    let bench = obs_overhead::measure(max_jobs, |label| {
+        eprintln!("bench_obs: measuring {label}");
+    });
+    for row in &bench.rows {
+        eprintln!(
+            "bench_obs: {:<8} {:>8} jobs  untraced {:>13} ns  traced {:>13} ns ({:.3}x)  \
+             sampled {:>13} ns ({:.3}x)  drain {:>13} ns ({} events)  dropped {}",
+            row.workload,
+            row.jobs,
+            row.untraced_ns,
+            row.traced_ns,
+            row.traced_ratio(),
+            row.sampled_ns,
+            row.sampled_ratio(),
+            row.drain_ns,
+            row.events,
+            row.dropped
+        );
+    }
+    let json = bench.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_obs: error: {out}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("bench_obs: wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,7 @@
 //! ([`pipeline`]).
 
 pub mod mem;
+pub mod obs_overhead;
 pub mod pipeline;
 pub mod report;
 pub mod scaling;

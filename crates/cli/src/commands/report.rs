@@ -37,6 +37,28 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         .iter()
         .map(|path| Source::load(path))
         .collect::<Result<Vec<_>, _>>()?;
+    // Lossy traces must never be summarized silently: the warning goes
+    // to stderr in both modes so `--json` pipelines still see it.
+    for source in &sources {
+        if let Some(p) = &source.pipeline {
+            if p.dropped > 0 {
+                eprintln!(
+                    "prio: WARNING: {}: lossy trace — {} of {} events were dropped at capture \
+                     (ring overflow); event counts and curves underestimate the run",
+                    source.path,
+                    p.dropped,
+                    p.dropped + p.enqueued,
+                );
+            }
+            if p.sample > 1 {
+                eprintln!(
+                    "prio: note: {}: sampled trace (~1/{} of job lifecycles kept; \
+                     telemetry digests stay exact)",
+                    source.path, p.sample,
+                );
+            }
+        }
+    }
     let comparison = comparison(&sources);
     if json {
         println!("{}", render_json(&sources, &comparison));
@@ -44,6 +66,15 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         print!("{}", render_text(&sources, &comparison));
     }
     Ok(())
+}
+
+/// The trailing drop-accounting record the trace pipeline appends
+/// (`meta` with `command=trace_pipeline`).
+#[derive(Debug, Clone, Copy)]
+struct PipelineMeta {
+    enqueued: u64,
+    dropped: u64,
+    sample: u64,
 }
 
 /// One time-series telemetry record (`type: "ts"`).
@@ -128,6 +159,8 @@ struct Source {
     /// Registry histograms (pipeline-side, not policy-tagged).
     registry_hists: Vec<HistRecord>,
     counters: u64,
+    /// Drop accounting from the capture pipeline, when the trace has it.
+    pipeline: Option<PipelineMeta>,
 }
 
 impl Source {
@@ -148,6 +181,7 @@ impl Source {
             groups: Vec::new(),
             registry_hists: Vec::new(),
             counters: 0,
+            pipeline: None,
         };
         let mut current = String::from("-");
         for record in reader {
@@ -184,17 +218,25 @@ impl Source {
         match kind {
             "meta" => {
                 let detail = s("detail");
-                // `trace` meta lines open a per-policy segment; everything
-                // else is header material.
-                if s("command") == "trace" {
+                // `trace` meta lines open a per-policy segment; the
+                // pipeline's trailing record carries drop accounting;
+                // everything else is header material.
+                let command = s("command");
+                if command == "trace" {
                     if let Some(policy) = detail
                         .split_whitespace()
                         .find_map(|kv| kv.strip_prefix("policy="))
                     {
                         *current_policy = policy.to_string();
                     }
+                } else if command == "trace_pipeline" {
+                    self.pipeline = Some(PipelineMeta {
+                        enqueued: u("enqueued"),
+                        dropped: u("dropped"),
+                        sample: u("sample").max(1),
+                    });
                 }
-                self.metas.push(format!("{} {detail}", s("command")));
+                self.metas.push(format!("{command} {detail}"));
             }
             "span" => {
                 let percentiles = match (
@@ -425,6 +467,23 @@ fn render_text(sources: &[Source], comparison: &Option<Comparison>) -> String {
         for meta in &source.metas {
             out.push_str(&format!("  meta: {meta}\n"));
         }
+        if let Some(p) = &source.pipeline {
+            if p.dropped > 0 {
+                out.push_str(&format!(
+                    "  WARNING: lossy trace — {} of {} events dropped at capture \
+                     (ring overflow); counts below underestimate the run\n",
+                    p.dropped,
+                    p.dropped + p.enqueued,
+                ));
+            }
+            if p.sample > 1 {
+                out.push_str(&format!(
+                    "  note: sampled trace (~1/{} of job lifecycles kept; \
+                     telemetry digests stay exact)\n",
+                    p.sample,
+                ));
+            }
+        }
     }
 
     let opt = |p: Option<f64>| p.map(fmt).unwrap_or_else(|| "-".to_string());
@@ -594,12 +653,21 @@ fn render_json(sources: &[Source], comparison: &Option<Comparison>) -> String {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                JsonObject::new()
+                let mut obj = JsonObject::new()
                     .u64("file", i as u64)
                     .str("path", &s.path)
                     .u64("spans", s.spans.len() as u64)
-                    .u64("scalar_metrics", s.counters)
-                    .finish()
+                    .u64("scalar_metrics", s.counters);
+                // Capture-pipeline accounting rides along so JSON
+                // consumers can detect lossy or sampled traces.
+                if let Some(p) = &s.pipeline {
+                    obj = obj
+                        .u64("enqueued_events", p.enqueued)
+                        .u64("dropped_events", p.dropped)
+                        .u64("sample", p.sample)
+                        .bool("lossy", p.dropped > 0);
+                }
+                obj.finish()
             })
             .collect(),
     ));
@@ -912,6 +980,56 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         assert!(err.to_string().contains("mixed"), "{err}");
         assert_eq!(err.exit_code(), 1, "input error, not usage");
+    }
+
+    #[test]
+    fn lossy_pipeline_meta_raises_a_visible_warning() {
+        let text = [
+            r#"{"type":"meta","v":3,"command":"trace","detail":"policy=prio seed=1"}"#,
+            r#"{"type":"job_completed","v":3,"time":1,"job":0}"#,
+            r#"{"type":"meta","v":3,"command":"trace_pipeline","detail":"drop accounting","enqueued":90,"written":90,"dropped":10,"sample":1}"#,
+        ]
+        .join("\n");
+        let source = load(&text);
+        let p = source.pipeline.expect("pipeline meta parsed");
+        assert_eq!(p.dropped, 10);
+        assert_eq!(p.sample, 1);
+        let sources = vec![source];
+        let rendered = render_text(&sources, &None);
+        assert!(
+            rendered.contains("WARNING: lossy trace — 10 of 100 events dropped"),
+            "{rendered}"
+        );
+        let json = parse(&render_json(&sources, &None)).unwrap();
+        let Some(JsonValue::Arr(srcs)) = json.get("sources") else {
+            panic!("sources array");
+        };
+        assert_eq!(
+            srcs[0].get("dropped_events").and_then(JsonValue::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            srcs[0].get("lossy").and_then(JsonValue::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn sampled_pipeline_meta_is_noted_and_lossless_traces_stay_quiet() {
+        let sampled = [
+            r#"{"type":"meta","v":3,"command":"trace_pipeline","detail":"drop accounting","enqueued":50,"written":50,"dropped":0,"sample":8}"#,
+        ]
+        .join("\n");
+        let sources = vec![load(&sampled)];
+        let rendered = render_text(&sources, &None);
+        assert!(rendered.contains("sampled trace (~1/8"), "{rendered}");
+        assert!(!rendered.contains("WARNING"), "{rendered}");
+
+        let clean = load(&trace_text());
+        assert!(clean.pipeline.is_none());
+        let rendered = render_text(&[clean], &None);
+        assert!(!rendered.contains("WARNING"), "{rendered}");
+        assert!(!rendered.contains("sampled"), "{rendered}");
     }
 
     #[test]

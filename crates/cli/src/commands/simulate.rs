@@ -4,10 +4,12 @@ use crate::args::Args;
 use crate::commands::load_dag;
 use crate::error::CliError;
 use prio_core::prio::prioritize;
-use prio_obs::JsonlSink;
-use prio_sim::engine::{simulate_faulty_traced, simulate_traced};
+use prio_obs::json::JsonObject;
+use prio_obs::{JobSampler, JsonlSink, DEFAULT_RING_CAPACITY};
+use prio_sim::engine::simulate_streamed;
 use prio_sim::experiment::compare_policies_with;
 use prio_sim::replicate::ReplicationPlan;
+use prio_sim::trace_json::{event_pipeline, StreamingTraceWriter};
 use prio_sim::{Backoff, FaultConfig, FaultModel, GridModel, PolicySpec, RetryPolicy};
 use std::path::Path;
 
@@ -159,8 +161,23 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     // a pure function of the seed, so serial and `--threads` invocations
     // write identical `ts`/`hist` records.
     if let Some(out) = args.get("trace-out") {
+        let sample: u64 = args.get_parsed("trace-sample", 1)?;
+        if sample == 0 {
+            return Err(CliError::usage("--trace-sample must be >= 1"));
+        }
+        let ring: usize = args.get_parsed("trace-ring", DEFAULT_RING_CAPACITY)?;
+        if ring < 2 {
+            return Err(CliError::usage("--trace-ring must be >= 2"));
+        }
         let io_err = |e: std::io::Error| CliError::input(format!("{out}: {e}"));
         let sink = JsonlSink::to_file(Path::new(out)).map_err(io_err)?;
+        // Events stream through the bounded async pipeline: the sim
+        // thread enqueues each event by value; a dedicated writer thread
+        // JSON-encodes and drains to disk. Meta and telemetry records
+        // ride the same ring (losslessly, via `control`) so the file
+        // keeps its segment order; on overflow *events* are counted and
+        // dropped rather than stalling the sim clock.
+        let pipeline = event_pipeline(sink, ring, sample);
         // The fault parameters join the meta line only when the layer is
         // on, so reliable trace files stay identical to earlier builds.
         let fault_meta = match &faults {
@@ -171,32 +188,49 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             ),
             None => String::new(),
         };
-        sink.write_meta(
+        let meta = |command: &str, detail: &str| {
+            JsonObject::typed("meta")
+                .str("command", command)
+                .str("detail", detail)
+                .finish()
+        };
+        pipeline.control(meta(
             "simulate",
             &format!("workload={name} mu_bit={mu_bit} mu_bs={mu_bs} seed={seed}{fault_meta}"),
-        )
-        .map_err(io_err)?;
-        for (policy_name, policy) in [("prio", &prio), ("fifo", &PolicySpec::Fifo)] {
-            sink.write_meta("trace", &format!("policy={policy_name} seed={seed}"))
-                .map_err(io_err)?;
-            let traced = match &faults {
-                Some(f) => simulate_faulty_traced(&dag, policy, &model, f, seed),
-                None => simulate_traced(&dag, policy, &model, seed),
-            };
-            let trace = traced
-                .trace
-                .ok_or_else(|| CliError::internal("traced run recorded no trace"))?;
-            let telemetry = traced
-                .telemetry
-                .ok_or_else(|| CliError::internal("traced run recorded no telemetry"))?;
-            prio_sim::trace_json::write_trace(&sink, &trace).map_err(io_err)?;
-            prio_sim::trace_json::write_telemetry(&sink, policy_name, &telemetry)
-                .map_err(io_err)?;
+        ));
+        let sampler = JobSampler::new(sample);
+        if sampler.is_sampling() {
+            eprintln!(
+                "prio: sampling lifecycle events for ~1/{sample} of jobs \
+                 (aggregate telemetry stays exact)"
+            );
         }
+        for (policy_name, policy) in [("prio", &prio), ("fifo", &PolicySpec::Fifo)] {
+            pipeline.control(meta("trace", &format!("policy={policy_name} seed={seed}")));
+            let writer = StreamingTraceWriter::new(&pipeline, sampler);
+            let outcome = simulate_streamed(&dag, policy, &model, faults.as_ref(), seed, &writer);
+            let telemetry = outcome
+                .telemetry
+                .ok_or_else(|| CliError::internal("streamed run recorded no telemetry"))?;
+            for line in prio_sim::trace_json::telemetry_to_json(policy_name, &telemetry) {
+                pipeline.control(line);
+            }
+        }
+        let (sink, stats, result) = pipeline.finish();
+        result.map_err(io_err)?;
+        sink.write_line(&stats.meta_line()).map_err(io_err)?;
         sink.write_span_snapshot().map_err(io_err)?;
         sink.write_metrics_snapshot().map_err(io_err)?;
         sink.write_histograms_snapshot().map_err(io_err)?;
         sink.flush().map_err(io_err)?;
+        if stats.dropped > 0 {
+            eprintln!(
+                "prio: WARNING: trace is lossy — {} of {} events dropped (ring full); \
+                 rerun with a larger --trace-ring or --trace-sample to keep every event",
+                stats.dropped,
+                stats.dropped + stats.enqueued,
+            );
+        }
         eprintln!("prio: wrote event trace to {out}");
     }
     Ok(())

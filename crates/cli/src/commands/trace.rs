@@ -225,11 +225,51 @@ impl Segment {
     }
 }
 
+/// Capture-pipeline accounting read from the trailing `trace_pipeline`
+/// meta record. Traces from older builds (or written directly by the
+/// sink) carry no such record and default to complete/full-rate.
+#[derive(Debug, Clone, Copy)]
+struct TraceHealth {
+    /// Events dropped at capture (ring overflow): the lifecycle record
+    /// is incomplete and reconstructions are unsound.
+    dropped: u64,
+    /// Sampling modulus (1 = every job's lifecycle present).
+    sample: u64,
+}
+
+impl Default for TraceHealth {
+    fn default() -> TraceHealth {
+        TraceHealth {
+            dropped: 0,
+            sample: 1,
+        }
+    }
+}
+
+/// Prints the loud stderr warnings every analysis owes the user when the
+/// trace was captured lossily or sampled.
+fn warn_health(path: &str, health: &TraceHealth) {
+    if health.dropped > 0 {
+        eprintln!(
+            "prio: WARNING: {path}: lossy trace — {} events were dropped at capture \
+             (ring overflow); lifecycle analyses underestimate the run",
+            health.dropped
+        );
+    }
+    if health.sample > 1 {
+        eprintln!(
+            "prio: note: {path}: sampled trace — lifecycle events cover ~1/{} of jobs",
+            health.sample
+        );
+    }
+}
+
 /// Streams one trace file into its policy segments. Events before the
 /// first `policy=` meta line land in a `"-"` segment.
-fn load_segments(path: &str) -> Result<Vec<Segment>, CliError> {
+fn load_segments(path: &str) -> Result<(Vec<Segment>, TraceHealth), CliError> {
     let reader = stream::open(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
     let mut segments: Vec<Segment> = Vec::new();
+    let mut health = TraceHealth::default();
     for record in reader {
         let record = record.map_err(|e| CliError::input(format!("{path}: {e}")))?;
         let v = &record.value;
@@ -243,6 +283,13 @@ fn load_segments(path: &str) -> Result<Vec<Segment>, CliError> {
                     {
                         segments.push(Segment::new(policy));
                     }
+                } else if str_of("command") == "trace_pipeline" {
+                    health.dropped = v.get("dropped").and_then(JsonValue::as_u64).unwrap_or(0);
+                    health.sample = v
+                        .get("sample")
+                        .and_then(JsonValue::as_u64)
+                        .unwrap_or(1)
+                        .max(1);
                 }
             }
             "ts" => {
@@ -282,7 +329,7 @@ fn load_segments(path: &str) -> Result<Vec<Segment>, CliError> {
             "{path}: no trace events found (was this written with --trace-out?)"
         )));
     }
-    Ok(segments)
+    Ok((segments, health))
 }
 
 fn fmt(v: f64) -> String {
@@ -298,7 +345,8 @@ fn opt(v: Option<f64>) -> String {
 fn timeline(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let path = args.one_positional()?;
-    let segments = load_segments(path)?;
+    let (segments, health) = load_segments(path)?;
+    warn_health(path, &health);
     if args.has("json") {
         println!("{}", timeline_json(path, &segments));
     } else {
@@ -454,7 +502,25 @@ fn realized_path(seg: &Segment) -> Vec<PathStep> {
 fn critical_path(argv: &[String]) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
     let path = args.one_positional()?;
-    let segments = load_segments(path)?;
+    let (segments, health) = load_segments(path)?;
+    warn_health(path, &health);
+    // The backward walk links each job's eligibility to the completion
+    // that caused it; with only 1/N of lifecycles present the chain has
+    // holes, so a sampled (or lossy) trace cannot yield a realized path.
+    if health.sample > 1 {
+        return Err(CliError::input(format!(
+            "{path}: sampled trace (1/{} of jobs): the realized critical path needs \
+             every job's lifecycle — rerun --trace-out without --trace-sample",
+            health.sample
+        )));
+    }
+    if health.dropped > 0 {
+        return Err(CliError::input(format!(
+            "{path}: lossy trace ({} events dropped at capture): the realized critical \
+             path needs every event — rerun with a larger --trace-ring",
+            health.dropped
+        )));
+    }
     if args.has("json") {
         let mut out = format!("{{\"type\":\"trace_critical_path\",\"v\":{SCHEMA_VERSION}");
         out.push_str(&format!(",\"path\":{}", quoted(path)));
@@ -535,7 +601,15 @@ fn curve(argv: &[String]) -> Result<(), CliError> {
     let out_path = args
         .get("out")
         .ok_or_else(|| CliError::usage("prio trace curve requires --out <file.tsv>"))?;
-    let segments = load_segments(path)?;
+    let (segments, health) = load_segments(path)?;
+    warn_health(path, &health);
+    if health.dropped > 0 {
+        return Err(CliError::input(format!(
+            "{path}: lossy trace ({} events dropped at capture): the eligibility curve \
+             cannot be reconstructed — rerun with a larger --trace-ring",
+            health.dropped
+        )));
+    }
     let with_curves: Vec<&Segment> = segments.iter().filter(|s| !s.curve.is_empty()).collect();
     let [a, b] = with_curves.as_slice() else {
         return Err(CliError::input(format!(
@@ -545,21 +619,35 @@ fn curve(argv: &[String]) -> Result<(), CliError> {
     };
     // Verify each reconstruction against the simulator's own series
     // before trusting it: a divergence means a corrupt or truncated
-    // trace, not a formatting nit.
+    // trace, not a formatting nit. A sampled trace only carries 1/N of
+    // the lifecycles, so its partial curve can never match the exact
+    // telemetry — the check is skipped and the output is an estimate
+    // scaled back up by N instead.
+    let sampled = health.sample > 1;
     let mut checked = 0;
-    for seg in [a, b] {
-        checked += seg
-            .verify_curve()
-            .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+    if !sampled {
+        for seg in [a, b] {
+            checked += seg
+                .verify_curve()
+                .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+        }
     }
-    let n = a.jobs.len().max(b.jobs.len()).max(1);
+    // Under sampling both the per-time difference and the job count are
+    // estimated from the kept subset: each kept job stands for N jobs.
+    let n = if sampled {
+        let kept = |s: &Segment| s.jobs.iter().filter(|j| j.submitted.is_some()).count();
+        (kept(a).max(kept(b)).max(1) as u64 * health.sample) as usize
+    } else {
+        a.jobs.len().max(b.jobs.len()).max(1)
+    };
+    let scale = health.sample as i64;
     let mut times: Vec<f64> = a.curve.iter().chain(&b.curve).map(|&(t, _)| t).collect();
     times.sort_by(f64::total_cmp);
     times.dedup();
     let t_max = times.last().copied().unwrap_or(0.0).max(f64::MIN_POSITIVE);
     let mut tsv = Table::new(&["t", "t_normalized", "diff", "diff_normalized"]);
     for &t in &times {
-        let diff = a.curve_at(t) - b.curve_at(t);
+        let diff = (a.curve_at(t) - b.curve_at(t)) * scale;
         tsv.row(vec![
             format!("{t:.6}"),
             format!("{:.6}", t / t_max),
@@ -569,13 +657,25 @@ fn curve(argv: &[String]) -> Result<(), CliError> {
     }
     std::fs::write(out_path, tsv.render_tsv())
         .map_err(|e| CliError::input(format!("{out_path}: {e}")))?;
-    eprintln!(
-        "trace curve: wrote {out_path} ({} steps, E_{} - E_{}, verified against {checked} \
-         recorded samples)",
-        times.len(),
-        a.policy,
-        b.policy
-    );
+    if sampled {
+        eprintln!(
+            "trace curve: wrote {out_path} ({} steps, E_{} - E_{}; sampled 1/{}: diffs are \
+             estimates scaled by {}, exact verification skipped)",
+            times.len(),
+            a.policy,
+            b.policy,
+            health.sample,
+            health.sample
+        );
+    } else {
+        eprintln!(
+            "trace curve: wrote {out_path} ({} steps, E_{} - E_{}, verified against {checked} \
+             recorded samples)",
+            times.len(),
+            a.policy,
+            b.policy
+        );
+    }
     Ok(())
 }
 
@@ -603,8 +703,10 @@ fn diff(argv: &[String]) -> Result<(), CliError> {
              [--policy-a P] [--policy-b P] [--json]",
         ));
     };
-    let segments_a = load_segments(path_a)?;
-    let segments_b = load_segments(path_b)?;
+    let (segments_a, health_a) = load_segments(path_a)?;
+    let (segments_b, health_b) = load_segments(path_b)?;
+    warn_health(path_a, &health_a);
+    warn_health(path_b, &health_b);
     let a = pick_segment(path_a, &segments_a, args.get("policy-a"))?;
     let b = pick_segment(path_b, &segments_b, args.get("policy-b"))?;
     if a.jobs.len() != b.jobs.len() {
@@ -749,8 +851,10 @@ mod tests {
     #[test]
     fn segments_fold_lifecycles_and_verify_curves() {
         let path = simulated_trace("fold");
-        let segments = load_segments(path.to_str().unwrap()).unwrap();
+        let (segments, health) = load_segments(path.to_str().unwrap()).unwrap();
         let _ = std::fs::remove_file(&path);
+        assert_eq!(health.dropped, 0, "sink-written traces default to complete");
+        assert_eq!(health.sample, 1);
         assert_eq!(segments.len(), 2);
         for seg in &segments {
             assert_eq!(seg.jobs.len(), 6);
@@ -775,7 +879,7 @@ mod tests {
     #[test]
     fn realized_path_walks_back_through_parents() {
         let path = simulated_trace("cp");
-        let segments = load_segments(path.to_str().unwrap()).unwrap();
+        let (segments, _) = load_segments(path.to_str().unwrap()).unwrap();
         let _ = std::fs::remove_file(&path);
         for seg in &segments {
             let steps = realized_path(seg);
@@ -798,7 +902,7 @@ mod tests {
     #[test]
     fn curve_verification_rejects_tampered_samples() {
         let path = simulated_trace("tamper");
-        let mut segments = load_segments(path.to_str().unwrap()).unwrap();
+        let (mut segments, _) = load_segments(path.to_str().unwrap()).unwrap();
         let _ = std::fs::remove_file(&path);
         let seg = &mut segments[0];
         seg.samples.push((0.0, 9999.0));
@@ -838,5 +942,127 @@ mod tests {
     fn quoted_escapes_json_strings() {
         assert_eq!(quoted("plain"), "\"plain\"");
         assert_eq!(quoted("a\"b"), "\"a\\\"b\"");
+    }
+
+    /// Appends a capture-pipeline accounting record to a trace file.
+    fn append_pipeline_meta(path: &std::path::Path, dropped: u64, sample: u64) {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        writeln!(
+            file,
+            "{{\"type\":\"meta\",\"v\":{SCHEMA_VERSION},\"command\":\"trace_pipeline\",\
+             \"detail\":\"drop accounting\",\"enqueued\":100,\"written\":{},\
+             \"dropped\":{dropped},\"sample\":{sample}}}",
+            100 - dropped
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn pipeline_meta_populates_trace_health() {
+        let path = simulated_trace("health");
+        append_pipeline_meta(&path, 7, 4);
+        let (_, health) = load_segments(path.to_str().unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(health.dropped, 7);
+        assert_eq!(health.sample, 4);
+    }
+
+    #[test]
+    fn critical_path_rejects_sampled_and_lossy_traces() {
+        let sampled = simulated_trace("cp_sampled");
+        append_pipeline_meta(&sampled, 0, 8);
+        let argv = vec![sampled.to_str().unwrap().to_string()];
+        let err = critical_path(&argv).unwrap_err();
+        let _ = std::fs::remove_file(&sampled);
+        assert!(err.to_string().contains("sampled"), "{err}");
+
+        let lossy = simulated_trace("cp_lossy");
+        append_pipeline_meta(&lossy, 3, 1);
+        let argv = vec![lossy.to_str().unwrap().to_string()];
+        let err = critical_path(&argv).unwrap_err();
+        let _ = std::fs::remove_file(&lossy);
+        assert!(err.to_string().contains("lossy"), "{err}");
+    }
+
+    /// Writes a hand-built two-segment trace whose eligibility curves
+    /// genuinely differ (prio holds E=2 early, fifo E=1).
+    fn divergent_trace(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "prio_trace_divergent_{name}_{}.jsonl",
+            std::process::id()
+        ));
+        let lines = [
+            r#"{"type":"meta","command":"trace","detail":"policy=prio seed=1"}"#,
+            r#"{"type":"job_eligible","time":0,"job":0}"#,
+            r#"{"type":"job_eligible","time":0,"job":1}"#,
+            r#"{"type":"job_completed","time":2,"job":0}"#,
+            r#"{"type":"job_completed","time":3,"job":1}"#,
+            r#"{"type":"meta","command":"trace","detail":"policy=fifo seed=1"}"#,
+            r#"{"type":"job_eligible","time":0,"job":0}"#,
+            r#"{"type":"job_completed","time":2,"job":0}"#,
+            r#"{"type":"job_eligible","time":2,"job":1}"#,
+            r#"{"type":"job_completed","time":3,"job":1}"#,
+        ];
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        path
+    }
+
+    #[test]
+    fn curve_scales_sampled_estimates_and_skips_verification() {
+        // The same trace full-rate and *tagged* sampled: verification
+        // must be skipped on the sampled one (it would not generally
+        // hold) and every diff scaled by the modulus.
+        let full = divergent_trace("curve_full");
+        let tagged = divergent_trace("curve_tagged");
+        append_pipeline_meta(&tagged, 0, 4);
+        let out_full =
+            std::env::temp_dir().join(format!("prio_curve_full_{}.tsv", std::process::id()));
+        let out_tagged =
+            std::env::temp_dir().join(format!("prio_curve_tagged_{}.tsv", std::process::id()));
+        let argv = |trace: &std::path::Path, out: &std::path::Path| {
+            vec![
+                trace.to_str().unwrap().to_string(),
+                "--out".to_string(),
+                out.to_str().unwrap().to_string(),
+            ]
+        };
+        curve(&argv(&full, &out_full)).unwrap();
+        curve(&argv(&tagged, &out_tagged)).unwrap();
+        let full_tsv = std::fs::read_to_string(&out_full).unwrap();
+        let tagged_tsv = std::fs::read_to_string(&out_tagged).unwrap();
+        let _ = std::fs::remove_file(&full);
+        let _ = std::fs::remove_file(&tagged);
+        let _ = std::fs::remove_file(&out_full);
+        let _ = std::fs::remove_file(&out_tagged);
+        let diffs = |tsv: &str| -> Vec<i64> {
+            tsv.lines()
+                .skip(1)
+                .map(|l| l.split('\t').nth(2).unwrap().parse().unwrap())
+                .collect()
+        };
+        let full_diffs = diffs(&full_tsv);
+        let tagged_diffs = diffs(&tagged_tsv);
+        assert_eq!(full_diffs.len(), tagged_diffs.len());
+        for (f, t) in full_diffs.iter().zip(&tagged_diffs) {
+            assert_eq!(*t, f * 4, "sampled diffs scale by the modulus");
+        }
+        assert!(full_diffs.iter().any(|d| *d != 0), "curves actually differ");
+    }
+
+    #[test]
+    fn curve_rejects_lossy_traces() {
+        let lossy = simulated_trace("curve_lossy");
+        append_pipeline_meta(&lossy, 5, 1);
+        let out = std::env::temp_dir().join(format!("prio_curve_lossy_{}.tsv", std::process::id()));
+        let argv = vec![
+            lossy.to_str().unwrap().to_string(),
+            "--out".to_string(),
+            out.to_str().unwrap().to_string(),
+        ];
+        let err = curve(&argv).unwrap_err();
+        let _ = std::fs::remove_file(&lossy);
+        assert!(err.to_string().contains("lossy"), "{err}");
+        assert!(!out.exists(), "no TSV written for a lossy trace");
     }
 }

@@ -18,9 +18,13 @@
 //! Every subcommand accepts the global `-v`/`--verbose` flag (or the
 //! `PRIO_LOG` environment variable) to print a phase-timing footer, and
 //! `simulate`/`instrument` additionally take `--trace-out <file>` to dump
-//! structured JSONL events plus span/counter snapshots. The global
+//! structured JSONL events plus span/counter snapshots (`simulate`
+//! streams them through the bounded async trace pipeline; `--trace-sample
+//! N` thins job lifecycles to a deterministic 1/N subset). The global
 //! `--profile-alloc` flag attaches allocation-count/byte/peak deltas to
-//! every span (in the `--timings` footer and `--trace-out` records).
+//! every span (in the `--timings` footer and `--trace-out` records), and
+//! `--metrics-out <file>` writes a Prometheus text-format metrics
+//! snapshot at exit.
 //!
 //! `instrument` reproduces the paper's tool exactly: parse the DAGMan
 //! input file, run the scheduling heuristic, define the `jobpriority`
@@ -48,8 +52,10 @@ fn main() -> ExitCode {
     prio_obs::init_from_env();
     let argv = strip_verbosity(argv);
     let argv = strip_profile_alloc(argv);
+    let (argv, metrics_out) = strip_metrics_out(argv);
     let timings = argv.iter().any(|a| a == "--timings");
-    match run(&argv) {
+    let result = run(&argv).and_then(|()| write_metrics_out(metrics_out.as_deref()));
+    match result {
         Ok(()) => {
             // Phase-timing footer on every subcommand, to stderr so piped
             // stdout output stays clean.
@@ -61,6 +67,39 @@ fn main() -> ExitCode {
             ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Removes the global `--metrics-out <file>` flag (valid anywhere on the
+/// command line), returning its value so a Prometheus text-format
+/// snapshot of every counter, gauge, and histogram can be written at
+/// exit — after the subcommand has finished incrementing them.
+fn strip_metrics_out(argv: Vec<String>) -> (Vec<String>, Option<String>) {
+    let mut out = None;
+    let mut stripped = Vec::with_capacity(argv.len());
+    let mut iter = argv.into_iter();
+    while let Some(a) = iter.next() {
+        if a == "--metrics-out" {
+            // A missing value falls through to the subcommand parser,
+            // which reports the unknown dangling flag as a usage error.
+            match iter.next() {
+                Some(path) => out = Some(path),
+                None => stripped.push(a),
+            }
+        } else {
+            stripped.push(a);
+        }
+    }
+    (stripped, out)
+}
+
+/// Writes the end-of-run Prometheus snapshot when `--metrics-out` asked
+/// for one, surfacing write failures through the normal CLI exit path.
+fn write_metrics_out(path: Option<&str>) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    prio_obs::prom::write_snapshot(std::path::Path::new(path))
+        .map_err(|e| CliError::input(format!("{path}: {e}")))?;
+    eprintln!("prio: wrote metrics snapshot to {path}");
+    Ok(())
 }
 
 /// Removes `-v`/`--verbose`/`-vv` wherever they appear (global flags,
@@ -155,7 +194,8 @@ USAGE:
                     [--fault-rate P] [--permanent-frac F] [--retries N]
                     [--backoff none|D|fixed:D|exp:B[:F[:C]]]
                     [--worker-mttf X] [--worker-mttr Y]
-                    [--trace-out <file>] [--timings]          (alias: sim)
+                    [--trace-out <file>] [--trace-sample N] [--trace-ring N]
+                    [--timings]                               (alias: sim)
     prio report     <trace.jsonl | ->... [--json]
     prio trace      timeline      <trace.jsonl | -> [--json]
     prio trace      critical-path <trace.jsonl | -> [--json]
@@ -175,6 +215,11 @@ GLOBAL FLAGS:
                     the PRIO_LOG env var (off|info|debug) sets the same levels
     --timings       print the phase-timing footer regardless of verbosity
     --trace-out F   write structured JSONL events/spans/counters to F
+                    (simulate streams events through a bounded async ring;
+                    --trace-sample N keeps lifecycle events for ~1/N of
+                    jobs, --trace-ring N sizes the ring in slots)
+    --metrics-out F write a Prometheus text-format snapshot of all
+                    counters/gauges/histograms to F at exit
     --profile-alloc attach allocation count/bytes/peak deltas to every span
 
 SUBCOMMANDS:

@@ -57,8 +57,10 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Appends a JSON number for `v` (or `null` if non-finite).
-fn write_f64(v: f64, out: &mut String) {
+/// Appends a JSON number for `v` (or `null` if non-finite). Public so
+/// hot encoders (the trace pipeline's writer thread) can emit numbers
+/// without going through the [`JsonObject`] builder.
+pub fn write_json_f64(v: f64, out: &mut String) {
     if v.is_finite() {
         // Rust's shortest-round-trip Display: parses back bit-identical.
         let _ = write!(out, "{v}");
@@ -67,6 +69,106 @@ fn write_f64(v: f64, out: &mut String) {
     } else {
         out.push_str("null");
     }
+}
+
+/// Appends a JSON number for `v` without the `fmt` machinery — a plain
+/// digit loop into a stack buffer, for encoders on hot paths.
+pub fn write_json_u64(v: u64, out: &mut String) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    // SAFETY-free: the buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("ascii digits"));
+}
+
+/// Longest text [`write_json_f64`] can emit: shortest-round-trip `f64`
+/// `Display` peaks at 24 bytes (e.g. `-2.2250738585072014e-308`).
+const F64_TEXT_MAX: usize = 24;
+
+/// Slot marker: no value cached. (Distinct from any real length, and
+/// needed because a zeroed `bits` field is a real value — `0.0`.)
+const F64_SLOT_EMPTY: u8 = u8::MAX;
+
+#[derive(Clone, Copy)]
+struct F64Slot {
+    bits: u64,
+    len: u8,
+    text: [u8; F64_TEXT_MAX],
+}
+
+/// A direct-mapped memo cache for JSON `f64` formatting, keyed by bit
+/// pattern. Shortest-round-trip `Display` is by far the most expensive
+/// part of encoding a trace event, and simulator timestamps repeat
+/// heavily — every job assigned from one batch shares the batch's
+/// arrival time, a job's completion event reuses the `completes_at`
+/// computed at assignment, and children become eligible at their
+/// parent's completion time — so a small cache turns most float fields
+/// into a memcpy. Output is byte-identical to [`write_json_f64`] by
+/// construction: the cache only replays what that function produced for
+/// the same bit pattern.
+pub struct F64Cache {
+    slots: Box<[F64Slot]>,
+}
+
+impl Default for F64Cache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl F64Cache {
+    /// Number of direct-mapped slots (a few KB; collisions just re-format).
+    const SLOTS: usize = 256;
+
+    /// An empty cache.
+    pub fn new() -> F64Cache {
+        F64Cache {
+            slots: vec![
+                F64Slot {
+                    bits: 0,
+                    len: F64_SLOT_EMPTY,
+                    text: [0; F64_TEXT_MAX],
+                };
+                Self::SLOTS
+            ]
+            .into_boxed_slice(),
+        }
+    }
+
+    /// Appends the same bytes [`write_json_f64`] would for `v`, serving
+    /// repeats from the cache.
+    pub fn write(&mut self, v: f64, out: &mut String) {
+        let bits = v.to_bits();
+        // SplitMix64-style finalizer; top bits index the slot array.
+        let hash = (bits ^ (bits >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let slot = &mut self.slots[(hash >> 56) as usize % Self::SLOTS];
+        if slot.bits == bits && slot.len != F64_SLOT_EMPTY {
+            let text = &slot.text[..slot.len as usize];
+            out.push_str(std::str::from_utf8(text).expect("cached ascii"));
+            return;
+        }
+        let start = out.len();
+        write_json_f64(v, out);
+        let text = out.as_bytes();
+        let len = text.len() - start;
+        if len <= F64_TEXT_MAX {
+            slot.bits = bits;
+            slot.len = len as u8;
+            slot.text[..len].copy_from_slice(&text[start..]);
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    write_json_f64(v, out);
 }
 
 /// An in-progress single-line JSON object, appended key by key.
@@ -87,6 +189,19 @@ impl JsonObject {
         }
         .str("type", kind)
         .u64("v", SCHEMA_VERSION)
+    }
+
+    /// Like [`JsonObject::typed`], but reuses `buf`'s allocation instead
+    /// of allocating a fresh `String` — the trace pipeline's writer
+    /// thread encodes millions of events through one scratch buffer.
+    /// `buf` is cleared; recover the built line with
+    /// [`JsonObject::finish`].
+    pub fn typed_in(mut buf: String, kind: &str) -> Self {
+        buf.clear();
+        buf.push('{');
+        JsonObject { buf, empty: true }
+            .str("type", kind)
+            .u64("v", SCHEMA_VERSION)
     }
 
     /// Starts an empty object.
@@ -553,6 +668,34 @@ mod tests {
         let v = parse(&line).unwrap();
         assert_eq!(v.get("x"), Some(&JsonValue::Null));
         assert_eq!(v.get("y"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn f64_cache_replays_write_json_f64_byte_for_byte() {
+        let mut cache = F64Cache::new();
+        let values = [
+            0.0,
+            -0.0,
+            1.0,
+            0.25,
+            1.5e300,
+            -2.2250738585072014e-308,
+            f64::NAN,
+            f64::INFINITY,
+            std::f64::consts::PI,
+        ];
+        // Two passes: the second is served entirely from the cache and
+        // must still match the uncached writer exactly (including the
+        // -0.0 vs 0.0 distinction — the cache keys on bit patterns).
+        for _ in 0..2 {
+            for v in values {
+                let mut cached = String::new();
+                cache.write(v, &mut cached);
+                let mut plain = String::new();
+                write_json_f64(v, &mut plain);
+                assert_eq!(cached, plain, "for {v:?}");
+            }
+        }
     }
 
     #[test]

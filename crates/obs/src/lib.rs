@@ -56,7 +56,11 @@ pub mod json;
 #[cfg(feature = "alloc-profile")]
 pub mod mem;
 pub mod metrics;
+pub mod pipeline;
+pub mod prom;
 pub mod report;
+pub mod ring;
+pub mod sample;
 pub mod sink;
 pub mod span;
 pub mod stage;
@@ -66,6 +70,9 @@ pub mod timeseries;
 pub use config::{init_from_env, set_verbosity, verbosity, Level};
 pub use hist::{Histogram, HistogramSnapshot, HistogramSummary};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge};
+pub use pipeline::{PipelineStats, TracePipeline, DEFAULT_RING_CAPACITY};
+pub use ring::Ring;
+pub use sample::JobSampler;
 pub use sink::JsonlSink;
 pub use span::{span, SpanGuard};
 pub use timeseries::{TimeSeries, TimeSeriesDigest};

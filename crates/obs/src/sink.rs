@@ -64,12 +64,35 @@ impl JsonlSink {
 
     /// Writes one pre-serialized JSON object as a line. The caller
     /// guarantees `line` is a single-line JSON object; use
-    /// [`JsonObject`] to build one.
+    /// [`JsonObject`] to build one. A payload with an embedded newline
+    /// would silently corrupt the JSONL stream (every consumer splits on
+    /// `\n`), so it is rejected with [`io::ErrorKind::InvalidData`] —
+    /// in release builds too, where a `debug_assert!` would vanish.
     pub fn write_line(&self, line: &str) -> io::Result<()> {
-        debug_assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        if line.contains('\n') || line.contains('\r') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "JSONL lines must not contain embedded newlines",
+            ));
+        }
         let mut out = self.out.lock().expect("sink lock");
         out.write_all(line.as_bytes())?;
         out.write_all(b"\n")
+    }
+
+    /// Writes a block of already newline-terminated JSONL lines in one
+    /// locked write — the trace pipeline's writer thread batches drained
+    /// records so the per-line mutex/IO cost amortizes across the batch.
+    /// The caller (the pipeline, which validates the single-line
+    /// contract per record before appending to the batch) guarantees the
+    /// block is well-formed: complete lines, each ending in `\n`.
+    pub fn write_batch(&self, block: &str) -> io::Result<()> {
+        debug_assert!(
+            block.is_empty() || block.ends_with('\n'),
+            "batch must hold complete newline-terminated lines"
+        );
+        let mut out = self.out.lock().expect("sink lock");
+        out.write_all(block.as_bytes())
     }
 
     /// Writes a `meta` line identifying the producing command.
@@ -285,6 +308,20 @@ mod tests {
         for line in &lines {
             parse(line).unwrap_or_else(|e| panic!("corrupt line {line:?}: {e}"));
         }
+    }
+
+    #[test]
+    fn embedded_newlines_are_rejected_not_written() {
+        let (sink, buf) = capture();
+        for bad in ["{\"type\":\"meta\"}\n{\"type\":\"meta\"}", "split\rline"] {
+            let err = sink.write_line(bad).expect_err("newline must be rejected");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+        // Nothing reached the stream: the contract holds even in release
+        // builds, where a debug_assert! would have compiled away.
+        assert!(buf.lock().unwrap().is_empty());
+        sink.write_line("{\"type\":\"meta\"}").unwrap();
+        assert_eq!(lines(&buf).len(), 1);
     }
 
     #[test]

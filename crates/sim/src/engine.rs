@@ -28,7 +28,7 @@ use crate::metrics::RunMetrics;
 use crate::model::{GridModel, UnfilledRequests};
 use crate::policy::PolicySpec;
 use crate::telemetry::SimTelemetry;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceConsumer, TraceEvent, STREAM_BATCH_EVENTS};
 use prio_graph::{Dag, NodeId};
 use prio_stats::{seeded_rng, Exponential};
 use rand::Rng as _;
@@ -192,13 +192,13 @@ struct FaultState {
 /// Simulates one execution of `dag` under `policy` and `model` with the
 /// given `seed` (the paper's reliable grid).
 pub fn simulate(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
-    run(dag, policy, model, None, seed, false)
+    run::<dyn TraceConsumer>(dag, policy, model, None, seed, false, None)
 }
 
 /// Like [`simulate`] but records a full event trace and per-step
 /// telemetry ([`SimTelemetry`]) — slower; for `--trace-out` and tests.
 pub fn simulate_traced(dag: &Dag, policy: &PolicySpec, model: &GridModel, seed: u64) -> SimOutcome {
-    run(dag, policy, model, None, seed, true)
+    run::<dyn TraceConsumer>(dag, policy, model, None, seed, true, None)
 }
 
 /// Simulates one execution with fault injection and recovery. An
@@ -210,7 +210,7 @@ pub fn simulate_faulty(
     faults: &FaultConfig,
     seed: u64,
 ) -> SimOutcome {
-    run(dag, policy, model, Some(faults), seed, false)
+    run::<dyn TraceConsumer>(dag, policy, model, Some(faults), seed, false, None)
 }
 
 /// Like [`simulate_faulty`] but records the full event trace and
@@ -222,7 +222,25 @@ pub fn simulate_faulty_traced(
     faults: &FaultConfig,
     seed: u64,
 ) -> SimOutcome {
-    run(dag, policy, model, Some(faults), seed, true)
+    run::<dyn TraceConsumer>(dag, policy, model, Some(faults), seed, true, None)
+}
+
+/// Like [`simulate_faulty_traced`] but *streams* every trace event into
+/// `consumer` at its emission site instead of buffering the trace in
+/// memory (`SimOutcome::trace` stays `None`; telemetry is still
+/// collected in full, so aggregates remain exact even when the consumer
+/// samples or drops events). Event order and content are identical to
+/// the buffered trace of the same `(dag, policy, model, faults, seed)`.
+/// Pass `None` for `faults` to stream the reliable model.
+pub fn simulate_streamed<S: TraceConsumer + ?Sized>(
+    dag: &Dag,
+    policy: &PolicySpec,
+    model: &GridModel,
+    faults: Option<&FaultConfig>,
+    seed: u64,
+    consumer: &S,
+) -> SimOutcome {
+    run(dag, policy, model, faults, seed, false, Some(consumer))
 }
 
 /// Marks every unresolved descendant of `job` unreachable (none of them
@@ -246,13 +264,54 @@ fn mark_descendants_unreachable(
     marked
 }
 
-fn run(
+/// Routes trace events to an in-memory buffer (`simulate_traced`), a
+/// streaming [`TraceConsumer`] (`simulate_streamed`), or both — behind
+/// one `active()` test so the untraced hot path stays a single branch
+/// per emission site.
+struct TraceEmitter<'a, S: TraceConsumer + ?Sized> {
+    buffer: Option<Trace>,
+    stream: Option<&'a S>,
+    /// Pending events for `stream`, handed over in
+    /// [`STREAM_BATCH_EVENTS`]-sized runs so the hot emission path is a
+    /// plain `Vec` push and the consumer boundary (with its interior
+    /// mutability) is crossed once per batch.
+    batch: Trace,
+}
+
+impl<S: TraceConsumer + ?Sized> TraceEmitter<'_, S> {
+    /// `Some(self)` iff any destination is attached, mirroring the old
+    /// `Option<Trace>::as_mut()` shape at every emission site.
+    fn active(&mut self) -> Option<&mut Self> {
+        if self.buffer.is_some() || self.stream.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if let Some(stream) = self.stream {
+            self.batch.push(event);
+            if self.batch.len() == STREAM_BATCH_EVENTS {
+                stream.consume_batch(&self.batch);
+                self.batch.clear();
+            }
+        }
+        if let Some(buffer) = self.buffer.as_mut() {
+            buffer.push(event);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run<S: TraceConsumer + ?Sized>(
     dag: &Dag,
     policy: &PolicySpec,
     model: &GridModel,
     faults: Option<&FaultConfig>,
     seed: u64,
     traced: bool,
+    stream: Option<&S>,
 ) -> SimOutcome {
     let n = dag.num_nodes();
     let mut rng = seeded_rng(seed);
@@ -299,11 +358,19 @@ fn run(
             events.push(Reverse((Time(first_down), Ev::PoolDown)));
         }
     }
-    let mut trace: Option<Trace> = if traced { Some(Vec::new()) } else { None };
+    let mut trace = TraceEmitter {
+        buffer: traced.then(Vec::new),
+        stream,
+        batch: Vec::with_capacity(if stream.is_some() {
+            STREAM_BATCH_EVENTS
+        } else {
+            0
+        }),
+    };
     // Lifecycle prologue (schema v3): every job is submitted at run
     // start, and the sources are immediately eligible. Emitted in
     // node-id order so traces stay deterministic per seed.
-    if let Some(tr) = trace.as_mut() {
+    if let Some(tr) = trace.active() {
         for u in dag.node_ids() {
             tr.push(TraceEvent::JobSubmitted { time: 0.0, job: u });
         }
@@ -312,13 +379,16 @@ fn run(
         }
     }
     // Serving-worker ids for trace assignment events: sequential over
-    // granted requests, bumped only on traced runs.
+    // granted requests, bumped only when a trace destination is active.
     let mut next_worker = 0u64;
-    // Telemetry rides along only on traced runs so the plain `simulate`
-    // hot path allocates nothing extra. `eligible_at` starts at 0.0
-    // (sources are eligible from the start) and is overwritten whenever a
-    // job (re-)enters the ready queue.
-    let mut telem: Option<TelemetryState> = traced.then(|| TelemetryState {
+    // Telemetry rides along only on traced/streamed runs so the plain
+    // `simulate` hot path allocates nothing extra. Streamed runs always
+    // collect it in full — sampling happens in the consumer, so
+    // aggregates stay exact. `eligible_at` starts at 0.0 (sources are
+    // eligible from the start) and is overwritten whenever a job
+    // (re-)enters the ready queue.
+    let collect_telemetry = traced || stream.is_some();
+    let mut telem: Option<TelemetryState> = collect_telemetry.then(|| TelemetryState {
         telemetry: SimTelemetry::new(),
         eligible_at: vec![0.0; n],
         assigned_at: vec![0.0; n],
@@ -391,7 +461,7 @@ fn run(
                         } else if let Some(fs) = fs.as_ref() {
                             wasted_time += t - fs.assigned_at[job.index()];
                         }
-                        if let Some(tr) = trace.as_mut() {
+                        if let Some(tr) = trace.active() {
                             tr.push(TraceEvent::JobFailed { time: t, job });
                             // The legacy model re-queues immediately.
                             tr.push(TraceEvent::JobEligible { time: t, job });
@@ -437,7 +507,7 @@ fn run(
                                 ts.telemetry.record_attempts(fs.attempts[job.index()]);
                             }
                         }
-                        if let Some(tr) = trace.as_mut() {
+                        if let Some(tr) = trace.active() {
                             tr.push(TraceEvent::JobCompleted { time: t, job });
                         }
                         for &child in dag.children(job) {
@@ -453,7 +523,7 @@ fn run(
                                 if let Some(ts) = telem.as_mut() {
                                     ts.eligible_at[child.index()] = t;
                                 }
-                                if let Some(tr) = trace.as_mut() {
+                                if let Some(tr) = trace.active() {
                                     tr.push(TraceEvent::JobEligible {
                                         time: t,
                                         job: child,
@@ -469,7 +539,7 @@ fn run(
                     if let Some(ts) = telem.as_mut() {
                         ts.eligible_at[job.index()] = t;
                     }
-                    if let Some(tr) = trace.as_mut() {
+                    if let Some(tr) = trace.active() {
                         tr.push(TraceEvent::JobRetried {
                             time: t,
                             job,
@@ -488,7 +558,7 @@ fn run(
                     // events go stale via the generation bump.
                     let victims: Vec<NodeId> =
                         dag.node_ids().filter(|u| fsm.running[u.index()]).collect();
-                    if let Some(tr) = trace.as_mut() {
+                    if let Some(tr) = trace.active() {
                         tr.push(TraceEvent::WorkerDown {
                             time: t,
                             lost: victims.len() as u64,
@@ -530,7 +600,7 @@ fn run(
                 Ev::PoolUp => {
                     let fsm = fs.as_mut().expect("churn only exists with faults");
                     fsm.pool_up = true;
-                    if let Some(tr) = trace.as_mut() {
+                    if let Some(tr) = trace.active() {
                         tr.push(TraceEvent::WorkerUp { time: t });
                     }
                     let churn = fsm.churn_rng.as_mut().expect("churn event needs rng");
@@ -558,7 +628,7 @@ fn run(
                 if let Some(ts) = telem.as_mut() {
                     ts.record_assignment(t, job);
                 }
-                if let Some(tr) = trace.as_mut() {
+                if let Some(tr) = trace.active() {
                     next_worker += 1;
                     tr.push(TraceEvent::JobAssigned {
                         time: t,
@@ -614,7 +684,7 @@ fn run(
                     if let Some(ts) = telem.as_mut() {
                         ts.record_assignment(t, job);
                     }
-                    if let Some(tr) = trace.as_mut() {
+                    if let Some(tr) = trace.active() {
                         next_worker += 1;
                         tr.push(TraceEvent::JobAssigned {
                             time: t,
@@ -627,7 +697,7 @@ fn run(
                 if wait_mode {
                     idle_workers = workers - to_assign as u64;
                 }
-                if let Some(tr) = trace.as_mut() {
+                if let Some(tr) = trace.active() {
                     tr.push(TraceEvent::BatchArrived {
                         time: t,
                         size,
@@ -649,6 +719,17 @@ fn run(
             }
             next_batch = t + interarrival.sample(&mut rng);
         }
+    }
+
+    // The run is over: hand the consumer the partial batch, then let a
+    // batching consumer push its tail so callers see every event without
+    // knowing the consumer's internals.
+    if let Some(stream) = trace.stream {
+        if !trace.batch.is_empty() {
+            stream.consume_batch(&trace.batch);
+            trace.batch.clear();
+        }
+        stream.flush();
     }
 
     prio_obs::counter("sim.engine.runs").inc();
@@ -679,7 +760,7 @@ fn run(
                 .map(|o| o.expect("every job resolves before the run ends"))
                 .collect()
         }),
-        trace,
+        trace: trace.buffer,
         telemetry: telem.map(|ts| ts.telemetry),
     }
 }
@@ -707,12 +788,12 @@ struct Totals<'a> {
 /// waste, emits `JobFailed`, then either aborts the job (permanent fault
 /// or retries exhausted — marking descendants unreachable) or schedules
 /// its retry (immediately or after the backoff delay).
-fn process_fault(
+fn process_fault<S: TraceConsumer + ?Sized>(
     site: FaultSite<'_>,
     fs: &mut FaultState,
     queue: &mut crate::policy::PolicyQueue,
     events: &mut BinaryHeap<Reverse<(Time, Ev)>>,
-    trace: &mut Option<Trace>,
+    trace: &mut TraceEmitter<'_, S>,
     telem: &mut Option<TelemetryState>,
     totals: &mut Totals<'_>,
 ) {
@@ -730,7 +811,7 @@ fn process_fault(
     if let Some(ts) = telem.as_mut() {
         ts.telemetry.record_waste(waste);
     }
-    if let Some(tr) = trace.as_mut() {
+    if let Some(tr) = trace.active() {
         tr.push(TraceEvent::JobFailed { time: t, job });
     }
     let permanent = !from_churn && model.fault_is_permanent(fs.fault_seed, job, attempt);
@@ -755,7 +836,7 @@ fn process_fault(
             if let Some(ts) = telem.as_mut() {
                 ts.eligible_at[job.index()] = t;
             }
-            if let Some(tr) = trace.as_mut() {
+            if let Some(tr) = trace.active() {
                 tr.push(TraceEvent::JobRetried {
                     time: t,
                     job,
@@ -1268,6 +1349,55 @@ mod tests {
         );
         assert_eq!(telem.wasted_work.count(), out.failed_attempts);
         assert!(telem.job_attempts.summary().max >= 1);
+    }
+
+    /// A consumer buffering into a mutex so tests can compare streamed
+    /// and buffered traces event for event.
+    struct Collect(std::sync::Mutex<Trace>);
+
+    impl TraceConsumer for Collect {
+        fn consume(&self, event: &TraceEvent) {
+            self.0.lock().unwrap().push(*event);
+        }
+    }
+
+    #[test]
+    fn streamed_trace_equals_buffered_trace_event_for_event() {
+        let dag = Dag::from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+        let model = GridModel::paper(0.3, 2.0);
+        let buffered = simulate_traced(&dag, &oblivious(&dag), &model, 3);
+        let collector = Collect(std::sync::Mutex::new(Vec::new()));
+        let streamed = simulate_streamed(&dag, &oblivious(&dag), &model, None, 3, &collector);
+        assert_eq!(
+            collector.0.into_inner().unwrap(),
+            *buffered.trace.as_ref().unwrap(),
+            "streaming must not change event order or content"
+        );
+        // Streamed runs keep nothing in memory but still collect the
+        // full telemetry; everything else matches the buffered run.
+        assert!(streamed.trace.is_none());
+        assert_eq!(streamed.telemetry, buffered.telemetry);
+        assert_eq!(streamed.makespan, buffered.makespan);
+        assert_eq!(streamed.metrics(), buffered.metrics());
+    }
+
+    #[test]
+    fn streamed_faulty_trace_equals_buffered() {
+        let dag = chain(12);
+        let model = GridModel::paper(0.5, 4.0);
+        let faults = FaultConfig {
+            model: FaultModel::with_rate(0.4),
+            retry: RetryPolicy::dagman(30),
+        };
+        let buffered = simulate_faulty_traced(&dag, &fifo(), &model, &faults, 21);
+        let collector = Collect(std::sync::Mutex::new(Vec::new()));
+        let streamed = simulate_streamed(&dag, &fifo(), &model, Some(&faults), 21, &collector);
+        assert_eq!(
+            collector.0.into_inner().unwrap(),
+            *buffered.trace.as_ref().unwrap()
+        );
+        assert_eq!(streamed.outcomes, buffered.outcomes);
+        assert_eq!(streamed.failed_attempts, buffered.failed_attempts);
     }
 
     #[test]

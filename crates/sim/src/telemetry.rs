@@ -78,24 +78,24 @@ impl SimTelemetry {
     }
 
     /// Records one job's eligible → assigned wait.
-    pub fn record_wait(&self, wait: f64) {
-        self.job_wait.record(scale_time(wait));
+    pub fn record_wait(&mut self, wait: f64) {
+        self.job_wait.record_mut(scale_time(wait));
     }
 
     /// Records one job's assigned → completed service time.
-    pub fn record_service(&self, service: f64) {
-        self.job_service.record(scale_time(service));
+    pub fn record_service(&mut self, service: f64) {
+        self.job_service.record_mut(scale_time(service));
     }
 
     /// Records how many attempts a job needed before it resolved
     /// (fault-injected runs only).
-    pub fn record_attempts(&self, attempts: u32) {
-        self.job_attempts.record(attempts as u64);
+    pub fn record_attempts(&mut self, attempts: u32) {
+        self.job_attempts.record_mut(attempts as u64);
     }
 
     /// Records the simulated time lost to one failed attempt.
-    pub fn record_waste(&self, waste: f64) {
-        self.wasted_work.record(scale_time(waste));
+    pub fn record_waste(&mut self, waste: f64) {
+        self.wasted_work.record_mut(scale_time(waste));
     }
 
     /// The four series with their canonical record names, in emission
@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn latencies_scale_to_milli_timeunits() {
-        let t = SimTelemetry::new();
+        let mut t = SimTelemetry::new();
         t.record_wait(1.0);
         t.record_service(0.25);
         assert_eq!(t.job_wait.summary().max, 1000);
@@ -180,7 +180,7 @@ mod tests {
             t
         };
         assert_eq!(build(), build());
-        let other = build();
+        let mut other = build();
         other.record_service(1.0);
         assert_ne!(build(), other);
     }

@@ -2,8 +2,10 @@
 
 use prio_graph::NodeId;
 
-/// One simulator event.
-#[derive(Debug, Clone, PartialEq)]
+/// One simulator event. `Copy` is load-bearing: the streaming trace
+/// writer enqueues events by value into the bounded ring, so the hot
+/// emission path is a register-sized memcpy, never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
     /// A batch of worker requests arrived.
     BatchArrived {
@@ -92,3 +94,43 @@ pub enum TraceEvent {
 
 /// A recorded event sequence.
 pub type Trace = Vec<TraceEvent>;
+
+/// Events the engine buffers locally between [`TraceConsumer`] calls: a
+/// plain `Vec` push per event, one `consume_batch` per this many. Kept
+/// equal to the writer's chunk size so a full-rate batch becomes exactly
+/// one chunk.
+pub const STREAM_BATCH_EVENTS: usize = 256;
+
+/// A streaming consumer of trace events, called synchronously at each
+/// emission site instead of (or alongside) buffering into a [`Trace`].
+///
+/// `consume` takes `&self` so one consumer can be shared by reference
+/// with the engine; implementations needing state use interior
+/// mutability (the production consumer — `StreamingTraceWriter` over the
+/// `prio-obs` trace pipeline — only ever enqueues into a lock-free
+/// ring). Implementations must not block: the simulator clock runs
+/// through this call.
+pub trait TraceConsumer {
+    /// Receives one event, in emission order.
+    fn consume(&self, event: &TraceEvent);
+
+    /// Receives a run of consecutive events, in emission order. The
+    /// engine batches emissions ([`STREAM_BATCH_EVENTS`] at a time) so
+    /// the consumer boundary is crossed once per batch instead of once
+    /// per event; consumers that can ingest a slice wholesale (the
+    /// production `StreamingTraceWriter` memcpys it into its chunk
+    /// buffer) override this. The default forwards to [`Self::consume`]
+    /// per event, so per-event consumers observe the same sequence
+    /// either way.
+    fn consume_batch(&self, events: &[TraceEvent]) {
+        for event in events {
+            self.consume(event);
+        }
+    }
+
+    /// Called once by the engine when a run finishes, after the last
+    /// event. Consumers that batch events internally (the production
+    /// `StreamingTraceWriter` chunks them to amortize queue traffic)
+    /// hand their tail downstream here; the default is a no-op.
+    fn flush(&self) {}
+}

@@ -25,69 +25,178 @@
 //! accepted as v1; records from a *newer* schema are errors.
 
 use crate::telemetry::SimTelemetry;
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{Trace, TraceConsumer, TraceEvent};
 use prio_graph::NodeId;
-use prio_obs::json::{parse, JsonObject, JsonValue, SCHEMA_VERSION};
-use prio_obs::JsonlSink;
+use prio_obs::json::{
+    parse, write_json_f64, write_json_u64, F64Cache, JsonObject, JsonValue, SCHEMA_VERSION,
+};
+use prio_obs::{JobSampler, JsonlSink, TracePipeline};
 
 /// Serializes one event as a single-line JSON object.
 pub fn event_to_json(event: &TraceEvent) -> String {
+    let mut buf = String::new();
+    event_json_into(event, &mut buf);
+    buf
+}
+
+/// Appends the single-line JSON object for `event` to `buf` (cleared
+/// first), reusing `buf`'s allocation.
+pub fn event_json_into(event: &TraceEvent, buf: &mut String) {
+    buf.clear();
+    encode_event(event, buf, &mut write_json_f64);
+}
+
+// The encoder hardcodes `"v":3` in its literal prefixes; bump them in
+// lockstep with the schema.
+const _: () = assert!(SCHEMA_VERSION == 3);
+
+/// The shared encoder body: appends `event` as one JSON line, routing
+/// every float field through `f` so callers choose between the plain
+/// shortest-round-trip writer ([`event_json_into`]) and a formatting
+/// memo cache (the trace pipeline's writer thread). Everything else is
+/// literal pushes and a fmt-free digit loop — on the writer thread this
+/// runs per event for multi-million-event traces, and its cost is what
+/// the `obs_overhead` bench gates.
+fn encode_event(event: &TraceEvent, buf: &mut String, f: &mut impl FnMut(f64, &mut String)) {
+    let job_time = |kind_prefix: &str,
+                    time: f64,
+                    job: NodeId,
+                    buf: &mut String,
+                    f: &mut dyn FnMut(f64, &mut String)| {
+        buf.push_str(kind_prefix);
+        f(time, buf);
+        buf.push_str(",\"job\":");
+        write_json_u64(u64::from(job.0), buf);
+    };
     match *event {
         TraceEvent::BatchArrived {
             time,
             size,
             assigned,
             stalled,
-        } => JsonObject::typed("batch_arrived")
-            .f64("time", time)
-            .u64("size", size)
-            .u64("assigned", assigned as u64)
-            .bool("stalled", stalled)
-            .finish(),
-        TraceEvent::JobSubmitted { time, job } => JsonObject::typed("job_submitted")
-            .f64("time", time)
-            .u64("job", u64::from(job.0))
-            .finish(),
-        TraceEvent::JobEligible { time, job } => JsonObject::typed("job_eligible")
-            .f64("time", time)
-            .u64("job", u64::from(job.0))
-            .finish(),
+        } => {
+            buf.push_str("{\"type\":\"batch_arrived\",\"v\":3,\"time\":");
+            f(time, buf);
+            buf.push_str(",\"size\":");
+            write_json_u64(size, buf);
+            buf.push_str(",\"assigned\":");
+            write_json_u64(assigned as u64, buf);
+            buf.push_str(",\"stalled\":");
+            buf.push_str(if stalled { "true" } else { "false" });
+        }
+        TraceEvent::JobSubmitted { time, job } => {
+            job_time(
+                "{\"type\":\"job_submitted\",\"v\":3,\"time\":",
+                time,
+                job,
+                buf,
+                f,
+            );
+        }
+        TraceEvent::JobEligible { time, job } => {
+            job_time(
+                "{\"type\":\"job_eligible\",\"v\":3,\"time\":",
+                time,
+                job,
+                buf,
+                f,
+            );
+        }
         TraceEvent::JobAssigned {
             time,
             job,
             completes_at,
             worker,
-        } => JsonObject::typed("job_assigned")
-            .f64("time", time)
-            .u64("job", u64::from(job.0))
-            .f64("completes_at", completes_at)
-            .u64("worker", worker)
-            .finish(),
-        TraceEvent::JobCompleted { time, job } => JsonObject::typed("job_completed")
-            .f64("time", time)
-            .u64("job", u64::from(job.0))
-            .finish(),
-        TraceEvent::JobFailed { time, job } => JsonObject::typed("job_failed")
-            .f64("time", time)
-            .u64("job", u64::from(job.0))
-            .finish(),
+        } => {
+            job_time(
+                "{\"type\":\"job_assigned\",\"v\":3,\"time\":",
+                time,
+                job,
+                buf,
+                f,
+            );
+            buf.push_str(",\"completes_at\":");
+            f(completes_at, buf);
+            buf.push_str(",\"worker\":");
+            write_json_u64(worker, buf);
+        }
+        TraceEvent::JobCompleted { time, job } => {
+            job_time(
+                "{\"type\":\"job_completed\",\"v\":3,\"time\":",
+                time,
+                job,
+                buf,
+                f,
+            );
+        }
+        TraceEvent::JobFailed { time, job } => {
+            job_time(
+                "{\"type\":\"job_failed\",\"v\":3,\"time\":",
+                time,
+                job,
+                buf,
+                f,
+            );
+        }
         TraceEvent::JobRetried {
             time,
             job,
             attempt,
             delay,
-        } => JsonObject::typed("job_retried")
-            .f64("time", time)
-            .u64("job", u64::from(job.0))
-            .u64("attempt", u64::from(attempt))
-            .f64("delay", delay)
-            .finish(),
-        TraceEvent::WorkerDown { time, lost } => JsonObject::typed("worker_down")
-            .f64("time", time)
-            .u64("lost", lost)
-            .finish(),
-        TraceEvent::WorkerUp { time } => JsonObject::typed("worker_up").f64("time", time).finish(),
+        } => {
+            job_time(
+                "{\"type\":\"job_retried\",\"v\":3,\"time\":",
+                time,
+                job,
+                buf,
+                f,
+            );
+            buf.push_str(",\"attempt\":");
+            write_json_u64(u64::from(attempt), buf);
+            buf.push_str(",\"delay\":");
+            f(delay, buf);
+        }
+        TraceEvent::WorkerDown { time, lost } => {
+            buf.push_str("{\"type\":\"worker_down\",\"v\":3,\"time\":");
+            f(time, buf);
+            buf.push_str(",\"lost\":");
+            write_json_u64(lost, buf);
+        }
+        TraceEvent::WorkerUp { time } => {
+            buf.push_str("{\"type\":\"worker_up\",\"v\":3,\"time\":");
+            f(time, buf);
+        }
     }
+    buf.push('}');
+}
+
+/// A [`TracePipeline`] carrying [`TraceEvent`]s, paired with the
+/// [`encode_event`] encoder over an [`F64Cache`]: producers enqueue the
+/// compact event struct (a memcpy), the writer thread does all JSON
+/// formatting, memoizing float fields across the simulator's heavily
+/// repeated timestamps. This is the constructor behind `--trace-out`.
+pub fn event_pipeline(sink: JsonlSink, capacity: usize, sample: u64) -> TracePipeline<TraceEvent> {
+    let mut cache = F64Cache::new();
+    TracePipeline::start(sink, capacity, sample, move |event, buf| {
+        encode_event(event, buf, &mut |v, out| cache.write(v, out))
+    })
+}
+
+/// [`event_pipeline`] with a parked writer (see
+/// [`TracePipeline::start_deferred`]): the producing phase's wall time
+/// is pure producer-side overhead, the `finish` call is pure writer
+/// throughput. This is what the `obs_overhead` bench measures; the
+/// caller must size `capacity` (in 256-event chunk records) for the
+/// whole trace.
+pub fn event_pipeline_deferred(
+    sink: JsonlSink,
+    capacity: usize,
+    sample: u64,
+) -> TracePipeline<TraceEvent> {
+    let mut cache = F64Cache::new();
+    TracePipeline::start_deferred(sink, capacity, sample, move |event, buf| {
+        encode_event(event, buf, &mut |v, out| cache.write(v, out))
+    })
 }
 
 /// Parses one JSONL line back into an event. Returns `Ok(None)` for valid
@@ -202,6 +311,176 @@ pub fn event_from_value(v: &JsonValue) -> Result<Option<TraceEvent>, String> {
         _ => return Ok(None),
     };
     Ok(Some(event))
+}
+
+/// The production [`TraceConsumer`]: enqueues each event by value into
+/// the bounded async [`TracePipeline`] (lossy on overflow — counted,
+/// never blocking the sim clock). The hot path costs a sampler hash plus
+/// one lock-free push; JSON encoding happens on the pipeline's writer
+/// thread.
+///
+/// A [`JobSampler`] with modulus > 1 thins *job-scoped* events to the
+/// sampler's deterministic 1/N subset while keeping every run-scoped
+/// event (`batch_arrived`, `worker_down`, `worker_up`), so a sampled
+/// trace preserves complete lifecycle causality for each kept job and
+/// the full batch/churn timeline. Aggregate telemetry is collected by
+/// the engine regardless and stays exact.
+#[derive(Debug)]
+pub struct StreamingTraceWriter<'a> {
+    pipeline: &'a TracePipeline<TraceEvent>,
+    sampler: JobSampler,
+    /// Local event buffer, handed to the pipeline as one chunk when it
+    /// reaches `chunk` events (and at [`TraceConsumer::flush`]). The
+    /// ring push is a CAS plus a pointer-sized memcpy, but at simulator
+    /// emission rates even that cross-core cache traffic shows up;
+    /// batching divides it by the chunk size.
+    buffer: std::cell::RefCell<Vec<TraceEvent>>,
+    chunk: usize,
+    /// Pre-faulted replacement buffers ([`Self::with_chunk_pool`]);
+    /// empty for ordinary writers, which allocate replacements on
+    /// demand.
+    pool: std::cell::RefCell<Vec<Vec<TraceEvent>>>,
+}
+
+/// Events buffered locally per ring push. Amortizes queue traffic to a
+/// fraction of a nanosecond per event while bounding both the latency of
+/// an event reaching disk and the chunk's drop granularity.
+pub const DEFAULT_CHUNK_EVENTS: usize = 256;
+
+impl<'a> StreamingTraceWriter<'a> {
+    /// A writer streaming into `pipeline`, keeping the jobs `sampler`
+    /// selects (use [`JobSampler::full_rate`] for lossless job
+    /// coverage).
+    pub fn new(
+        pipeline: &'a TracePipeline<TraceEvent>,
+        sampler: JobSampler,
+    ) -> StreamingTraceWriter<'a> {
+        Self::with_chunk(pipeline, sampler, DEFAULT_CHUNK_EVENTS)
+    }
+
+    /// Like [`StreamingTraceWriter::new`] with an explicit chunk size.
+    /// Chunks are dropped whole when the ring overflows, so callers
+    /// exercising tiny rings (tests, `--trace-ring` experiments) should
+    /// keep `chunk` at or below the ring capacity.
+    pub fn with_chunk(
+        pipeline: &'a TracePipeline<TraceEvent>,
+        sampler: JobSampler,
+        chunk: usize,
+    ) -> StreamingTraceWriter<'a> {
+        let chunk = chunk.max(1);
+        StreamingTraceWriter {
+            pipeline,
+            sampler,
+            buffer: std::cell::RefCell::new(Vec::with_capacity(chunk)),
+            chunk,
+            pool: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Like [`StreamingTraceWriter::new`], but with `pool_chunks`
+    /// replacement buffers allocated — and their pages faulted in — up
+    /// front. Ordinary (concurrent-drain) writers do not need this: the
+    /// writer thread frees chunks as it drains, so the allocator
+    /// recycles warm memory and steady-state chunk swaps touch no new
+    /// pages. A *deferred-drain* pipeline instead buffers the whole
+    /// trace, and every replacement buffer would fault fresh pages
+    /// inside whatever the caller is measuring; pre-faulting moves that
+    /// one-time cost into setup. The pool is best-effort — when it runs
+    /// dry the writer falls back to plain allocation.
+    pub fn with_chunk_pool(
+        pipeline: &'a TracePipeline<TraceEvent>,
+        sampler: JobSampler,
+        pool_chunks: usize,
+    ) -> StreamingTraceWriter<'a> {
+        let writer = Self::new(pipeline, sampler);
+        let filler = TraceEvent::WorkerUp { time: 0.0 };
+        let pool = (0..pool_chunks)
+            .map(|_| {
+                // `vec![filler; n]` writes every element, faulting the
+                // buffer's pages; clearing keeps the warm capacity.
+                let mut buf = vec![filler; writer.chunk];
+                buf.clear();
+                buf
+            })
+            .collect();
+        *writer.pool.borrow_mut() = pool;
+        writer
+    }
+
+    /// The node id an event is scoped to, if it is job-scoped.
+    fn job_of(event: &TraceEvent) -> Option<NodeId> {
+        match *event {
+            TraceEvent::JobSubmitted { job, .. }
+            | TraceEvent::JobEligible { job, .. }
+            | TraceEvent::JobAssigned { job, .. }
+            | TraceEvent::JobCompleted { job, .. }
+            | TraceEvent::JobFailed { job, .. }
+            | TraceEvent::JobRetried { job, .. } => Some(job),
+            TraceEvent::BatchArrived { .. }
+            | TraceEvent::WorkerDown { .. }
+            | TraceEvent::WorkerUp { .. } => None,
+        }
+    }
+}
+
+impl TraceConsumer for StreamingTraceWriter<'_> {
+    fn consume(&self, event: &TraceEvent) {
+        if self.sampler.is_sampling() {
+            if let Some(job) = Self::job_of(event) {
+                if !self.sampler.keeps_id(u64::from(job.0)) {
+                    return;
+                }
+            }
+        }
+        let mut buffer = self.buffer.borrow_mut();
+        buffer.push(*event);
+        if buffer.len() >= self.chunk {
+            let replacement = self
+                .pool
+                .borrow_mut()
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(self.chunk));
+            let full = std::mem::replace(&mut *buffer, replacement);
+            self.pipeline.chunk(full);
+        }
+    }
+
+    fn consume_batch(&self, events: &[TraceEvent]) {
+        if self.sampler.is_sampling() {
+            // Sampling filters per event; the batch only amortized the
+            // engine-side handoff.
+            for event in events {
+                self.consume(event);
+            }
+            return;
+        }
+        // Full rate keeps everything: ingest the slice wholesale,
+        // splitting on chunk boundaries. The common case — an empty
+        // buffer receiving a batch of exactly `chunk` events — is one
+        // memcpy and one ring push.
+        let mut buffer = self.buffer.borrow_mut();
+        let mut rest = events;
+        while !rest.is_empty() {
+            let room = self.chunk - buffer.len();
+            let (head, tail) = rest.split_at(room.min(rest.len()));
+            buffer.extend_from_slice(head);
+            rest = tail;
+            if buffer.len() >= self.chunk {
+                let replacement = self
+                    .pool
+                    .borrow_mut()
+                    .pop()
+                    .unwrap_or_else(|| Vec::with_capacity(self.chunk));
+                let full = std::mem::replace(&mut *buffer, replacement);
+                self.pipeline.chunk(full);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        let tail = std::mem::take(&mut *self.buffer.borrow_mut());
+        self.pipeline.chunk(tail);
+    }
 }
 
 /// Writes every event of `trace` to `sink`, one line each.
@@ -414,6 +693,79 @@ mod tests {
                 worker: 0,
             })
         );
+    }
+
+    /// A Write appending into a shared buffer for read-back.
+    #[derive(Clone)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_writer_samples_job_events_but_keeps_run_events() {
+        use crate::trace::TraceConsumer as _;
+
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = JsonlSink::to_writer(Box::new(SharedBuf(buf.clone())));
+        let pipeline = event_pipeline(sink, 1 << 10, 4);
+        let sampler = JobSampler::new(4);
+        let writer = StreamingTraceWriter::new(&pipeline, sampler);
+        for event in sample_trace() {
+            writer.consume(&event);
+        }
+        writer.flush();
+        let (_sink, stats, result) = pipeline.finish();
+        result.unwrap();
+        assert_eq!(stats.dropped, 0);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let written = read_trace(&text).unwrap();
+        // Run-scoped events always survive; job-scoped events survive
+        // iff the sampler keeps their node id — exactly the events the
+        // same filter selects from the original trace.
+        let expected: Trace = sample_trace()
+            .into_iter()
+            .filter(|e| match StreamingTraceWriter::job_of(e) {
+                Some(job) => sampler.keeps_id(u64::from(job.0)),
+                None => true,
+            })
+            .collect();
+        assert_eq!(written, expected);
+        assert_eq!(
+            written
+                .iter()
+                .filter(|e| StreamingTraceWriter::job_of(e).is_none())
+                .count(),
+            4,
+            "both batches and the worker down/up pair survive sampling"
+        );
+    }
+
+    #[test]
+    fn full_rate_streaming_writer_round_trips_every_event() {
+        use crate::trace::TraceConsumer as _;
+
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = JsonlSink::to_writer(Box::new(SharedBuf(buf.clone())));
+        let pipeline = event_pipeline(sink, 1 << 10, 1);
+        let writer = StreamingTraceWriter::new(&pipeline, JobSampler::full_rate());
+        for event in sample_trace() {
+            writer.consume(&event);
+        }
+        writer.flush();
+        let (_sink, stats, result) = pipeline.finish();
+        result.unwrap();
+        assert_eq!(stats.dropped, 0);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(read_trace(&text).unwrap(), sample_trace());
     }
 
     #[test]

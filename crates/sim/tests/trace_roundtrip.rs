@@ -280,12 +280,12 @@ proptest! {
                 &format!("\"v\":{version}"),
             );
             let back = event_from_json(&retagged).map_err(TestCaseError::fail)?;
-            prop_assert_eq!(back, Some(event.clone()));
+            prop_assert_eq!(back, Some(event));
         }
         // Accepted: no tag at all (v1 writers).
         let untagged = line.replace(&format!("\"v\":{SCHEMA_VERSION},"), "");
         let back = event_from_json(&untagged).map_err(TestCaseError::fail)?;
-        prop_assert_eq!(back, Some(event.clone()));
+        prop_assert_eq!(back, Some(event));
         // Rejected: any strictly newer version.
         let future = line.replace(
             &format!("\"v\":{SCHEMA_VERSION}"),
