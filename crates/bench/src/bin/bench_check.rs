@@ -21,6 +21,12 @@
 //!   the tiers it measured
 //! * `--scaling-baseline FILE` — the scaling baseline
 //!   (default `BENCH_scaling.json`; only read with `--scaling-fresh`)
+//! * `--scaling-mem-threshold F` — allowed peak-bytes growth factor,
+//!   fresh/baseline, for scaling rows where both runs measured a peak
+//!   (default 1.5: allocator peaks are near-deterministic, so the
+//!   committed peaks act as hard memory budgets for the big tiers — a
+//!   10⁸-job parse that balloons past its budget fails even if it got
+//!   faster)
 //! * `--obs-fresh FILE` — additionally gate a `bench_obs` run: per row
 //!   the traced (and sampled) wall time must stay within `--obs-budget`
 //!   of the untraced time measured in the *same* run (machine speed
@@ -49,12 +55,14 @@ const DEFAULT_SCALING_BASELINE: &str = "BENCH_scaling.json";
 const DEFAULT_OBS_BASELINE: &str = "BENCH_obs.json";
 const DEFAULT_THRESHOLD: f64 = 2.0;
 const DEFAULT_OBS_BUDGET: f64 = 1.10;
+const DEFAULT_SCALING_MEM_THRESHOLD: f64 = 1.5;
 
 struct Options {
     baseline: String,
     fresh: Option<String>,
     scaling_baseline: String,
     scaling_fresh: Option<String>,
+    scaling_mem_threshold: f64,
     obs_baseline: String,
     obs_fresh: Option<String>,
     obs_budget: f64,
@@ -68,6 +76,7 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         fresh: None,
         scaling_baseline: DEFAULT_SCALING_BASELINE.into(),
         scaling_fresh: None,
+        scaling_mem_threshold: DEFAULT_SCALING_MEM_THRESHOLD,
         obs_baseline: DEFAULT_OBS_BASELINE.into(),
         obs_fresh: None,
         obs_budget: DEFAULT_OBS_BUDGET,
@@ -96,6 +105,16 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
             }
             "--scaling-fresh" => {
                 opts.scaling_fresh = Some(value(i)?);
+                i += 2;
+            }
+            "--scaling-mem-threshold" => {
+                let v = value(i)?;
+                opts.scaling_mem_threshold = v
+                    .parse()
+                    .map_err(|_| format!("--scaling-mem-threshold: cannot parse {v:?}"))?;
+                if opts.scaling_mem_threshold.is_nan() || opts.scaling_mem_threshold < 1.0 {
+                    return Err(format!("--scaling-mem-threshold must be >= 1.0, got {v}"));
+                }
                 i += 2;
             }
             "--obs-baseline" => {
@@ -154,7 +173,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F] \
-                 [--scaling-baseline FILE] [--scaling-fresh FILE] \
+                 [--scaling-baseline FILE] [--scaling-fresh FILE] [--scaling-mem-threshold F] \
                  [--obs-baseline FILE] [--obs-fresh FILE] [--obs-budget F] [--trace FILE]"
             );
             return ExitCode::from(2);
@@ -223,6 +242,17 @@ fn main() -> ExitCode {
             eprintln!(
                 "bench_check: {label:<16} {:<12} baseline {:>13} ns, fresh {:>13} ns, ratio {:.2} (threshold {:.2}) {verdict}",
                 check.name, check.baseline_ns, check.fresh_ns, check.ratio, opts.threshold
+            );
+            failed |= check.regressed;
+        }
+        // Memory budgets: the committed peaks bound the fresh peaks.
+        for (label, check) in
+            scaling::compare_scaling_memory(&baseline, &fresh, opts.scaling_mem_threshold)
+        {
+            let verdict = if check.regressed { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "bench_check: {label:<16} {:<12} budget {:>13} B, fresh {:>13} B, ratio {:.2} (threshold {:.2}) {verdict}",
+                check.name, check.baseline_ns, check.fresh_ns, check.ratio, opts.scaling_mem_threshold
             );
             failed |= check.regressed;
         }

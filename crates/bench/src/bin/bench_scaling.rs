@@ -1,12 +1,17 @@
 //! Measures pipeline + simulator wall time and peak allocator bytes at
-//! the 10³/10⁴/10⁵/10⁶-job tiers and writes `BENCH_scaling.json`.
+//! the 10³–10⁷-job tiers, DAGMan parse + CSR build at 10⁷/10⁸, and
+//! writes `BENCH_scaling.json`.
 //!
 //! ```text
-//! bench_scaling [--max-jobs N] [--out FILE]
+//! bench_scaling [--max-jobs N] [--threads N] [--parse-only] [--out FILE]
 //! ```
 //!
 //! * `--max-jobs N` — skip tiers above `N` jobs (CI smoke runs pass
 //!   `10000` to cover only the two cheap tiers)
+//! * `--threads N`  — worker threads for the parallel pipeline stages
+//!   (default 0 = serial; recorded in each row)
+//! * `--parse-only` — measure only the `dagman_parse` rows (the
+//!   time-boxed front-half smoke run)
 //! * `--out FILE`   — output path (default `BENCH_scaling.json`)
 //!
 //! Compare a run against a committed baseline with
@@ -24,6 +29,8 @@ const DEFAULT_OUT: &str = "BENCH_scaling.json";
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut max_jobs: Option<usize> = None;
+    let mut threads = 0usize;
+    let mut parse_only = false;
     let mut out = DEFAULT_OUT.to_string();
     let mut i = 0;
     while i < argv.len() {
@@ -32,30 +39,48 @@ fn main() -> ExitCode {
                 .cloned()
                 .ok_or_else(|| format!("flag {} requires a value", argv[i]))
         };
+        let mut consumed = 2;
         let result = match argv[i].as_str() {
             "--max-jobs" => value(i).and_then(|v| {
                 v.parse()
                     .map(|n| max_jobs = Some(n))
                     .map_err(|_| format!("--max-jobs: cannot parse {v:?}"))
             }),
+            "--threads" => value(i).and_then(|v| {
+                v.parse()
+                    .map(|n| threads = n)
+                    .map_err(|_| format!("--threads: cannot parse {v:?}"))
+            }),
+            "--parse-only" => {
+                parse_only = true;
+                consumed = 1;
+                Ok(())
+            }
             "--out" => value(i).map(|v| out = v),
             other => Err(format!("unknown flag {other:?}")),
         };
         if let Err(msg) = result {
             eprintln!("bench_scaling: error: {msg}");
-            eprintln!("usage: bench_scaling [--max-jobs N] [--out FILE]");
+            eprintln!(
+                "usage: bench_scaling [--max-jobs N] [--threads N] [--parse-only] [--out FILE]"
+            );
             return ExitCode::from(2);
         }
-        i += 2;
+        i += consumed;
     }
 
-    let bench = scaling::measure(max_jobs, |label| {
+    let bench = scaling::measure(max_jobs, threads, parse_only, |label| {
         eprintln!("bench_scaling: measuring {label}");
     });
     for row in &bench.rows {
+        let front_ns = if row.workload == "dagman_parse" {
+            ("parse", row.parse_ns)
+        } else {
+            ("pipeline", row.pipeline_ns)
+        };
         eprintln!(
-            "bench_scaling: {:<8} {:>8} jobs  pipeline {:>13} ns  sim {:>13} ns  peak {:>12} B",
-            row.workload, row.jobs, row.pipeline_ns, row.sim_ns, row.peak_bytes
+            "bench_scaling: {:<12} {:>9} jobs  {} {:>13} ns  sim {:>13} ns  peak {:>13} B",
+            row.workload, row.jobs, front_ns.0, front_ns.1, row.sim_ns, row.peak_bytes
         );
     }
     let json = bench.to_json();

@@ -1,0 +1,35 @@
+//! Ad-hoc per-stage profile of the PRIO pipeline (development aid).
+
+use prio_bench::scaling::{layered_tier, montage_tier};
+use prio_core::prio::Prioritizer;
+use std::time::Instant;
+
+fn main() {
+    let tier: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    for (name, dag) in [
+        ("montage", montage_tier(tier)),
+        ("layered", layered_tier(tier)),
+    ] {
+        prio_obs::span::reset_spans();
+        let prio = Prioritizer::new();
+        let t = Instant::now();
+        let r = prio.prioritize(&dag).unwrap();
+        let total = t.elapsed();
+        eprintln!(
+            "{name} {} jobs {} arcs: total {:?} ({} components)",
+            dag.num_nodes(),
+            dag.num_arcs(),
+            total,
+            r.stats.num_components
+        );
+        for rec in prio_obs::span::snapshot() {
+            eprintln!(
+                "  {:<28} count {:>8}  total {:>12?}",
+                rec.path, rec.stat.count, rec.stat.total
+            );
+        }
+    }
+}

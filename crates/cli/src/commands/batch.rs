@@ -20,7 +20,7 @@ use prio_core::prio::{PrioOptions, Prioritizer};
 use prio_core::PrioError;
 use prio_dagman::ast::DagmanFile;
 use prio_dagman::instrument::{instrument_dagman, priorities_by_job};
-use prio_dagman::parse::parse_dagman;
+use prio_dagman::parse::parse_dagman_threads;
 use prio_dagman::registry;
 use prio_dagman::write::write_dagman;
 use prio_graph::Dag;
@@ -73,7 +73,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let mut failures: Vec<(PathBuf, CliError)> = Vec::new();
     let mut parsed: Vec<(PathBuf, Parsed)> = Vec::new();
     for path in paths {
-        match read_one(&path, &reg, only) {
+        match read_one(&path, &reg, only, threads) {
             Ok(p) => parsed.push((path, p)),
             Err(e) => failures.push((path, e)),
         }
@@ -150,7 +150,12 @@ fn workflow_files(
     Ok(paths)
 }
 
-fn read_one(path: &Path, reg: &FormatRegistry, only: Option<FormatId>) -> Result<Parsed, CliError> {
+fn read_one(
+    path: &Path,
+    reg: &FormatRegistry,
+    only: Option<FormatId>,
+    threads: usize,
+) -> Result<Parsed, CliError> {
     let shown = path.display();
     let text =
         std::fs::read_to_string(path).map_err(|e| CliError::input(format!("{shown}: {e}")))?;
@@ -164,7 +169,7 @@ fn read_one(path: &Path, reg: &FormatRegistry, only: Option<FormatId>) -> Result
             .ok_or_else(|| CliError::input(format!("{shown}: unrecognized extension")))?,
     };
     if frontend.id() == FormatId::Dagman {
-        let file = parse_dagman(&text)
+        let file = parse_dagman_threads(&text, threads)
             .map_err(|e| CliError::input(format!("{shown}: {}", PrioError::from(e))))?;
         let dag = file
             .to_dag()

@@ -15,7 +15,7 @@ use crate::error::CliError;
 use prio_core::prio::{PrioOptions, Prioritizer};
 use prio_dagman::instrument::{instrument_dagman_with, priorities_by_job, InstrumentMode};
 use prio_dagman::jsdf::Jsdf;
-use prio_dagman::parse::parse_dagman;
+use prio_dagman::parse::parse_dagman_threads;
 use prio_dagman::registry;
 use prio_dagman::write::write_dagman;
 use prio_graph::Dag;
@@ -49,7 +49,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
                 )))
             }
         };
-        let mut file = parse_dagman(&text)
+        let mut file = parse_dagman_threads(&text, threads)
             .map_err(|e| CliError::input(format!("{path}: {}", prio_core::PrioError::from(e))))?;
         let dag = file
             .to_dag()

@@ -14,7 +14,7 @@
 //! synchronization on the hot path. Reuse never changes results — the
 //! property tests cross-check context-reuse runs against fresh runs.
 
-use prio_graph::{GraphScratch, NodeId};
+use prio_graph::{GraphScratch, NodeId, ScratchArena};
 
 /// Reusable scratch buffers for the PRIO pipeline.
 ///
@@ -29,6 +29,10 @@ pub struct PrioContext {
     /// Shortcut arcs found by the reduce stage (cleared and refilled each
     /// run).
     pub(crate) shortcuts: Vec<(NodeId, NodeId)>,
+    /// Pool of recycled worklist buffers for the decomposition's peel loop
+    /// (failed block attempts, closure searches). See
+    /// [`prio_graph::ScratchArena`].
+    pub(crate) arena: ScratchArena,
 }
 
 impl PrioContext {

@@ -24,9 +24,11 @@
 //! component `j` cannot start before `i` contributes.
 
 use crate::component::{Component, ScheduleSource};
+use crate::prio::PARALLEL_WORK_THRESHOLD;
 use prio_graph::bipartite::is_bipartite_dag;
-use prio_graph::{Dag, DagBuilder, NodeId, SubgraphMap};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use prio_graph::{Dag, Label, NodeId, ScratchArena, SubgraphMap, SubgraphScratch};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Options controlling the decomposition.
 #[derive(Debug, Clone, Copy)]
@@ -113,20 +115,91 @@ pub struct Decomposition {
 }
 
 /// Decomposes `g` (assumed shortcut-free; the caller runs the transitive
-/// reduction first) into components plus a superdag.
+/// reduction first) into components plus a superdag. One-shot entry point:
+/// fresh scratch arena, serial part materialization.
 pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
+    decompose_in(g, opts, 0, &mut ScratchArena::new())
+}
+
+/// [`decompose`] with explicit worker `threads` for the part-materialization
+/// phase and a caller-owned scratch `arena` for the peel loop's worklists.
+///
+/// The decomposition runs in three phases:
+///
+/// 1. **Peel** (inherently serial — each detach changes what the next
+///    iteration sees): the block/closure searches over the shrinking
+///    remnant, producing per-part node and removed sets only.
+/// 2. **Superdag**: quotient of `g` by the removed-in-part map. Each node
+///    of `g` appears in exactly one part's `removed` list, so walking those
+///    lists part by part visits every arc of `g` exactly once, already
+///    grouped by source part — the quotient arcs come out globally sorted
+///    without a quotient-wide sort, and the detach order is its own
+///    topological witness, so no re-validation pass is needed either.
+/// 3. **Materialize** (independent per part, parallelized when the total
+///    node count clears [`PARALLEL_WORK_THRESHOLD`]): induce each part's
+///    local dag and classify bipartiteness. Results are placed by part
+///    index, so every thread count is bit-identical.
+pub fn decompose_in(
+    g: &Dag,
+    opts: DecomposeOptions,
+    threads: usize,
+    arena: &mut ScratchArena,
+) -> Decomposition {
     let _span = prio_obs::span(prio_obs::stage::DECOMPOSE);
+    let (seeds, comp_removed, general_search_iterations) = peel(g, opts, arena);
+    let superdag = build_superdag(g, &seeds, &comp_removed, threads);
+    let parts = materialize_parts(g, seeds, threads);
+
+    prio_obs::counter("core.decompose.components_detached").add(parts.len() as u64);
+    prio_obs::counter("core.decompose.general_search_iterations")
+        .add(general_search_iterations as u64);
+    Decomposition {
+        parts,
+        superdag,
+        comp_removed,
+        general_search_iterations,
+    }
+}
+
+/// A detached block before materialization: the node/removed sets the peel
+/// loop decided on, with the local dag still unbuilt.
+#[derive(Debug, Default)]
+struct PartSeed {
+    nodes: Vec<NodeId>,
+    removed: Vec<NodeId>,
+    via_fast_path: bool,
+}
+
+/// The peel loop: repeatedly picks a block (bipartite fast path, general
+/// minimal-`C(s)` search as fallback) and detaches it from the remnant.
+/// Returns the part seeds in detach order, the removed-in-part map and the
+/// general-search iteration count.
+fn peel(
+    g: &Dag,
+    opts: DecomposeOptions,
+    arena: &mut ScratchArena,
+) -> (Vec<PartSeed>, Vec<usize>, usize) {
+    let _span = prio_obs::span("decompose.peel");
     let n = g.num_nodes();
-    let mut alive = vec![true; n];
-    let mut alive_indeg: Vec<usize> = g.node_ids().map(|u| g.in_degree(u)).collect();
-    let mut source_set: BTreeSet<NodeId> = g.sources().collect();
+    let mut alive = arena.take_bools();
+    alive.resize(n, true);
+    let mut alive_indeg = arena.take_u32s();
+    alive_indeg.extend(g.node_ids().map(|u| g.in_degree(u) as u32));
+    // Candidate remnant sources as a lazy min-heap: entries may be stale
+    // (node removed, deferred, or duplicated) and are validated on pop.
+    // The heap replaces an ordered source *set* — membership deletions
+    // were ~2 ordered-set operations per job on a pointer-chasing tree —
+    // with O(1)-amortized pushes into a dense array; ascending pops keep
+    // the detach order bit-identical to the ordered-set iteration.
+    let mut candidates: BinaryHeap<Reverse<NodeId>> = g.sources().map(Reverse).collect();
     let mut comp_removed = vec![usize::MAX; n];
     let mut remaining = n;
-    let mut parts: Vec<Part> = Vec::new();
+    let mut seeds: Vec<PartSeed> = Vec::new();
     let mut general_search_iterations = 0usize;
 
     // Scratch for the closure searches (stamped visited marks).
-    let mut stamp_of = vec![0u32; n];
+    let mut stamp_of = arena.take_u32s();
+    stamp_of.resize(n, 0);
     let mut stamp = 0u32;
 
     // Failure deferral for the fast path. A failed seed attempt visits a
@@ -137,50 +210,63 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
     // Without this, dags in which a wide join's parents become ready one
     // by one (e.g. SDSS's 14k per-target chains feeding one collector)
     // re-scan every dead-end seed on every detach — a cubic blowup.
-    let mut deferred: HashSet<NodeId> = HashSet::new();
-    let mut watchers: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    // All three structures are dense (indexed by node / group id) — the
+    // hash-set variant paid a SipHash probe per membership test on the
+    // hottest peel-loop branch.
+    let mut deferred = arena.take_bools();
+    deferred.resize(n, false);
+    let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut groups: Vec<Option<Vec<NodeId>>> = Vec::new();
     macro_rules! fire_watch {
-        ($node:expr, $deferred:ident, $watchers:ident, $groups:ident) => {
-            if let Some(gids) = $watchers.remove(&$node) {
-                for gid in gids {
-                    if let Some(members) = $groups[gid].take() {
-                        for m in members {
-                            $deferred.remove(&m);
+        ($node:expr) => {
+            for gid in std::mem::take(&mut watchers[$node.index()]) {
+                if let Some(members) = groups[gid as usize].take() {
+                    for &m in &members {
+                        deferred[m.index()] = false;
+                        // An un-deferred member that is still a remnant
+                        // source becomes a candidate again.
+                        if alive[m.index()] && alive_indeg[m.index()] == 0 {
+                            candidates.push(Reverse(m));
                         }
                     }
+                    arena.put_nodes(members);
                 }
             }
         };
     }
 
     while remaining > 0 {
-        debug_assert!(
-            !source_set.is_empty(),
-            "non-empty remnant must have a source"
-        );
         let mut via_fast_path = false;
         let mut block: Option<Vec<NodeId>> = None;
 
         if opts.fast_path {
-            for &s in source_set.iter() {
-                if deferred.contains(&s) {
-                    continue; // known to fail until a watched node fires
+            // Pop candidates in ascending order, validating lazily: an
+            // entry may be dead, no longer minimal (duplicate) or deferred.
+            // The first candidate whose block attempt succeeds is the same
+            // source an ordered ascending scan would have picked.
+            while let Some(&Reverse(s)) = candidates.peek() {
+                if !alive[s.index()] || alive_indeg[s.index()] != 0 || deferred[s.index()] {
+                    candidates.pop();
+                    continue;
                 }
                 stamp += 1;
-                match bipartite_block(g, &alive, &alive_indeg, s, &mut stamp_of, stamp) {
+                match bipartite_block(g, &alive, &alive_indeg, s, &mut stamp_of, stamp, arena) {
                     Ok(nodes) => {
+                        // `s` stays in the heap; the detach below kills it
+                        // (block sources are always removed), so the entry
+                        // goes stale and is skipped on a later pop.
                         block = Some(nodes);
                         via_fast_path = true;
                         break;
                     }
                     Err(failure) => {
-                        let gid = groups.len();
+                        candidates.pop();
+                        let gid = groups.len() as u32;
                         for &src in &failure.visited_sources {
-                            deferred.insert(src);
-                            watchers.entry(src).or_default().push(gid);
+                            deferred[src.index()] = true;
+                            watchers[src.index()].push(gid);
                         }
-                        watchers.entry(failure.blocker).or_default().push(gid);
+                        watchers[failure.blocker.index()].push(gid);
                         groups.push(Some(failure.visited_sources));
                     }
                 }
@@ -194,16 +280,41 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
                 // take a containment-minimal one (smallest size; minimal
                 // closures are equal or disjoint, so smallest size suffices).
                 general_search_iterations += 1;
+                // Current remnant sources, ascending. With the fast path
+                // on, the candidate heap is exhausted here (every source is
+                // deferred), so recover them by scanning; with it off, the
+                // heap still holds them all (plus stale entries, filtered
+                // out) and survivors are pushed back for later iterations.
+                let srcs: Vec<NodeId> = if opts.fast_path {
+                    (0..n)
+                        .map(|i| NodeId(i as u32))
+                        .filter(|u| alive[u.index()] && alive_indeg[u.index()] == 0)
+                        .collect()
+                } else {
+                    let mut v: Vec<NodeId> = candidates
+                        .drain()
+                        .map(|Reverse(u)| u)
+                        .filter(|u| alive[u.index()] && alive_indeg[u.index()] == 0)
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    candidates.extend(v.iter().copied().map(Reverse));
+                    v
+                };
                 let mut best: Option<(usize, NodeId, Vec<NodeId>)> = None;
-                for &s in source_set.iter() {
+                for &s in srcs.iter() {
                     stamp += 1;
-                    let c = closure(g, &alive, &alive_indeg, s, &mut stamp_of, stamp);
+                    let c = closure(g, &alive, &alive_indeg, s, &mut stamp_of, stamp, arena);
                     let better = match &best {
                         None => true,
                         Some((size, seed, _)) => c.len() < *size || (c.len() == *size && s < *seed),
                     };
                     if better {
-                        best = Some((c.len(), s, c));
+                        if let Some((_, _, old)) = best.replace((c.len(), s, c)) {
+                            arena.put_nodes(old);
+                        }
+                    } else {
+                        arena.put_nodes(c);
                     }
                 }
                 best.expect("at least one source exists").2
@@ -212,13 +323,17 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
 
         // Detach: remove non-sinks of the block and block sinks that are
         // sinks of G' (= have no children at all, since children of alive
-        // nodes are always alive).
-        let (local, map) = g.induced_subgraph(&nodes);
+        // nodes are always alive). Block membership is tested via a fresh
+        // stamp, so no local dag is needed here — materialization happens
+        // later, outside the serial loop.
+        stamp += 1;
+        for &u in &nodes {
+            stamp_of[u.index()] = stamp;
+        }
         let mut removed: Vec<NodeId> = Vec::new();
-        for l in local.node_ids() {
-            let u = map.to_super(l);
-            let is_block_sink = local.is_sink(l);
-            if !is_block_sink || g.is_sink(u) {
+        for &u in &nodes {
+            let has_block_child = g.children(u).iter().any(|v| stamp_of[v.index()] == stamp);
+            if has_block_child || g.is_sink(u) {
                 removed.push(u);
             }
         }
@@ -227,59 +342,131 @@ pub fn decompose(g: &Dag, opts: DecomposeOptions) -> Decomposition {
             "detach must make progress (block of {} nodes)",
             nodes.len()
         );
-        let part_index = parts.len();
+        let part_index = seeds.len();
         for &u in &removed {
             debug_assert!(alive[u.index()], "removing a dead node");
             alive[u.index()] = false;
             comp_removed[u.index()] = part_index;
-            source_set.remove(&u);
-            deferred.remove(&u);
-            fire_watch!(u, deferred, watchers, groups);
+            deferred[u.index()] = false;
+            fire_watch!(u);
             remaining -= 1;
             for &v in g.children(u) {
                 // Children of an alive node are always alive; u was alive.
-                alive_indeg[v.index()] -= 1;
-                if alive_indeg[v.index()] == 0 && alive[v.index()] {
-                    source_set.insert(v);
-                    fire_watch!(v, deferred, watchers, groups);
+                let vi = v.index();
+                alive_indeg[vi] -= 1;
+                if alive_indeg[vi] == 0 && alive[vi] {
+                    candidates.push(Reverse(v));
+                    fire_watch!(v);
                 }
             }
         }
-        let bipartite = is_bipartite_dag(&local);
-        parts.push(Part {
+        seeds.push(PartSeed {
             nodes,
-            local,
-            map,
-            bipartite,
-            via_fast_path,
             removed,
+            via_fast_path,
         });
     }
 
-    // Build the superdag as the quotient of g by comp_removed.
-    let mut sb = DagBuilder::with_capacity(parts.len(), parts.len() * 2);
-    for i in 0..parts.len() {
-        sb.add_node(format!("C{i}"));
-    }
-    for (u, v) in g.arcs() {
-        let (i, j) = (comp_removed[u.index()], comp_removed[v.index()]);
-        if i != j {
-            debug_assert!(i < j, "a parent is never removed after its child");
-            sb.add_arc(NodeId(i as u32), NodeId(j as u32))
-                .expect("part indices valid");
-        }
-    }
-    let superdag = sb.build().expect("detach order is a topological witness");
+    arena.put_bools(alive);
+    arena.put_bools(deferred);
+    arena.put_u32s(alive_indeg);
+    arena.put_u32s(stamp_of);
+    (seeds, comp_removed, general_search_iterations)
+}
 
-    prio_obs::counter("core.decompose.components_detached").add(parts.len() as u64);
-    prio_obs::counter("core.decompose.general_search_iterations")
-        .add(general_search_iterations as u64);
-    Decomposition {
-        parts,
-        superdag,
-        comp_removed,
-        general_search_iterations,
+/// Builds each seed's local induced dag and bipartiteness flag — the
+/// per-part work the peel loop deferred. Independent across parts; runs on
+/// scoped worker threads over contiguous seed ranges when `threads > 1`
+/// and the total node count clears [`PARALLEL_WORK_THRESHOLD`]. Each
+/// worker writes a disjoint slice of the output, placed by part index, so
+/// the result is bit-identical for every thread count.
+fn materialize_parts(g: &Dag, seeds: Vec<PartSeed>, threads: usize) -> Vec<Part> {
+    let _span = prio_obs::span("decompose.materialize");
+    let k = seeds.len();
+    let work: usize = seeds.iter().map(|s| s.nodes.len()).sum();
+    let t = threads.min(k);
+    if t <= 1 || work < PARALLEL_WORK_THRESHOLD {
+        prio_obs::counter("core.decompose.serial_materialize").add(1);
+        let mut scratch = SubgraphScratch::new();
+        return seeds
+            .into_iter()
+            .map(|s| materialize_one(g, s, &mut scratch))
+            .collect();
     }
+    prio_obs::counter("core.decompose.parallel_materialize").add(1);
+    let mut seeds = seeds;
+    let mut out: Vec<Option<Part>> = (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut seeds_rest = seeds.as_mut_slice();
+        let mut out_rest = out.as_mut_slice();
+        for i in 0..t {
+            let (lo, hi) = (k * i / t, k * (i + 1) / t);
+            let (s_chunk, s_tail) = seeds_rest.split_at_mut(hi - lo);
+            let (o_chunk, o_tail) = out_rest.split_at_mut(hi - lo);
+            seeds_rest = s_tail;
+            out_rest = o_tail;
+            scope.spawn(move || {
+                let mut scratch = SubgraphScratch::new();
+                for (seed, slot) in s_chunk.iter_mut().zip(o_chunk.iter_mut()) {
+                    *slot = Some(materialize_one(g, std::mem::take(seed), &mut scratch));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|p| p.expect("every slot filled"))
+        .collect()
+}
+
+/// Materializes one part: induces the local dag (stamped membership plus a
+/// dense local-id table — no per-arc searches) and classifies
+/// bipartiteness. The scratch lives across parts, so the dense tables are
+/// grown once per worker, not once per part.
+fn materialize_one(g: &Dag, seed: PartSeed, scratch: &mut SubgraphScratch) -> Part {
+    let (local, map) = g.induced_subgraph_in(&seed.nodes, scratch);
+    let bipartite = is_bipartite_dag(&local);
+    Part {
+        nodes: seed.nodes,
+        local,
+        map,
+        bipartite,
+        via_fast_path: seed.via_fast_path,
+        removed: seed.removed,
+    }
+}
+
+/// Builds the superdag — the quotient of `g` by `comp_removed` — from the
+/// seeds' `removed` lists. Each job is removed by exactly one part, so
+/// scanning the lists part by part covers every arc of `g` exactly once,
+/// already grouped by source part: deduping against a `k`-sized stamp table
+/// and sorting only each part's (typically tiny) target list yields a
+/// globally sorted quotient arc list with no quotient-wide sort. Every arc
+/// points forward in detach order (a parent is never removed after its
+/// child), so detach order is a topological witness and the acyclicity
+/// re-check is skipped too.
+fn build_superdag(g: &Dag, seeds: &[PartSeed], comp_removed: &[usize], threads: usize) -> Dag {
+    let _span = prio_obs::span("decompose.superdag");
+    let k = seeds.len();
+    let labels: Vec<Label> = (0..k).map(|i| format!("C{i}").into()).collect();
+    let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut seen: Vec<u32> = vec![u32::MAX; k];
+    let mut buf: Vec<u32> = Vec::new();
+    for (i, seed) in seeds.iter().enumerate() {
+        buf.clear();
+        for &u in &seed.removed {
+            for &v in g.children(u) {
+                let j = comp_removed[v.index()];
+                if j != i && seen[j] != i as u32 {
+                    seen[j] = i as u32;
+                    debug_assert!(i < j, "a parent is never removed after its child");
+                    buf.push(j as u32);
+                }
+            }
+        }
+        buf.sort_unstable();
+        arcs.extend(buf.iter().map(|&j| (NodeId(i as u32), NodeId(j))));
+    }
+    Dag::from_sorted_arcs_unchecked(labels, &arcs, threads)
 }
 
 /// Why a bipartite-block attempt failed: the sources visited before the
@@ -298,18 +485,23 @@ struct BlockFailure {
 /// remnant source (otherwise no bipartite block containing `s` exists).
 ///
 /// Returns the sorted node set on success, or the failure witness.
+#[allow(clippy::too_many_arguments)]
 fn bipartite_block(
     g: &Dag,
     alive: &[bool],
-    alive_indeg: &[usize],
+    alive_indeg: &[u32],
     s: NodeId,
     stamp_of: &mut [u32],
     stamp: u32,
+    arena: &mut ScratchArena,
 ) -> Result<Vec<NodeId>, BlockFailure> {
-    let mut nodes = vec![s];
-    let mut visited_sources = vec![s];
+    let mut nodes = arena.take_nodes();
+    let mut visited_sources = arena.take_nodes();
+    let mut src_queue = arena.take_nodes();
+    nodes.push(s);
+    visited_sources.push(s);
+    src_queue.push(s);
     stamp_of[s.index()] = stamp;
-    let mut src_queue = vec![s];
     while let Some(u) = src_queue.pop() {
         for &w in g.children(u) {
             if stamp_of[w.index()] == stamp {
@@ -322,6 +514,8 @@ fn bipartite_block(
             for &p in g.parents(w) {
                 if alive[p.index()] {
                     if alive_indeg[p.index()] != 0 {
+                        arena.put_nodes(nodes);
+                        arena.put_nodes(src_queue);
                         return Err(BlockFailure {
                             visited_sources,
                             blocker: p,
@@ -338,6 +532,8 @@ fn bipartite_block(
         }
     }
     nodes.sort_unstable();
+    arena.put_nodes(visited_sources);
+    arena.put_nodes(src_queue);
     Ok(nodes)
 }
 
@@ -347,14 +543,17 @@ fn bipartite_block(
 fn closure(
     g: &Dag,
     alive: &[bool],
-    alive_indeg: &[usize],
+    alive_indeg: &[u32],
     s: NodeId,
     stamp_of: &mut [u32],
     stamp: u32,
+    arena: &mut ScratchArena,
 ) -> Vec<NodeId> {
-    let mut nodes = vec![s];
+    let mut nodes = arena.take_nodes();
+    let mut queue = arena.take_nodes();
+    nodes.push(s);
+    queue.push(s);
     stamp_of[s.index()] = stamp;
-    let mut queue = vec![s];
     while let Some(u) = queue.pop() {
         if alive_indeg[u.index()] == 0 {
             // u is a remnant source: include all its (alive) children.
@@ -376,6 +575,7 @@ fn closure(
         }
     }
     nodes.sort_unstable();
+    arena.put_nodes(queue);
     nodes
 }
 

@@ -15,10 +15,10 @@ use crate::combine::{combine, CombineEngine};
 use crate::component::{Component, ScheduleSource};
 use crate::component_schedule::schedule_part;
 use crate::context::PrioContext;
-use crate::decompose::{decompose, DecomposeOptions, Decomposition, Part};
+use crate::decompose::{decompose_in, DecomposeOptions, Decomposition, Part};
 use crate::error::{PrioError, Stage};
 use crate::schedule::Schedule;
-use prio_graph::reduction::{remove_arcs, shortcut_arcs_into};
+use prio_graph::reduction::{remove_arcs, shortcut_arcs_par_into};
 use prio_graph::topo::{linear_extension_violation, ExtensionViolation};
 use prio_graph::{Dag, NodeId};
 use prio_ir::{Priorities, Workflow};
@@ -138,7 +138,14 @@ impl Prioritizer {
         // Step 1: shortcut removal. Node ids are preserved, so schedules on
         // the reduced dag are schedules on the original. When there is
         // nothing to remove, the input dag is used as-is (no clone).
-        shortcut_arcs_into(dag, &mut ctx.graph, &mut ctx.shortcuts);
+        // Sharded across threads only when the dag clears the adaptive
+        // threshold; either way the result is bit-identical to serial.
+        let reduce_threads = if dag.num_nodes() + dag.num_arcs() >= PARALLEL_WORK_THRESHOLD {
+            self.opts.threads
+        } else {
+            0
+        };
+        shortcut_arcs_par_into(dag, &mut ctx.graph, reduce_threads, &mut ctx.shortcuts);
         prio_obs::counter("graph.reduce.shortcut_arcs_removed").add(ctx.shortcuts.len() as u64);
         let reduced_storage;
         let reduced: &Dag = if ctx.shortcuts.is_empty() {
@@ -154,7 +161,12 @@ impl Prioritizer {
             superdag,
             comp_removed: _,
             general_search_iterations,
-        } = decompose(reduced, self.opts.decompose);
+        } = decompose_in(
+            reduced,
+            self.opts.decompose,
+            self.opts.threads,
+            &mut ctx.arena,
+        );
 
         // Step 3: per-component schedules and profiles (serial or across a
         // scoped thread pool — bit-identical either way).

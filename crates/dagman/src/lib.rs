@@ -27,17 +27,23 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod direct;
 pub mod error;
 pub mod frontend;
 pub mod instrument;
+pub mod io;
 pub mod jsdf;
 pub mod parse;
+pub mod scan;
 pub mod write;
 
 pub use ast::{DagmanFile, JobName, Statement};
+pub use direct::parse_dagman_to_dag;
 pub use error::DagmanError;
 pub use frontend::{registry, DagmanFrontend};
 pub use instrument::{
     instrument_dagman, instrument_dagman_with, priorities_by_job, InstrumentMode,
 };
+pub use io::read_input;
 pub use jsdf::Jsdf;
+pub use parse::{parse_dagman, parse_dagman_threads};

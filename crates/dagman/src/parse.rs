@@ -6,6 +6,7 @@
 
 use crate::ast::{DagmanFile, Statement};
 use crate::error::DagmanError;
+use crate::scan;
 // Shared with every other frontend: each distinct name token is allocated
 // once and every later occurrence clones the shared `JobName`. On large
 // .dag files nearly every name token is a repeat (its `JOB` line plus one
@@ -13,16 +14,71 @@ use crate::error::DagmanError;
 // parse-time allocations.
 use prio_ir::NameInterner;
 
+/// Inputs below this size are parsed serially even when threads are
+/// requested: chunking and thread spawn cost more than the parse itself.
+pub(crate) const MIN_PARALLEL_PARSE_BYTES: usize = 1 << 16;
+
 /// Parses the text of a DAGMan input file.
 pub fn parse_dagman(text: &str) -> Result<DagmanFile, DagmanError> {
     let _span = prio_obs::span(prio_obs::stage::PARSE);
-    // One O(bytes) scan to pre-size the statement vector beats letting a
-    // multi-megabyte Vec regrow-and-copy its way up.
-    let mut statements = Vec::with_capacity(text.lines().count());
+    prio_obs::counter("dagman.parse.serial_parses").add(1);
+    // One O(bytes) SWAR scan to pre-size the statement vector beats
+    // letting a multi-megabyte Vec regrow-and-copy its way up.
+    let mut statements = Vec::with_capacity(scan::count_lines(text));
     let mut names = NameInterner::default();
-    for (i, raw) in text.lines().enumerate() {
+    for (i, raw) in scan::lines(text).enumerate() {
         let line = i + 1;
         statements.push(parse_line(raw, line, &mut names)?);
+    }
+    Ok(DagmanFile { statements })
+}
+
+/// [`parse_dagman`] with the input sharded across up to `threads` scoped
+/// worker threads (`0`/`1` = the serial path).
+///
+/// The input is split at statement (line) boundaries into near-even byte
+/// chunks, each parsed independently with the starting line number the
+/// serial parser would have reached; statement lists are then concatenated
+/// in chunk order. Errors stop each worker at its first bad line, and the
+/// error of the lowest chunk — i.e. the lowest line number, exactly the
+/// serial parser's error — wins. Results are bit-identical to
+/// [`parse_dagman`] for every thread count.
+pub fn parse_dagman_threads(text: &str, threads: usize) -> Result<DagmanFile, DagmanError> {
+    if threads <= 1 || text.len() < MIN_PARALLEL_PARSE_BYTES {
+        return parse_dagman(text);
+    }
+    let _span = prio_obs::span(prio_obs::stage::PARSE);
+    let chunks = scan::chunk_at_lines(text, threads);
+    prio_obs::counter("dagman.parse.parallel_chunks").add(chunks.len() as u64);
+    let mut results: Vec<Option<Result<Vec<Statement>, DagmanError>>> =
+        (0..chunks.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        for (range, start_line) in &chunks {
+            let (slot, tail) = rest.split_first_mut().expect("one slot per chunk");
+            rest = tail;
+            let chunk = &text[range.clone()];
+            let start_line = *start_line;
+            scope.spawn(move || {
+                let mut names = NameInterner::default();
+                let mut statements = Vec::with_capacity(scan::count_lines(chunk));
+                let mut out = Ok(());
+                for (i, raw) in scan::lines(chunk).enumerate() {
+                    match parse_line(raw, start_line + i, &mut names) {
+                        Ok(s) => statements.push(s),
+                        Err(e) => {
+                            out = Err(e);
+                            break;
+                        }
+                    }
+                }
+                *slot = Some(out.map(|()| statements));
+            });
+        }
+    });
+    let mut statements = Vec::with_capacity(scan::count_lines(text));
+    for r in results {
+        statements.extend(r.expect("every chunk parsed")?);
     }
     Ok(DagmanFile { statements })
 }
@@ -97,7 +153,8 @@ fn parse_line(raw: &str, line: usize, names: &mut NameInterner) -> Result<Statem
             );
             // Re-scan the remainder of the raw line to honor quoting.
             let rest_start = find_after_token(trimmed, 2);
-            let pairs = parse_vars_pairs(&trimmed[rest_start..], line)?;
+            let mut pairs = Vec::new();
+            parse_vars_pairs_into(&trimmed[rest_start..], line, Some(&mut pairs))?;
             if pairs.is_empty() {
                 return Err(malformed(line, "VARS requires at least one key=\"value\""));
             }
@@ -139,7 +196,7 @@ fn parse_line(raw: &str, line: usize, names: &mut NameInterner) -> Result<Statem
 }
 
 /// Byte offset just past the `n`-th whitespace-separated token of `s`.
-fn find_after_token(s: &str, n: usize) -> usize {
+pub(crate) fn find_after_token(s: &str, n: usize) -> usize {
     let mut count = 0;
     let mut in_token = false;
     for (i, ch) in s.char_indices() {
@@ -159,9 +216,15 @@ fn find_after_token(s: &str, n: usize) -> usize {
 }
 
 /// Parses `key="value"` pairs, honoring `\"` and `\\` escapes inside
-/// values.
-fn parse_vars_pairs(s: &str, line: usize) -> Result<Vec<(String, String)>, DagmanError> {
-    let mut pairs = Vec::new();
+/// values. Returns the pair count; the pairs themselves are built only
+/// when `sink` is provided, so the direct parse-to-dag path — which needs
+/// validation but not the values — runs this allocation-free.
+pub(crate) fn parse_vars_pairs_into(
+    s: &str,
+    line: usize,
+    mut sink: Option<&mut Vec<(String, String)>>,
+) -> Result<usize, DagmanError> {
+    let mut count = 0usize;
     let mut chars = s.char_indices().peekable();
     loop {
         // Skip whitespace.
@@ -184,7 +247,7 @@ fn parse_vars_pairs(s: &str, line: usize) -> Result<Vec<(String, String)>, Dagma
         if !found_eq {
             return Err(malformed(line, "VARS entry missing '='"));
         }
-        let key = s[start..key_end].trim().to_string();
+        let key = s[start..key_end].trim();
         if key.is_empty() {
             return Err(malformed(line, "VARS entry with empty key"));
         }
@@ -193,15 +256,21 @@ fn parse_vars_pairs(s: &str, line: usize) -> Result<Vec<(String, String)>, Dagma
             Some((_, '"')) => {}
             _ => return Err(malformed(line, "VARS value must be double-quoted")),
         }
-        let mut value = String::new();
+        let mut value = sink.as_ref().map(|_| String::new());
         let mut closed = false;
         while let Some((_, c)) = chars.next() {
             match c {
                 '\\' => match chars.next() {
-                    Some((_, escaped @ ('"' | '\\'))) => value.push(escaped),
+                    Some((_, escaped @ ('"' | '\\'))) => {
+                        if let Some(v) = value.as_mut() {
+                            v.push(escaped);
+                        }
+                    }
                     Some((_, other)) => {
-                        value.push('\\');
-                        value.push(other);
+                        if let Some(v) = value.as_mut() {
+                            v.push('\\');
+                            v.push(other);
+                        }
                     }
                     None => return Err(malformed(line, "dangling escape in VARS value")),
                 },
@@ -209,18 +278,28 @@ fn parse_vars_pairs(s: &str, line: usize) -> Result<Vec<(String, String)>, Dagma
                     closed = true;
                     break;
                 }
-                other => value.push(other),
+                other => {
+                    if let Some(v) = value.as_mut() {
+                        v.push(other);
+                    }
+                }
             }
         }
         if !closed {
             return Err(malformed(line, "unterminated VARS value"));
         }
-        pairs.push((key, value));
+        count += 1;
+        if let Some(pairs) = sink.as_mut() {
+            pairs.push((
+                key.to_string(),
+                value.take().expect("sink implies a built value"),
+            ));
+        }
     }
-    Ok(pairs)
+    Ok(count)
 }
 
-fn malformed(line: usize, message: &str) -> DagmanError {
+pub(crate) fn malformed(line: usize, message: &str) -> DagmanError {
     DagmanError::Malformed {
         line,
         message: message.to_string(),

@@ -14,8 +14,25 @@
 //! `u32::MAX`), halving the offset tables' footprint on 64-bit targets.
 
 use crate::error::GraphError;
+use crate::labelhash::NameHashBuild;
+use crate::scratch::SubgraphScratch;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// A node label (job name).
+///
+/// Reference-counted so that subgraph induction, arc filtering and
+/// reversal — all of which preserve labels — bump a refcount instead of
+/// copying the string. Frontends that intern job names (`prio-ir`'s
+/// `NameInterner` produces the same `Arc<str>` type) flow their interned
+/// names into the graph without any copy.
+pub type Label = Arc<str>;
+
+/// Arc-chunk floor below which the parallel CSR/sort paths fall back to
+/// the serial implementation: spawning scoped threads for a few thousand
+/// arcs costs more than the passes themselves.
+const MIN_PARALLEL_ARCS: usize = 1 << 16;
 
 /// A node (job) identifier: a dense index into a [`Dag`].
 ///
@@ -50,7 +67,7 @@ impl fmt::Display for NodeId {
 /// are deterministic.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Dag {
-    labels: Vec<String>,
+    labels: Vec<Label>,
     /// `n + 1` offsets into `child_adj`; children of `u` are
     /// `child_adj[child_off[u] .. child_off[u + 1]]`.
     child_off: Box<[u32]>,
@@ -68,13 +85,14 @@ impl Dag {
     /// a per-node list: the sorted arc targets *are* the child array, and
     /// filling the transpose in lexicographic arc order keeps every parent
     /// list sorted by source index. Acyclicity is **not** checked here.
-    fn from_sorted_unique_arcs(labels: Vec<String>, arcs: &[(NodeId, NodeId)]) -> Dag {
+    fn from_sorted_unique_arcs(labels: Vec<Label>, arcs: &[(NodeId, NodeId)]) -> Dag {
         let n = labels.len();
         assert!(
             arcs.len() <= u32::MAX as usize,
             "arc count {} exceeds the u32 offset range",
             arcs.len()
         );
+        prio_obs::counter("graph.build.serial_builds").add(1);
         let mut child_off = vec![0u32; n + 1];
         let mut parent_off = vec![0u32; n + 1];
         for &(u, v) in arcs {
@@ -100,6 +118,220 @@ impl Dag {
             parent_off: parent_off.into_boxed_slice(),
             parent_adj: parent_adj.into_boxed_slice(),
         }
+    }
+
+    /// [`Dag::from_sorted_unique_arcs`] built across `threads` scoped
+    /// worker threads; bit-identical to the serial build.
+    ///
+    /// * `child_off` — each thread owns a contiguous source-node range and
+    ///   counts its arcs by scanning the matching arc subrange (found by
+    ///   `partition_point` on the sorted list), then a serial prefix sum
+    ///   merges the ranges.
+    /// * `child_adj` — the sorted arc targets *are* the child array, so
+    ///   each thread copies a disjoint arc chunk.
+    /// * `parent_off`/`parent_adj` — per-thread counting passes over
+    ///   contiguous arc chunks, merged by prefix sum into per-`(thread, v)`
+    ///   write cursors: earlier chunks get earlier slots and chunks scan in
+    ///   lexicographic order, so every parent list comes out sorted by
+    ///   source exactly as in the serial transpose fill.
+    fn from_sorted_unique_arcs_par(
+        labels: Vec<Label>,
+        arcs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Dag {
+        let n = labels.len();
+        let m = arcs.len();
+        if threads <= 1 || m < MIN_PARALLEL_ARCS {
+            return Dag::from_sorted_unique_arcs(labels, arcs);
+        }
+        assert!(
+            m <= u32::MAX as usize,
+            "arc count {m} exceeds the u32 offset range"
+        );
+        prio_obs::counter("graph.build.parallel_builds").add(1);
+        let t = threads.min(m);
+        // Contiguous arc chunks, one per thread.
+        let chunk_bounds: Vec<(usize, usize)> =
+            (0..t).map(|i| (m * i / t, m * (i + 1) / t)).collect();
+
+        // child_off: per-source-range counting in parallel.
+        let mut child_off = vec![0u32; n + 1];
+        {
+            let node_ranges: Vec<(usize, usize)> =
+                (0..t).map(|i| (n * i / t, n * (i + 1) / t)).collect();
+            let mut slices: Vec<&mut [u32]> = Vec::with_capacity(t);
+            let mut rest = &mut child_off[1..];
+            for &(lo, hi) in &node_ranges {
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                slices.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for (slice, &(lo, hi)) in slices.into_iter().zip(&node_ranges) {
+                    scope.spawn(move || {
+                        let start = arcs.partition_point(|&(u, _)| u.index() < lo);
+                        let end = arcs.partition_point(|&(u, _)| u.index() < hi);
+                        for &(u, _) in &arcs[start..end] {
+                            slice[u.index() - lo] += 1;
+                        }
+                    });
+                }
+            });
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+        }
+
+        // child_adj: disjoint chunk copies.
+        let mut child_adj: Vec<NodeId> = vec![NodeId(0); m];
+        {
+            let mut slices: Vec<&mut [NodeId]> = Vec::with_capacity(t);
+            let mut rest = child_adj.as_mut_slice();
+            for &(lo, hi) in &chunk_bounds {
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                slices.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for (slice, &(lo, hi)) in slices.into_iter().zip(&chunk_bounds) {
+                    scope.spawn(move || {
+                        for (dst, &(_, v)) in slice.iter_mut().zip(&arcs[lo..hi]) {
+                            *dst = v;
+                        }
+                    });
+                }
+            });
+        }
+
+        // parent side, sharded by *target* range: each thread owns the
+        // nodes `v` in a contiguous range and therefore a disjoint,
+        // contiguous slice of the transpose arrays (`split_at_mut`, no
+        // locks). A thread scans the whole arc list but touches only its
+        // own targets; scanning in lexicographic order makes every parent
+        // list come out sorted by source exactly as in the serial fill.
+        // Total reads are `threads × m` but the passes run concurrently,
+        // so the wall time is one scan plus the serial prefix sum.
+        let node_ranges: Vec<(usize, usize)> =
+            (0..t).map(|i| (n * i / t, n * (i + 1) / t)).collect();
+        let mut parent_cnt = vec![0u32; n];
+        {
+            let mut slices: Vec<&mut [u32]> = Vec::with_capacity(t);
+            let mut rest = parent_cnt.as_mut_slice();
+            for &(lo, hi) in &node_ranges {
+                let (head, tail) = rest.split_at_mut(hi - lo);
+                slices.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for (slice, &(lo, hi)) in slices.into_iter().zip(&node_ranges) {
+                    scope.spawn(move || {
+                        for &(_, v) in arcs {
+                            let vi = v.index();
+                            if vi >= lo && vi < hi {
+                                slice[vi - lo] += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let mut parent_off = vec![0u32; n + 1];
+        for v in 0..n {
+            parent_off[v + 1] = parent_off[v] + parent_cnt[v];
+        }
+        let mut parent_adj: Vec<NodeId> = vec![NodeId(0); m];
+        {
+            let mut slices: Vec<&mut [NodeId]> = Vec::with_capacity(t);
+            let mut rest = parent_adj.as_mut_slice();
+            for &(lo, hi) in &node_ranges {
+                let start = parent_off[lo] as usize;
+                let end = parent_off[hi] as usize;
+                let (head, tail) = rest.split_at_mut(end - start);
+                slices.push(head);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                for (slice, &(lo, hi)) in slices.into_iter().zip(&node_ranges) {
+                    let base = parent_off[lo];
+                    let off = &parent_off;
+                    scope.spawn(move || {
+                        let mut cursor: Vec<u32> = off[lo..hi].iter().map(|&o| o - base).collect();
+                        for &(u, v) in arcs {
+                            let vi = v.index();
+                            if vi >= lo && vi < hi {
+                                let slot = &mut cursor[vi - lo];
+                                slice[*slot as usize] = u;
+                                *slot += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        Dag {
+            labels,
+            child_off: child_off.into_boxed_slice(),
+            child_adj: child_adj.into_boxed_slice(),
+            parent_off: parent_off.into_boxed_slice(),
+            parent_adj: parent_adj.into_boxed_slice(),
+        }
+    }
+
+    /// Builds a dag from a lexicographically sorted, duplicate-free arc
+    /// list whose endpoints are all `< labels.len()`, **without** checking
+    /// acyclicity.
+    ///
+    /// The caller must hold an acyclicity witness (the decomposition's
+    /// detach order, an arc-filtered copy of an existing dag, …): a cyclic
+    /// input produces a structurally valid `Dag` whose traversals violate
+    /// the DAG contract downstream. Sortedness and uniqueness are
+    /// `debug_assert`ed; `threads > 1` uses the parallel CSR build, which
+    /// is bit-identical to the serial one.
+    pub fn from_sorted_arcs_unchecked(
+        labels: Vec<Label>,
+        arcs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Dag {
+        debug_assert!(
+            arcs.windows(2).all(|w| w[0] < w[1]),
+            "arc list must be sorted and duplicate-free"
+        );
+        debug_assert!(arcs
+            .iter()
+            .all(|&(u, v)| u.index() < labels.len() && v.index() < labels.len()));
+        Dag::from_sorted_unique_arcs_par(labels, arcs, threads)
+    }
+
+    /// Validating bulk constructor: sorts and deduplicates `arcs`, checks
+    /// endpoints, self-loops and acyclicity, and builds the CSR arrays —
+    /// the bulk equivalent of a [`DagBuilder`] loop without the per-arc
+    /// bounds chatter or the label map.
+    ///
+    /// `threads > 1` parallelizes the arc sort (chunk sorts + pairwise
+    /// merges) and the CSR fill; the result is bit-identical to the
+    /// serial path for every thread count.
+    pub fn assemble(
+        labels: Vec<Label>,
+        mut arcs: Vec<(NodeId, NodeId)>,
+        threads: usize,
+    ) -> Result<Dag, GraphError> {
+        let len = labels.len() as u32;
+        for &(u, v) in &arcs {
+            for w in [u, v] {
+                if w.0 >= len {
+                    return Err(GraphError::InvalidNode { index: w.0, len });
+                }
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { index: u.0 });
+            }
+        }
+        par_sort_arcs(&mut arcs, threads);
+        arcs.dedup();
+        let dag = Dag::from_sorted_unique_arcs_par(labels, &arcs, threads);
+        kahn_acyclicity_check(&dag)?;
+        Ok(dag)
     }
 
     /// Number of nodes (jobs).
@@ -180,12 +412,19 @@ impl Dag {
         &self.labels[u.index()]
     }
 
+    /// The shared (reference-counted) label of `u`; cloning the returned
+    /// handle bumps a refcount instead of copying the string.
+    #[inline]
+    pub fn label_arc(&self, u: NodeId) -> &Label {
+        &self.labels[u.index()]
+    }
+
     /// Finds the node with the given label, if any (linear scan; use a
     /// [`DagBuilder`]'s handle instead when building).
     pub fn find(&self, label: &str) -> Option<NodeId> {
         self.labels
             .iter()
-            .position(|l| l == label)
+            .position(|l| &**l == label)
             .map(|i| NodeId(i as u32))
     }
 
@@ -206,23 +445,113 @@ impl Dag {
     /// Nodes are renumbered densely in the order given by `nodes` (duplicates
     /// are ignored after the first occurrence). Arcs are kept iff both
     /// endpoints are included.
-    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Dag, SubgraphMap) {
-        // The map is kept sparse (hash map keyed by original id): a dense
-        // vector per subgraph would cost O(|G|) memory for every component
-        // of a decomposition — tens of gigabytes on the 48k-job SDSS dag.
-        let mut to_sub: HashMap<NodeId, NodeId> = HashMap::with_capacity(nodes.len());
-        let mut to_super: Vec<NodeId> = Vec::with_capacity(nodes.len());
-        for &u in nodes {
-            if let std::collections::hash_map::Entry::Vacant(e) = to_sub.entry(u) {
-                e.insert(NodeId(to_super.len() as u32));
-                to_super.push(u);
+    /// [`Dag::induced_subgraph`] for **strictly ascending** node lists,
+    /// with the O(|G|) membership and renumbering tables borrowed from
+    /// `scratch` instead of binary-searching `nodes` once per arc.
+    /// Produces exactly the same `(Dag, SubgraphMap)` as
+    /// [`Dag::induced_subgraph`] on the same input; callers that
+    /// materialize many subgraphs of one dag (the decomposition) reuse one
+    /// scratch and save the dominant share of the per-part cost.
+    pub fn induced_subgraph_in(
+        &self,
+        nodes: &[NodeId],
+        scratch: &mut SubgraphScratch,
+    ) -> (Dag, SubgraphMap) {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "induced_subgraph_in requires strictly ascending nodes"
+        );
+        let stamp = scratch.next_stamp(self.num_nodes());
+        for (i, &u) in nodes.iter().enumerate() {
+            scratch.stamp_of[u.index()] = stamp;
+            scratch.local_id[u.index()] = i as u32;
+        }
+        let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut labels: Vec<Label> = Vec::with_capacity(nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            labels.push(self.labels[u.index()].clone());
+            for &v in self.children(u) {
+                if scratch.stamp_of[v.index()] == stamp {
+                    // Ascending `nodes` makes the renumbering monotone and
+                    // children are stored sorted, so arcs come out in
+                    // lexicographic order — no sort needed.
+                    arcs.push((NodeId(i as u32), NodeId(scratch.local_id[v.index()])));
+                }
             }
         }
+        (
+            Dag::from_sorted_unique_arcs(labels, &arcs),
+            SubgraphMap {
+                to_super: nodes.to_vec(),
+                rev: None,
+            },
+        )
+    }
+
+    /// The subgraph induced on `nodes` (duplicates ignored, first
+    /// occurrence wins) plus the local ↔ global id mapping. Arcs between
+    /// two listed nodes are kept; everything else is dropped.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Dag, SubgraphMap) {
+        // The map is kept proportional to the subgraph, never O(|G|): a
+        // dense vector per subgraph would cost O(|G|) memory for every
+        // component of a decomposition — tens of gigabytes on the 48k-job
+        // SDSS dag. Reverse lookups go through binary search instead of a
+        // hash map: the decomposition materializes every component through
+        // this function, and the old SipHash map plus per-node label
+        // copies dominated its profile at the 10⁶-job tier.
+        let sorted_strict = nodes.windows(2).all(|w| w[0] < w[1]);
+        if sorted_strict {
+            // Fast path (every decomposition part takes it): a strictly
+            // ascending node list makes the renumbering monotone, so arcs
+            // are emitted in lexicographic order already — no sort — and
+            // `to_super` itself is the sorted reverse-lookup index.
+            let to_super: Vec<NodeId> = nodes.to_vec();
+            let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
+            for (si, &u) in to_super.iter().enumerate() {
+                for &v in self.children(u) {
+                    if let Ok(sv) = to_super.binary_search(&v) {
+                        arcs.push((NodeId(si as u32), NodeId(sv as u32)));
+                    }
+                }
+            }
+            let labels = to_super
+                .iter()
+                .map(|&u| self.labels[u.index()].clone())
+                .collect();
+            return (
+                Dag::from_sorted_unique_arcs(labels, &arcs),
+                SubgraphMap {
+                    to_super,
+                    rev: None,
+                },
+            );
+        }
+
+        // General path: dedup by first occurrence, then binary-search a
+        // sorted (super, sub) index for the reverse direction.
+        let mut pairs: Vec<(NodeId, u32)> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i as u32))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0); // keeps the smallest original index
+                                     // The surviving original positions, in ascending order, are the
+                                     // first occurrences in input order: re-rank them to get sub ids.
+        let mut by_pos: Vec<(u32, NodeId)> = pairs.iter().map(|&(u, i)| (i, u)).collect();
+        by_pos.sort_unstable();
+        let to_super: Vec<NodeId> = by_pos.iter().map(|&(_, u)| u).collect();
+        let mut rev: Vec<(NodeId, NodeId)> = by_pos
+            .iter()
+            .enumerate()
+            .map(|(sub, &(_, u))| (u, NodeId(sub as u32)))
+            .collect();
+        rev.sort_unstable();
         let mut arcs: Vec<(NodeId, NodeId)> = Vec::new();
         for (si, &u) in to_super.iter().enumerate() {
             for &v in self.children(u) {
-                if let Some(&sv) = to_sub.get(&v) {
-                    arcs.push((NodeId(si as u32), sv));
+                if let Ok(i) = rev.binary_search_by_key(&v, |p| p.0) {
+                    arcs.push((NodeId(si as u32), rev[i].1));
                 }
             }
         }
@@ -235,7 +564,10 @@ impl Dag {
             .collect();
         (
             Dag::from_sorted_unique_arcs(labels, &arcs),
-            SubgraphMap { to_sub, to_super },
+            SubgraphMap {
+                to_super,
+                rev: Some(rev.into_boxed_slice()),
+            },
         )
     }
 
@@ -299,16 +631,28 @@ impl fmt::Debug for Dag {
 ///
 /// Memory is proportional to the subgraph, not the original graph, so a
 /// decomposition may hold one map per component without quadratic blowup.
+/// Reverse lookups ([`SubgraphMap::to_sub`]) binary-search `to_super`
+/// directly when the subgraph's nodes were given in ascending order (the
+/// common case), or a sorted side index otherwise.
 #[derive(Debug, Clone)]
 pub struct SubgraphMap {
-    to_sub: HashMap<NodeId, NodeId>,
     to_super: Vec<NodeId>,
+    /// Sorted `(super, sub)` pairs; `None` when `to_super` is itself
+    /// strictly ascending and can be binary-searched directly.
+    rev: Option<Box<[(NodeId, NodeId)]>>,
 }
 
 impl SubgraphMap {
     /// Maps a node of the original graph to the subgraph, if included.
     pub fn to_sub(&self, u: NodeId) -> Option<NodeId> {
-        self.to_sub.get(&u).copied()
+        match &self.rev {
+            None => self
+                .to_super
+                .binary_search(&u)
+                .ok()
+                .map(|i| NodeId(i as u32)),
+            Some(rev) => rev.binary_search_by_key(&u, |p| p.0).ok().map(|i| rev[i].1),
+        }
     }
 
     /// Maps a subgraph node back to the original graph.
@@ -330,8 +674,8 @@ impl SubgraphMap {
 /// [`DagBuilder::build`] time.
 #[derive(Debug, Default, Clone)]
 pub struct DagBuilder {
-    labels: Vec<String>,
-    by_label: HashMap<String, NodeId>,
+    labels: Vec<Label>,
+    by_label: HashMap<Label, NodeId, NameHashBuild>,
     arcs: Vec<(NodeId, NodeId)>,
 }
 
@@ -345,7 +689,7 @@ impl DagBuilder {
     pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
         DagBuilder {
             labels: Vec::with_capacity(nodes),
-            by_label: HashMap::with_capacity(nodes),
+            by_label: HashMap::with_capacity_and_hasher(nodes, NameHashBuild),
             arcs: Vec::with_capacity(arcs),
         }
     }
@@ -360,7 +704,7 @@ impl DagBuilder {
     /// Labels are not required to be unique here (generated workloads use
     /// unique names; uniqueness can be enforced with
     /// [`DagBuilder::add_unique_node`]).
-    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+    pub fn add_node(&mut self, label: impl Into<Label>) -> NodeId {
         let id = NodeId(self.labels.len() as u32);
         let label = label.into();
         self.by_label.entry(label.clone()).or_insert(id);
@@ -369,10 +713,12 @@ impl DagBuilder {
     }
 
     /// Adds a node whose label must be new, erroring on duplicates.
-    pub fn add_unique_node(&mut self, label: impl Into<String>) -> Result<NodeId, GraphError> {
+    pub fn add_unique_node(&mut self, label: impl Into<Label>) -> Result<NodeId, GraphError> {
         let label = label.into();
-        if self.by_label.contains_key(&label) {
-            return Err(GraphError::DuplicateLabel { label });
+        if self.by_label.contains_key(&*label) {
+            return Err(GraphError::DuplicateLabel {
+                label: label.to_string(),
+            });
         }
         Ok(self.add_node(label))
     }
@@ -409,34 +755,120 @@ impl DagBuilder {
 
     /// Finalizes the graph, verifying acyclicity.
     pub fn build(self) -> Result<Dag, GraphError> {
-        let n = self.labels.len();
+        self.build_with_threads(0)
+    }
+
+    /// [`DagBuilder::build`] with the sort/dedup and CSR fill spread over
+    /// `threads` scoped worker threads (`0`/`1` = serial). Bit-identical
+    /// to the serial build for every thread count.
+    pub fn build_with_threads(self, threads: usize) -> Result<Dag, GraphError> {
         let mut arcs = self.arcs;
-        arcs.sort_unstable();
+        par_sort_arcs(&mut arcs, threads);
         arcs.dedup();
-        let dag = Dag::from_sorted_unique_arcs(self.labels, &arcs);
-        // Kahn's algorithm purely to detect cycles; the sort itself lives in
-        // `topo`.
-        let mut indeg: Vec<u32> = dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
-        let mut stack: Vec<NodeId> = (0..n as u32)
-            .map(NodeId)
-            .filter(|u| indeg[u.index()] == 0)
-            .collect();
-        let mut seen = 0usize;
-        while let Some(u) = stack.pop() {
-            seen += 1;
-            for &v in dag.children(u) {
-                indeg[v.index()] -= 1;
-                if indeg[v.index()] == 0 {
-                    stack.push(v);
-                }
-            }
-        }
-        if seen != n {
-            let on_cycle = indeg.iter().position(|&d| d > 0).expect("cycle node") as u32;
-            return Err(GraphError::Cycle { on_cycle });
-        }
+        let dag = Dag::from_sorted_unique_arcs_par(self.labels, &arcs, threads);
+        kahn_acyclicity_check(&dag)?;
         Ok(dag)
     }
+}
+
+/// Sorts an arc list lexicographically; `threads > 1` splits it into
+/// per-thread chunk sorts followed by rounds of pairwise merges (each
+/// round's merges run concurrently into disjoint output ranges). Sorting
+/// is deterministic, so the result is identical to `sort_unstable`.
+fn par_sort_arcs(arcs: &mut Vec<(NodeId, NodeId)>, threads: usize) {
+    let m = arcs.len();
+    if threads <= 1 || m < MIN_PARALLEL_ARCS {
+        arcs.sort_unstable();
+        return;
+    }
+    let t = threads.min(m);
+    let mut bounds: Vec<usize> = (0..=t).map(|i| m * i / t).collect();
+    {
+        let mut slices: Vec<&mut [(NodeId, NodeId)]> = Vec::with_capacity(t);
+        let mut rest = arcs.as_mut_slice();
+        for w in bounds.windows(2) {
+            let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+            slices.push(head);
+            rest = tail;
+        }
+        std::thread::scope(|scope| {
+            for slice in slices {
+                scope.spawn(|| slice.sort_unstable());
+            }
+        });
+    }
+    // Pairwise merge rounds between two buffers; each merge owns a
+    // disjoint contiguous output range, so merges of one round run
+    // concurrently.
+    let mut src = std::mem::take(arcs);
+    let mut dst = vec![(NodeId(0), NodeId(0)); m];
+    while bounds.len() > 2 {
+        {
+            let mut out_rest = dst.as_mut_slice();
+            let mut taken = 0usize;
+            std::thread::scope(|scope| {
+                let mut i = 0;
+                while i + 1 < bounds.len() {
+                    let lo = bounds[i];
+                    let mid = bounds[i + 1];
+                    let hi = *bounds.get(i + 2).unwrap_or(&mid);
+                    let (out, tail) = out_rest.split_at_mut(hi - lo);
+                    out_rest = tail;
+                    taken += hi - lo;
+                    let (a, b) = (&src[lo..mid], &src[mid..hi]);
+                    scope.spawn(move || {
+                        let (mut x, mut y) = (0usize, 0usize);
+                        for slot in out.iter_mut() {
+                            *slot = if y >= b.len() || (x < a.len() && a[x] <= b[y]) {
+                                x += 1;
+                                a[x - 1]
+                            } else {
+                                y += 1;
+                                b[y - 1]
+                            };
+                        }
+                    });
+                    i += 2;
+                }
+            });
+            debug_assert_eq!(taken, m);
+        }
+        std::mem::swap(&mut src, &mut dst);
+        // Keep every other boundary (merged pairs), always keeping the end.
+        let end = *bounds.last().expect("non-empty bounds");
+        let mut kept: Vec<usize> = bounds.iter().copied().step_by(2).collect();
+        if *kept.last().expect("non-empty") != end {
+            kept.push(end);
+        }
+        bounds = kept;
+    }
+    *arcs = src;
+}
+
+/// Kahn's algorithm purely to detect cycles; the topological sort itself
+/// lives in [`crate::topo`].
+fn kahn_acyclicity_check(dag: &Dag) -> Result<(), GraphError> {
+    let n = dag.num_nodes();
+    let mut indeg: Vec<u32> = dag.node_ids().map(|u| dag.in_degree(u) as u32).collect();
+    let mut stack: Vec<NodeId> = (0..n as u32)
+        .map(NodeId)
+        .filter(|u| indeg[u.index()] == 0)
+        .collect();
+    let mut seen = 0usize;
+    while let Some(u) = stack.pop() {
+        seen += 1;
+        for &v in dag.children(u) {
+            indeg[v.index()] -= 1;
+            if indeg[v.index()] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    if seen != n {
+        let on_cycle = indeg.iter().position(|&d| d > 0).expect("cycle node") as u32;
+        return Err(GraphError::Cycle { on_cycle });
+    }
+    Ok(())
 }
 
 #[cfg(test)]

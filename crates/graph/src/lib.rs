@@ -45,12 +45,14 @@ pub mod compose;
 pub mod dag;
 pub mod dot;
 pub mod error;
+pub mod labelhash;
 pub mod reach;
 pub mod reduction;
 pub mod scratch;
 pub mod topo;
 
 pub use bitset::FixedBitSet;
-pub use dag::{Dag, DagBuilder, NodeId, SubgraphMap};
+pub use dag::{Dag, DagBuilder, Label, NodeId, SubgraphMap};
 pub use error::GraphError;
-pub use scratch::GraphScratch;
+pub use labelhash::{NameHashBuild, NameHasher};
+pub use scratch::{GraphScratch, ScratchArena, SubgraphScratch};

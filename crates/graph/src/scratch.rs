@@ -76,9 +76,127 @@ impl GraphScratch {
     }
 }
 
+/// Reusable dense tables for [`crate::Dag::induced_subgraph_in`]:
+/// stamped membership marks and local-id renumbering, both O(|G|) and
+/// grown once, so materializing many subgraphs of one dag performs no
+/// per-subgraph setup work and no per-arc binary searches.
+#[derive(Debug, Default)]
+pub struct SubgraphScratch {
+    /// `stamp_of[u] == stamp` means `u` is in the current node set.
+    pub(crate) stamp_of: Vec<u32>,
+    /// Local (subgraph) id of `u`, valid only when stamped.
+    pub(crate) local_id: Vec<u32>,
+    /// Current stamp; bumped per subgraph so the tables never need
+    /// clearing.
+    pub(crate) stamp: u32,
+}
+
+impl SubgraphScratch {
+    /// An empty scratch; tables grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows both tables to at least `n` nodes and returns a fresh stamp.
+    pub(crate) fn next_stamp(&mut self, n: usize) -> u32 {
+        if self.stamp_of.len() < n {
+            self.stamp_of.resize(n, 0);
+            self.local_id.resize(n, 0);
+        }
+        if self.stamp == u32::MAX {
+            // Wrapped: old marks could collide with re-issued stamps.
+            self.stamp_of.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        self.stamp
+    }
+}
+
+/// A reusable arena of recycled scratch buffers, typed by element.
+///
+/// The front half of the pipeline allocates many short-lived worklists —
+/// failed bipartite-block attempts, closure searches, per-part node sets —
+/// that the global allocator would otherwise serve one `malloc`/`free`
+/// pair at a time. The arena keeps returned buffers (capacity intact,
+/// contents cleared on reuse) and hands them back on the next request, so
+/// steady-state pipeline runs stop hitting the allocator for temporaries.
+/// Owned by the caller's long-lived context (`PrioContext` in `prio-core`)
+/// and deliberately not thread-safe: parallel stages give each worker its
+/// own arena or plain `Vec`s.
+///
+/// Counters `graph.arena.vecs_reused` / `graph.arena.vecs_allocated` make
+/// the win measurable under the benches' `--profile-alloc` mode.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    nodes: Vec<Vec<NodeId>>,
+    u32s: Vec<Vec<u32>>,
+    bools: Vec<Vec<bool>>,
+}
+
+macro_rules! arena_pool {
+    ($take:ident, $put:ident, $field:ident, $t:ty) => {
+        /// Takes a cleared buffer from the pool (allocating only when the
+        /// pool is empty). Return it with the matching `put_*` when done.
+        pub fn $take(&mut self) -> Vec<$t> {
+            match self.$field.pop() {
+                Some(mut v) => {
+                    v.clear();
+                    prio_obs::counter("graph.arena.vecs_reused").add(1);
+                    v
+                }
+                None => {
+                    prio_obs::counter("graph.arena.vecs_allocated").add(1);
+                    Vec::new()
+                }
+            }
+        }
+
+        /// Returns a buffer to the pool for later reuse.
+        pub fn $put(&mut self, v: Vec<$t>) {
+            if v.capacity() > 0 {
+                self.$field.push(v);
+            }
+        }
+    };
+}
+
+impl ScratchArena {
+    /// An empty arena; pools fill as buffers are returned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    arena_pool!(take_nodes, put_nodes, nodes, NodeId);
+    arena_pool!(take_u32s, put_u32s, u32s, u32);
+    arena_pool!(take_bools, put_bools, bools, bool);
+
+    /// Buffers currently pooled across all types (diagnostic).
+    pub fn pooled(&self) -> usize {
+        self.nodes.len() + self.u32s.len() + self.bools.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_recycles_capacity() {
+        let mut a = ScratchArena::new();
+        let mut v = a.take_nodes();
+        v.extend([NodeId(1), NodeId(2)]);
+        let cap = v.capacity();
+        a.put_nodes(v);
+        assert_eq!(a.pooled(), 1);
+        let v = a.take_nodes();
+        assert!(v.is_empty(), "reused buffers are cleared");
+        assert_eq!(v.capacity(), cap, "capacity survives the round trip");
+        assert_eq!(a.pooled(), 0);
+        // Zero-capacity buffers are not worth pooling.
+        a.put_u32s(Vec::new());
+        assert_eq!(a.pooled(), 0);
+    }
 
     #[test]
     fn stamps_are_monotonic_and_marks_grow() {

@@ -3,9 +3,16 @@
 //! Moved here from the DAGMan parser so the JSON and edge-list frontends
 //! (and the [`crate::workflow::WorkflowBuilder`]) can share one
 //! allocation per distinct name token.
+//!
+//! The hash itself now lives in `prio_graph::labelhash` (re-exported here
+//! unchanged), so the graph layer's own label → id maps use the same
+//! function without a dependency cycle.
 
 use std::collections::HashSet;
-use std::hash::{BuildHasher, Hasher};
+
+// Re-exported so existing `prio_ir::{NameHasher, NameHashBuild}` users keep
+// compiling; the definition moved down to the graph layer.
+pub use prio_graph::{NameHashBuild, NameHasher};
 
 /// An interned job name.
 ///
@@ -14,57 +21,6 @@ use std::hash::{BuildHasher, Hasher};
 /// more dependency mentions) — so statements share one reference-counted
 /// allocation per distinct name instead of a fresh `String` per token.
 pub type JobName = std::sync::Arc<str>;
-
-/// Multiplicative hash over 8-byte chunks, chosen over the default SipHash
-/// because name tokens are short and workflow files are trusted local input
-/// (no hash-flooding concern) — the keyed SipHash setup cost alone outweighs
-/// hashing a ~15-byte name, and byte-serial hashes (FNV) pay a dependent
-/// multiply per byte.
-pub struct NameHasher(u64);
-
-const CHUNK_SEED: u64 = 0x517c_c1b7_2722_0a95;
-
-impl Hasher for NameHasher {
-    fn finish(&self) -> u64 {
-        // The multiply pushes entropy toward the high bits but the table
-        // indexes buckets by the low bits — sequential names like `job17`,
-        // `job18` would cluster into long probe chains without a final
-        // avalanche (splitmix64-style).
-        let mut h = self.0;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        h
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = self.0;
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            let v = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
-            h = (h.rotate_left(5) ^ v).wrapping_mul(CHUNK_SEED);
-        }
-        let mut tail = 0u64;
-        for &b in chunks.remainder() {
-            tail = (tail << 8) | u64::from(b);
-        }
-        h = (h.rotate_left(5) ^ tail).wrapping_mul(CHUNK_SEED);
-        self.0 = h;
-    }
-}
-
-/// [`BuildHasher`] for [`NameHasher`]; usable as the hasher of any map or
-/// set keyed by job names.
-#[derive(Default, Clone)]
-pub struct NameHashBuild;
-
-impl BuildHasher for NameHashBuild {
-    type Hasher = NameHasher;
-
-    fn build_hasher(&self) -> NameHasher {
-        NameHasher(0xcbf2_9ce4_8422_2325)
-    }
-}
 
 /// Deduplicates job-name allocations across statements: each distinct name
 /// is allocated once and every later occurrence clones the shared
@@ -104,6 +60,7 @@ impl NameInterner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::{BuildHasher, Hasher};
 
     #[test]
     fn interning_shares_allocations() {
@@ -118,7 +75,6 @@ mod tests {
 
     #[test]
     fn hasher_distinguishes_sequential_names() {
-        use std::hash::BuildHasher;
         let build = NameHashBuild;
         let h = |s: &str| {
             let mut hasher = build.build_hasher();
@@ -131,5 +87,53 @@ mod tests {
             low.insert(h(&format!("job{i}")) & 0xfff);
         }
         assert!(low.len() > 48, "low-bit clustering: {}", low.len());
+    }
+
+    /// The 10⁷-scale keyspace audit that surfaced the tail length-
+    /// ambiguity bug: hash a large sequential-name keyspace (`j0`, `j1`,
+    /// …) and assert the 64-bit collision count stays near the birthday
+    /// bound. Debug builds audit 10⁶ names to keep the test fast; release
+    /// test runs (`cargo test --release`) audit the full 10⁷.
+    #[test]
+    fn sequential_keyspace_collision_rate_is_birthday_bounded() {
+        let n: usize = if cfg!(debug_assertions) {
+            1_000_000
+        } else {
+            10_000_000
+        };
+        let build = NameHashBuild;
+        let mut hashes: Vec<u64> = Vec::with_capacity(n);
+        // Manual byte formatting: `format!` per name would dominate the
+        // audit's runtime at 10⁷ names.
+        let mut buf = [0u8; 12];
+        buf[0] = b'j';
+        for i in 0..n {
+            let mut len = 1;
+            let digits = &mut buf[1..];
+            let mut x = i;
+            let mut k = 0;
+            loop {
+                digits[k] = b'0' + (x % 10) as u8;
+                x /= 10;
+                k += 1;
+                if x == 0 {
+                    break;
+                }
+            }
+            digits[..k].reverse();
+            len += k;
+            let mut hasher = build.build_hasher();
+            hasher.write(&buf[..len]);
+            hashes.push(hasher.finish());
+        }
+        hashes.sort_unstable();
+        let collisions = hashes.windows(2).filter(|w| w[0] == w[1]).count();
+        // Birthday expectation for 64-bit hashes: n²/2⁶⁵ ≈ 0.003 at 10⁶,
+        // ≈ 0.3 at 10⁷. Allow a small margin; the pre-fix hasher produced
+        // *systematic* families (thousands of collisions), not onesies.
+        assert!(
+            collisions <= 3,
+            "{collisions} collisions across {n} sequential names — degenerate hash family"
+        );
     }
 }

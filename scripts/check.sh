@@ -168,6 +168,14 @@ if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
   # The committed BENCH_obs.json is the overhead contract: traced and
   # sampled runs within the 1.10x budget, zero dropped events.
   ./target/release/bench_check --obs-fresh BENCH_obs.json
+  # Front-half smoke at real scale: parse + CSR-build the 10^7-job
+  # DAGMan tier (the 10^8 tier stays manual-only — its working set is
+  # too large for shared CI). Time-boxed so a pathological slowdown
+  # fails loudly instead of hanging the gate.
+  timeout 600 ./target/release/bench_scaling --parse-only \
+    --max-jobs 10000000 --threads 4 \
+    --out target/BENCH_scaling_parse_smoke.json \
+    || { echo "check.sh: 10^7 parse smoke failed or timed out" >&2; exit 1; }
 fi
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings

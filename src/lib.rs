@@ -57,8 +57,9 @@ pub use prio_sim as sim;
 pub use prio_stats as stats;
 pub use prio_workloads as workloads;
 
+use prio_core::prio::{PrioOptions, Prioritizer};
 use prio_dagman::instrument::{instrument_dagman, priorities_by_job};
-use prio_dagman::parse::parse_dagman;
+use prio_dagman::parse::parse_dagman_threads;
 use prio_dagman::write::write_dagman;
 use prio_ir::{Frontend, Workflow};
 
@@ -82,9 +83,24 @@ pub struct PrioritizedDagman {
 /// [`prio_core::PrioError::Parse`], pipeline bugs as
 /// [`prio_core::PrioError::InternalInvariant`].
 pub fn prioritize_dagman_text(text: &str) -> Result<PrioritizedDagman, prio_core::PrioError> {
-    let mut file = parse_dagman(text)?;
+    prioritize_dagman_text_threads(text, 0)
+}
+
+/// Like [`prioritize_dagman_text`], with `threads` worker threads for the
+/// parallel pipeline stages (chunked parsing, CSR build, reduction,
+/// decomposition). `0` or `1` runs fully serial; the result is
+/// bit-identical for every thread count.
+pub fn prioritize_dagman_text_threads(
+    text: &str,
+    threads: usize,
+) -> Result<PrioritizedDagman, prio_core::PrioError> {
+    let mut file = parse_dagman_threads(text, threads)?;
     let dag = file.to_dag()?;
-    let result = prio_core::prioritize(&dag)?;
+    let result = Prioritizer::with_options(PrioOptions {
+        threads,
+        ..PrioOptions::default()
+    })
+    .prioritize(&dag)?;
     let schedule_names: Vec<String> = result
         .schedule
         .order()
@@ -134,6 +150,7 @@ pub fn prioritize_workflow_text(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prio_dagman::parse::parse_dagman;
 
     #[test]
     fn fig3_roundtrip() {
@@ -157,6 +174,16 @@ mod tests {
         let (_, edges) = prioritize_workflow_text("a\tb\n", None, Some("edges")).unwrap();
         assert!(edges.contains("@priority\ta\t2"), "{edges}");
         assert!(prioritize_workflow_text("a\tb\n", None, Some("nope")).is_err());
+    }
+
+    #[test]
+    fn threaded_facade_is_bit_identical() {
+        let input = "JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nJOB d d.sub\nJOB e e.sub\nPARENT a CHILD b\nPARENT c CHILD d e\n";
+        let serial = prioritize_dagman_text(input).unwrap();
+        let par = prioritize_dagman_text_threads(input, 4).unwrap();
+        assert_eq!(par.schedule_names, serial.schedule_names);
+        assert_eq!(par.instrumented, serial.instrumented);
+        assert_eq!(par.dag, serial.dag);
     }
 
     #[test]
