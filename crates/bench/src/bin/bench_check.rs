@@ -6,6 +6,7 @@
 //! bench_check [--baseline FILE] [--fresh FILE] [--threshold F]
 //!             [--scaling-baseline FILE] [--scaling-fresh FILE]
 //!             [--obs-baseline FILE] [--obs-fresh FILE] [--obs-budget F]
+//!             [--serve-baseline FILE] [--serve-fresh FILE]
 //!             [--trace FILE]
 //! ```
 //!
@@ -38,6 +39,12 @@
 //!   (default `BENCH_obs.json`; only read with `--obs-fresh`)
 //! * `--obs-budget F` — allowed traced/untraced overhead ratio
 //!   (default 1.10: tracing must cost under 10%)
+//! * `--serve-fresh FILE` — additionally gate a `bench_serve` run: the
+//!   absolute floors always apply (sustained ≥ 10k req/s, p99 ≤ 5 ms,
+//!   warm-cache hit ratio ≥ 0.90, zero errors), and throughput/p99 are
+//!   also held to `--threshold` against the committed baseline
+//! * `--serve-baseline FILE` — the serve baseline
+//!   (default `BENCH_serve.json`; only read with `--serve-fresh`)
 //! * `--trace FILE` — additionally stream a `--trace-out` JSONL file
 //!   through the lifecycle analysis (the `prio trace` ingestion path),
 //!   reporting event count and throughput; a malformed trace fails the
@@ -48,11 +55,13 @@
 use prio_bench::obs_overhead::{self, ObsBench};
 use prio_bench::pipeline::{self, PipelineBench};
 use prio_bench::scaling::{self, ScalingBench};
+use prio_bench::serve::{self, ServeBench};
 use std::process::ExitCode;
 
 const DEFAULT_BASELINE: &str = "BENCH_pipeline.json";
 const DEFAULT_SCALING_BASELINE: &str = "BENCH_scaling.json";
 const DEFAULT_OBS_BASELINE: &str = "BENCH_obs.json";
+const DEFAULT_SERVE_BASELINE: &str = "BENCH_serve.json";
 const DEFAULT_THRESHOLD: f64 = 2.0;
 const DEFAULT_OBS_BUDGET: f64 = 1.10;
 const DEFAULT_SCALING_MEM_THRESHOLD: f64 = 1.5;
@@ -66,6 +75,8 @@ struct Options {
     obs_baseline: String,
     obs_fresh: Option<String>,
     obs_budget: f64,
+    serve_baseline: String,
+    serve_fresh: Option<String>,
     trace: Option<String>,
     threshold: f64,
 }
@@ -80,6 +91,8 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
         obs_baseline: DEFAULT_OBS_BASELINE.into(),
         obs_fresh: None,
         obs_budget: DEFAULT_OBS_BUDGET,
+        serve_baseline: DEFAULT_SERVE_BASELINE.into(),
+        serve_fresh: None,
         trace: None,
         threshold: DEFAULT_THRESHOLD,
     };
@@ -135,6 +148,14 @@ fn parse_args(argv: &[String]) -> Result<Options, String> {
                 }
                 i += 2;
             }
+            "--serve-baseline" => {
+                opts.serve_baseline = value(i)?;
+                i += 2;
+            }
+            "--serve-fresh" => {
+                opts.serve_fresh = Some(value(i)?);
+                i += 2;
+            }
             "--trace" => {
                 opts.trace = Some(value(i)?);
                 i += 2;
@@ -174,7 +195,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: bench_check [--baseline FILE] [--fresh FILE] [--threshold F] \
                  [--scaling-baseline FILE] [--scaling-fresh FILE] [--scaling-mem-threshold F] \
-                 [--obs-baseline FILE] [--obs-fresh FILE] [--obs-budget F] [--trace FILE]"
+                 [--obs-baseline FILE] [--obs-fresh FILE] [--obs-budget F] \
+                 [--serve-baseline FILE] [--serve-fresh FILE] [--trace FILE]"
             );
             return ExitCode::from(2);
         }
@@ -305,6 +327,45 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &opts.serve_fresh {
+        let fresh = match load_serve(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_check: error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        // The absolute floors hold regardless of any baseline: the
+        // daemon must sustain the target rate with bounded tail latency
+        // and a warm cache, and a load test that produced errors is not
+        // a measurement at all.
+        for check in serve::check_floors(&fresh) {
+            let verdict = if check.failed { "REGRESSED" } else { "ok" };
+            eprintln!(
+                "bench_check: serve {:<18} value {:>12.1}, bound {:>10.1} {verdict}",
+                check.name, check.value, check.bound
+            );
+            failed |= check.failed;
+        }
+        match load_serve(&opts.serve_baseline) {
+            Ok(baseline) => {
+                for check in serve::compare_serve(&baseline, &fresh, opts.threshold) {
+                    let verdict = if check.failed { "REGRESSED" } else { "ok" };
+                    eprintln!(
+                        "bench_check: serve {:<18} value {:>12.1}, bound {:>10.1} (threshold {:.2}) {verdict}",
+                        check.name, check.value, check.bound, opts.threshold
+                    );
+                    failed |= check.failed;
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "bench_check: warning: {e} — serve floors ran, cross-run comparison skipped"
+                );
+            }
+        }
+    }
+
     if let Some(path) = &opts.trace {
         match analyze_trace(path) {
             Ok(stats) => {
@@ -334,9 +395,10 @@ fn main() -> ExitCode {
         eprintln!(
             "bench_check: FAIL — a metric exceeded its threshold; if an absolute-time drift is \
              intentional, regenerate the baseline with `cargo run --release -p prio-bench --bin \
-             bench_pipeline` (and `--bin bench_scaling` / `--bin bench_obs` for scaling/overhead \
-             rows); an overhead-budget failure (ratio > {:.2}) means tracing itself got more \
-             expensive and must be fixed, not re-baselined",
+             bench_pipeline` (and `--bin bench_scaling` / `--bin bench_obs` / `--bin bench_serve` \
+             for scaling/overhead/serve rows); an overhead-budget failure (ratio > {:.2}) means \
+             tracing itself got more expensive and must be fixed, not re-baselined; a serve-floor \
+             failure means the daemon missed its absolute targets and cannot be re-baselined away",
             opts.obs_budget
         );
         return ExitCode::from(1);
@@ -353,6 +415,11 @@ fn load_scaling(path: &str) -> Result<ScalingBench, String> {
 fn load_obs(path: &str) -> Result<ObsBench, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     ObsBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_serve(path: &str) -> Result<ServeBench, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ServeBench::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 struct TraceStats {

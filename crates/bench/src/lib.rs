@@ -23,3 +23,4 @@ pub mod obs_overhead;
 pub mod pipeline;
 pub mod report;
 pub mod scaling;
+pub mod serve;

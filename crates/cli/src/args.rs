@@ -23,6 +23,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "verbose",
     "timings",
     "json",
+    "stdio",
 ];
 
 impl Args {

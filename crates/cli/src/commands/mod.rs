@@ -10,6 +10,7 @@ pub mod generate;
 pub mod instrument;
 pub mod report;
 pub mod schedule;
+pub mod serve;
 pub mod simulate;
 pub mod stats;
 pub mod trace;

@@ -1,0 +1,84 @@
+//! `prio serve` — run the prioritization daemon.
+//!
+//! ```text
+//! prio serve [--listen ADDR | --stdio] [--serve-threads N] [--queue-cap N]
+//!            [--cache-bytes N] [--max-request-bytes N] [--format F]
+//! ```
+//!
+//! Speaks the line-delimited JSON protocol of `prio_serve::protocol`: one
+//! request per line, one id-matched response line per request. `--listen`
+//! (default `127.0.0.1:7077`; use port `0` for an ephemeral port) serves
+//! TCP connections until a `shutdown` verb arrives; `--stdio` serves a
+//! single session over stdin/stdout and exits at EOF. `--format` sets the
+//! default input format for requests that name none (`auto` = content
+//! detection). Combine with the global `--metrics-out F` to write a
+//! Prometheus snapshot — including the `serve.request.micros` latency
+//! histogram and the `serve.queue.shed` counter — when the daemon exits.
+
+use crate::args::Args;
+use crate::error::CliError;
+use prio_serve::{serve_stdio, ServeConfig, ServeStats, Server};
+
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if !args.positional.is_empty() {
+        return Err(CliError::usage("serve takes no positional arguments"));
+    }
+    if args.has("stdio") && args.get("listen").is_some() {
+        return Err(CliError::usage(
+            "--stdio and --listen are mutually exclusive",
+        ));
+    }
+    let default = ServeConfig::default();
+    let config = ServeConfig {
+        threads: args.get_parsed("serve-threads", default.threads)?,
+        queue_capacity: args.get_parsed("queue-cap", default.queue_capacity)?,
+        cache_bytes: args.get_parsed("cache-bytes", default.cache_bytes)?,
+        max_request_bytes: args.get_parsed("max-request-bytes", default.max_request_bytes)?,
+        default_format: match args.get("format") {
+            None => None,
+            Some(name) if name.eq_ignore_ascii_case("auto") => None,
+            Some(name) => {
+                // Fail at startup, not per request, on a bad flag value.
+                prio_dagman::registry().by_name(name).ok_or_else(|| {
+                    CliError::usage(format!(
+                        "unknown --format {name:?} (auto|dagman|json|edges)"
+                    ))
+                })?;
+                Some(name.to_string())
+            }
+        },
+        worker_delay: std::time::Duration::ZERO,
+    };
+    if config.threads == 0 {
+        return Err(CliError::usage("--serve-threads must be at least 1"));
+    }
+
+    let stats = if args.has("stdio") {
+        serve_stdio(config)
+    } else {
+        let addr = args.get("listen").unwrap_or("127.0.0.1:7077");
+        let server = Server::bind(addr, config)
+            .map_err(|e| CliError::input(format!("cannot listen on {addr}: {e}")))?;
+        // The resolved address matters with port 0; scripts scrape it.
+        eprintln!("prio: serving on {}", server.local_addr());
+        server.wait()
+    };
+    print_summary(&stats);
+    Ok(())
+}
+
+fn print_summary(s: &ServeStats) {
+    eprintln!(
+        "prio: serve exiting: {} received, {} ok, {} errors, {} shed, \
+         cache {} hits / {} misses ({} entries, {} bytes)",
+        s.received,
+        s.ok,
+        s.errors,
+        s.shed,
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.entries,
+        s.cache.bytes
+    );
+}

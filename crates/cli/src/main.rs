@@ -13,6 +13,8 @@
 //! prio report     <trace.jsonl | ->... [--json]
 //! prio trace      <timeline|critical-path|curve|diff> ...
 //! prio stats      <file.dag | --workload NAME>
+//! prio serve      [--listen ADDR | --stdio] [--serve-threads N] [--queue-cap N]
+//!                 [--cache-bytes N] [--max-request-bytes N] [--format F]
 //! ```
 //!
 //! Every subcommand accepts the global `-v`/`--verbose` flag (or the
@@ -162,6 +164,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "generate" => commands::generate::run(rest),
         "simulate" | "sim" => commands::simulate::run(rest),
         "report" => commands::report::run(rest),
+        "serve" => commands::serve::run(rest),
         "trace" => commands::trace::run(rest),
         "stats" => commands::stats::run(rest),
         "help" | "--help" | "-h" => {
@@ -202,6 +205,8 @@ USAGE:
     prio trace      curve         <trace.jsonl | -> --out <file.tsv>
     prio trace      diff          <a.jsonl> <b.jsonl> [--policy-a P] [--policy-b P] [--json]
     prio stats      (<workflow> | --workload NAME [--scale F])
+    prio serve      [--listen ADDR | --stdio] [--serve-threads N] [--queue-cap N]
+                    [--cache-bytes N] [--max-request-bytes N] [--format F]
     prio help
 
 FORMATS (--format / --from / --to):
@@ -242,6 +247,11 @@ SUBCOMMANDS:
     trace       analyze job-lifecycle traces: per-job timeline, realized
                 critical path, eligibility curve (fig4 TSV), run diff
     stats       print pipeline statistics (components, families, shortcuts)
+    serve       run the prioritization daemon: line-delimited JSON requests
+                over TCP (--listen, until a shutdown verb) or stdin/stdout
+                (--stdio, until EOF), with a worker pool, a bounded queue
+                that sheds load as `overloaded`, and a content-hash result
+                cache; `stats`/`ping` control verbs answer inline
 
 EXIT CODES:
     0   success

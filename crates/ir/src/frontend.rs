@@ -10,7 +10,10 @@ use crate::error::PrioError;
 use crate::workflow::{FormatId, Priorities, Workflow};
 
 /// One importer/exporter pair for a workflow text format.
-pub trait Frontend {
+///
+/// Frontends are stateless (`Send + Sync`), so one registry can be
+/// shared by every worker of a concurrent server.
+pub trait Frontend: Send + Sync {
     /// The format this frontend handles.
     fn id(&self) -> FormatId;
 

@@ -1,0 +1,163 @@
+//! Property tests of the content-hash cache key: two workflows share a
+//! cache entry exactly when their post-intern CSR — labels and arcs —
+//! is identical. Any single-label or single-arc difference must produce
+//! a different key (and therefore a cache miss), while rebuilding the
+//! same structure from scratch must land on the same entry.
+
+use prio_graph::{Dag, DagBuilder, NodeId};
+use prio_serve::{text_key, workflow_key, ResultCache};
+use proptest::prelude::*;
+
+/// A buildable dag description: unique labels and `u < v` index arcs.
+#[derive(Debug, Clone)]
+struct Spec {
+    labels: Vec<String>,
+    arcs: Vec<(u32, u32)>,
+}
+
+fn build(spec: &Spec) -> Dag {
+    let mut b = DagBuilder::new();
+    for label in &spec.labels {
+        b.add_node(label.clone());
+    }
+    for &(u, v) in &spec.arcs {
+        b.add_arc(NodeId(u), NodeId(v)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    (2usize..16).prop_flat_map(|n| {
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let k = pairs.len();
+        let stems = proptest::collection::vec(any::<u64>(), n);
+        let mask = proptest::collection::vec(proptest::bool::weighted(0.3), k);
+        (stems, mask).prop_map(move |(stems, mask)| Spec {
+            // The index suffix keeps labels unique however the random
+            // stems collide (the builder would otherwise merge equal
+            // labels into one node).
+            labels: stems
+                .iter()
+                .enumerate()
+                .map(|(i, stem)| format!("n{:x}_{i}", stem % 4096))
+                .collect(),
+            arcs: pairs
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &m)| m)
+                .map(|(&p, _)| p)
+                .collect(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rebuilding the identical structure yields the identical key, and
+    /// through a [`ResultCache`] the second workflow finds the entry the
+    /// first one inserted — the cache sharing the key exists for.
+    #[test]
+    fn identical_csr_shares_one_entry(spec in arb_spec()) {
+        let a = build(&spec);
+        let b = build(&spec);
+        prop_assert_eq!(workflow_key(&a), workflow_key(&b));
+
+        let cache = ResultCache::new(1 << 20);
+        let order: prio_serve::cache::CachedOrder =
+            a.node_ids().collect::<Vec<NodeId>>().into();
+        cache.insert(workflow_key(&a), order);
+        prop_assert!(cache.get(workflow_key(&b), b.num_nodes()).is_some());
+        let stats = cache.stats();
+        prop_assert_eq!((stats.hits, stats.entries), (1, 1));
+    }
+
+    /// Changing any single label changes the key.
+    #[test]
+    fn any_label_difference_misses(spec in arb_spec(), which in any::<usize>()) {
+        let base = workflow_key(&build(&spec));
+        let mut mutated = spec.clone();
+        let i = which % mutated.labels.len();
+        // '#' never occurs in generated labels, so the mutated label
+        // cannot collide with (and merge into) another node.
+        mutated.labels[i].push('#');
+        prop_assert_ne!(base, workflow_key(&build(&mutated)));
+    }
+
+    /// Removing any single arc — or adding any absent one — changes the
+    /// key.
+    #[test]
+    fn any_arc_difference_misses(spec in arb_spec(), which in any::<usize>()) {
+        let base = workflow_key(&build(&spec));
+
+        if !spec.arcs.is_empty() {
+            let mut removed = spec.clone();
+            let i = which % removed.arcs.len();
+            removed.arcs.remove(i);
+            prop_assert_ne!(base, workflow_key(&build(&removed)));
+        }
+
+        let n = spec.labels.len() as u32;
+        let absent: Vec<(u32, u32)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .filter(|p| !spec.arcs.contains(p))
+            .collect();
+        if !absent.is_empty() {
+            let mut added = spec.clone();
+            added.arcs.push(absent[which % absent.len()]);
+            prop_assert_ne!(base, workflow_key(&build(&added)));
+        }
+    }
+
+    /// The text-memo key is sound the same way: equal (format, text)
+    /// agree, and any difference in either component separates them.
+    #[test]
+    fn text_key_separates_format_and_text(stem in any::<u64>(), salt in any::<u64>()) {
+        let format = format!("f{:x}", stem % 512);
+        let text = format!("a\tb{:x}\nb{0:x}\tc\n", salt % 4096);
+        let suffix = format!("x{:x}", (stem ^ salt) % 256);
+        prop_assert_eq!(text_key(&format, &text), text_key(&format, &text));
+        prop_assert_ne!(
+            text_key(&format, &text),
+            text_key(&format, &format!("{text}{suffix}"))
+        );
+        prop_assert_ne!(
+            text_key(&format, &text),
+            text_key(&format!("{format}{suffix}"), &text)
+        );
+        // The per-write length folding prevents aliasing across the
+        // format/text boundary: moving bytes between the two fields is
+        // a different key even though the concatenation is identical.
+        prop_assert_ne!(
+            text_key(&format!("{format}{suffix}"), &text),
+            text_key(&format, &format!("{suffix}{text}"))
+        );
+    }
+}
+
+/// A non-proptest anchor on the smallest interesting cases.
+#[test]
+fn two_node_variants_are_all_distinct() {
+    let chain = build(&Spec {
+        labels: vec!["a".into(), "b".into()],
+        arcs: vec![(0, 1)],
+    });
+    let loose = build(&Spec {
+        labels: vec!["a".into(), "b".into()],
+        arcs: vec![],
+    });
+    let renamed = build(&Spec {
+        labels: vec!["a".into(), "c".into()],
+        arcs: vec![(0, 1)],
+    });
+    let keys = [
+        workflow_key(&chain),
+        workflow_key(&loose),
+        workflow_key(&renamed),
+    ];
+    assert_ne!(keys[0], keys[1]);
+    assert_ne!(keys[0], keys[2]);
+    assert_ne!(keys[1], keys[2]);
+}

@@ -138,6 +138,54 @@ cmp target/format-matrix/priorities.dagman.tsv target/format-matrix/priorities.j
 cmp target/format-matrix/priorities.dagman.tsv target/format-matrix/priorities.edges.tsv \
   || { echo "check.sh: dagman/edges priorities diverged" >&2; exit 1; }
 echo "check.sh: format matrix ok (9 conversions, 3 prioritized formats agree)"
+# Serve daemon smoke: start `prio serve` on an ephemeral port, drive one
+# prioritize request per frontend format plus the stats verb through
+# bash's /dev/tcp, and shut down gracefully with the shutdown verb. The
+# request/response transcript lands in target/serve-smoke (uploaded by
+# CI) so a protocol regression can be replayed offline.
+mkdir -p target/serve-smoke
+: > target/serve-smoke/daemon.stderr
+./target/release/prio serve --listen 127.0.0.1:0 --serve-threads 2 \
+  2> target/serve-smoke/daemon.stderr &
+serve_pid=$!
+serve_addr=""
+for _ in $(seq 1 100); do
+  serve_addr=$(sed -n 's/^prio: serving on //p' target/serve-smoke/daemon.stderr | head -1)
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+[ -n "$serve_addr" ] \
+  || { echo "check.sh: serve daemon did not start" >&2; kill "$serve_pid" 2>/dev/null; exit 1; }
+serve_port=${serve_addr##*:}
+cat > target/serve-smoke/requests.jsonl <<'EOF'
+{"type":"request","id":"dagman","format":"dagman","workflow":"JOB a a.sub\nJOB b b.sub\nJOB c c.sub\nPARENT a CHILD b c\n"}
+{"type":"request","id":"json","format":"json","workflow":"{\"jobs\": [\"a\", \"b\", \"c\"], \"arcs\": [[\"a\", \"b\"], [\"a\", \"c\"]]}"}
+{"type":"request","id":"edges","format":"edges","workflow":"a\tb\na\tc\n"}
+{"type":"request","id":"stats","verb":"stats"}
+{"type":"request","id":"bye","verb":"shutdown"}
+EOF
+exec 3<>"/dev/tcp/127.0.0.1/$serve_port"
+cat target/serve-smoke/requests.jsonl >&3
+: > target/serve-smoke/responses.jsonl
+for _ in 1 2 3 4 5; do
+  IFS= read -r -t 30 line <&3 \
+    || { echo "check.sh: serve smoke: daemon stopped responding" >&2; exit 1; }
+  printf '%s\n' "$line" >> target/serve-smoke/responses.jsonl
+done
+exec 3<&- 3>&-
+for id in dagman json edges; do
+  grep "\"id\":\"$id\"" target/serve-smoke/responses.jsonl | grep -q '"status":"ok"' \
+    || { echo "check.sh: serve smoke: $id request did not succeed" >&2; exit 1; }
+done
+grep '"id":"stats"' target/serve-smoke/responses.jsonl | grep -q '"cache_hits":' \
+  || { echo "check.sh: serve smoke: stats verb missing cache counters" >&2; exit 1; }
+grep '"id":"bye"' target/serve-smoke/responses.jsonl | grep -q '"shutdown":true' \
+  || { echo "check.sh: serve smoke: shutdown verb not acknowledged" >&2; exit 1; }
+wait "$serve_pid" \
+  || { echo "check.sh: serve daemon exited non-zero" >&2; exit 1; }
+grep -q "serve exiting" target/serve-smoke/daemon.stderr \
+  || { echo "check.sh: serve daemon exit summary missing" >&2; exit 1; }
+echo "check.sh: serve smoke ok (3-format matrix, stats verb, graceful shutdown)"
 run_cargo bench --no-run
 # Compile gate for the bench-regression guard; the timing comparison
 # itself is opt-in (PRIO_BENCH_CHECK=1) because shared CI machines are too
@@ -152,6 +200,10 @@ run_cargo build --release -p prio-bench --bin bench_scaling
 # untraced measurement (10^5 + 10^6 tiers, committed as BENCH_obs.json)
 # is run manually when regenerating the baseline.
 run_cargo build --release -p prio-bench --bin bench_obs
+# Compile the serve load generator; the open-loop throughput/latency
+# measurement (committed as BENCH_serve.json) runs under
+# PRIO_BENCH_CHECK=1 and when regenerating the baseline.
+run_cargo build --release -p prio-bench --bin bench_serve
 if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
   # Observability-overhead smoke: measure the cheap 10^5 tier on this
   # machine and hold it to the committed baseline (absolute wall times,
@@ -176,6 +228,19 @@ if [ "${PRIO_BENCH_CHECK:-0}" = "1" ]; then
     --max-jobs 10000000 --threads 4 \
     --out target/BENCH_scaling_parse_smoke.json \
     || { echo "check.sh: 10^7 parse smoke failed or timed out" >&2; exit 1; }
+  # The committed BENCH_serve.json must satisfy the absolute serve
+  # floors (>=10k req/s sustained, p99 <= 5ms, warm hit ratio >= 0.90).
+  ./target/release/bench_check --serve-fresh BENCH_serve.json
+  # Fresh serve measurement on this machine: floors always, plus the
+  # committed baseline with the noise threshold.
+  timeout 120 ./target/release/bench_serve --out target/BENCH_serve_fresh.json \
+    || { echo "check.sh: bench_serve failed or timed out" >&2; exit 1; }
+  ./target/release/bench_check --threshold "${PRIO_BENCH_THRESHOLD:-2.0}" \
+    --serve-baseline BENCH_serve.json \
+    --serve-fresh target/BENCH_serve_fresh.json
+  # Concurrency soak: duplicate-heavy multi-client TCP mix; exactly one
+  # response per id, a >=0.90 cache hit ratio, and a drained shutdown.
+  run_cargo test --release -q -p dagprio --test serve_soak -- --ignored
 fi
 run_cargo fmt --all -- --check
 run_cargo clippy --workspace --all-targets -- -D warnings

@@ -27,7 +27,10 @@
 //! * [`sim`] — the event-driven grid simulator and the §4 experiment
 //!   harness;
 //! * [`obs`] — zero-dependency observability: phase-timing spans, atomic
-//!   counters, and structured JSONL event traces across the pipeline.
+//!   counters, and structured JSONL event traces across the pipeline;
+//! * [`serve`] — the `prio serve` daemon: line-delimited JSON requests
+//!   over TCP or stdio, a bounded worker queue with load shedding, and a
+//!   content-hash cache of prioritized results.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use prio_dagman as dagman;
 pub use prio_graph as graph;
 pub use prio_ir as ir;
 pub use prio_obs as obs;
+pub use prio_serve as serve;
 pub use prio_sim as sim;
 pub use prio_stats as stats;
 pub use prio_workloads as workloads;

@@ -1,0 +1,260 @@
+//! Protocol robustness: every way a client can misbehave — malformed
+//! JSON, oversized lines, unknown verbs, mid-request disconnects, mixed
+//! schema versions — produces a structured error response with
+//! `PrioError`-style provenance, and never kills the daemon, hangs a
+//! connection, or poisons a worker's scratch context.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
+
+use dagprio::obs::json::{parse, JsonValue, SCHEMA_VERSION};
+use dagprio::serve::{
+    encode_control, encode_request, serve_streams, ServeConfig, ServeStats, Server,
+};
+
+/// A writer handing the daemon's output back through a shared buffer.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Serves `lines` on a fresh in-process daemon; returns the raw response
+/// lines (in arrival order) and the final statistics.
+fn serve_lines(lines: &[String], config: ServeConfig) -> (Vec<String>, ServeStats) {
+    let buf = SharedBuf::default();
+    let input = lines.join("\n") + "\n";
+    let stats = serve_streams(Cursor::new(input), Box::new(buf.clone()), config);
+    let bytes = buf.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("responses are UTF-8");
+    (text.lines().map(str::to_owned).collect(), stats)
+}
+
+fn parsed(lines: &[String]) -> Vec<JsonValue> {
+    lines
+        .iter()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("unparseable response {l:?}: {e}")))
+        .collect()
+}
+
+fn by_id(lines: &[String]) -> BTreeMap<String, JsonValue> {
+    parsed(lines)
+        .into_iter()
+        .filter_map(|v| {
+            let id = v.get("id").and_then(JsonValue::as_str)?.to_owned();
+            Some((id, v))
+        })
+        .collect()
+}
+
+fn str_field<'v>(v: &'v JsonValue, key: &str) -> &'v str {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .unwrap_or_else(|| panic!("missing string field {key:?} in {v:?}"))
+}
+
+/// Malformed JSON lines each earn one structured error (with no id,
+/// since none was recoverable) and the daemon goes on to serve the next
+/// valid request on the same connection.
+#[test]
+fn malformed_json_is_a_structured_error_not_a_crash() {
+    let lines = vec![
+        "{{{".to_owned(),
+        "[1,2,3]".to_owned(),
+        "\"just a string\"".to_owned(),
+        r#"{"verb":"stats"}"#.to_owned(), // object but no id
+        encode_request("good", "a\tb\n", Some("edges"), None),
+    ];
+    let (out, stats) = serve_lines(&lines, ServeConfig::default());
+    assert_eq!(out.len(), 5);
+    assert_eq!((stats.received, stats.ok, stats.errors), (5, 1, 4));
+    let responses = parsed(&out);
+    for v in &responses[..4] {
+        assert_eq!(str_field(v, "status"), "error");
+        assert_eq!(str_field(v, "stage"), "request");
+        assert!(v.get("id").is_none(), "no id was recoverable: {v:?}");
+        assert!(str_field(v, "error").starts_with("request:"));
+    }
+    let good = &by_id(&out)["good"];
+    assert_eq!(str_field(good, "status"), "ok");
+}
+
+/// An oversized request line is rejected with a structured error that
+/// names the limit, the line is discarded without being buffered, and
+/// the requests after it are served normally.
+#[test]
+fn oversized_requests_are_bounded_and_rejected() {
+    let config = ServeConfig {
+        max_request_bytes: 2048,
+        ..ServeConfig::default()
+    };
+    let big = encode_request("big", &"x\ty\n".repeat(10_000), Some("edges"), None);
+    assert!(big.len() > config.max_request_bytes);
+    let lines = vec![big, encode_request("ok", "a\tb\n", Some("edges"), None)];
+    let (out, stats) = serve_lines(&lines, config);
+    assert_eq!(out.len(), 2);
+    let responses = parsed(&out);
+    assert_eq!(str_field(&responses[0], "status"), "error");
+    assert!(
+        str_field(&responses[0], "error").contains("max request bytes (2048)"),
+        "{responses:?}"
+    );
+    assert_eq!(str_field(&by_id(&out)["ok"], "status"), "ok");
+    assert_eq!((stats.ok, stats.errors), (1, 1));
+}
+
+/// Unknown verbs and missing required fields are per-request errors that
+/// echo the id when one parsed, and the connection stays usable.
+#[test]
+fn unknown_verbs_and_missing_fields_keep_the_id() {
+    let lines = vec![
+        r#"{"type":"request","id":"v1","verb":"explode"}"#.to_owned(),
+        r#"{"type":"request","id":"v2","verb":"prioritize"}"#.to_owned(), // no workflow
+        encode_control("p", "ping"),
+    ];
+    let (out, stats) = serve_lines(&lines, ServeConfig::default());
+    let map = by_id(&out);
+    assert_eq!(str_field(&map["v1"], "status"), "error");
+    assert!(
+        str_field(&map["v1"], "error").contains("unknown verb \"explode\""),
+        "{:?}",
+        map["v1"]
+    );
+    assert_eq!(str_field(&map["v2"], "status"), "error");
+    assert!(str_field(&map["v2"], "error").contains("workflow"));
+    assert_eq!(str_field(&map["p"], "status"), "ok");
+    // `ok` counts prioritize work only; the inline pong is not work.
+    assert_eq!((stats.received, stats.ok, stats.errors), (3, 0, 2));
+}
+
+/// Version handling mirrors the JSONL stream contract: a record tagged
+/// newer than this build is rejected, two different explicit versions on
+/// one connection are rejected per-record — and matching records around
+/// them keep working.
+#[test]
+fn mixed_and_future_schema_versions_are_per_record_errors() {
+    let v = SCHEMA_VERSION;
+    let lines = vec![
+        format!(r#"{{"type":"request","id":"a","verb":"ping","v":{v}}}"#),
+        format!(
+            r#"{{"type":"request","id":"b","verb":"ping","v":{}}}"#,
+            v - 1
+        ),
+        format!(r#"{{"type":"request","id":"c","verb":"ping","v":{v}}}"#),
+        format!(
+            r#"{{"type":"request","id":"d","verb":"ping","v":{}}}"#,
+            v + 1
+        ),
+    ];
+    let (out, stats) = serve_lines(&lines, ServeConfig::default());
+    let map = by_id(&out);
+    assert_eq!(str_field(&map["a"], "status"), "ok");
+    assert_eq!(str_field(&map["b"], "status"), "error");
+    assert!(str_field(&map["b"], "error").contains("mixed schema versions"));
+    assert_eq!(
+        str_field(&map["c"], "status"),
+        "ok",
+        "sticky version survives"
+    );
+    assert_eq!(str_field(&map["d"], "status"), "error");
+    assert!(str_field(&map["d"], "error").contains("newer than supported"));
+    assert_eq!((stats.received, stats.errors), (4, 2));
+}
+
+/// Pipeline failures carry their stage provenance onto the wire, and —
+/// with a single worker, so the same `PrioContext` serves every request —
+/// a failed request does not perturb the one after it.
+#[test]
+fn pipeline_errors_have_provenance_and_do_not_poison_the_worker() {
+    let reference = dagprio::prioritize_workflow_text("a\tb\nb\tc\n", None, Some("edges"))
+        .unwrap()
+        .1;
+    let lines = vec![
+        // A dagman parse error (line provenance)...
+        encode_request("parse", "JOB broken", Some("dagman"), None),
+        // ...a cyclic edge list (graph-build failure)...
+        encode_request("cycle", "a\tb\nb\ta\n", Some("edges"), None),
+        // ...an unregistered format name...
+        encode_request("fmt", "a\tb\n", Some("nope"), None),
+        // ...then a normal request through the very same worker context.
+        encode_request("good", "a\tb\nb\tc\n", Some("edges"), None),
+    ];
+    let config = ServeConfig {
+        threads: 1,
+        ..ServeConfig::default()
+    };
+    let (out, stats) = serve_lines(&lines, config);
+    let map = by_id(&out);
+    for id in ["parse", "cycle", "fmt"] {
+        assert_eq!(str_field(&map[id], "status"), "error", "{id}");
+        assert!(
+            !str_field(&map[id], "stage").is_empty(),
+            "{id}: errors carry stage provenance"
+        );
+    }
+    assert_eq!(str_field(&map["parse"], "stage"), "parse");
+    assert!(str_field(&map["fmt"], "error").contains("unknown format"));
+    assert_eq!(str_field(&map["good"], "status"), "ok");
+    assert_eq!(
+        str_field(&map["good"], "output"),
+        reference,
+        "the worker context must be unaffected by the failed requests before it"
+    );
+    assert_eq!((stats.ok, stats.errors), (1, 3));
+}
+
+/// A client that disconnects mid-request (an unterminated line, then a
+/// dead socket) neither kills the daemon nor wedges it: a fresh
+/// connection right after is served normally, and the graceful shutdown
+/// still completes.
+#[test]
+fn mid_request_disconnect_leaves_the_daemon_serving() {
+    let server = Server::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Connection 1: half a request, no newline, then vanish. The daemon
+    // treats the fragment as a line (it cannot tell a disconnect from a
+    // short write), fails to respond to the dead socket, and moves on.
+    {
+        let partial = TcpStream::connect(addr).unwrap();
+        (&partial)
+            .write_all(br#"{"type":"request","id":"gone","verb":"prior"#)
+            .unwrap();
+        partial.shutdown(Shutdown::Both).unwrap();
+    }
+
+    // Connection 2: a normal session must work immediately afterwards.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let send = |line: &str| {
+        (&stream).write_all(line.as_bytes()).unwrap();
+        (&stream).write_all(b"\n").unwrap();
+    };
+    send(&encode_request("alive", "a\tb\n", Some("edges"), None));
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let v = parse(&line).unwrap();
+    assert_eq!(str_field(&v, "id"), "alive");
+    assert_eq!(str_field(&v, "status"), "ok");
+
+    send(&encode_control("q", "shutdown"));
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"shutdown\":true"), "{line}");
+
+    let stats = server.wait();
+    assert_eq!(stats.ok, 1);
+    assert!(
+        stats.errors >= 1,
+        "the severed fragment should have been counted as an error: {stats:?}"
+    );
+}

@@ -1,0 +1,152 @@
+//! Concurrency soak: several client threads hammer one daemon over TCP
+//! with a duplicate-heavy request mix, and the protocol invariants hold
+//! under contention — every id answered exactly once, no response lost
+//! or duplicated, the cache absorbs the duplicates, and the graceful
+//! shutdown drains everything it accepted.
+//!
+//! Time-boxed to a few seconds and `#[ignore]`d by default; `check.sh`
+//! runs it in release mode under `PRIO_BENCH_CHECK=1`:
+//!
+//! ```text
+//! cargo test --release --test serve_soak -- --ignored
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use dagprio::serve::{encode_control, encode_request, ServeConfig, Server};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 1500;
+/// Every `FRESH_EVERY`-th request per client is a never-seen-before dag
+/// (a guaranteed cold miss); the rest round-robin a small shared pool.
+const FRESH_EVERY: usize = 50;
+const POOL: usize = 8;
+
+/// A small edge-list dag, salted so distinct `salt`s are distinct dags.
+fn dag_text(salt: usize) -> String {
+    let mut text = String::new();
+    for i in 0..10 {
+        text.push_str(&format!("s{salt}n{i}\ts{salt}n{}\n", i + 1));
+    }
+    text.push_str(&format!("s{salt}n0\ts{salt}n5\n"));
+    text
+}
+
+#[test]
+#[ignore = "soak test: run by check.sh under PRIO_BENCH_CHECK=1"]
+fn soak_duplicate_heavy_mix_loses_and_duplicates_nothing() {
+    let config = ServeConfig {
+        threads: 2,
+        // At least CLIENTS * REQUESTS_PER_CLIENT, so even the worst-case
+        // backlog can never shed: lost-vs-shed must not be conflated,
+        // and shedding has its own dedicated suite.
+        queue_capacity: CLIENTS * REQUESTS_PER_CLIENT,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr();
+
+    let pool: Vec<String> = (0..POOL).map(dag_text).collect();
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let read_half = stream.try_clone().unwrap();
+                // A dedicated reader drains responses concurrently with
+                // the writes, so the soak actually pipelines instead of
+                // degenerating into lock-step request/response.
+                let reader = std::thread::spawn(move || {
+                    let mut seen: HashMap<String, u32> = HashMap::new();
+                    let mut reader = BufReader::new(read_half);
+                    let mut line = String::new();
+                    for _ in 0..REQUESTS_PER_CLIENT {
+                        line.clear();
+                        let n = reader.read_line(&mut line).unwrap();
+                        assert!(n > 0, "daemon closed the connection early");
+                        let id_at = line.find("\"id\":\"").expect("response has id") + 6;
+                        let id_end = id_at + line[id_at..].find('"').unwrap();
+                        *seen.entry(line[id_at..id_end].to_owned()).or_insert(0) += 1;
+                        assert!(
+                            line.contains("\"status\":\"ok\""),
+                            "soak requests must all succeed: {line}"
+                        );
+                    }
+                    seen
+                });
+                let mut out = std::io::BufWriter::new(stream);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let id = format!("c{c}-{i}");
+                    let line = if i % FRESH_EVERY == FRESH_EVERY - 1 {
+                        // A dag no connection has ever sent before.
+                        encode_request(&id, &dag_text(1000 + c * 1000 + i), Some("edges"), None)
+                    } else {
+                        let text = &pool[(i * 7 + c) % POOL];
+                        encode_request(&id, text, Some("edges"), None)
+                    };
+                    out.write_all(line.as_bytes()).unwrap();
+                    out.write_all(b"\n").unwrap();
+                }
+                out.flush().unwrap();
+                reader.join().unwrap()
+            })
+        })
+        .collect();
+
+    let mut total_ok = 0u64;
+    for (c, client) in clients.into_iter().enumerate() {
+        let seen = client.join().unwrap();
+        // Exactly one response per id: none lost (the reader counted out
+        // REQUESTS_PER_CLIENT lines), none duplicated, none misrouted
+        // from another connection.
+        assert_eq!(
+            seen.len(),
+            REQUESTS_PER_CLIENT,
+            "client {c}: ids lost or misrouted"
+        );
+        for (id, count) in &seen {
+            assert_eq!(*count, 1, "client {c}: id {id} answered {count} times");
+            assert!(
+                id.starts_with(&format!("c{c}-")),
+                "client {c}: foreign id {id}"
+            );
+        }
+        total_ok += seen.len() as u64;
+    }
+
+    // Graceful shutdown: a control connection asks, and the drain keeps
+    // every already-accepted response (asserted above by counting them).
+    let control = TcpStream::connect(addr).unwrap();
+    (&control)
+        .write_all((encode_control("q", "shutdown") + "\n").as_bytes())
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(&control).read_line(&mut line).unwrap();
+    assert!(line.contains("\"shutdown\":true"), "{line}");
+    let stats = server.wait();
+
+    assert_eq!(total_ok, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert_eq!(stats.ok, total_ok, "daemon accounting matches the clients'");
+    assert_eq!(stats.shed, 0, "the soak is sized to never shed");
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.queue_depth, 0, "shutdown drained the queue");
+
+    // The duplicate-heavy mix must be absorbed by the cache: only the
+    // pool dags and the deliberate fresh dags can miss, plus at most a
+    // handful of same-dag races between the two workers.
+    let hits = stats.cache.hits;
+    let misses = stats.cache.misses;
+    assert_eq!(
+        hits + misses,
+        total_ok,
+        "each ok request is one hit or one miss"
+    );
+    let hit_ratio = hits as f64 / (hits + misses) as f64;
+    assert!(
+        hit_ratio >= 0.90,
+        "cache hit ratio {hit_ratio:.4} below the soak floor (hits {hits}, misses {misses})"
+    );
+}
